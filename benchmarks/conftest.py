@@ -1,0 +1,55 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table/figure of the paper (see
+DESIGN.md section 4).  The paper is a design paper with no quantitative
+evaluation tables, so benches reproduce the structural artefacts (Table 1,
+the forms of Figures 5/8/11, the Figure 7 registry lifecycle) and measure
+the trade-offs the paper argues in prose (direct vs forked compilation,
+editing-form vs storage-form editing, hyper-links vs textual lookup).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.linkstore import LinkStore
+from repro.store.objectstore import ObjectStore
+from repro.store.registry import ClassRegistry
+
+
+class Person:
+    """The paper's example class (Figure 3)."""
+
+    name: str
+    spouse: object
+
+    def __init__(self, name: str):
+        self.name = name
+        self.spouse = None
+
+    @staticmethod
+    def marry(a: "Person", b: "Person") -> None:
+        a.spouse = b
+        b.spouse = a
+
+
+@pytest.fixture
+def registry() -> ClassRegistry:
+    reg = ClassRegistry()
+    reg.register(Person)
+    return reg
+
+
+@pytest.fixture
+def store(tmp_path, registry) -> ObjectStore:
+    with ObjectStore.open(str(tmp_path / "store"), registry=registry) as st:
+        yield st
+
+
+@pytest.fixture
+def link_store(store) -> LinkStore:
+    ls = LinkStore(store)
+    DynamicCompiler.install(ls)
+    yield ls
+    DynamicCompiler.uninstall()

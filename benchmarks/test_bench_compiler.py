@@ -1,0 +1,138 @@
+"""[F9/B2] DynamicCompiler: direct invocation vs forked process.
+
+Section 4.3 argues the trade-off: direct invocation of the compiler has
+"fewer run-time overheads" while the forked mechanism costs "significant
+additional run-time resources ... creating a new instantiation of the
+JVM".  This bench measures both mechanisms across program sizes and prints
+the overhead factor — the paper's claim holds if forked is consistently
+slower by a large factor.
+"""
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+
+from conftest import Person
+
+
+def source_of_size(methods):
+    lines = ["class Generated:"]
+    for index in range(methods):
+        lines.append(f"    @staticmethod")
+        lines.append(f"    def method_{index}():")
+        lines.append(f"        return {index}")
+    return "\n".join(lines) + "\n"
+
+
+def linked_program(people, links):
+    lines = ["class Linked:", "    @staticmethod", "    def main(args):",
+             "        return ["]
+    header_len = sum(len(line) + 1 for line in lines)
+    positions = []
+    offset = header_len
+    for __ in range(links):
+        line = "            ,"
+        positions.append(offset + len(line) - 1)
+        lines.append(line)
+        offset += len(line) + 1
+    lines.append("        ]")
+    text = "\n".join(lines) + "\n"
+    program = HyperProgram(text, class_name="Linked")
+    for index, pos in enumerate(positions):
+        program.add_link(HyperLinkHP.to_object(
+            people[index % len(people)], f"o{index}", pos))
+    return program
+
+
+class TestMechanismComparison:
+    @pytest.mark.parametrize("methods", [1, 10, 100])
+    def test_direct_mechanism(self, benchmark, methods, link_store):
+        source = source_of_size(methods)
+        cls = benchmark(DynamicCompiler.compile_class, "Generated", source,
+                        None, "direct")
+        assert cls.method_0() == 0
+
+    @pytest.mark.parametrize("methods", [1, 10, 100])
+    def test_forked_mechanism(self, benchmark, methods, link_store):
+        source = source_of_size(methods)
+        cls = benchmark(DynamicCompiler.compile_class, "Generated", source,
+                        None, "forked")
+        assert cls.method_0() == 0
+
+    def test_print_overhead_factor(self, benchmark, link_store):
+        """The series the Section 4.3 argument predicts: forked pays a
+        large, roughly size-independent process-creation cost."""
+        import time
+
+        def measure_series():
+            rows = []
+            for methods in (1, 10, 100):
+                source = source_of_size(methods)
+                timings = {}
+                for mechanism in ("direct", "forked"):
+                    start = time.perf_counter()
+                    repeats = 20 if mechanism == "direct" else 3
+                    for __ in range(repeats):
+                        DynamicCompiler.compile_class("Generated", source,
+                                                      None, mechanism)
+                    timings[mechanism] = \
+                        (time.perf_counter() - start) / repeats * 1000
+                rows.append((methods, timings["direct"], timings["forked"],
+                             timings["forked"] / timings["direct"]))
+            return rows
+
+        rows = benchmark.pedantic(measure_series, rounds=1, iterations=1)
+        print("\nmethods  direct(ms)  forked(ms)  factor")
+        for methods, direct_ms, forked_ms, factor in rows:
+            print(f"{methods:7d}  {direct_ms:10.3f}  {forked_ms:10.3f}  "
+                  f"{factor:6.1f}x")
+            assert factor > 2  # the paper's direction: forked costs more
+
+
+class TestHyperProgramCompilation:
+    @pytest.mark.parametrize("links", [1, 10, 100])
+    def test_compile_hyper_program(self, benchmark, links, store,
+                                   link_store):
+        people = [Person(f"p{i}") for i in range(10)]
+        program = linked_program(people, links)
+
+        def compile_once():
+            return DynamicCompiler.compile_hyper_program(program)
+
+        cls = benchmark(compile_once)
+        assert len(DynamicCompiler.run_main(cls)) == links
+
+    def test_java_pipeline(self, benchmark, store, link_store):
+        """Compiling the paper's Figure 2 written in Java syntax: the
+        extra transpile stage vs the Python-syntax path."""
+        from repro.core.hyperlink import HyperLinkHP
+        from repro.reflect.introspect import for_class
+        java = ("public class MarryExample {\n"
+                "  public static void main(String[] args) {\n"
+                "    (, );\n"
+                "  }\n"
+                "}\n")
+        program = HyperProgram(java, class_name="MarryExample")
+        call = java.index("(, )")
+        vangelis, mary = Person("v"), Person("m")
+        store.set_root("people", [vangelis, mary])
+        marry = for_class(Person).get_method("marry")
+        program.add_link(HyperLinkHP.to_static_method(
+            marry, "Person.marry", call))
+        program.add_link(HyperLinkHP.to_object(vangelis, "v", call + 1))
+        program.add_link(HyperLinkHP.to_object(mary, "m", call + 3))
+        compiled = benchmark(DynamicCompiler.compile_java_hyper_program,
+                             program)
+        DynamicCompiler.run_main(compiled, [])
+        assert vangelis.spouse is mary
+
+    def test_get_link_resolution_speed(self, benchmark, store, link_store):
+        """The run-time access path executed by every compiled link."""
+        people = [Person(f"p{i}") for i in range(10)]
+        program = linked_program(people, 10)
+        DynamicCompiler.compile_hyper_program(program)
+        link = benchmark(DynamicCompiler.get_link, link_store.password,
+                         0, 5)
+        assert link.get_object() in people

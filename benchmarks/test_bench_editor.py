@@ -1,0 +1,188 @@
+"""[F10/F11] The editor layers and the editing-form ablation.
+
+Figure 11's editing form keeps "the textual part of each line ... in a
+separate string" and is "optimised for editing operations".  The ablation
+here performs the same edit script against (a) the editing form and (b)
+the flat storage form used directly as an editing buffer — splicing the
+single string and shifting absolute link positions on every keystroke —
+and shows the editing form wins, increasingly so with document size.
+"""
+
+import pytest
+
+from repro.core.editform import EditForm, HyperLine, HyperLink
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.linkkinds import LinkKind
+from repro.editor.basic import BasicEditor
+from repro.editor.hyper import HyperProgramEditor
+from repro.editor.window import WindowEditor
+
+
+def build_edit_form(lines, links_per_line=1):
+    """A document of ``lines`` lines, each with some links."""
+    rows = []
+    for index in range(lines):
+        text = f"line {index}: the quick brown fox jumps over it"
+        row_links = [HyperLink(None, f"L{index}.{j}", 5 + j * 7, False,
+                               False, LinkKind.OBJECT)
+                     for j in range(links_per_line)]
+        rows.append(HyperLine(text, row_links))
+    return EditForm(rows)
+
+
+class StorageFormBuffer:
+    """The ablation baseline: editing directly on the flat storage form.
+
+    Every insertion splices the single backing string and shifts the
+    absolute position of every later link — the costs the editing form's
+    per-line structure avoids.
+    """
+
+    def __init__(self, program: HyperProgram):
+        self.text = program.the_text
+        self.links = list(program.the_links)
+
+    def insert_text(self, pos: int, text: str) -> None:
+        self.text = self.text[:pos] + text + self.text[pos:]
+        for link in self.links:
+            if link.string_pos > pos:
+                link.string_pos += len(text)
+
+    def delete_range(self, start: int, end: int) -> None:
+        self.text = self.text[:start] + self.text[end:]
+        kept = []
+        for link in self.links:
+            if start < link.string_pos < end:
+                continue
+            if link.string_pos >= end:
+                link.string_pos -= end - start
+            kept.append(link)
+        self.links = kept
+
+    def line_start(self, line: int) -> int:
+        pos = 0
+        for __ in range(line):
+            pos = self.text.index("\n", pos) + 1
+        return pos
+
+
+def edit_script_editform(form: EditForm, operations: int) -> None:
+    lines = form.line_count()
+    for index in range(operations):
+        line = (index * 37) % lines
+        form.insert_text(line, 3, "xy")
+        form.delete_range((line, 3), (line, 5))
+
+
+def edit_script_storage(buffer: StorageFormBuffer, lines: int,
+                        operations: int) -> None:
+    for index in range(operations):
+        line = (index * 37) % lines
+        start = buffer.line_start(line)
+        buffer.insert_text(start + 3, "xy")
+        buffer.delete_range(start + 3, start + 5)
+
+
+class TestEditingFormAblation:
+    @pytest.mark.parametrize("lines", [10, 100, 1000])
+    def test_editing_form_ops(self, benchmark, lines):
+        form = build_edit_form(lines)
+        benchmark(edit_script_editform, form, 100)
+
+    @pytest.mark.parametrize("lines", [10, 100, 1000])
+    def test_storage_form_ops(self, benchmark, lines):
+        from repro.core.convert import editing_to_storage
+        program = editing_to_storage(build_edit_form(lines))
+        buffer = StorageFormBuffer(program)
+        benchmark(edit_script_storage, buffer, lines, 100)
+
+    def test_print_ablation_series(self, benchmark):
+        """The F11 series: per-operation cost vs document size for both
+        buffer representations."""
+        import time
+        from repro.core.convert import editing_to_storage
+
+        def measure():
+            rows = []
+            for lines in (10, 100, 1000):
+                form = build_edit_form(lines)
+                start = time.perf_counter()
+                edit_script_editform(form, 200)
+                edit_time = (time.perf_counter() - start) / 200 * 1e6
+
+                buffer = StorageFormBuffer(
+                    editing_to_storage(build_edit_form(lines)))
+                start = time.perf_counter()
+                edit_script_storage(buffer, lines, 200)
+                storage_time = (time.perf_counter() - start) / 200 * 1e6
+                rows.append((lines, edit_time, storage_time,
+                             storage_time / edit_time))
+            return rows
+
+        rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print("\nlines  editing-form(us/op)  storage-form(us/op)  ratio")
+        for lines, edit_time, storage_time, ratio in rows:
+            print(f"{lines:5d}  {edit_time:19.2f}  {storage_time:19.2f}  "
+                  f"{ratio:5.1f}x")
+        # The paper's design claim: the editing form wins at scale.
+        assert rows[-1][3] > 1
+
+
+class TestEditorLayers:
+    def test_basic_editor_typing(self, benchmark):
+        # A fresh editor per round: typing grows the document (and its
+        # undo snapshots), so unbounded reuse would measure ever-larger
+        # documents instead of the typing operation.
+        def setup():
+            return (BasicEditor(),), {}
+
+        def type_hundred_lines(editor):
+            for __ in range(100):
+                editor.insert_text("a line of text\n")
+
+        benchmark.pedantic(type_hundred_lines, setup=setup, rounds=20,
+                           iterations=1)
+
+    def test_window_render(self, benchmark):
+        editor = BasicEditor(build_edit_form(200))
+        window = WindowEditor(editor, height=50)
+        window.scroll_to(100)
+        rendered = benchmark(window.render)
+        assert rendered
+
+    def test_cut_paste_with_links(self, benchmark):
+        editor = BasicEditor(build_edit_form(50, links_per_line=2))
+
+        def cut_paste():
+            editor.set_selection((10, 0), (12, 10))
+            editor.cut()
+            editor.move_cursor(20, 0)
+            editor.paste()
+
+        benchmark(cut_paste)
+
+    def test_undo_redo(self, benchmark):
+        editor = BasicEditor(build_edit_form(50))
+
+        def edit_undo():
+            editor.move_cursor(10, 3)
+            editor.insert_text("zz")
+            editor.undo()
+
+        benchmark(edit_undo)
+
+    def test_hyper_editor_compile_cycle(self, benchmark, link_store):
+        editor = HyperProgramEditor("Cycle")
+        editor.type_text("class Cycle:\n"
+                         "    @staticmethod\n"
+                         "    def main(args):\n"
+                         "        return 1\n")
+
+        def recompile():
+            editor.type_text("")  # invalidate
+            editor._compiled_class = None
+            return editor.compile()
+
+        cls = benchmark(recompile)
+        assert cls.__name__ == "Cycle"

@@ -1,0 +1,121 @@
+"""[E1] Schema evolution through linguistic reflection (Section 7):
+cost of one evolution step as the stored population grows, and the
+rollback path.
+"""
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.hyperprogram import HyperProgram
+from repro.errors import EvolutionError
+from repro.evolve.evolution import EvolutionEngine, EvolutionStep
+
+RECORD_SOURCE = (
+    "class Record:\n"
+    "    key: str\n"
+    "    value: int\n"
+    "    def __init__(self, key, value):\n"
+    "        self.key = key\n"
+    "        self.value = value\n"
+)
+
+
+def widen_step():
+    return EvolutionStep(
+        class_name="data.Record",
+        rewrite=lambda src: src
+            .replace("value: int", "value: int\n    note: str")
+            .replace("self.value = value",
+                     "self.value = value\n        self.note = ''"),
+        convert=lambda old: {**old, "note": ""},
+    )
+
+
+def populate(store, link_store, count):
+    program = HyperProgram(RECORD_SOURCE, [], "Record")
+    record_cls = DynamicCompiler.compile_hyper_program(program)
+    record_cls.__module__ = "data"
+    record_cls.__qualname__ = "Record"
+    store.registry.register(record_cls)
+    engine = EvolutionEngine(store)
+    engine.archive_source("data.Record", program)
+    store.set_root("records",
+                   [record_cls(f"k{index}", index)
+                    for index in range(count)])
+    store.stabilize()
+    return engine
+
+
+class TestEvolutionScaling:
+    @pytest.mark.parametrize("count", [10, 100, 1000])
+    def test_evolution_step(self, benchmark, tmp_path, registry, count):
+        import shutil
+        from repro.core.linkstore import LinkStore
+        from repro.store.objectstore import ObjectStore
+
+        def setup():
+            directory = tmp_path / "evo"
+            shutil.rmtree(directory, ignore_errors=True)
+            store = ObjectStore.open(str(directory), registry=registry)
+            DynamicCompiler.install(LinkStore(store))
+            engine = populate(store, None, count)
+            return (store, engine), {}
+
+        def run(store, engine):
+            engine.run(widen_step())
+            reconstructed = engine.last_reconstructed
+            store.close()
+            DynamicCompiler.uninstall()
+            return reconstructed
+
+        reconstructed = benchmark.pedantic(run, setup=setup, rounds=3,
+                                           iterations=1)
+        assert reconstructed == count
+
+    def test_print_scaling_series(self, benchmark, tmp_path, registry):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        import shutil
+        import time
+        from repro.core.linkstore import LinkStore
+        from repro.store.objectstore import ObjectStore
+        print("\ninstances  evolve(ms)  per-instance(us)")
+        for count in (10, 100, 1000):
+            directory = tmp_path / f"evo{count}"
+            shutil.rmtree(directory, ignore_errors=True)
+            store = ObjectStore.open(str(directory), registry=registry)
+            DynamicCompiler.install(LinkStore(store))
+            engine = populate(store, None, count)
+            start = time.perf_counter()
+            engine.run(widen_step())
+            elapsed = time.perf_counter() - start
+            print(f"{count:9d}  {elapsed * 1000:10.1f}  "
+                  f"{elapsed / count * 1e6:16.1f}")
+            assert engine.last_reconstructed == count
+            store.close()
+            DynamicCompiler.uninstall()
+
+
+class TestRollback:
+    def test_failed_evolution_rolls_back(self, benchmark, tmp_path,
+                                         registry):
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        from repro.core.linkstore import LinkStore
+        from repro.store.objectstore import ObjectStore
+        directory = str(tmp_path / "rb")
+        store = ObjectStore.open(directory, registry=registry)
+        DynamicCompiler.install(LinkStore(store))
+        try:
+            engine = populate(store, None, 50)
+            broken = EvolutionStep(
+                class_name="data.Record",
+                rewrite=lambda src: "class Record(:\n",
+                convert=lambda old: old,
+            )
+            with pytest.raises(EvolutionError):
+                engine.run(broken)
+            records = store.get_root("records")
+            assert len(records) == 50
+            assert records[0].value == 0
+        finally:
+            store.close()
+            DynamicCompiler.uninstall()

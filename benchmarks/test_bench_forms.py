@@ -1,0 +1,128 @@
+"""[F4/F5/F6/F8] The three hyper-program representations.
+
+Reconstructs the paper's Figure 5 storage-form instance and Figure 8
+textual form for MarryExample, prints both, and benchmarks the
+translations between the forms (editing <-> storage, storage -> textual)
+across program sizes.
+"""
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.convert import editing_to_storage, storage_to_editing
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.textual import generate_textual_form
+from repro.reflect.introspect import for_class
+
+from conftest import Person
+
+
+def marry_program(vangelis, mary):
+    text = ("class MarryExample:\n"
+            "    @staticmethod\n"
+            "    def main(args):\n"
+            "        (, )\n")
+    program = HyperProgram(text, class_name="MarryExample")
+    pos = text.index("(, )")
+    marry = for_class(Person).get_method("marry")
+    program.add_link(HyperLinkHP.to_static_method(marry, "Person.marry",
+                                                  pos))
+    program.add_link(HyperLinkHP.to_object(vangelis, "vangelis", pos + 1))
+    program.add_link(HyperLinkHP.to_object(mary, "mary", pos + 3))
+    return program
+
+
+def big_program(people, links):
+    """A synthetic hyper-program with ``links`` object links."""
+    lines = ["class Big:", "    @staticmethod", "    def main(args):"]
+    positions = []
+    body_start = sum(len(line) + 1 for line in lines)
+    offset = body_start
+    for index in range(links):
+        line = "        x{} = ".format(index)
+        positions.append(offset + len(line))
+        lines.append(line)
+        offset += len(line) + 1
+    text = "\n".join(lines) + "\n"
+    program = HyperProgram(text, class_name="Big")
+    for index, pos in enumerate(positions):
+        program.add_link(HyperLinkHP.to_object(
+            people[index % len(people)], f"obj{index}", pos))
+    return program
+
+
+class TestFigureReconstruction:
+    def test_print_figure5_storage_form(self, benchmark, link_store):
+        """The storage-form instance of Figure 5: one text string plus a
+        vector of HyperLinkHP with positions and flags."""
+        program = benchmark.pedantic(
+            marry_program, args=(Person("vangelis"), Person("mary")),
+            rounds=1, iterations=1)
+        print(f"\ntheText ({len(program.the_text)} chars):")
+        print(repr(program.the_text))
+        print("theLinks:")
+        for index, link in enumerate(program.the_links):
+            print(f"  [{index}] label={link.label!r} "
+                  f"stringPos={link.string_pos} "
+                  f"isSpecial={link.is_special} "
+                  f"isPrimitive={link.is_primitive}")
+        assert [link.is_special for link in program.the_links] == \
+            [True, False, False]
+
+    def test_print_figure8_textual_form(self, benchmark, link_store):
+        program = marry_program(Person("vangelis"), Person("mary"))
+        source = benchmark.pedantic(
+            DynamicCompiler.generate_textual_form, args=(program,),
+            rounds=1, iterations=1)
+        print("\n" + source)
+        assert "get_link('passwd', 0, 1).get_object()" in source
+
+    def test_print_figure11_editing_form(self, benchmark, link_store):
+        program = marry_program(Person("vangelis"), Person("mary"))
+        form = benchmark.pedantic(storage_to_editing, args=(program,),
+                                  rounds=1, iterations=1)
+        print("\nediting form (vector of HyperLine):")
+        for index in range(form.line_count()):
+            links = [(link.label, link.pos)
+                     for link in form.links_on_line(index)]
+            print(f"  [{index}] {form.text_of_line(index)!r} links={links}")
+        assert form.line_count() == 5
+        assert len(form.links_on_line(3)) == 3
+
+
+class TestFormTranslationBenchmarks:
+    @pytest.mark.parametrize("links", [3, 30, 300])
+    def test_storage_to_editing(self, benchmark, links, link_store):
+        people = [Person(f"p{i}") for i in range(10)]
+        program = big_program(people, links)
+        form = benchmark(storage_to_editing, program)
+        assert form.link_count() == links
+
+    @pytest.mark.parametrize("links", [3, 30, 300])
+    def test_editing_to_storage(self, benchmark, links, link_store):
+        people = [Person(f"p{i}") for i in range(10)]
+        form = storage_to_editing(big_program(people, links))
+        program = benchmark(editing_to_storage, form, "Big")
+        assert len(program.the_links) == links
+
+    @pytest.mark.parametrize("links", [3, 30, 300])
+    def test_textual_generation(self, benchmark, links, store, link_store):
+        people = [Person(f"p{i}") for i in range(10)]
+        program = big_program(people, links)
+        index = link_store.add_hp(program, link_store.password)
+        source, __ = benchmark(generate_textual_form, program, index,
+                               link_store.password, store.registry)
+        assert source.count("get_link(") == links
+
+    def test_roundtrip_fidelity(self, benchmark, link_store):
+        """Editing <-> storage is lossless (correctness gate for the
+        translation benchmarks above)."""
+        people = [Person(f"p{i}") for i in range(10)]
+        program = big_program(people, 100)
+        back = benchmark.pedantic(
+            lambda: editing_to_storage(storage_to_editing(program), "Big"),
+            rounds=1, iterations=1)
+        assert back.the_text == program.the_text
+        assert [l.string_pos for l in back.the_links] == \
+            [l.string_pos for l in program.the_links]

@@ -1,0 +1,115 @@
+"""[F7] The password-protected registry with weak references.
+
+Reproduces the Figure 7 lifecycle quantitatively: register N compiled
+hyper-programs, drop user references to half of them, collect, and verify
+exactly that half is reclaimed under weak references while the strong-
+reference mode (the paper's current implementation) reclaims nothing.
+Also benchmarks the getLink access path including password checking.
+"""
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.linkstore import DEFAULT_PASSWORD, LinkStore
+
+from conftest import Person
+
+
+def program_linking(person, index):
+    text = f"x{index} = \n"
+    program = HyperProgram(text, class_name="")
+    program.add_link(HyperLinkHP.to_object(
+        person, f"link{index}", text.index("= ") + 2))
+    return program
+
+
+def populate(store, link_store, count):
+    person = Person("shared target")
+    store.set_root("target", [person])
+    programs = [program_linking(person, index) for index in range(count)]
+    for program in programs:
+        link_store.add_hp(program, DEFAULT_PASSWORD)
+    store.set_root("user-refs", list(programs))
+    store.stabilize()
+    return programs
+
+
+class TestWeakVsStrongLifecycle:
+    @pytest.mark.parametrize("count", [10, 100])
+    def test_weak_mode_reclaims_dropped_programs(self, benchmark, store,
+                                                 count):
+        link_store = LinkStore(store, weak=True)
+        programs = populate(store, link_store, count)
+        keep = programs[:count // 2]
+        store.set_root("user-refs", list(keep))
+        del programs
+        freed = benchmark.pedantic(store.collect_garbage, rounds=1,
+                                   iterations=1)
+        assert freed >= count // 2
+        assert link_store.collected_count(DEFAULT_PASSWORD) == count // 2
+
+    @pytest.mark.parametrize("count", [10, 100])
+    def test_strong_mode_reclaims_nothing(self, benchmark, store, count):
+        """Ablation: the paper's current implementation — "no hyper-program
+        that is translated and compiled can be subsequently garbage
+        collected"."""
+        link_store = LinkStore(store, weak=False)
+        populate(store, link_store, count)
+        store.set_root("user-refs", [])
+        benchmark.pedantic(store.collect_garbage, rounds=1, iterations=1)
+        assert link_store.collected_count(DEFAULT_PASSWORD) == 0
+        assert link_store.count(DEFAULT_PASSWORD) == count
+
+    def test_print_reclamation_series(self, benchmark, store):
+        """The Figure 7 series: retained registry entries vs dropped user
+        references, in both modes."""
+        import tempfile
+        from repro.store.objectstore import ObjectStore
+
+        def measure():
+            rows = []
+            for weak in (True, False):
+                # Fresh sub-store per mode; populations independent.
+                directory = tempfile.mkdtemp(prefix="hyper-f7-")
+                sub = ObjectStore.open(directory, registry=store.registry)
+                link_store = LinkStore(sub, weak=weak)
+                programs = populate(sub, link_store, 50)
+                sub.set_root("user-refs", programs[:20])
+                del programs
+                sub.collect_garbage()
+                rows.append((weak,
+                             link_store.collected_count(DEFAULT_PASSWORD)))
+                sub.close()
+            return rows
+
+        rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print("\nmode    registered  dropped  collected")
+        for weak, collected in rows:
+            mode = "weak" if weak else "strong"
+            print(f"{mode:7s} {50:10d}  {30:7d}  {collected:9d}")
+            assert collected == (30 if weak else 0)
+
+
+class TestAccessPathBenchmarks:
+    def test_add_hp_speed(self, benchmark, store, link_store):
+        person = Person("t")
+        store.set_root("t", [person])
+        programs = [program_linking(person, index) for index in range(500)]
+        iterator = iter(programs)
+
+        def add_next():
+            return link_store.add_hp(next(iterator), DEFAULT_PASSWORD)
+
+        benchmark.pedantic(add_next, rounds=100, iterations=1)
+
+    def test_get_link_speed(self, benchmark, store, link_store):
+        programs = populate(store, link_store, 100)
+        link = benchmark(link_store.get_link, DEFAULT_PASSWORD, 50, 0)
+        assert link.label == "link50"
+
+    def test_password_check_speed(self, benchmark, store, link_store):
+        populate(store, link_store, 10)
+        result = benchmark(link_store.count, DEFAULT_PASSWORD)
+        assert result == 10

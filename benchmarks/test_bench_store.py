@@ -1,0 +1,162 @@
+"""[B3] The persistent-store substrate: stabilisation, fetch, and garbage
+collection scaling with population size.
+
+The hyper-programming system's responsiveness rests on the store (every
+compile round-trips the Figure 7 registry; every session reopen replays
+the heap), so the substrate's scaling behaviour is part of the
+reproduction's evaluation.
+"""
+
+import pytest
+
+from repro.store.objectstore import ObjectStore
+
+from conftest import Person
+
+
+def build_population(store, count):
+    people = [Person(f"p{index}") for index in range(count)]
+    for index in range(count - 1):
+        people[index].spouse = people[index + 1]
+    store.set_root("people", people)
+    return people
+
+
+class TestStabilization:
+    @pytest.mark.parametrize("count", [100, 1000, 5000])
+    def test_initial_stabilize(self, benchmark, tmp_path, registry, count):
+        def setup():
+            import shutil
+            directory = tmp_path / f"s{count}"
+            shutil.rmtree(directory, ignore_errors=True)
+            store = ObjectStore.open(str(directory), registry=registry)
+            build_population(store, count)
+            return (store,), {}
+
+        def run(store):
+            written = store.stabilize()
+            store.close()
+            return written
+
+        written = benchmark.pedantic(run, setup=setup, rounds=3,
+                                     iterations=1)
+        assert written >= count
+
+    @pytest.mark.parametrize("count", [100, 1000])
+    def test_incremental_stabilize(self, benchmark, store, count):
+        """After one mutation, stabilize writes only the changed record."""
+        people = build_population(store, count)
+        store.stabilize()
+
+        counter = [0]
+
+        def mutate_and_stabilize():
+            counter[0] += 1
+            people[counter[0] % count].name = f"renamed{counter[0]}"
+            return store.stabilize()
+
+        written = benchmark(mutate_and_stabilize)
+        assert written == 1
+
+
+class TestFetch:
+    @pytest.mark.parametrize("count", [100, 1000, 5000])
+    def test_cold_fetch_closure(self, benchmark, tmp_path, registry,
+                                count):
+        directory = str(tmp_path / "cold")
+        with ObjectStore.open(directory, registry=registry) as store:
+            build_population(store, count)
+            store.stabilize()
+
+        def setup():
+            store = ObjectStore.open(directory, registry=registry)
+            return (store,), {}
+
+        def fetch(store):
+            people = store.get_root("people")
+            store.close()
+            return people
+
+        people = benchmark.pedantic(fetch, setup=setup, rounds=3,
+                                    iterations=1)
+        assert len(people) == count
+
+    def test_warm_fetch_is_identity_lookup(self, benchmark, store):
+        build_population(store, 1000)
+        store.stabilize()
+        first = store.get_root("people")
+        fetched = benchmark(store.get_root, "people")
+        assert fetched is first
+
+
+class TestGarbageCollection:
+    @pytest.mark.parametrize("count", [100, 1000])
+    def test_collect_half(self, benchmark, tmp_path, registry, count):
+        def setup():
+            import shutil
+            directory = tmp_path / "gc"
+            shutil.rmtree(directory, ignore_errors=True)
+            store = ObjectStore.open(str(directory), registry=registry)
+            people = build_population(store, count)
+            store.stabilize()
+            # Cut the chain in the middle: the tail half becomes garbage.
+            people[count // 2 - 1].spouse = None
+            del people[count // 2:]
+            return (store,), {}
+
+        def collect(store):
+            freed = store.collect_garbage()
+            store.close()
+            return freed
+
+        freed = benchmark.pedantic(collect, setup=setup, rounds=3,
+                                   iterations=1)
+        assert freed == count // 2
+
+    def test_integrity_check_speed(self, benchmark, store):
+        build_population(store, 1000)
+        store.stabilize()
+        problems = benchmark(store.verify_referential_integrity)
+        assert problems == []
+
+
+class TestScalingSeries:
+    def test_print_scaling_table(self, benchmark, tmp_path, registry):
+        """The B3 series: stabilise / reopen+fetch / GC wall time per
+        population size."""
+        import shutil
+        import time
+
+        def measure():
+            rows = []
+            for count in (100, 1000, 5000):
+                directory = str(tmp_path / f"scale{count}")
+                shutil.rmtree(directory, ignore_errors=True)
+                store = ObjectStore.open(directory, registry=registry)
+                build_population(store, count)
+                start = time.perf_counter()
+                store.stabilize()
+                stab_ms = (time.perf_counter() - start) * 1000
+                store.close()
+
+                start = time.perf_counter()
+                store = ObjectStore.open(directory, registry=registry)
+                fetched = store.get_root("people")
+                fetch_ms = (time.perf_counter() - start) * 1000
+                assert len(fetched) == count
+
+                fetched[count // 2 - 1].spouse = None
+                del fetched[count // 2:]
+                start = time.perf_counter()
+                freed = store.collect_garbage()
+                gc_ms = (time.perf_counter() - start) * 1000
+                assert freed == count // 2
+                store.close()
+                rows.append((count, stab_ms, fetch_ms, gc_ms))
+            return rows
+
+        rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print("\nobjects  stabilize(ms)  reopen+fetch(ms)  gc(ms)")
+        for count, stab_ms, fetch_ms, gc_ms in rows:
+            print(f"{count:7d}  {stab_ms:13.1f}  {fetch_ms:16.1f}  "
+                  f"{gc_ms:6.1f}")

@@ -1,0 +1,101 @@
+"""[T1] Table 1: denotable hyper-links and their productions.
+
+Regenerates the paper's Table 1 from the Java-subset grammar (every link
+kind derives exactly its paired production), prints it alongside the
+extended kind-by-context legality matrix, and benchmarks production
+checking — the operation the paper's planned parser-directed editor would
+run on every insertion.
+"""
+
+import pytest
+
+from repro.core.legality import format_legality_matrix, legality_matrix
+from repro.core.linkkinds import LinkKind, PRODUCTION_FOR_KIND
+from repro.javagrammar.productions import (
+    check_program,
+    derives,
+    format_table1,
+    hole,
+    table1_rows,
+)
+
+MARRY_WITH_HOLES = """
+public class MarryExample {
+  public static void main(String[] args) {
+    ⟦(static) method⟧(⟦object⟧, ⟦object⟧);
+  }
+}
+"""
+
+
+class TestTable1Regeneration:
+    def test_print_table1(self, benchmark):
+        """Prints the regenerated Table 1 (compare with the paper)."""
+        table = benchmark.pedantic(format_table1, rounds=1, iterations=1)
+        print("\n" + table)
+        assert all(ok for __, __, ok in table1_rows())
+
+    def test_print_legality_matrix(self, benchmark):
+        """The extended matrix: kinds x syntactic contexts (Python side)."""
+        print("\n" + format_legality_matrix())
+        matrix = benchmark.pedantic(legality_matrix, rounds=1,
+                                    iterations=1)
+        # Every kind is legal in at least one context and illegal in
+        # at least one other — the matrix is informative, not trivial.
+        for kind in LinkKind:
+            row = [matrix[(kind.value, ctx)]
+                   for ctx in {c for __, c in matrix}]
+            assert any(row)
+
+    def test_cross_kind_production_matrix(self, benchmark):
+        """Off-diagonal: no kind derives another kind's production unless
+        the Java grammar genuinely nests them (Literal < Primary etc.)."""
+        allowed_extra = {
+            # Java grammar containments that are correct, not errors:
+            (LinkKind.PRIMITIVE_VALUE, "Primary"),   # Literal ⊂ Primary
+            (LinkKind.FIELD, "Primary"),             # FieldAccess ⊂ Primary
+            (LinkKind.ARRAY_ELEMENT, "Primary"),     # ArrayAccess ⊂ Primary
+            (LinkKind.OBJECT, "Primary"),
+            (LinkKind.ARRAY, "Primary"),
+            (LinkKind.CLASS, "ClassType"),
+            (LinkKind.INTERFACE, "ClassType"),       # shared type shape
+        }
+        productions = sorted(set(PRODUCTION_FOR_KIND.values()))
+        # Method and constructor holes need their witnessing context on
+        # the diagonal — their Name use is context sensitive (Section 2).
+        witness = {
+            LinkKind.STATIC_METHOD: f"{hole(LinkKind.STATIC_METHOD)}()",
+            LinkKind.CONSTRUCTOR: f"new {hole(LinkKind.CONSTRUCTOR)}()",
+        }
+
+        def compute_mismatches():
+            mismatches = []
+            for kind in LinkKind:
+                for production in productions:
+                    expected = production == PRODUCTION_FOR_KIND[kind] or \
+                        (kind, production) in allowed_extra
+                    text = witness.get(kind, hole(kind)) \
+                        if production == PRODUCTION_FOR_KIND[kind] \
+                        else hole(kind)
+                    if derives(production, text) != expected:
+                        mismatches.append((kind.value, production))
+            return mismatches
+
+        assert benchmark.pedantic(compute_mismatches, rounds=1,
+                                  iterations=1) == []
+
+
+class TestTable1Benchmarks:
+    def test_production_check_speed(self, benchmark):
+        """Cost of one production-equivalence check (editor hot path)."""
+        result = benchmark(derives, "Primary", hole(LinkKind.OBJECT))
+        assert result
+
+    def test_whole_program_check_speed(self, benchmark):
+        """Cost of context-sensitive whole-program checking."""
+        result = benchmark(check_program, MARRY_WITH_HOLES)
+        assert result == []
+
+    def test_legality_matrix_speed(self, benchmark):
+        matrix = benchmark(legality_matrix)
+        assert len(matrix) == len(LinkKind) * 11

@@ -1,0 +1,87 @@
+"""[F12] The integrated user interface: a scripted compose-link-compile-go
+session driven entirely through Figure 12's gestures, benchmarked end to
+end, plus browser panel/graph costs.
+"""
+
+import pytest
+
+from repro.browser.ocb import OCB
+from repro.browser.graphview import object_graph, sharing_report
+from repro.ui.app import HyperProgrammingUI
+from repro.ui.events import ButtonPress, RightClick
+
+from conftest import Person
+
+
+def scripted_session(store, people):
+    """One full Figure 12 session; returns the UI for inspection."""
+    ui = HyperProgrammingUI(store)
+    browser_window = ui.open_browser()
+    editor_window = ui.open_editor("MarryExample")
+    editor = editor_window.editor
+    editor.type_text("class MarryExample:\n"
+                     "    @staticmethod\n"
+                     "    def main(args):\n"
+                     "        ")
+    class_panel = browser_window.browser.open_class(Person)
+    ui.right_click(RightClick(browser_window.id, class_panel.id,
+                              "Person.marry"))
+    editor.type_text("(")
+    for person, suffix in ((people[0], ", "), (people[1], ")\n")):
+        panel = browser_window.browser.open_object(person)
+        ui.right_click(RightClick(browser_window.id, panel.id,
+                                  panel.entities()[0].label))
+        editor.type_text(suffix)
+    ui.press_button(ButtonPress(editor_window.id, "Go"))
+    return ui
+
+
+class TestScriptedSession:
+    def test_session_end_to_end(self, benchmark, store, link_store):
+        people_pool = [(Person(f"a{i}"), Person(f"b{i}"))
+                       for i in range(1000)]
+        store.set_root("pool", [p for pair in people_pool for p in pair])
+        iterator = iter(people_pool)
+
+        def run_session():
+            return scripted_session(store, next(iterator))
+
+        ui = benchmark.pedantic(run_session, rounds=20, iterations=1)
+        assert len(ui.event_log) >= 4
+
+    def test_render_cost(self, benchmark, store, link_store):
+        vangelis, mary = Person("vangelis"), Person("mary")
+        store.set_root("people", [vangelis, mary])
+        ui = scripted_session(store, (vangelis, mary))
+        rendered = benchmark(ui.render)
+        assert "MarryExample" in rendered
+
+
+class TestBrowserCosts:
+    def test_panel_entities(self, benchmark, store):
+        browser = OCB(store)
+        panel = browser.open_object(Person("subject"))
+        entities = benchmark(panel.entities)
+        assert entities
+
+    def test_panel_render(self, benchmark, store):
+        browser = OCB(store)
+        person = Person("subject")
+        person.spouse = Person("other")
+        panel = browser.open_object(person)
+        rendered = benchmark(panel.render)
+        assert "subject" in rendered
+
+    @pytest.mark.parametrize("count", [10, 100, 1000])
+    def test_object_graph_scaling(self, benchmark, count):
+        people = [Person(f"p{i}") for i in range(count)]
+        for index in range(count - 1):
+            people[index].spouse = people[index + 1]
+        graph = benchmark(object_graph, people)
+        assert graph.number_of_nodes() == count + 1
+
+    def test_sharing_report(self, benchmark, store):
+        shared = Person("shared")
+        holder = [shared, [shared], {"key": shared}]
+        report = benchmark(sharing_report, holder, store)
+        assert any("shared" in line for line in report)

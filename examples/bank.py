@@ -1,0 +1,128 @@
+"""A banking system built with hyper-programming.
+
+Demonstrates the paper's Section 7 argument that composition-time linking
+does not sacrifice delayed binding: the interest-posting program links to
+the *location* holding the current rate policy, so changing the policy
+object in the store changes the behaviour of the already-compiled program
+— "when the program is run the object that is currently contained in the
+location will be the one that is used".
+
+Also contrasts a value link (bound at composition) with the textual
+baseline (bound by name at run time).
+
+Run:  python examples/bank.py
+"""
+
+import shutil
+import tempfile
+
+from repro import (
+    ClassRegistry,
+    DynamicCompiler,
+    HyperLinkHP,
+    HyperProgram,
+    LinkStore,
+    ObjectStore,
+    persistent,
+)
+from repro.core.textual import PersistentLookup, TextualBaseline
+
+registry = ClassRegistry()
+
+
+@persistent(registry=registry)
+class Account:
+    owner: str
+    balance_cents: int
+
+    def __init__(self, owner, balance_cents):
+        self.owner = owner
+        self.balance_cents = balance_cents
+
+
+@persistent(registry=registry)
+class RatePolicy:
+    name: str
+    basis_points: int
+
+    def __init__(self, name, basis_points):
+        self.name = name
+        self.basis_points = basis_points
+
+
+@persistent(registry=registry)
+class Bank:
+    accounts: list
+    policy: object
+
+    def __init__(self):
+        self.accounts = []
+        self.policy = RatePolicy("standard", 150)
+
+
+def compose_interest_poster(bank):
+    """A hyper-program linking to the bank (value) and to the *location*
+    bank.policy (delayed binding)."""
+    text = ("class PostInterest:\n"
+            "    @staticmethod\n"
+            "    def main(args):\n"
+            "        bank = \n"
+            "        policy = \n"
+            "        for account in bank.accounts:\n"
+            "            account.balance_cents += (\n"
+            "                account.balance_cents * policy.basis_points\n"
+            "                // 10000)\n"
+            "        return policy.name\n")
+    program = HyperProgram(text, class_name="PostInterest")
+    bank_pos = text.index("bank = ") + len("bank = ")
+    policy_pos = text.index("policy = ") + len("policy = ")
+    program.add_link(HyperLinkHP.to_object(bank, "the bank", bank_pos))
+    program.add_link(HyperLinkHP.to_field_location(
+        bank, "policy", "bank.policy", policy_pos))
+    return program
+
+
+def main():
+    directory = tempfile.mkdtemp(prefix="hyper-bank-")
+    store = ObjectStore.open(directory, registry=registry)
+    DynamicCompiler.install(LinkStore(store))
+    PersistentLookup.install(store)
+
+    bank = Bank()
+    bank.accounts.append(Account("zoe", 100_000))
+    bank.accounts.append(Account("sam", 250_000))
+    store.set_root("bank", bank)
+    store.stabilize()
+
+    program = compose_interest_poster(bank)
+    print("hyper-program:")
+    print(program.render())
+    poster = DynamicCompiler.compile_hyper_program(program)
+
+    used = DynamicCompiler.run_main(poster)
+    print(f"\nposted interest under policy {used!r}: "
+          f"{[(a.owner, a.balance_cents) for a in bank.accounts]}")
+
+    # Delayed binding: swap the policy *object in the location*; the
+    # compiled program picks up the new one without recompilation.
+    bank.policy = RatePolicy("promotional", 500)
+    used = DynamicCompiler.run_main(poster)
+    print(f"posted interest under policy {used!r}: "
+          f"{[(a.owner, a.balance_cents) for a in bank.accounts]}")
+
+    # The textual baseline does the same job with run-time name lookup —
+    # longer, and any typo in the path fails only when executed.
+    expression = TextualBaseline.expression("bank", "policy.basis_points")
+    print(f"\ntextual baseline for the same access: {expression}")
+    print(f"evaluates to: {eval(expression, TextualBaseline.bindings())}")
+
+    store.stabilize()
+    print(f"store objects: {store.statistics().object_count}, "
+          f"integrity ok: {store.verify_referential_integrity() == []}")
+    store.close()
+    DynamicCompiler.uninstall()
+    shutil.rmtree(directory)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Live system evolution through linguistic reflection (paper Section 7).
+
+"it is possible to write an evolution program that updates the source,
+re-compiles it and reconstructs the persistent data using linguistic
+reflection.  Indeed, in a transactional system it is possible to do this
+in a separate transaction while the system is live."
+
+This example stores a population of Employee objects whose class was
+created inside the system (so its hyper-program source is archived), then
+evolves the class twice — adding a field and changing a representation —
+with instances reconstructed transactionally each time.
+
+Run:  python examples/evolution.py
+"""
+
+import shutil
+import tempfile
+
+from repro import (
+    ClassRegistry,
+    DynamicCompiler,
+    HyperProgram,
+    LinkStore,
+    ObjectStore,
+)
+from repro.evolve import EvolutionEngine, EvolutionStep
+
+EMPLOYEE_V1 = (
+    "class Employee:\n"
+    "    name: str\n"
+    "    salary: int\n"
+    "    def __init__(self, name, salary):\n"
+    "        self.name = name\n"
+    "        self.salary = salary\n"
+)
+
+
+def main():
+    directory = tempfile.mkdtemp(prefix="hyper-evolve-")
+    registry = ClassRegistry()
+    store = ObjectStore.open(directory, registry=registry)
+    DynamicCompiler.install(LinkStore(store))
+
+    # Create the class *inside the system* so its source is archived.
+    program = HyperProgram(EMPLOYEE_V1, [], "Employee")
+    employee_cls = DynamicCompiler.compile_hyper_program(program)
+    employee_cls.__module__ = "hr"
+    employee_cls.__qualname__ = "Employee"
+    registry.register(employee_cls)
+
+    engine = EvolutionEngine(store)
+    engine.archive_source("hr.Employee", program)
+
+    staff = [employee_cls("ada", 90_000), employee_cls("grace", 95_000),
+             employee_cls("edsger", 88_000)]
+    store.set_root("staff", staff)
+    store.stabilize()
+    print(f"v1 staff: {[(e.name, e.salary) for e in staff]}")
+
+    # --- Evolution 1: add a grade field -----------------------------------
+    add_grade = EvolutionStep(
+        class_name="hr.Employee",
+        rewrite=lambda src: src
+            .replace("salary: int", "salary: int\n    grade: str")
+            .replace("self.salary = salary",
+                     "self.salary = salary\n        self.grade = 'L1'"),
+        convert=lambda old: {**old, "grade": "L1"},
+    )
+    engine.run(add_grade)
+    staff = store.get_root("staff")
+    print(f"v2 staff (+grade, {engine.last_reconstructed} reconstructed): "
+          f"{[(e.name, e.salary, e.grade) for e in staff]}")
+
+    # --- Evolution 2: salaries become cents --------------------------------
+    to_cents = EvolutionStep(
+        class_name="hr.Employee",
+        rewrite=lambda src: src
+            .replace("salary: int", "salary_cents: int")
+            .replace("self.salary = salary",
+                     "self.salary_cents = salary * 100"),
+        convert=lambda old: {"name": old["name"],
+                             "salary_cents": old["salary"] * 100,
+                             "grade": old["grade"]},
+    )
+    engine.run(to_cents)
+    staff = store.get_root("staff")
+    print(f"v3 staff (cents): "
+          f"{[(e.name, e.salary_cents, e.grade) for e in staff]}")
+
+    # --- A failed evolution rolls back --------------------------------------
+    broken = EvolutionStep(
+        class_name="hr.Employee",
+        rewrite=lambda src: "class Employee(:  # broken\n",
+        convert=lambda old: old,
+    )
+    try:
+        engine.run(broken)
+    except Exception as error:
+        print(f"\nbroken evolution rejected: {type(error).__name__}")
+    staff = store.get_root("staff")
+    print(f"state preserved after rollback: "
+          f"{[(e.name, e.salary_cents) for e in staff]}")
+
+    store.stabilize()
+    store.close()
+    DynamicCompiler.uninstall()
+    shutil.rmtree(directory)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Publishing hyper-programs as HTML (paper Section 6).
+
+"It is, however, possible to translate each hyper-program into HTML,
+representing the hyper-links as URLs.  This was done to publish the
+Napier88 compiler source, which is itself a hyper-program."
+
+Builds a small library of hyper-programs and publishes it as a linked set
+of HTML pages, writing them to a temporary directory.
+
+Run:  python examples/html_export.py
+"""
+
+import os
+import shutil
+import tempfile
+
+from repro import (
+    ClassRegistry,
+    DynamicCompiler,
+    HyperLinkHP,
+    HyperProgram,
+    LinkStore,
+    ObjectStore,
+    for_class,
+    persistent,
+)
+from repro.export import export_program_set
+
+registry = ClassRegistry()
+
+
+@persistent(registry=registry)
+class Person:
+    name: str
+    spouse: object
+
+    def __init__(self, name):
+        self.name = name
+        self.spouse = None
+
+    @staticmethod
+    def marry(a, b):
+        a.spouse = b
+        b.spouse = a
+
+
+def main():
+    store_dir = tempfile.mkdtemp(prefix="hyper-export-store-")
+    site_dir = tempfile.mkdtemp(prefix="hyper-export-site-")
+    store = ObjectStore.open(store_dir, registry=registry)
+    DynamicCompiler.install(LinkStore(store))
+
+    vangelis, mary = Person("vangelis"), Person("mary")
+    store.set_root("people", [vangelis, mary])
+
+    marry_text = ("class MarryExample:\n"
+                  "    @staticmethod\n"
+                  "    def main(args):\n"
+                  "        (, )\n")
+    marry_program = HyperProgram(marry_text, class_name="MarryExample")
+    call = marry_text.index("(, )")
+    marry = for_class(Person).get_method("marry")
+    marry_program.add_link(HyperLinkHP.to_static_method(
+        marry, "Person.marry", call))
+    marry_program.add_link(HyperLinkHP.to_object(vangelis, "vangelis",
+                                                 call + 1))
+    marry_program.add_link(HyperLinkHP.to_object(mary, "mary", call + 3))
+
+    greet_text = ("class Greet:\n"
+                  "    @staticmethod\n"
+                  "    def main(args):\n"
+                  "        return 'hello ' + .name\n")
+    greet_program = HyperProgram(greet_text, class_name="Greet")
+    greet_program.add_link(HyperLinkHP.to_object(
+        mary, "mary", greet_text.index("+ .") + 2))
+
+    store.set_root("programs", {"MarryExample": marry_program,
+                                "Greet": greet_program})
+    store.stabilize()  # objects get OIDs, so links publish as store:// URLs
+
+    pages = export_program_set({"MarryExample": marry_program,
+                                "Greet": greet_program}, store)
+    for name, content in pages.items():
+        with open(os.path.join(site_dir, name), "w",
+                  encoding="utf-8") as fh:
+            fh.write(content)
+        print(f"wrote {name} ({len(content)} bytes)")
+
+    marry_page = pages["MarryExample.html"]
+    print("\nanchors in MarryExample.html:")
+    for line in marry_page.splitlines():
+        if 'class="hyperlink' in line:
+            print(f"  {line.strip()[:100]}")
+
+    print(f"\nsite written to {site_dir}")
+    store.close()
+    DynamicCompiler.uninstall()
+    shutil.rmtree(store_dir)
+    shutil.rmtree(site_dir)
+
+
+if __name__ == "__main__":
+    main()

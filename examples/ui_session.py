@@ -1,0 +1,103 @@
+"""A scripted Figure 12 session: editor + browser + gestures, rendered.
+
+Walks the exact interaction sequence of Section 5.4: open an editor and a
+browser, discover persistent objects with the browser, insert links with
+the right mouse button (value and location halves), press a link button to
+display its entity, then Display Class and Go.
+
+Run:  python examples/ui_session.py
+"""
+
+import shutil
+import tempfile
+
+from repro import (
+    ClassRegistry,
+    DynamicCompiler,
+    LinkStore,
+    ObjectStore,
+    persistent,
+)
+from repro.ui import ButtonPress, HyperProgrammingUI, LinkPress, RightClick
+
+registry = ClassRegistry()
+
+
+@persistent(registry=registry)
+class Person:
+    name: str
+    spouse: object
+
+    def __init__(self, name):
+        self.name = name
+        self.spouse = None
+
+    @staticmethod
+    def marry(a, b):
+        a.spouse = b
+        b.spouse = a
+
+
+def main():
+    directory = tempfile.mkdtemp(prefix="hyper-ui-")
+    store = ObjectStore.open(directory, registry=registry)
+    DynamicCompiler.install(LinkStore(store))
+
+    vangelis, mary = Person("vangelis"), Person("mary")
+    store.set_root("people", [vangelis, mary])
+
+    ui = HyperProgrammingUI(store)
+    browser_window = ui.open_browser()
+    editor_window = ui.open_editor("MarryExample")
+    editor = editor_window.editor
+
+    # Type the program skeleton.
+    editor.type_text("class MarryExample:\n"
+                     "    @staticmethod\n"
+                     "    def main(args):\n"
+                     "        ")
+
+    # Browse the Person class; right-click its marry method (Figure 12's
+    # right panel) to insert a link into the front-most editor.
+    class_panel = browser_window.browser.open_class(Person)
+    ui.right_click(RightClick(browser_window.id, class_panel.id,
+                              "Person.marry"))
+    editor.type_text("(")
+
+    # Browse each person (left panel) and link them as values.
+    for person, suffix in ((vangelis, ", "), (mary, ")\n")):
+        panel = browser_window.browser.open_object(person)
+        ui.right_click(RightClick(browser_window.id, panel.id,
+                                  panel.entities()[0].label))
+        editor.type_text(suffix)
+
+    print("=== screen (Figure 12) ===")
+    print(ui.render())
+
+    # Press the vangelis link button: the entity appears in the browser.
+    ui.press_link(LinkPress(editor_window.id, 3, 1))
+    print("\nafter pressing a link button, the browser shows:")
+    print(browser_window.browser.front_panel.render())
+
+    # Sharing/identity view of the people root.
+    people_panel = browser_window.browser.open_root("people")
+    print("\nsharing report:")
+    for line in browser_window.browser.sharing(people_panel.id):
+        print(f"  {line}")
+
+    # Display Class, then Go.
+    ui.press_button(ButtonPress(editor_window.id, "Display Class"))
+    print("\nDisplay Class opened:",
+          browser_window.browser.front_panel.title())
+    ui.press_button(ButtonPress(editor_window.id, "Go"))
+    print(f"Go pressed: vangelis.spouse is mary -> "
+          f"{vangelis.spouse is mary}")
+
+    store.stabilize()
+    store.close()
+    DynamicCompiler.uninstall()
+    shutil.rmtree(directory)
+
+
+if __name__ == "__main__":
+    main()

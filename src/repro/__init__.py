@@ -1,0 +1,99 @@
+"""Hyper-Programming in Java — a complete Python reproduction.
+
+Reproduces Zirintsis, Dunstan, Kirby & Morrison, "Hyper-Programming in
+Java", Proc. 3rd International Workshop on Persistence and Java (PJW3),
+1998: a hyper-programming system (programs containing both text and links
+to persistent objects) together with every substrate it needs — an
+orthogonally persistent object store, core and linguistic reflection, a
+dynamic compiler, the three hyper-program representations, a three-layer
+editor, an object/class browser, and the integrating user interface.
+
+Quickstart::
+
+    from repro import (ObjectStore, LinkStore, DynamicCompiler,
+                       HyperProgram, HyperLinkHP, persistent)
+
+    store = ObjectStore.open("/tmp/demo-store")
+    links = LinkStore(store)
+    DynamicCompiler.install(links)
+    ...
+
+See ``examples/quickstart.py`` for the paper's MarryExample end to end.
+"""
+
+from repro.errors import ReproError
+from repro.store import (
+    ClassRegistry,
+    ObjectStore,
+    PersistentWeakRef,
+    persistent,
+)
+from repro.reflect import (
+    ClassLoader,
+    Generator,
+    JClass,
+    JConstructor,
+    JField,
+    JMethod,
+    for_class,
+    for_object,
+)
+from repro.core import (
+    ArrayElementLocation,
+    ClassRef,
+    ConstructorRef,
+    DynamicCompiler,
+    EditForm,
+    FieldLocation,
+    FieldRef,
+    HyperLine,
+    HyperLink,
+    HyperLinkHP,
+    HyperProgram,
+    LinkKind,
+    LinkStore,
+    MethodRef,
+    editing_to_storage,
+    generate_textual_form,
+    is_legal_insertion,
+    production_for_kind,
+    storage_to_editing,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ObjectStore",
+    "ClassRegistry",
+    "PersistentWeakRef",
+    "persistent",
+    "JClass",
+    "JMethod",
+    "JField",
+    "JConstructor",
+    "for_class",
+    "for_object",
+    "ClassLoader",
+    "Generator",
+    "LinkKind",
+    "production_for_kind",
+    "HyperProgram",
+    "HyperLinkHP",
+    "HyperLine",
+    "HyperLink",
+    "EditForm",
+    "MethodRef",
+    "ClassRef",
+    "ConstructorRef",
+    "FieldRef",
+    "FieldLocation",
+    "ArrayElementLocation",
+    "LinkStore",
+    "DynamicCompiler",
+    "editing_to_storage",
+    "storage_to_editing",
+    "generate_textual_form",
+    "is_legal_insertion",
+    "__version__",
+]

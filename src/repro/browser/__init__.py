@@ -1,0 +1,34 @@
+"""The Object/Class Browser — OCB (paper Section 5.3, reference [9]).
+
+Design aims reproduced from the paper:
+
+* portability — pure Python, no GUI dependency (rendering is text);
+* "control from running Java programs through a class interface and
+  call-back methods" — :mod:`~repro.browser.callbacks`;
+* "the visualisation of object sharing and identity, and ... simple
+  navigation between related objects and classes" —
+  :mod:`~repro.browser.graphview` and panel navigation;
+* "the graphical display format to be customised for specific classes,
+  including the temporary hiding of superclass fields and methods" —
+  :mod:`~repro.browser.customize`;
+* "to support hyper-programming in Java" — every panel exposes its
+  *denotable entities* (objects, classes, methods, fields as values or
+  locations, array elements) ready to be inserted into an editor as
+  hyper-links.
+"""
+
+from repro.browser.callbacks import CallbackRegistry
+from repro.browser.customize import DisplayCustomizer
+from repro.browser.panels import DenotableEntity, Panel
+from repro.browser.ocb import OCB
+from repro.browser.graphview import object_graph, sharing_report
+
+__all__ = [
+    "CallbackRegistry",
+    "DisplayCustomizer",
+    "DenotableEntity",
+    "Panel",
+    "OCB",
+    "object_graph",
+    "sharing_report",
+]

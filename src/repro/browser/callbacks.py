@@ -1,0 +1,48 @@
+"""Browser callbacks.
+
+OCB "allow[s] control from running Java programs through a class interface
+and call-back methods which allow the programmer to specify actions to be
+performed in response to user interaction" (Section 5.3).  The registry
+maps event names to handler lists; the browser and the UI fire events such
+as ``"entity-selected"``, ``"link-requested"``, ``"panel-opened"`` and
+``"navigate"``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+Handler = Callable[..., Any]
+
+
+class CallbackRegistry:
+    """Named event channels with multiple handlers each."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, list[Handler]] = {}
+        self.fired: list[tuple[str, dict[str, Any]]] = []
+
+    def register(self, event: str, handler: Handler) -> None:
+        self._handlers.setdefault(event, []).append(handler)
+
+    def unregister(self, event: str, handler: Handler) -> None:
+        handlers = self._handlers.get(event, [])
+        if handler in handlers:
+            handlers.remove(handler)
+
+    def fire(self, event: str, **payload: Any) -> list[Any]:
+        """Invoke every handler for ``event``; returns their results.
+
+        Every firing is also recorded in :attr:`fired`, so programs (and
+        tests) can observe interaction history — part of the "control from
+        running programs" aim.
+        """
+        self.fired.append((event, payload))
+        return [handler(**payload)
+                for handler in self._handlers.get(event, [])]
+
+    def handlers_for(self, event: str) -> tuple[Handler, ...]:
+        return tuple(self._handlers.get(event, []))
+
+    def events(self) -> tuple[str, ...]:
+        return tuple(sorted(self._handlers))

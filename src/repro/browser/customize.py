@@ -1,0 +1,79 @@
+"""Per-class display customisation.
+
+OCB allows "the graphical display format to be customised for specific
+classes, including the temporary hiding of superclass fields and methods"
+(Section 5.3).  A :class:`DisplayCustomizer` holds, per class:
+
+* an optional *summary function* (how an instance is abbreviated inside
+  other displays — e.g. show a Person as its name);
+* an optional *field filter* (which fields the full display shows);
+* a *hide-superclass* toggle (temporarily suppress inherited members).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+SummaryFn = Callable[[Any], str]
+FieldFilter = Callable[[str], bool]
+
+
+class ClassDisplayPolicy:
+    """The display policy for one class."""
+
+    __slots__ = ("summary", "field_filter", "hide_superclass")
+
+    def __init__(self) -> None:
+        self.summary: Optional[SummaryFn] = None
+        self.field_filter: Optional[FieldFilter] = None
+        self.hide_superclass = False
+
+
+class DisplayCustomizer:
+    """Class-keyed display policies with MRO-based lookup."""
+
+    def __init__(self) -> None:
+        self._policies: dict[type, ClassDisplayPolicy] = {}
+
+    def policy_for(self, cls: type) -> ClassDisplayPolicy:
+        """The policy for ``cls``, following the MRO (a policy set on a
+        base class applies to subclasses unless overridden)."""
+        for klass in cls.__mro__:
+            if klass in self._policies:
+                return self._policies[klass]
+        return ClassDisplayPolicy()
+
+    def _own_policy(self, cls: type) -> ClassDisplayPolicy:
+        if cls not in self._policies:
+            self._policies[cls] = ClassDisplayPolicy()
+        return self._policies[cls]
+
+    def set_summary(self, cls: type, summary: SummaryFn) -> None:
+        """Customise how instances of ``cls`` are abbreviated."""
+        self._own_policy(cls).summary = summary
+
+    def set_field_filter(self, cls: type,
+                         field_filter: FieldFilter) -> None:
+        self._own_policy(cls).field_filter = field_filter
+
+    def hide_superclass_members(self, cls: type, hide: bool = True) -> None:
+        """Temporarily hide (or re-show) inherited fields and methods."""
+        self._own_policy(cls).hide_superclass = hide
+
+    def summarise(self, obj: Any, fallback: Callable[[Any], str]) -> str:
+        policy = self.policy_for(type(obj))
+        if policy.summary is not None:
+            return policy.summary(obj)
+        return fallback(obj)
+
+    def shows_field(self, cls: type, name: str) -> bool:
+        policy = self.policy_for(cls)
+        if policy.field_filter is not None and not policy.field_filter(name):
+            return False
+        if policy.hide_superclass:
+            own = cls.__dict__.get("__annotations__", {})
+            own_slots = cls.__dict__.get("__slots__", ())
+            if name not in own and name not in own_slots and \
+                    name not in vars(cls):
+                return False
+        return True

@@ -1,0 +1,150 @@
+"""Object-graph views: sharing and identity visualisation.
+
+OCB aims "to support the visualisation of object sharing and identity, and
+to allow simple navigation between related objects and classes"
+(Section 5.3).  This module builds a directed graph over the storable
+nodes reachable from a starting object — nodes keyed by identity, edges
+labelled with the field/index that holds the reference — and derives the
+sharing report (which objects are referenced from more than one place).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, TYPE_CHECKING
+
+import networkx as nx
+
+from repro.browser.render import default_summary
+from repro.store.serializer import is_inline
+from repro.store.weakrefs import PersistentWeakRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.objectstore import ObjectStore
+
+
+def _edges_of(obj: Any) -> Iterator[tuple[str, Any]]:
+    """(edge label, referenced storable node) pairs for one node."""
+
+    def expand(label: str, value: Any) -> Iterator[tuple[str, Any]]:
+        if type(value) in (tuple, frozenset):
+            for index, item in enumerate(value):
+                yield from expand(f"{label}({index})", item)
+        elif not is_inline(value):
+            yield label, value
+
+    if isinstance(obj, PersistentWeakRef):
+        target = obj.get()
+        if target is not None:
+            yield from expand("~weak", target)
+        return
+    if isinstance(obj, list):
+        for index, value in enumerate(obj):
+            yield from expand(f"[{index}]", value)
+    elif isinstance(obj, dict):
+        for key, value in obj.items():
+            yield from expand(f"[{key!r}].key", key)
+            yield from expand(f"[{key!r}]", value)
+    elif isinstance(obj, set):
+        for value in obj:
+            yield from expand("{member}", value)
+    elif isinstance(obj, bytearray):
+        return
+    else:
+        for name in sorted(getattr(obj, "__dict__", {}) or {}):
+            if name.startswith("_"):
+                continue
+            yield from expand(f".{name}", getattr(obj, name))
+
+
+def object_graph(root: Any, max_nodes: int = 10_000) -> nx.MultiDiGraph:
+    """The identity graph reachable from ``root``.
+
+    Nodes are ``id()`` values carrying the live object and a summary label;
+    edges carry the field/index label.  The graph is a multigraph because
+    sharing means *parallel* edges (``holder[0]`` and ``holder[1]`` naming
+    the same object) and each must be visible.  Weak edges are marked
+    ``weak=True`` and drawn from :class:`PersistentWeakRef` nodes.
+    """
+    graph = nx.MultiDiGraph()
+    worklist = [root]
+    seen: dict[int, Any] = {}
+    while worklist and len(seen) < max_nodes:
+        obj = worklist.pop()
+        node = id(obj)
+        if node in seen:
+            continue
+        seen[node] = obj
+        graph.add_node(node, obj=obj, label=default_summary(obj))
+        for label, child in _edges_of(obj):
+            graph.add_edge(node, id(child), label=label,
+                           weak=label.startswith("~weak"))
+            if id(child) not in seen:
+                worklist.append(child)
+    # Second pass: any child discovered but not expanded (max_nodes cap)
+    # still needs node attributes.
+    for node in graph.nodes:
+        if "label" not in graph.nodes[node]:
+            graph.nodes[node]["label"] = "<unexpanded>"
+    return graph
+
+
+def shared_nodes(graph: nx.MultiDiGraph) -> list[int]:
+    """Nodes referenced from more than one place (object sharing).
+
+    In-degree counts parallel edges, so two references from the same
+    holder count as sharing — matching OCB's one-box-many-arrows view.
+    """
+    return [node for node in graph.nodes
+            if graph.in_degree(node) > 1]
+
+
+def sharing_report(root: Any,
+                   store: "ObjectStore | None" = None) -> list[str]:
+    """Human-readable sharing/identity report for the graph under ``root``."""
+    graph = object_graph(root)
+    lines = [f"{graph.number_of_nodes()} objects, "
+             f"{graph.number_of_edges()} references"]
+    for node in shared_nodes(graph):
+        data = graph.nodes[node]
+        referrers = []
+        for pred in graph.predecessors(node):
+            for edge_data in graph.get_edge_data(pred, node).values():
+                label = edge_data.get("label", "?")
+                referrers.append(f"{graph.nodes[pred]['label']}{label}")
+        oid_note = ""
+        if store is not None and "obj" in data:
+            oid = store.oid_of(data["obj"])
+            if oid is not None:
+                oid_note = f" (oid {int(oid)})"
+        lines.append(
+            f"shared: {data['label']}{oid_note} <- "
+            f"{', '.join(sorted(referrers))}"
+        )
+    return lines
+
+
+def render_graph(root: Any, indent: str = "  ",
+                 max_depth: int = 6) -> str:
+    """An ASCII tree of the object graph with back-references marked.
+
+    Repeat visits are printed as ``*<label>`` rather than expanded — the
+    textual equivalent of OCB drawing one box with many incoming arrows.
+    """
+    lines: list[str] = []
+    seen: set[int] = set()
+
+    def walk(obj: Any, label: str, depth: int) -> None:
+        summary = default_summary(obj)
+        prefix = indent * depth
+        if id(obj) in seen:
+            lines.append(f"{prefix}{label} -> *{summary}")
+            return
+        seen.add(id(obj))
+        lines.append(f"{prefix}{label} -> {summary}")
+        if depth >= max_depth:
+            return
+        for edge_label, child in _edges_of(obj):
+            walk(child, edge_label, depth + 1)
+
+    walk(root, "root", 0)
+    return "\n".join(lines)

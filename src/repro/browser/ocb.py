@@ -1,0 +1,167 @@
+"""The OCB browser object (Section 5.3).
+
+Manages panels over objects, classes, methods and fields; supports
+navigation ("simple navigation between related objects and classes"),
+access to persistent roots ("All OCB facilities other than access to
+persistent roots ... will work with any Java system" — root access is the
+store-specific part, provided here for our store), method invocation from
+the browser, and the hyper-programming hook: selecting a denotable entity
+fires the ``link-requested`` callback that the UI routes to an editor.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.browser.callbacks import CallbackRegistry
+from repro.browser.customize import DisplayCustomizer
+from repro.browser.graphview import sharing_report
+from repro.browser.panels import DenotableEntity, Panel
+from repro.errors import BrowserError, NoSuchPanelError
+from repro.reflect.introspect import for_class
+from repro.reflect.metaobjects import JMethod
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.objectstore import ObjectStore
+
+
+class OCB:
+    """An Object/Class Browser session."""
+
+    def __init__(self, store: "ObjectStore | None" = None,
+                 customizer: Optional[DisplayCustomizer] = None,
+                 callbacks: Optional[CallbackRegistry] = None):
+        self.store = store
+        self.customizer = customizer or DisplayCustomizer()
+        self.callbacks = callbacks or CallbackRegistry()
+        self._panels: dict[int, Panel] = {}
+        self._history: list[int] = []
+
+    # ------------------------------------------------------------------
+    # opening panels
+    # ------------------------------------------------------------------
+
+    def _add(self, panel: Panel) -> Panel:
+        self._panels[panel.id] = panel
+        self._history.append(panel.id)
+        self.callbacks.fire("panel-opened", panel=panel)
+        return panel
+
+    def open_object(self, obj: Any) -> Panel:
+        """Open a panel on an object (the left panel of Figure 12)."""
+        return self._add(Panel(obj, subject_kind="object",
+                               customizer=self.customizer,
+                               store=self.store))
+
+    def open_class(self, cls: type) -> Panel:
+        return self._add(Panel(cls, subject_kind="class",
+                               customizer=self.customizer,
+                               store=self.store))
+
+    def open_method(self, cls: type, name: str) -> Panel:
+        """Open a panel on one method (the right panel of Figure 12)."""
+        method = for_class(cls).get_method(name)
+        return self._add(Panel(method, subject_kind="method",
+                               customizer=self.customizer,
+                               store=self.store))
+
+    def open_root(self, name: str) -> Panel:
+        """Open a persistent root by name (the store-specific facility)."""
+        if self.store is None:
+            raise BrowserError("this browser has no store attached")
+        return self.open_object(self.store.get_root(name))
+
+    def open_store_overview(self) -> list[str]:
+        """Summary of the attached store: roots and statistics."""
+        if self.store is None:
+            raise BrowserError("this browser has no store attached")
+        stats = self.store.statistics()
+        lines = [
+            f"store at {self.store.directory}",
+            f"  {stats.object_count} stored objects on "
+            f"{stats.heap_pages} pages, {stats.live_count} live",
+        ]
+        for root in self.store.root_names():
+            lines.append(f"  root {root!r} -> oid "
+                         f"{int(self.store.root_oid(root))}")
+        return lines
+
+    # ------------------------------------------------------------------
+    # panels and navigation
+    # ------------------------------------------------------------------
+
+    def panel(self, panel_id: int) -> Panel:
+        try:
+            return self._panels[panel_id]
+        except KeyError:
+            raise NoSuchPanelError(panel_id) from None
+
+    def panels(self) -> tuple[Panel, ...]:
+        return tuple(self._panels[pid] for pid in self._history
+                     if pid in self._panels)
+
+    @property
+    def front_panel(self) -> Optional[Panel]:
+        panels = self.panels()
+        return panels[-1] if panels else None
+
+    def close_panel(self, panel_id: int) -> None:
+        self.panel(panel_id)
+        del self._panels[panel_id]
+        self._history = [pid for pid in self._history if pid != panel_id]
+
+    def navigate(self, panel_id: int, entity_label: str) -> Panel:
+        """Follow a reference: open a new panel on a panel's entity."""
+        entity = self.panel(panel_id).entity_named(entity_label)
+        self.callbacks.fire("navigate", source=panel_id, entity=entity)
+        if isinstance(entity.target, JMethod):
+            return self._add(Panel(entity.target, subject_kind="method",
+                                   customizer=self.customizer,
+                                   store=self.store))
+        if isinstance(entity.target, type):
+            return self.open_class(entity.target)
+        return self.open_object(entity.target)
+
+    # ------------------------------------------------------------------
+    # interaction (hyper-programming hook, method invocation)
+    # ------------------------------------------------------------------
+
+    def select_entity(self, panel_id: int, entity_label: str,
+                      as_location: bool = False) -> DenotableEntity:
+        """The right-mouse-button gesture of Section 5.4.1: selects a
+        denotable entity (value or location half) and fires
+        ``link-requested`` for the UI to route to the front-most editor."""
+        entity = self.panel(panel_id).entity_named(entity_label)
+        if as_location and not entity.location_capable:
+            raise BrowserError(
+                f"{entity_label!r} cannot be linked as a location"
+            )
+        self.callbacks.fire("link-requested", entity=entity,
+                            as_location=as_location)
+        return entity
+
+    def invoke_method(self, panel_id: int, method_name: str,
+                      *args: Any) -> Any:
+        """Invoke a method of the panel's subject from the browser
+        ("in some cases method invocation", Section 5.3)."""
+        panel = self.panel(panel_id)
+        if panel.subject_kind == "object":
+            target = panel.subject
+            method = for_class(type(target)).get_method(method_name)
+            return method.invoke(target, *args)
+        if panel.subject_kind == "class":
+            method = for_class(panel.subject).get_method(method_name)
+            return method.invoke(None, *args)
+        raise BrowserError(
+            f"panel {panel_id} ({panel.subject_kind}) has no invocable "
+            f"methods"
+        )
+
+    # ------------------------------------------------------------------
+    # sharing / identity
+    # ------------------------------------------------------------------
+
+    def sharing(self, panel_id: int) -> list[str]:
+        """The sharing/identity report for a panel's object graph."""
+        panel = self.panel(panel_id)
+        return sharing_report(panel.subject, self.store)

@@ -1,0 +1,238 @@
+"""Browser panels and denotable entities.
+
+Figure 12 shows the OCB window with "an instance of the class Person in
+the left panel and the static method marry in the right panel".  A
+:class:`Panel` displays one subject (object, class, method or field) and
+enumerates the subject's **denotable entities** — the things a programmer
+can point at with the right mouse button to insert a hyper-link.
+
+"Where appropriate, the user can select whether to link to a value or the
+location containing the value, by pressing the right-hand mouse button
+over the right or left half of the panel respectively" (Section 5.4.1):
+each entity reports whether it is location-capable, and
+:meth:`DenotableEntity.make_link` takes a ``as_location`` flag.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.browser.customize import DisplayCustomizer
+from repro.browser.render import (
+    render_class,
+    render_method,
+    render_object,
+    summarise,
+)
+from repro.core.editform import HyperLink
+from repro.core.hyperlink import (
+    ArrayElementLocation,
+    ClassRef,
+    ConstructorRef,
+    FieldLocation,
+    FieldRef,
+    MethodRef,
+)
+from repro.core.linkkinds import LinkKind
+from repro.errors import BrowserError
+from repro.reflect.introspect import for_class
+from repro.reflect.metaobjects import JField, JMethod
+from repro.store.serializer import is_inline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.objectstore import ObjectStore
+
+_panel_ids = itertools.count(1)
+
+
+@dataclass
+class DenotableEntity:
+    """Something in a panel that can become a hyper-link."""
+
+    kind: LinkKind
+    label: str
+    target: Any
+    #: For fields/array elements: the holder needed to build a location.
+    holder: Any = None
+    member: str = ""
+    index: int = -1
+
+    @property
+    def location_capable(self) -> bool:
+        return self.kind in (LinkKind.FIELD, LinkKind.ARRAY_ELEMENT) and \
+            self.holder is not None
+
+    def make_link(self, as_location: bool = False) -> HyperLink:
+        """An editing-form link for this entity (offset set on insertion).
+
+        ``as_location`` selects the location half of the paper's
+        value-or-location gesture.
+        """
+        if as_location and not self.location_capable:
+            raise BrowserError(
+                f"{self.label!r} has no location to link to"
+            )
+        if self.kind is LinkKind.STATIC_METHOD:
+            method = self.target
+            assert isinstance(method, JMethod)
+            return HyperLink(MethodRef.of(method), self.label, 0, True,
+                             False, LinkKind.STATIC_METHOD)
+        if self.kind is LinkKind.CONSTRUCTOR:
+            return HyperLink(ConstructorRef.of(self.target), self.label, 0,
+                             True, False, LinkKind.CONSTRUCTOR)
+        if self.kind in (LinkKind.CLASS, LinkKind.INTERFACE):
+            return HyperLink(ClassRef.of(self.target), self.label, 0, True,
+                             False, self.kind)
+        if self.kind is LinkKind.FIELD:
+            if as_location:
+                return HyperLink(FieldLocation(self.holder, self.member),
+                                 self.label, 0, False, False, LinkKind.FIELD)
+            if isinstance(self.target, JField):
+                return HyperLink(FieldRef.of(self.target), self.label, 0,
+                                 True, False, LinkKind.FIELD)
+            return self._value_link(self.target)
+        if self.kind is LinkKind.ARRAY_ELEMENT:
+            if as_location:
+                return HyperLink(ArrayElementLocation(self.holder, self.index),
+                                 self.label, 0, False, False,
+                                 LinkKind.ARRAY_ELEMENT)
+            return self._value_link(self.target)
+        return self._value_link(self.target)
+
+    def _value_link(self, value: Any) -> HyperLink:
+        if is_inline(value):
+            return HyperLink(value, self.label, 0, False, True,
+                             LinkKind.PRIMITIVE_VALUE)
+        kind = LinkKind.ARRAY if isinstance(value, list) else LinkKind.OBJECT
+        return HyperLink(value, self.label, 0, False, False, kind)
+
+
+class Panel:
+    """One browser panel showing a subject and its denotable entities."""
+
+    def __init__(self, subject: Any, *, subject_kind: str = "object",
+                 customizer: Optional[DisplayCustomizer] = None,
+                 store: "ObjectStore | None" = None):
+        if subject_kind not in ("object", "class", "method", "field"):
+            raise BrowserError(f"unknown panel kind {subject_kind!r}")
+        self.id = next(_panel_ids)
+        self.subject = subject
+        self.subject_kind = subject_kind
+        self.customizer = customizer or DisplayCustomizer()
+        self.store = store
+
+    # -- display -----------------------------------------------------------
+
+    def render(self) -> str:
+        if self.subject_kind == "class":
+            lines = render_class(self.subject, self.customizer)
+        elif self.subject_kind == "method":
+            method: JMethod = self.subject
+            lines = render_method(
+                method.get_declaring_class().python_class,
+                method.get_name())
+        elif self.subject_kind == "field":
+            field: JField = self.subject
+            lines = [f"field {field.get_declaring_class().get_simple_name()}"
+                     f".{field.get_name()}"]
+        else:
+            lines = render_object(self.subject, self.customizer, self.store)
+        return "\n".join(lines)
+
+    def title(self) -> str:
+        if self.subject_kind == "class":
+            return f"class {self.subject.__name__}"
+        if self.subject_kind == "method":
+            return f"method {self.subject.qualified_name()}"
+        if self.subject_kind == "field":
+            return f"field {self.subject.get_name()}"
+        return summarise(self.subject, self.customizer, self.store)
+
+    # -- denotable entities -------------------------------------------------
+
+    def entities(self) -> list[DenotableEntity]:
+        """Everything in this panel a hyper-link can be made to."""
+        if self.subject_kind == "class":
+            return self._class_entities(self.subject)
+        if self.subject_kind == "method":
+            method: JMethod = self.subject
+            return [DenotableEntity(LinkKind.STATIC_METHOD,
+                                    method.qualified_name(), method)]
+        if self.subject_kind == "field":
+            field: JField = self.subject
+            return [DenotableEntity(LinkKind.FIELD, field.get_name(), field,
+                                    holder=None,
+                                    member=field.get_name())]
+        return self._object_entities(self.subject)
+
+    def _class_entities(self, cls: type) -> list[DenotableEntity]:
+        meta = for_class(cls)
+        kind = LinkKind.INTERFACE if meta.is_interface() else LinkKind.CLASS
+        entities = [
+            DenotableEntity(kind, meta.get_simple_name(), cls),
+            DenotableEntity(LinkKind.CONSTRUCTOR,
+                            f"new {meta.get_simple_name()}", cls),
+        ]
+        for method in meta.get_methods():
+            if not self.customizer.shows_field(cls, method.get_name()):
+                continue
+            entities.append(DenotableEntity(
+                LinkKind.STATIC_METHOD, method.qualified_name(), method))
+        for field in meta.get_fields():
+            if not self.customizer.shows_field(cls, field.get_name()):
+                continue
+            holder = cls if field.is_static() else None
+            entities.append(DenotableEntity(
+                LinkKind.FIELD, field.get_name(), field,
+                holder=holder, member=field.get_name()))
+        return entities
+
+    def _object_entities(self, obj: Any) -> list[DenotableEntity]:
+        entities = [self._entity_for_value(
+            summarise(obj, self.customizer, self.store), obj)]
+        if isinstance(obj, list):
+            for index, value in enumerate(obj):
+                entities.append(DenotableEntity(
+                    LinkKind.ARRAY_ELEMENT, f"[{index}]", value,
+                    holder=obj, index=index))
+            return entities
+        if isinstance(obj, (dict, set)) or is_inline(obj):
+            return entities
+        meta = for_class(type(obj))
+        for field in meta.get_fields():
+            name = field.get_name()
+            if not self.customizer.shows_field(type(obj), name):
+                continue
+            try:
+                value = field.get(obj)
+            except Exception:
+                continue
+            entities.append(DenotableEntity(
+                LinkKind.FIELD, f".{name}", value,
+                holder=obj, member=name))
+        for method in meta.get_methods():
+            if not self.customizer.shows_field(type(obj),
+                                               method.get_name()):
+                continue
+            entities.append(DenotableEntity(
+                LinkKind.STATIC_METHOD, method.qualified_name(), method))
+        return entities
+
+    @staticmethod
+    def _entity_for_value(label: str, value: Any) -> DenotableEntity:
+        if is_inline(value):
+            return DenotableEntity(LinkKind.PRIMITIVE_VALUE, label, value)
+        if isinstance(value, list):
+            return DenotableEntity(LinkKind.ARRAY, label, value)
+        return DenotableEntity(LinkKind.OBJECT, label, value)
+
+    def entity_named(self, label: str) -> DenotableEntity:
+        for entity in self.entities():
+            if entity.label == label:
+                return entity
+        raise BrowserError(f"panel {self.id} has no entity {label!r}")
+
+    def __repr__(self) -> str:
+        return f"Panel({self.id}, {self.subject_kind}, {self.title()!r})"

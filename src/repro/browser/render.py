@@ -1,0 +1,128 @@
+"""Text rendering of objects, classes and members for the browser.
+
+Pure functions from entities to display lines.  Identity is made visible
+(OCB design aim: "visualisation of object sharing and identity") by
+annotating every storable node with its OID where the store knows it, and
+by giving repeated appearances of the same object the same marker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, TYPE_CHECKING
+
+from repro.browser.customize import DisplayCustomizer
+from repro.reflect.introspect import for_class, for_object
+from repro.store.serializer import is_inline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.objectstore import ObjectStore
+
+_MAX_SUMMARY = 48
+
+
+def identity_marker(obj: Any, store: "ObjectStore | None") -> str:
+    """``#<oid>`` when the store knows the object, ``@<id>`` otherwise."""
+    if store is not None:
+        oid = store.oid_of(obj)
+        if oid is not None:
+            return f"#{int(oid)}"
+    return f"@{id(obj) & 0xFFFF:04x}"
+
+
+def default_summary(obj: Any, store: "ObjectStore | None" = None) -> str:
+    """A one-line abbreviation of any value."""
+    if is_inline(obj):
+        text = repr(obj)
+        return text if len(text) <= _MAX_SUMMARY else \
+            text[:_MAX_SUMMARY - 3] + "..."
+    if isinstance(obj, list):
+        return f"array[{len(obj)}] {identity_marker(obj, store)}"
+    if isinstance(obj, dict):
+        return f"map[{len(obj)}] {identity_marker(obj, store)}"
+    if isinstance(obj, set):
+        return f"set[{len(obj)}] {identity_marker(obj, store)}"
+    return (f"{type(obj).__name__} "
+            f"{identity_marker(obj, store)}")
+
+
+def summarise(obj: Any, customizer: Optional[DisplayCustomizer] = None,
+              store: "ObjectStore | None" = None) -> str:
+    if customizer is not None and not is_inline(obj) and \
+            not isinstance(obj, (list, dict, set)):
+        return customizer.summarise(
+            obj, lambda value: default_summary(value, store))
+    return default_summary(obj, store)
+
+
+def render_object(obj: Any, customizer: Optional[DisplayCustomizer] = None,
+                  store: "ObjectStore | None" = None) -> list[str]:
+    """Display lines for one object: header, fields, then methods."""
+    customizer = customizer or DisplayCustomizer()
+    lines: list[str] = []
+    if isinstance(obj, list):
+        lines.append(f"array[{len(obj)}] {identity_marker(obj, store)}")
+        for index, value in enumerate(obj):
+            lines.append(f"  [{index}] = {summarise(value, customizer, store)}")
+        return lines
+    if isinstance(obj, dict):
+        lines.append(f"map[{len(obj)}] {identity_marker(obj, store)}")
+        for key, value in obj.items():
+            lines.append(f"  {summarise(key, customizer, store)} -> "
+                         f"{summarise(value, customizer, store)}")
+        return lines
+    if isinstance(obj, set):
+        lines.append(f"set[{len(obj)}] {identity_marker(obj, store)}")
+        for value in sorted(obj, key=repr):
+            lines.append(f"  {summarise(value, customizer, store)}")
+        return lines
+    meta = for_object(obj)
+    lines.append(f"{meta.get_simple_name()} instance "
+                 f"{identity_marker(obj, store)}")
+    for field in meta.get_fields():
+        name = field.get_name()
+        if not customizer.shows_field(type(obj), name):
+            continue
+        try:
+            value = field.get(obj)
+        except Exception:
+            value = "<unreadable>"
+        lines.append(f"  .{name} = {summarise(value, customizer, store)}")
+    methods = [method for method in meta.get_methods()
+               if customizer.shows_field(type(obj),
+                                         method.get_name())]
+    for method in methods:
+        params = ", ".join(method.parameter_names())
+        marker = "static " if method.is_static() else ""
+        lines.append(f"  {marker}{method.get_name()}({params})")
+    return lines
+
+
+def render_class(cls: type,
+                 customizer: Optional[DisplayCustomizer] = None) -> list[str]:
+    """Display lines for a class: header, hierarchy, fields, methods."""
+    customizer = customizer or DisplayCustomizer()
+    meta = for_class(cls)
+    kind = "interface" if meta.is_interface() else "class"
+    lines = [f"{kind} {meta.get_name()}"]
+    superclass = meta.get_superclass()
+    if superclass is not None and superclass.python_class is not object:
+        lines.append(f"  extends {superclass.get_simple_name()}")
+    for field in meta.get_fields():
+        if customizer.shows_field(cls, field.get_name()):
+            static = "static " if field.is_static() else ""
+            lines.append(f"  {static}field {field.get_name()}")
+    for method in meta.get_methods():
+        if customizer.shows_field(cls, method.get_name()):
+            static = "static " if method.is_static() else ""
+            params = ", ".join(method.parameter_names())
+            lines.append(f"  {static}method {method.get_name()}({params})")
+    return lines
+
+
+def render_method(cls: type, name: str) -> list[str]:
+    """Display lines for a single method (the right panel of Figure 12)."""
+    method = for_class(cls).get_method(name)
+    declaring = method.get_declaring_class().get_simple_name()
+    static = "static " if method.is_static() else ""
+    params = ", ".join(method.parameter_names())
+    return [f"{static}method {declaring}.{name}({params})"]

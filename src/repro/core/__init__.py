@@ -1,0 +1,52 @@
+"""The hyper-programming core — the paper's primary contribution.
+
+A *hyper-program* is source containing both text and links to persistent
+objects.  This package provides the three representations of Section 3
+(editing form, storage form, textual form), the translations between them,
+the denotable-link specification of Table 1, the password-protected
+persistent link registry of Figure 7, and the :class:`DynamicCompiler` of
+Figure 9 that compiles hyper-programs with a standard compiler and links
+the result into the running program.
+"""
+
+from repro.core.linkkinds import LinkKind, production_for_kind
+from repro.core.hyperlink import (
+    ArrayElementLocation,
+    ClassRef,
+    ConstructorRef,
+    FieldLocation,
+    FieldRef,
+    HyperLinkHP,
+    MethodRef,
+)
+from repro.core.hyperprogram import HyperProgram
+from repro.core.editform import EditForm, HyperLine, HyperLink
+from repro.core.convert import editing_to_storage, storage_to_editing
+from repro.core.linkstore import LinkStore
+from repro.core.compiler import DynamicCompiler
+from repro.core.textual import generate_textual_form, TextualBaseline
+from repro.core.legality import is_legal_insertion, legality_matrix
+
+__all__ = [
+    "LinkKind",
+    "production_for_kind",
+    "HyperLinkHP",
+    "MethodRef",
+    "ClassRef",
+    "ConstructorRef",
+    "FieldRef",
+    "FieldLocation",
+    "ArrayElementLocation",
+    "HyperProgram",
+    "EditForm",
+    "HyperLine",
+    "HyperLink",
+    "editing_to_storage",
+    "storage_to_editing",
+    "LinkStore",
+    "DynamicCompiler",
+    "generate_textual_form",
+    "TextualBaseline",
+    "is_legal_insertion",
+    "legality_matrix",
+]

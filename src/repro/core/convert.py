@@ -1,0 +1,84 @@
+"""Translation between the editing form and the storage form.
+
+"Translation between the editing form and the storage form takes place
+when the hyper-program editor accesses or stores a hyper-program in the
+persistent store" (Section 3).  The mapping is positional:
+
+* storage text = line texts joined with ``"\\n"``;
+* a link at (line, offset) in the editing form sits at absolute position
+  ``sum(len(line_i) + 1 for i < line) + offset`` in the storage form;
+* and back again by locating the line containing each absolute position.
+
+Both directions preserve link identity (the same ``hyper_link_object`` is
+carried across) and document order.
+"""
+
+from __future__ import annotations
+
+from repro.core.editform import EditForm, HyperLine, HyperLink
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+
+
+def editing_to_storage(form: EditForm, class_name: str = "") -> HyperProgram:
+    """Translate the editing form to the storage form."""
+    text = "\n".join(line.text for line in form.lines)
+    links: list[HyperLinkHP] = []
+    line_start = 0
+    for line in form.lines:
+        for link in sorted(line.links, key=lambda item: item.pos):
+            links.append(HyperLinkHP(
+                link.hyper_link_object,
+                link.label,
+                line_start + link.pos,
+                link.is_special,
+                link.is_primitive,
+                link.kind,
+            ))
+        line_start += len(line.text) + 1  # +1 for the newline
+    return HyperProgram(text, links, class_name)
+
+
+def storage_to_editing(program: HyperProgram) -> EditForm:
+    """Translate the storage form to the editing form."""
+    texts = program.the_text.split("\n")
+    lines = [HyperLine(text) for text in texts]
+    starts: list[int] = []
+    cursor = 0
+    for text in texts:
+        starts.append(cursor)
+        cursor += len(text) + 1
+    for link in sorted(program.the_links, key=lambda item: item.string_pos):
+        line_no = _line_of(starts, texts, link.string_pos)
+        offset = link.string_pos - starts[line_no]
+        lines[line_no].links.append(HyperLink(
+            link.hyper_link_object,
+            link.label,
+            offset,
+            link.is_special,
+            link.is_primitive,
+            link.kind,
+        ))
+    return EditForm(lines)
+
+
+def _line_of(starts: list[int], texts: list[str], pos: int) -> int:
+    """The line whose span contains absolute position ``pos``.
+
+    A position exactly on a newline boundary belongs to the *end* of the
+    earlier line (a link there renders before the line break).
+    """
+    lo, hi = 0, len(starts) - 1
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if starts[mid] <= pos:
+            lo = mid
+        else:
+            hi = mid - 1
+    if pos == starts[lo] and lo > 0 and pos == starts[lo - 1] + len(texts[lo - 1]) + 1:
+        # Position is the first column of line lo; keep it there.
+        pass
+    if pos <= starts[lo] + len(texts[lo]):
+        return lo
+    # pos points at the newline itself; anchor at end of this line.
+    return lo

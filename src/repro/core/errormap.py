@@ -1,0 +1,136 @@
+"""Mapping textual-form errors back to the hyper-program.
+
+Section 5.4.2: "If compilation fails, an error message is displayed.  In
+the current version the error is described in terms of the translated
+textual form, which may not be comprehensible to the programmer.  In a
+future version, we plan to display error messages in terms of the original
+hyper-program."
+
+This module implements that future version.  Textual-form generation
+produces a :class:`SourceMap` recording, for every span of generated text,
+the hyper-program position it came from (verbatim text) or the link it
+stands for (spliced retrieval expressions).  A compiler or run-time
+diagnostic located in the textual form is translated back to a
+hyper-program (line, column) — or to "inside link [label]" when it falls
+within a link's generated expression.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.hyperprogram import HyperProgram
+
+
+@dataclass(frozen=True)
+class Span:
+    """One run of generated text.
+
+    ``textual_start`` is the absolute offset in the generated source.  For
+    verbatim spans, ``hyper_start`` is the matching offset in the
+    hyper-program text; for link spans, ``link_index`` identifies the
+    hyper-link whose denotation occupies the span.
+    """
+
+    textual_start: int
+    length: int
+    hyper_start: int = -1
+    link_index: int = -1
+
+    @property
+    def is_link(self) -> bool:
+        return self.link_index >= 0
+
+
+@dataclass(frozen=True)
+class HyperLocation:
+    """A diagnostic location expressed in hyper-program terms."""
+
+    line: int                     # 0-based line in the hyper-program
+    column: int                   # 0-based column
+    link_label: Optional[str]     # set when the location is inside a link
+
+    def describe(self) -> str:
+        if self.link_label is not None:
+            return (f"inside the hyper-link [{self.link_label}] "
+                    f"at line {self.line + 1}, column {self.column + 1}")
+        return f"line {self.line + 1}, column {self.column + 1}"
+
+
+class SourceMap:
+    """Spans of one generated textual form, ordered by textual offset."""
+
+    def __init__(self, program: HyperProgram, header_length: int):
+        self._program = program
+        self._header_length = header_length
+        self._spans: list[Span] = []
+        self._starts: list[int] = []
+
+    @property
+    def program(self) -> HyperProgram:
+        return self._program
+
+    def add_verbatim(self, textual_start: int, hyper_start: int,
+                     length: int) -> None:
+        if length > 0:
+            self._push(Span(textual_start, length, hyper_start=hyper_start))
+
+    def add_link(self, textual_start: int, length: int,
+                 link_index: int) -> None:
+        if length > 0:
+            self._push(Span(textual_start, length, link_index=link_index))
+
+    def _push(self, span: Span) -> None:
+        self._spans.append(span)
+        self._starts.append(span.textual_start)
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+
+    def span_at(self, textual_offset: int) -> Optional[Span]:
+        index = bisect.bisect_right(self._starts, textual_offset) - 1
+        if index < 0:
+            return None
+        span = self._spans[index]
+        if textual_offset < span.textual_start + span.length:
+            return span
+        return span  # offsets in gaps resolve to the preceding span
+
+    def hyper_location(self, textual_line: int,
+                       textual_column: int,
+                       textual_source: str) -> HyperLocation:
+        """Translate a 1-based (line, column) in the generated source into
+        hyper-program terms."""
+        lines = textual_source.splitlines(keepends=True)
+        offset = sum(len(line) for line in lines[:textual_line - 1])
+        offset += max(0, textual_column - 1)
+        span = self.span_at(offset)
+        if span is None or offset < self._header_length:
+            return HyperLocation(0, 0, None)
+        if span.is_link:
+            label = self._program.the_links[span.link_index].label
+            hyper_offset = self._program.the_links[span.link_index] \
+                .string_pos
+            line, column = self._line_col(hyper_offset)
+            return HyperLocation(line, column, label)
+        hyper_offset = span.hyper_start + (offset - span.textual_start)
+        line, column = self._line_col(hyper_offset)
+        return HyperLocation(line, column, None)
+
+    def _line_col(self, hyper_offset: int) -> tuple[int, int]:
+        text = self._program.the_text[:hyper_offset]
+        line = text.count("\n")
+        column = hyper_offset - (text.rfind("\n") + 1)
+        return line, column
+
+
+def describe_syntax_error(error: SyntaxError, source_map: SourceMap,
+                          textual_source: str) -> str:
+    """A compiler diagnostic re-expressed in hyper-program terms."""
+    line = error.lineno or 1
+    column = error.offset or 1
+    location = source_map.hyper_location(line, column, textual_source)
+    return f"{error.msg} at {location.describe()}"

@@ -1,0 +1,98 @@
+"""The hyper-code abstraction (paper Section 6).
+
+"The hyper-code abstraction allows a single program representation form,
+the hyper-program, to be presented to the programmer at all stages of the
+software development process. ... during debugging, when a run time error
+occurs or when browsing existing programs, the programmer is presented
+with, and only sees, the hyper-code representation."
+
+:class:`HyperCodeSession` runs compiled hyper-programs and, when a
+run-time error escapes, locates the failing line *in the original
+hyper-program* through the generation source map — the programmer never
+sees the textual form, the compiler output, or any other artefact of how
+the program is stored and executed.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.errormap import HyperLocation, SourceMap
+from repro.core.hyperprogram import HyperProgram
+from repro.errors import HyperProgramError
+
+
+@dataclass
+class HyperCodeError(HyperProgramError, Exception):
+    """A run-time failure located in the hyper-program."""
+
+    original: BaseException
+    location: Optional[HyperLocation]
+    program: HyperProgram
+
+    def __str__(self) -> str:
+        where = (self.location.describe() if self.location is not None
+                 else "an unknown position")
+        return (f"{type(self.original).__name__}: {self.original} — "
+                f"at {where} of hyper-program "
+                f"{self.program.class_name or '(anonymous)'}")
+
+    def annotated_render(self, marker: str = "  <-- error here") -> str:
+        """The hyper-program rendered with the failing line marked."""
+        rendered = self.program.render().splitlines()
+        if self.location is not None and \
+                0 <= self.location.line < len(rendered):
+            rendered[self.location.line] += marker
+        return "\n".join(rendered)
+
+
+class HyperCodeSession:
+    """Compile-and-run with hyper-code-only error presentation."""
+
+    def __init__(self) -> None:
+        self._maps: dict[int, tuple[HyperProgram, SourceMap, str]] = {}
+
+    def compile(self, program: HyperProgram) -> type:
+        """Compile a hyper-program, retaining its source map for run-time
+        error translation."""
+        compiled = DynamicCompiler.compile_hyper_program(program)
+        source_map = DynamicCompiler.last_source_map
+        textual = DynamicCompiler.generate_textual_form(program)
+        self._maps[id(compiled)] = (program, source_map, textual)
+        return compiled
+
+    def run(self, compiled: type,
+            args: Sequence[str] | None = None) -> Any:
+        """Run ``main``; a run-time error surfaces as
+        :class:`HyperCodeError` located in the hyper-program."""
+        try:
+            return DynamicCompiler.run_main(compiled, args)
+        except Exception as error:
+            translated = self._translate(compiled, error)
+            if translated is not None:
+                raise translated from error
+            raise
+
+    def compile_and_run(self, program: HyperProgram,
+                        args: Sequence[str] | None = None) -> Any:
+        return self.run(self.compile(program), args)
+
+    def _translate(self, compiled: type,
+                   error: BaseException) -> Optional[HyperCodeError]:
+        entry = self._maps.get(id(compiled))
+        if entry is None:
+            return None
+        program, source_map, textual = entry
+        location = None
+        load_name = getattr(compiled, "__loaded_by__", None) or \
+            compiled.__name__
+        expected_file = f"<{load_name}>"
+        for frame in reversed(traceback.extract_tb(error.__traceback__)):
+            if frame.filename == expected_file and source_map is not None:
+                location = source_map.hyper_location(frame.lineno or 1, 1,
+                                                     textual)
+                break
+        return HyperCodeError(error, location, program)

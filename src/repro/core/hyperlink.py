@@ -1,0 +1,393 @@
+"""``HyperLinkHP`` — the storage-form representation of one hyper-link.
+
+Figure 6 of the paper::
+
+    public class HyperLinkHP {
+        protected Object  hyperLinkObject;
+        protected String  label;
+        protected int     stringPos;
+        protected boolean isSpecial;
+        protected boolean isPrimitive;
+        ...
+        public Object getObject ()      { return hyperLinkObject; }
+        public String getLabel()        { return label; }
+        public int getStringPos()       { return stringPos; }
+        public boolean getIsSpecial()   { return isSpecial; }
+        public boolean getIsPrimitive() { return isPrimitive; }
+    }
+
+"The use of the field hyperLinkObject depends on the kind of hyper-link"
+(Section 3.1): for the link to the static method it holds the ``Method``
+instance, for object links it holds the object itself.  In this
+reproduction, *special* links (classes, interfaces, methods, constructors,
+static fields, type links) store a persistable **descriptor** naming the
+entity (:class:`ClassRef`, :class:`MethodRef`, ...), because Python classes
+are not themselves storable nodes; the descriptor resolves back to the live
+entity through the store's class registry — the analogue of PJama storing
+``Class``/``Method`` objects.  Location links store a :class:`FieldLocation`
+or :class:`ArrayElementLocation`, whose ``get``/``set`` realise the paper's
+delayed binding through locations (Sections 2, 5.4.1 and 7).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.linkkinds import (
+    LOCATION_CAPABLE_KINDS,
+    LinkKind,
+    SPECIAL_KINDS,
+)
+from repro.errors import LinkKindError, NoSuchMemberError
+from repro.reflect.metaobjects import JClass, JConstructor, JField, JMethod
+from repro.store.registry import ClassRegistry, qualified_name
+
+_INLINE_PRIMITIVES = (type(None), bool, int, float, complex, str, bytes)
+
+
+# ---------------------------------------------------------------------------
+# Persistable descriptors for "special" link targets
+# ---------------------------------------------------------------------------
+
+class ClassRef:
+    """Names a class; resolves through a class registry."""
+
+    class_name: str
+
+    def __init__(self, class_name: str):
+        self.class_name = class_name
+
+    @classmethod
+    def of(cls, klass: type) -> "ClassRef":
+        return cls(qualified_name(klass))
+
+    def simple_name(self) -> str:
+        return self.class_name.rsplit(".", 1)[-1]
+
+    def resolve(self, registry: ClassRegistry) -> JClass:
+        return JClass(registry.entry_for_name(self.class_name).cls)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ClassRef) and \
+            other.class_name == self.class_name and type(other) is type(self)
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self.class_name))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.class_name})"
+
+
+class ConstructorRef(ClassRef):
+    """Names a class's constructor (Table 1 row: constructor -> Name)."""
+
+    def resolve_constructor(self, registry: ClassRegistry) -> JConstructor:
+        return self.resolve(registry).get_constructor()
+
+
+class MethodRef:
+    """Names a (static) method; the persistable form of a ``Method`` link."""
+
+    class_name: str
+    method_name: str
+
+    def __init__(self, class_name: str, method_name: str):
+        self.class_name = class_name
+        self.method_name = method_name
+
+    @classmethod
+    def of(cls, method: JMethod) -> "MethodRef":
+        declaring = method.get_declaring_class()
+        return cls(declaring.get_name(), method.get_name())
+
+    def simple_name(self) -> str:
+        return (f"{self.class_name.rsplit('.', 1)[-1]}"
+                f".{self.method_name}")
+
+    def resolve(self, registry: ClassRegistry) -> JMethod:
+        klass = registry.entry_for_name(self.class_name).cls
+        return JClass(klass).get_method(self.method_name)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, MethodRef)
+                and other.class_name == self.class_name
+                and other.method_name == self.method_name)
+
+    def __hash__(self) -> int:
+        return hash(("MethodRef", self.class_name, self.method_name))
+
+    def __repr__(self) -> str:
+        return f"MethodRef({self.class_name}.{self.method_name})"
+
+
+class FieldRef:
+    """Names a static field — the member itself, not its current value."""
+
+    class_name: str
+    field_name: str
+
+    def __init__(self, class_name: str, field_name: str):
+        self.class_name = class_name
+        self.field_name = field_name
+
+    @classmethod
+    def of(cls, field: JField) -> "FieldRef":
+        return cls(field.get_declaring_class().get_name(), field.get_name())
+
+    def simple_name(self) -> str:
+        return f"{self.class_name.rsplit('.', 1)[-1]}.{self.field_name}"
+
+    def resolve(self, registry: ClassRegistry) -> JField:
+        klass = registry.entry_for_name(self.class_name).cls
+        return JClass(klass).get_field(self.field_name)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, FieldRef)
+                and other.class_name == self.class_name
+                and other.field_name == self.field_name)
+
+    def __hash__(self) -> int:
+        return hash(("FieldRef", self.class_name, self.field_name))
+
+    def __repr__(self) -> str:
+        return f"FieldRef({self.class_name}.{self.field_name})"
+
+
+# ---------------------------------------------------------------------------
+# Locations (links to locations that contain values — Section 2)
+# ---------------------------------------------------------------------------
+
+class FieldLocation:
+    """A link to the *location* of an object's field.
+
+    Reading the location at run time yields "the object that is currently
+    contained in the location" (Section 7) — delayed binding preserved.
+    """
+
+    holder: object
+    field_name: str
+
+    def __init__(self, holder: Any, field_name: str):
+        self.holder = holder
+        self.field_name = field_name
+
+    def get(self) -> Any:
+        try:
+            return getattr(self.holder, self.field_name)
+        except AttributeError:
+            raise NoSuchMemberError(
+                f"{type(self.holder).__name__} object has no field "
+                f"{self.field_name!r}"
+            ) from None
+
+    def set(self, value: Any) -> None:
+        setattr(self.holder, self.field_name, value)
+
+    def __repr__(self) -> str:
+        return (f"FieldLocation({type(self.holder).__name__}"
+                f".{self.field_name})")
+
+
+class ArrayElementLocation:
+    """A link to one element *location* of an array (Python list)."""
+
+    array: list
+    index: int
+
+    def __init__(self, array: list, index: int):
+        self.array = array
+        self.index = index
+
+    def get(self) -> Any:
+        return self.array[self.index]
+
+    def set(self, value: Any) -> None:
+        self.array[self.index] = value
+
+    def __repr__(self) -> str:
+        return f"ArrayElementLocation([{self.index}])"
+
+
+#: Classes the link machinery stores inside hyper-programs; the link store
+#: registers these with its object store's registry.
+DESCRIPTOR_CLASSES = (ClassRef, ConstructorRef, MethodRef, FieldRef,
+                      FieldLocation, ArrayElementLocation)
+
+
+# ---------------------------------------------------------------------------
+# HyperLinkHP
+# ---------------------------------------------------------------------------
+
+class HyperLinkHP:
+    """One hyper-link in the storage form (paper Figure 6)."""
+
+    hyper_link_object: object
+    label: str
+    string_pos: int
+    is_special: bool
+    is_primitive: bool
+    kind_name: str
+
+    def __init__(self, hyper_link_object: Any, label: str, string_pos: int,
+                 is_special: bool, is_primitive: bool,
+                 kind: LinkKind | None = None):
+        if string_pos < 0:
+            raise LinkKindError(f"negative link position {string_pos}")
+        if is_special and is_primitive:
+            raise LinkKindError("a link cannot be both special and primitive")
+        self.hyper_link_object = hyper_link_object
+        self.label = label
+        self.string_pos = string_pos
+        self.is_special = is_special
+        self.is_primitive = is_primitive
+        self.kind_name = (kind or self._infer_kind(
+            hyper_link_object, is_special, is_primitive)).value
+
+    @staticmethod
+    def _infer_kind(obj: Any, is_special: bool,
+                    is_primitive: bool) -> LinkKind:
+        if is_primitive:
+            return LinkKind.PRIMITIVE_VALUE
+        if isinstance(obj, ConstructorRef):
+            return LinkKind.CONSTRUCTOR
+        if isinstance(obj, ClassRef):
+            return LinkKind.CLASS
+        if isinstance(obj, MethodRef):
+            return LinkKind.STATIC_METHOD
+        if isinstance(obj, FieldRef) or isinstance(obj, FieldLocation):
+            return LinkKind.FIELD
+        if isinstance(obj, ArrayElementLocation):
+            return LinkKind.ARRAY_ELEMENT
+        if isinstance(obj, list):
+            return LinkKind.ARRAY
+        if is_special:
+            return LinkKind.CLASS
+        return LinkKind.OBJECT
+
+    # -- paper accessors (Figure 6) --------------------------------------
+
+    def get_object(self) -> Any:
+        """``getObject()`` — the linked entity (descriptor for special links)."""
+        return self.hyper_link_object
+
+    def get_label(self) -> str:
+        return self.label
+
+    def get_string_pos(self) -> int:
+        return self.string_pos
+
+    def get_is_special(self) -> bool:
+        return self.is_special
+
+    def get_is_primitive(self) -> bool:
+        return self.is_primitive
+
+    getObject = get_object
+    getLabel = get_label
+    getStringPos = get_string_pos
+    getIsSpecial = get_is_special
+    getIsPrimitive = get_is_primitive
+
+    # -- reproduction extensions ------------------------------------------
+
+    @property
+    def kind(self) -> LinkKind:
+        return LinkKind(self.kind_name)
+
+    def is_location(self) -> bool:
+        return isinstance(self.hyper_link_object,
+                          (FieldLocation, ArrayElementLocation))
+
+    def dereference(self) -> Any:
+        """The run-time value the link stands for in an expression.
+
+        For a location link this reads the location *now* (delayed
+        binding); for a value link it is the linked object itself.
+        """
+        obj = self.hyper_link_object
+        if isinstance(obj, (FieldLocation, ArrayElementLocation)):
+            return obj.get()
+        return obj
+
+    def __repr__(self) -> str:
+        return (f"HyperLinkHP({self.label!r}, pos={self.string_pos}, "
+                f"kind={self.kind_name}, special={self.is_special}, "
+                f"primitive={self.is_primitive})")
+
+    # -- factories for each Table 1 row -----------------------------------
+
+    @classmethod
+    def to_object(cls, obj: Any, label: str, pos: int) -> "HyperLinkHP":
+        if isinstance(obj, _INLINE_PRIMITIVES):
+            raise LinkKindError(
+                f"{type(obj).__name__} values are primitive; use to_primitive"
+            )
+        kind = LinkKind.ARRAY if isinstance(obj, list) else LinkKind.OBJECT
+        return cls(obj, label, pos, False, False, kind)
+
+    @classmethod
+    def to_array(cls, array: list, label: str, pos: int) -> "HyperLinkHP":
+        if not isinstance(array, list):
+            raise LinkKindError("array links require a list")
+        return cls(array, label, pos, False, False, LinkKind.ARRAY)
+
+    @classmethod
+    def to_primitive(cls, value: Any, label: str, pos: int) -> "HyperLinkHP":
+        if not isinstance(value, _INLINE_PRIMITIVES):
+            raise LinkKindError(
+                f"{type(value).__name__} is not a primitive value"
+            )
+        return cls(value, label, pos, False, True, LinkKind.PRIMITIVE_VALUE)
+
+    @classmethod
+    def to_class(cls, klass: type, label: str, pos: int,
+                 interface: bool = False) -> "HyperLinkHP":
+        kind = LinkKind.INTERFACE if interface else LinkKind.CLASS
+        return cls(ClassRef.of(klass), label, pos, True, False, kind)
+
+    @classmethod
+    def to_primitive_type(cls, type_name: str, label: str,
+                          pos: int) -> "HyperLinkHP":
+        return cls(ClassRef(type_name), label, pos, True, False,
+                   LinkKind.PRIMITIVE_TYPE)
+
+    @classmethod
+    def to_array_type(cls, element_class: type, label: str,
+                      pos: int) -> "HyperLinkHP":
+        return cls(ClassRef.of(element_class), label, pos, True, False,
+                   LinkKind.ARRAY_TYPE)
+
+    @classmethod
+    def to_static_method(cls, method: JMethod, label: str,
+                         pos: int) -> "HyperLinkHP":
+        return cls(MethodRef.of(method), label, pos, True, False,
+                   LinkKind.STATIC_METHOD)
+
+    @classmethod
+    def to_constructor(cls, klass: type, label: str, pos: int) -> "HyperLinkHP":
+        return cls(ConstructorRef.of(klass), label, pos, True, False,
+                   LinkKind.CONSTRUCTOR)
+
+    @classmethod
+    def to_static_field(cls, field: JField, label: str,
+                        pos: int) -> "HyperLinkHP":
+        return cls(FieldRef.of(field), label, pos, True, False,
+                   LinkKind.FIELD)
+
+    @classmethod
+    def to_field_location(cls, holder: Any, field_name: str, label: str,
+                          pos: int) -> "HyperLinkHP":
+        return cls(FieldLocation(holder, field_name), label, pos, False,
+                   False, LinkKind.FIELD)
+
+    @classmethod
+    def to_array_element(cls, array: list, index: int, label: str,
+                         pos: int) -> "HyperLinkHP":
+        if not isinstance(array, list):
+            raise LinkKindError("array element links require a list")
+        if not 0 <= index < len(array):
+            raise LinkKindError(
+                f"index {index} out of range for array of {len(array)}"
+            )
+        return cls(ArrayElementLocation(array, index), label, pos, False,
+                   False, LinkKind.ARRAY_ELEMENT)

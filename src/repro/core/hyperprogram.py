@@ -1,0 +1,112 @@
+"""``HyperProgram`` — the storage form (paper Figures 4 and 5).
+
+"It contains a string and a vector of HyperLinkHP instances.  The string
+contains the textual part of the hyper-program while the vector contains
+references to the hyper-linked entities" (Section 3.1).
+
+Link positions are absolute character offsets into the text (``stringPos``)
+marking the point at which the link sits *between* characters; the textual
+form splices each link's retrieval expression at that point.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.core.hyperlink import HyperLinkHP
+from repro.errors import LinkPositionError
+
+
+class HyperProgram:
+    """The storage form of a hyper-program."""
+
+    the_text: str
+    the_links: list
+    class_name: str
+
+    def __init__(self, the_text: str = "",
+                 the_links: Optional[Iterable[HyperLinkHP]] = None,
+                 class_name: str = ""):
+        self.the_text = the_text
+        self.the_links = list(the_links) if the_links is not None else []
+        self.class_name = class_name or self._infer_class_name(the_text)
+        self._validate()
+
+    @staticmethod
+    def _infer_class_name(text: str) -> str:
+        """The principal class "by default ... the first class defined in
+        the hyper-program" (paper footnote 1)."""
+        for line in text.splitlines():
+            stripped = line.strip()
+            if stripped.startswith("class ") or " class " in f" {stripped}":
+                name = stripped.split("class", 1)[1].strip()
+                for end, ch in enumerate(name):
+                    if not (ch.isalnum() or ch == "_"):
+                        return name[:end]
+                return name
+        return ""
+
+    def _validate(self) -> None:
+        for link in self.the_links:
+            if link.string_pos > len(self.the_text):
+                raise LinkPositionError(
+                    f"link {link.label!r} at {link.string_pos} lies beyond "
+                    f"text of length {len(self.the_text)}"
+                )
+
+    # -- paper accessors (Figure 4) ----------------------------------------
+
+    def get_the_text(self) -> str:
+        """Returns the textual part of the hyper-program."""
+        return self.the_text
+
+    def get_the_links(self) -> list[HyperLinkHP]:
+        """Returns the vector containing HyperLinkHP instances."""
+        return self.the_links
+
+    def get_class_name(self) -> str:
+        """``getClassName()`` as used by Figure 9's ``compileClasses``."""
+        return self.class_name
+
+    getTheText = get_the_text
+    getTheLinks = get_the_links
+    getClassName = get_class_name
+
+    # -- construction helpers ------------------------------------------------
+
+    def add_link(self, link: HyperLinkHP) -> int:
+        """Append a link (keeping the vector ordered by position); returns
+        the link's index within the hyper-program."""
+        if link.string_pos > len(self.the_text):
+            raise LinkPositionError(
+                f"link position {link.string_pos} beyond text of length "
+                f"{len(self.the_text)}"
+            )
+        self.the_links.append(link)
+        self.the_links.sort(key=lambda item: item.string_pos)
+        return self.the_links.index(link)
+
+    def link_at(self, index: int) -> HyperLinkHP:
+        return self.the_links[index]
+
+    def link_count(self) -> int:
+        return len(self.the_links)
+
+    # -- display ----------------------------------------------------------
+
+    def render(self, open_mark: str = "[", close_mark: str = "]") -> str:
+        """The hyper-program as the editor shows it: text with each link's
+        *label* spliced in as a button (paper Figure 2)."""
+        parts: list[str] = []
+        cursor = 0
+        for link in sorted(self.the_links, key=lambda item: item.string_pos):
+            parts.append(self.the_text[cursor:link.string_pos])
+            parts.append(f"{open_mark}{link.label}{close_mark}")
+            cursor = link.string_pos
+        parts.append(self.the_text[cursor:])
+        return "".join(parts)
+
+    def __repr__(self) -> str:
+        return (f"HyperProgram(class={self.class_name!r}, "
+                f"text={len(self.the_text)} chars, "
+                f"links={len(self.the_links)})")

@@ -1,0 +1,99 @@
+"""The denotable hyper-links of Table 1.
+
+Section 2 of the paper defines the Java denotable values that can be
+hyper-linked — "objects; classes; interfaces; arrays; array elements;
+static members; non-static members; and constructors", with links to "both
+values and locations that contain values ... where appropriate" — and
+Table 1 pairs each kind with the grammar production a link of that kind
+must be parsable as:
+
+    =================  ==============
+    Hyper-link to      Production
+    =================  ==============
+    class              ClassType
+    primitive type     PrimitiveType
+    interface          InterfaceType
+    array type         ArrayType
+    object             Primary
+    primitive value    Literal
+    (static) field     FieldAccess
+    (static) method    Name
+    constructor        Name
+    array              Primary
+    array element      ArrayAccess
+    =================  ==============
+
+The production equivalence is *necessary but not sufficient* for a legal
+insertion (Section 2): a link must also be context-sensitively legal in
+its surrounding program — e.g. a ``Name`` hole accepts a constructor link
+but never a package, "since packages cannot be linked to".
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LinkKind(enum.Enum):
+    """The eleven rows of Table 1."""
+
+    CLASS = "class"
+    PRIMITIVE_TYPE = "primitive type"
+    INTERFACE = "interface"
+    ARRAY_TYPE = "array type"
+    OBJECT = "object"
+    PRIMITIVE_VALUE = "primitive value"
+    FIELD = "(static) field"
+    STATIC_METHOD = "(static) method"
+    CONSTRUCTOR = "constructor"
+    ARRAY = "array"
+    ARRAY_ELEMENT = "array element"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+#: Table 1, exactly: link kind -> the Java production it must parse as.
+PRODUCTION_FOR_KIND: dict[LinkKind, str] = {
+    LinkKind.CLASS: "ClassType",
+    LinkKind.PRIMITIVE_TYPE: "PrimitiveType",
+    LinkKind.INTERFACE: "InterfaceType",
+    LinkKind.ARRAY_TYPE: "ArrayType",
+    LinkKind.OBJECT: "Primary",
+    LinkKind.PRIMITIVE_VALUE: "Literal",
+    LinkKind.FIELD: "FieldAccess",
+    LinkKind.STATIC_METHOD: "Name",
+    LinkKind.CONSTRUCTOR: "Name",
+    LinkKind.ARRAY: "Primary",
+    LinkKind.ARRAY_ELEMENT: "ArrayAccess",
+}
+
+
+def production_for_kind(kind: LinkKind) -> str:
+    """The Table 1 production for a link kind."""
+    return PRODUCTION_FOR_KIND[kind]
+
+
+#: Kinds that denote types (usable in type positions of the grammar).
+TYPE_KINDS = frozenset({LinkKind.CLASS, LinkKind.PRIMITIVE_TYPE,
+                        LinkKind.INTERFACE, LinkKind.ARRAY_TYPE})
+
+#: Kinds that denote run-time values usable in expression positions.
+VALUE_KINDS = frozenset({LinkKind.OBJECT, LinkKind.PRIMITIVE_VALUE,
+                         LinkKind.FIELD, LinkKind.ARRAY,
+                         LinkKind.ARRAY_ELEMENT})
+
+#: Kinds that denote invocable entities.
+INVOCABLE_KINDS = frozenset({LinkKind.STATIC_METHOD, LinkKind.CONSTRUCTOR})
+
+#: Kinds that may also be linked as *locations* containing a value
+#: ("such as fields and array elements", Section 2).
+LOCATION_CAPABLE_KINDS = frozenset({LinkKind.FIELD, LinkKind.ARRAY_ELEMENT})
+
+#: Kinds rendered with ``isSpecial == true`` in the storage form — the
+#: Figure 5/6 boolean "denoting whether hyper-link denotes a class or
+#: method" (we extend it to all type/invocable denotations, which is what
+#: the flag disambiguates in Section 4.2).  A FIELD link is special when it
+#: denotes the *static member itself* (name-resolved) and not special when
+#: it denotes a field location holding a value.
+SPECIAL_KINDS = TYPE_KINDS | INVOCABLE_KINDS

@@ -1,0 +1,34 @@
+"""The hyper-program editor (paper Section 5.1, Figure 10).
+
+Three independently replaceable layers:
+
+* **basic editor** (:mod:`~repro.editor.basic`) — "stores and manipulates
+  text and hyper-links.  It supports basic operations such as insertion,
+  cutting and pasting of text and links";
+* **window editor** (:mod:`~repro.editor.window`) — "provides an API for
+  the graphical display and editing of the contents of a basic editor.
+  It supports multiple fonts, sizes and colours" (faces, viewport,
+  rendering);
+* **user editor** (:mod:`~repro.editor.hyper`) — "Various higher-level
+  user editors may be constructed using the window editor API.  One, the
+  hyper-program editor, is pre-defined": link buttons, Insert Link,
+  Compile, Display Class and Go.
+"""
+
+from repro.editor.faces import Face, FaceTable
+from repro.editor.clipboard import Clipboard, Fragment
+from repro.editor.undo import UndoStack
+from repro.editor.basic import BasicEditor
+from repro.editor.window import WindowEditor
+from repro.editor.hyper import HyperProgramEditor
+
+__all__ = [
+    "Face",
+    "FaceTable",
+    "Clipboard",
+    "Fragment",
+    "UndoStack",
+    "BasicEditor",
+    "WindowEditor",
+    "HyperProgramEditor",
+]

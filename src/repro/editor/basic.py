@@ -1,0 +1,244 @@
+"""The basic editor — layer 1 of Figure 10.
+
+"The basic editor stores and manipulates text and hyper-links.  It
+supports basic operations such as insertion, cutting and pasting of text
+and links."  (Section 5.1)
+
+The buffer is an :class:`~repro.core.editform.EditForm` (the editing form
+of Figure 11).  The editor adds a cursor, an optional selection, a
+clipboard that carries links with text, and undo/redo.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.core.editform import EditForm, HyperLink
+from repro.editor.clipboard import Clipboard, Fragment
+from repro.editor.undo import UndoStack
+from repro.errors import EditPositionError
+
+Position = tuple[int, int]
+
+
+class BasicEditor:
+    """Cursor-based editing over an edit form."""
+
+    def __init__(self, form: Optional[EditForm] = None,
+                 clipboard: Optional[Clipboard] = None):
+        self.form = form if form is not None else EditForm()
+        self.clipboard = clipboard if clipboard is not None else Clipboard()
+        self.cursor: Position = (0, 0)
+        self.selection_anchor: Optional[Position] = None
+        self._undo: UndoStack[tuple[EditForm, Position]] = UndoStack()
+
+    # ------------------------------------------------------------------
+    # cursor and selection
+    # ------------------------------------------------------------------
+
+    def move_cursor(self, line: int, col: int) -> None:
+        line = max(0, min(line, self.form.line_count() - 1))
+        col = max(0, min(col, len(self.form.text_of_line(line))))
+        self.cursor = (line, col)
+
+    def set_selection(self, anchor: Position, cursor: Position) -> None:
+        self.move_cursor(*anchor)
+        anchor = self.cursor
+        self.move_cursor(*cursor)
+        self.selection_anchor = anchor
+
+    def clear_selection(self) -> None:
+        self.selection_anchor = None
+
+    @property
+    def selection(self) -> Optional[tuple[Position, Position]]:
+        """The selection as an ordered (start, end) pair, or ``None``."""
+        if self.selection_anchor is None or \
+                self.selection_anchor == self.cursor:
+            return None
+        pair = sorted([self.selection_anchor, self.cursor])
+        return pair[0], pair[1]
+
+    # ------------------------------------------------------------------
+    # undo plumbing
+    # ------------------------------------------------------------------
+
+    def _checkpoint(self) -> None:
+        self._undo.record((self.form.clone(), self.cursor))
+
+    def undo(self) -> None:
+        self.form, self.cursor = self._undo.undo((self.form.clone(),
+                                                  self.cursor))
+        self.clear_selection()
+
+    def redo(self) -> None:
+        self.form, self.cursor = self._undo.redo((self.form.clone(),
+                                                  self.cursor))
+        self.clear_selection()
+
+    @property
+    def can_undo(self) -> bool:
+        return self._undo.can_undo
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+
+    def insert_text(self, text: str) -> None:
+        """Type ``text`` at the cursor (replacing any selection)."""
+        self._checkpoint()
+        self._delete_selection_no_checkpoint()
+        line, col = self.cursor
+        self.cursor = self.form.insert_text(line, col, text)
+
+    def insert_link(self, link: HyperLink) -> HyperLink:
+        """Insert a hyper-link button at the cursor."""
+        self._checkpoint()
+        self._delete_selection_no_checkpoint()
+        line, col = self.cursor
+        return self.form.insert_link(line, col, link)
+
+    def newline(self) -> None:
+        self.insert_text("\n")
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+
+    def delete_selection(self) -> str:
+        """Delete and return the selected text (links inside go with it)."""
+        if self.selection is None:
+            return ""
+        self._checkpoint()
+        return self._delete_selection_no_checkpoint()
+
+    def _delete_selection_no_checkpoint(self) -> str:
+        span = self.selection
+        if span is None:
+            return ""
+        start, end = span
+        deleted = self.form.delete_range(start, end)
+        self.cursor = start
+        self.clear_selection()
+        return deleted
+
+    def backspace(self) -> None:
+        """Delete the character (or join lines) before the cursor; a link
+        anchored exactly at the cursor is removed first, like an embedded
+        character."""
+        if self.selection is not None:
+            self.delete_selection()
+            return
+        line, col = self.cursor
+        links_here = [link for link in self.form.links_on_line(line)
+                      if link.pos == col]
+        if links_here:
+            self._checkpoint()
+            self.form.remove_link(line, links_here[-1])
+            return
+        if col > 0:
+            self._checkpoint()
+            self.form.delete_range((line, col - 1), (line, col))
+            self.cursor = (line, col - 1)
+        elif line > 0:
+            self._checkpoint()
+            new_col = len(self.form.text_of_line(line - 1))
+            self.form.join_lines(line - 1)
+            self.cursor = (line - 1, new_col)
+
+    def delete_link(self, line: int, link: HyperLink) -> None:
+        self._checkpoint()
+        self.form.remove_link(line, link)
+
+    # ------------------------------------------------------------------
+    # clipboard (text and links travel together)
+    # ------------------------------------------------------------------
+
+    def copy(self) -> Fragment:
+        """Copy the selection (with its links) to the clipboard."""
+        span = self.selection
+        if span is None:
+            return Fragment()
+        fragment = self._extract_fragment(*span)
+        self.clipboard.put(fragment)
+        return fragment
+
+    def cut(self) -> Fragment:
+        span = self.selection
+        if span is None:
+            return Fragment()
+        fragment = self._extract_fragment(*span)
+        self.clipboard.put(fragment)
+        self._checkpoint()
+        self._delete_selection_no_checkpoint()
+        return fragment
+
+    def paste(self) -> None:
+        """Insert the clipboard fragment (text and links) at the cursor."""
+        fragment = self.clipboard.current()
+        if fragment is None or fragment.is_empty():
+            return
+        self._checkpoint()
+        self._delete_selection_no_checkpoint()
+        start_line, start_col = self.cursor
+        self.cursor = self.form.insert_text(start_line, start_col,
+                                            fragment.text)
+        for frag_line, frag_col, link in fragment.links:
+            if frag_line == 0:
+                self.form.insert_link(start_line, start_col + frag_col,
+                                      link)
+            else:
+                self.form.insert_link(start_line + frag_line, frag_col, link)
+
+    def _extract_fragment(self, start: Position, end: Position) -> Fragment:
+        (l1, c1), (l2, c2) = start, end
+        if l1 == l2:
+            text = self.form.text_of_line(l1)[c1:c2]
+            links = [(0, link.pos - c1, link.clone())
+                     for link in self.form.links_on_line(l1)
+                     if c1 < link.pos < c2]
+            return Fragment(text, links)
+        parts = [self.form.text_of_line(l1)[c1:]]
+        parts.extend(self.form.text_of_line(i) for i in range(l1 + 1, l2))
+        parts.append(self.form.text_of_line(l2)[:c2])
+        links: list[tuple[int, int, HyperLink]] = []
+        for link in self.form.links_on_line(l1):
+            if link.pos > c1:
+                links.append((0, link.pos - c1, link.clone()))
+        for line_no in range(l1 + 1, l2):
+            for link in self.form.links_on_line(line_no):
+                links.append((line_no - l1, link.pos, link.clone()))
+        for link in self.form.links_on_line(l2):
+            if link.pos < c2:
+                links.append((l2 - l1, link.pos, link.clone()))
+        return Fragment("\n".join(parts), links)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def link_at_cursor(self) -> Optional[HyperLink]:
+        line, col = self.cursor
+        for link in self.form.links_on_line(line):
+            if link.pos == col:
+                return link
+        return None
+
+    def find(self, needle: str,
+             start: Position = (0, 0)) -> Optional[Position]:
+        """First occurrence of ``needle`` at or after ``start``."""
+        line, col = start
+        for line_no in range(line, self.form.line_count()):
+            text = self.form.text_of_line(line_no)
+            from_col = col if line_no == line else 0
+            index = text.find(needle, from_col)
+            if index != -1:
+                return line_no, index
+        return None
+
+    def text(self) -> str:
+        return "\n".join(self.form.text_of_line(i)
+                         for i in range(self.form.line_count()))
+
+    def render(self) -> str:
+        return self.form.render()

@@ -1,0 +1,66 @@
+"""Clipboard for text-and-link fragments.
+
+Cut and paste in a hyper-program editor must carry *links* along with
+text (Section 5.1: "insertion, cutting and pasting of text and links").
+A :class:`Fragment` is a detached piece of document: its text plus the
+links it contained, with positions relative to the fragment start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.editform import HyperLink
+
+
+@dataclass
+class Fragment:
+    """A detached run of document content.
+
+    ``text`` may span lines; each link is recorded with a
+    (line-within-fragment, offset) anchor.
+    """
+
+    text: str = ""
+    links: list[tuple[int, int, HyperLink]] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not self.text and not self.links
+
+    def line_count(self) -> int:
+        return self.text.count("\n") + 1
+
+    def clone(self) -> "Fragment":
+        return Fragment(self.text,
+                        [(line, col, link.clone())
+                         for line, col, link in self.links])
+
+
+class Clipboard:
+    """A simple last-in clipboard with bounded history."""
+
+    def __init__(self, history_limit: int = 32):
+        self._history: list[Fragment] = []
+        self._limit = history_limit
+
+    def put(self, fragment: Fragment) -> None:
+        self._history.append(fragment.clone())
+        if len(self._history) > self._limit:
+            del self._history[0]
+
+    def current(self) -> Optional[Fragment]:
+        """The most recent fragment (cloned, so pasting twice yields two
+        independent copies of the links' anchors)."""
+        if not self._history:
+            return None
+        return self._history[-1].clone()
+
+    def history(self) -> tuple[Fragment, ...]:
+        return tuple(self._history)
+
+    def clear(self) -> None:
+        self._history.clear()
+
+    def __len__(self) -> int:
+        return len(self._history)

@@ -1,0 +1,77 @@
+"""Faces: "multiple fonts, sizes, styles and colours" (Section 5.1).
+
+A :class:`Face` bundles the display attributes the window editor applies
+to text spans and link buttons; a :class:`FaceTable` names faces and maps
+link kinds and syntactic roles onto them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.linkkinds import LinkKind
+
+
+@dataclass(frozen=True)
+class Face:
+    """One display face."""
+
+    family: str = "monospace"
+    size: int = 12
+    bold: bool = False
+    italic: bool = False
+    colour: str = "black"
+    background: str = "white"
+
+    def with_(self, **changes) -> "Face":
+        """A modified copy, e.g. ``face.with_(bold=True)``."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        flags = "".join(flag for flag, on in
+                        (("b", self.bold), ("i", self.italic)) if on)
+        suffix = f"+{flags}" if flags else ""
+        return f"{self.family}:{self.size}:{self.colour}{suffix}"
+
+
+DEFAULT_TEXT = Face()
+DEFAULT_KEYWORD = Face(bold=True, colour="navy")
+DEFAULT_LINK = Face(colour="blue", background="lightgrey")
+DEFAULT_SPECIAL_LINK = Face(bold=True, colour="darkgreen",
+                            background="lightgrey")
+DEFAULT_PRIMITIVE_LINK = Face(italic=True, colour="purple",
+                              background="lightgrey")
+
+
+class FaceTable:
+    """Named faces plus the kind-to-face policy of the window editor."""
+
+    def __init__(self) -> None:
+        self._named: dict[str, Face] = {
+            "text": DEFAULT_TEXT,
+            "keyword": DEFAULT_KEYWORD,
+            "link": DEFAULT_LINK,
+            "special-link": DEFAULT_SPECIAL_LINK,
+            "primitive-link": DEFAULT_PRIMITIVE_LINK,
+        }
+
+    def define(self, name: str, face: Face) -> None:
+        self._named[name] = face
+
+    def face(self, name: str) -> Face:
+        try:
+            return self._named[name]
+        except KeyError:
+            raise KeyError(f"no face named {name!r}; defined: "
+                           f"{sorted(self._named)}") from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._named))
+
+    def face_for_link_kind(self, kind: LinkKind,
+                           is_special: bool, is_primitive: bool) -> Face:
+        if is_primitive:
+            return self.face("primitive-link")
+        if is_special:
+            return self.face("special-link")
+        return self.face("link")

@@ -1,0 +1,176 @@
+"""The hyper-program editor — layer 3 of Figure 10.
+
+The pre-defined user editor (Section 5.1) built on the window editor API.
+It adds hyper-programming behaviour to plain editing:
+
+* links are displayed as buttons; "if the programmer presses a button, the
+  associated entity is displayed in the top-most browser window"
+  (Section 5.4.1) — :meth:`press_link` returns the entity for the UI to
+  show;
+* the **Insert Link** path (the editor-side half of Section 5.4.1's two
+  insertion gestures);
+* optional parser-directed insertion: the legality check the paper intends
+  to incorporate (Section 2) can reject syntactically illegal insertions;
+* **Compile**, **Display Class** and **Go** (Section 5.4.2), with
+  compilation errors "described in terms of the translated textual form"
+  exactly as the paper's current version does.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.convert import editing_to_storage, storage_to_editing
+from repro.core.editform import HyperLink
+from repro.core.hyperprogram import HyperProgram
+from repro.core.legality import is_legal_insertion
+from repro.core.linkkinds import LinkKind
+from repro.editor.basic import BasicEditor
+from repro.editor.window import WindowEditor
+from repro.errors import CompilationError, IllegalLinkInsertionError
+
+
+class HyperProgramEditor:
+    """One hyper-program editor window's behaviour."""
+
+    def __init__(self, class_name: str = "",
+                 width: int = 80, height: int = 24,
+                 check_insertions: bool = False):
+        self.basic = BasicEditor()
+        self.window = WindowEditor(self.basic, width, height)
+        self.class_name = class_name
+        #: When true, link insertions are parser-directed (Section 2's
+        #: planned extension); illegal insertions raise.
+        self.check_insertions = check_insertions
+        self.last_error: Optional[CompilationError] = None
+        self._compiled_class: Optional[type] = None
+
+    # ------------------------------------------------------------------
+    # document load/save (editing form <-> storage form, Section 3)
+    # ------------------------------------------------------------------
+
+    def load(self, program: HyperProgram) -> None:
+        """Load a storage-form hyper-program for editing."""
+        self.basic.form = storage_to_editing(program)
+        self.basic.cursor = (0, 0)
+        self.basic.clear_selection()
+        if program.class_name:
+            self.class_name = program.class_name
+        self._compiled_class = None
+
+    def to_storage_form(self) -> HyperProgram:
+        """The current document as a storage-form hyper-program."""
+        return editing_to_storage(self.basic.form, self.class_name)
+
+    # ------------------------------------------------------------------
+    # editing with hyper-links
+    # ------------------------------------------------------------------
+
+    def type_text(self, text: str) -> None:
+        self.basic.insert_text(text)
+        self.window.ensure_cursor_visible()
+        self._compiled_class = None
+
+    def insert_link(self, link: HyperLink) -> HyperLink:
+        """Insert a link button at the cursor (the Insert Link button)."""
+        if self.check_insertions:
+            program = self.to_storage_form()
+            line, col = self.basic.cursor
+            pos = sum(
+                len(self.basic.form.text_of_line(i)) + 1
+                for i in range(line)
+            ) + col
+            if not is_legal_insertion(program, pos, link.kind):
+                raise IllegalLinkInsertionError(
+                    f"a {link.kind.value} link is not syntactically legal "
+                    f"at line {line}, column {col}"
+                )
+        self._compiled_class = None
+        return self.basic.insert_link(link)
+
+    def press_link(self, link: HyperLink) -> Any:
+        """Pressing a link button: returns the associated entity so the UI
+        can display it in the top-most browser window."""
+        return link.hyper_link_object
+
+    def relabel_link(self, link: HyperLink, label: str) -> None:
+        """Button names 'can be changed and are not significant to the
+        semantics of the hyper-program' (Section 5.4.1)."""
+        link.label = label
+
+    # ------------------------------------------------------------------
+    # Compile / Display Class / Go (Section 5.4.2)
+    # ------------------------------------------------------------------
+
+    def compile(self, mechanism: str = "auto") -> type:
+        """Translate, compile and load the hyper-program; returns the
+        principal class."""
+        program = self.to_storage_form()
+        try:
+            self._compiled_class = DynamicCompiler.compile_hyper_program(
+                program, mechanism)
+        except CompilationError as error:
+            # "In the current version the error is described in terms of
+            # the translated textual form" — keep it available verbatim.
+            self.last_error = error
+            raise
+        self.last_error = None
+        return self._compiled_class
+
+    def display_class(self) -> type:
+        """The Display Class button: compile if needed and return the
+        principal class for the browser to display."""
+        if self._compiled_class is None:
+            self.compile()
+        assert self._compiled_class is not None
+        return self._compiled_class
+
+    def go(self, args: Sequence[str] | None = None) -> Any:
+        """The Go button: compile if needed and execute ``main``."""
+        principal = self.display_class()
+        return DynamicCompiler.run_main(principal, args)
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+
+    def render(self, show_cursor: bool = False) -> str:
+        return self.window.render(show_cursor)
+
+    def error_report(self, hyper_terms: bool = True) -> str:
+        """The last compilation failure.
+
+        With ``hyper_terms`` (default), diagnostics are re-expressed at
+        hyper-program positions through the generation source map — the
+        paper's planned "future version" of error display.  The raw
+        textual-form description (the paper's *current* behaviour) is
+        always included below it.
+        """
+        if self.last_error is None:
+            return "no error"
+        report = [f"compilation failed: {self.last_error}"]
+        if hyper_terms:
+            hyper_description = self._hyper_terms_description()
+            if hyper_description:
+                report.append(f"in the hyper-program: {hyper_description}")
+        if self.last_error.diagnostics:
+            report.append(f"diagnostics: {self.last_error.diagnostics}")
+        if self.last_error.textual_form:
+            report.append("translated textual form:")
+            report.append(self.last_error.textual_form)
+        return "\n".join(report)
+
+    def _hyper_terms_description(self) -> Optional[str]:
+        """Locate the last error inside the original hyper-program."""
+        from repro.core.errormap import describe_syntax_error
+
+        source_map = DynamicCompiler.last_source_map
+        textual = self.last_error.textual_form if self.last_error else None
+        if source_map is None or not textual:
+            return None
+        try:
+            compile(textual, "<hyper>", "exec")
+        except SyntaxError as error:
+            return describe_syntax_error(error, source_map, textual)
+        return None

@@ -1,0 +1,60 @@
+"""Undo/redo for the basic editor.
+
+Snapshot-based: before every mutating operation the editor pushes a clone
+of its edit form (plus cursor), and undo/redo walk the snapshot chain.
+Bounded so that long sessions do not grow without limit.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+from repro.errors import NothingToUndoError
+
+T = TypeVar("T")
+
+
+class UndoStack(Generic[T]):
+    """A bounded undo/redo stack of state snapshots."""
+
+    def __init__(self, limit: int = 200):
+        self._undo: list[T] = []
+        self._redo: list[T] = []
+        self._limit = limit
+
+    def record(self, snapshot: T) -> None:
+        """Push the pre-operation state; clears the redo branch."""
+        self._undo.append(snapshot)
+        if len(self._undo) > self._limit:
+            del self._undo[0]
+        self._redo.clear()
+
+    def undo(self, current: T) -> T:
+        """Exchange ``current`` for the previous snapshot."""
+        if not self._undo:
+            raise NothingToUndoError("nothing to undo")
+        snapshot = self._undo.pop()
+        self._redo.append(current)
+        return snapshot
+
+    def redo(self, current: T) -> T:
+        if not self._redo:
+            raise NothingToUndoError("nothing to redo")
+        snapshot = self._redo.pop()
+        self._undo.append(current)
+        return snapshot
+
+    @property
+    def can_undo(self) -> bool:
+        return bool(self._undo)
+
+    @property
+    def can_redo(self) -> bool:
+        return bool(self._redo)
+
+    def depth(self) -> int:
+        return len(self._undo)
+
+    def clear(self) -> None:
+        self._undo.clear()
+        self._redo.clear()

@@ -1,0 +1,153 @@
+"""The window editor — layer 2 of Figure 10.
+
+"The window editor provides an API for the graphical display and editing
+of the contents of a basic editor.  It supports multiple fonts, sizes and
+colours."  (Section 5.1)
+
+Rendering targets plain text: each display cell row is produced from the
+basic editor's edit form with link buttons drawn as ``[label]`` spans, a
+viewport (scrolling window) over the document, an optional cursor mark,
+and a face map describing which :class:`~repro.editor.faces.Face` applies
+to every span — the information a graphical front end would need, kept
+inspectable for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.editform import HyperLink
+from repro.editor.basic import BasicEditor
+from repro.editor.faces import Face, FaceTable
+
+
+@dataclass(frozen=True)
+class StyledSpan:
+    """One styled run of a display line."""
+
+    text: str
+    face: Face
+    link: Optional[HyperLink] = None
+
+    @property
+    def is_button(self) -> bool:
+        return self.link is not None
+
+
+class WindowEditor:
+    """Displays (and scrolls over) a basic editor's contents."""
+
+    def __init__(self, editor: BasicEditor, width: int = 80,
+                 height: int = 24, faces: Optional[FaceTable] = None):
+        if width < 8 or height < 1:
+            raise ValueError(f"unusable window geometry {width}x{height}")
+        self.editor = editor
+        self.width = width
+        self.height = height
+        self.faces = faces if faces is not None else FaceTable()
+        self.top_line = 0
+
+    # ------------------------------------------------------------------
+    # viewport
+    # ------------------------------------------------------------------
+
+    def resize(self, width: int, height: int) -> None:
+        if width < 8 or height < 1:
+            raise ValueError(f"unusable window geometry {width}x{height}")
+        self.width = width
+        self.height = height
+        self._clamp_viewport()
+
+    def scroll_to(self, line: int) -> None:
+        self.top_line = max(0, line)
+        self._clamp_viewport()
+
+    def scroll_by(self, delta: int) -> None:
+        self.scroll_to(self.top_line + delta)
+
+    def ensure_cursor_visible(self) -> None:
+        line, __ = self.editor.cursor
+        if line < self.top_line:
+            self.top_line = line
+        elif line >= self.top_line + self.height:
+            self.top_line = line - self.height + 1
+
+    def _clamp_viewport(self) -> None:
+        last = max(0, self.editor.form.line_count() - 1)
+        self.top_line = min(self.top_line, last)
+
+    def visible_line_numbers(self) -> range:
+        end = min(self.top_line + self.height,
+                  self.editor.form.line_count())
+        return range(self.top_line, end)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def styled_line(self, line_no: int) -> list[StyledSpan]:
+        """The styled spans of one document line."""
+        form = self.editor.form
+        text = form.text_of_line(line_no)
+        spans: list[StyledSpan] = []
+        cursor = 0
+        for link in form.links_on_line(line_no):
+            if link.pos > cursor:
+                spans.append(StyledSpan(text[cursor:link.pos],
+                                        self.faces.face("text")))
+            face = self.faces.face_for_link_kind(
+                link.kind, link.is_special, link.is_primitive)
+            spans.append(StyledSpan(f"[{link.label}]", face, link))
+            cursor = link.pos
+        if cursor < len(text) or not spans:
+            spans.append(StyledSpan(text[cursor:], self.faces.face("text")))
+        return spans
+
+    def render_line(self, line_no: int) -> str:
+        rendered = "".join(span.text for span in self.styled_line(line_no))
+        return rendered[:self.width]
+
+    def render(self, show_cursor: bool = False) -> str:
+        """The visible viewport as text (one string, newline separated)."""
+        lines = []
+        cursor_line, cursor_col = self.editor.cursor
+        for line_no in self.visible_line_numbers():
+            rendered = self.render_line(line_no)
+            if show_cursor and line_no == cursor_line:
+                # Cursor drawn in *text* coordinates: count button widths
+                # before the cursor column.
+                display_col = self._display_column(line_no, cursor_col)
+                if display_col <= len(rendered):
+                    rendered = (rendered[:display_col] + "|" +
+                                rendered[display_col:])[:self.width]
+            lines.append(rendered)
+        return "\n".join(lines)
+
+    def _display_column(self, line_no: int, text_col: int) -> int:
+        extra = sum(
+            len(link.label) + 2
+            for link in self.editor.form.links_on_line(line_no)
+            if link.pos < text_col
+        )
+        return text_col + extra
+
+    # ------------------------------------------------------------------
+    # button hit testing (pressing a link shows it in the browser,
+    # Section 5.4.1)
+    # ------------------------------------------------------------------
+
+    def button_at(self, line_no: int, display_col: int
+                  ) -> Optional[HyperLink]:
+        """The link button covering a display column, if any."""
+        position = 0
+        for span in self.styled_line(line_no):
+            end = position + len(span.text)
+            if span.is_button and position <= display_col < end:
+                return span.link
+            position = end
+        return None
+
+    def buttons(self) -> list[tuple[int, HyperLink]]:
+        """All link buttons in the document as (line, link) pairs."""
+        return list(self.editor.form.all_links())

@@ -1,0 +1,5 @@
+"""System evolution through hyper-programming (paper Section 7)."""
+
+from repro.evolve.evolution import EvolutionEngine, EvolutionStep
+
+__all__ = ["EvolutionEngine", "EvolutionStep"]

@@ -1,0 +1,165 @@
+"""Schema evolution via linguistic reflection (paper Section 7).
+
+"Since a hyper-programming system can ensure that the hyper-program source
+text is always available for any persistent class that was created within
+the system, it is possible to write an evolution program that updates the
+source, re-compiles it and reconstructs the persistent data using
+linguistic reflection.  Indeed, in a transactional system it is possible
+to do this in a separate transaction while the system is live."
+
+An :class:`EvolutionStep` names a persistent class, a source rewrite
+(old class-definition source -> new source) and an instance converter
+(old field dict -> new field dict).  The :class:`EvolutionEngine`:
+
+1. fetches the class's stored hyper-program source (available by
+   construction in a hyper-programming system),
+2. rewrites it and re-compiles through linguistic reflection,
+3. re-registers the evolved class (superseding the old binding) and
+   installs the converter for the old schema fingerprint,
+4. reconstructs every stored instance of the class,
+5. runs the whole step inside a store transaction — failure rolls back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.hyperprogram import HyperProgram
+from repro.errors import EvolutionError
+from repro.store.objectstore import ObjectStore
+from repro.store.registry import schema_fingerprint
+from repro.store.serializer import KIND_INSTANCE
+
+SourceRewrite = Callable[[str], str]
+InstanceConverter = Callable[[dict[str, Any]], dict[str, Any]]
+
+#: Root under which class-definition hyper-programs are archived, keyed by
+#: qualified class name — "the hyper-program source text is always
+#: available for any persistent class that was created within the system".
+SOURCE_ARCHIVE_ROOT = "_class_sources"
+
+
+@dataclass
+class EvolutionStep:
+    """One evolution: rewrite a class's source and convert its instances.
+
+    The class keeps its qualified name across evolution (renaming a
+    persistent class would orphan its stored records; the paper's
+    reconstruction workflow evolves classes in place).
+    """
+
+    class_name: str                      # qualified name of the class
+    rewrite: SourceRewrite
+    convert: InstanceConverter
+
+    def describe(self) -> str:
+        return f"evolve {self.class_name}"
+
+
+class EvolutionEngine:
+    """Runs evolution steps against a store."""
+
+    def __init__(self, store: ObjectStore):
+        self._store = store
+        if not store.has_root(SOURCE_ARCHIVE_ROOT):
+            store.set_root(SOURCE_ARCHIVE_ROOT, {})
+
+    # ------------------------------------------------------------------
+    # the source archive
+    # ------------------------------------------------------------------
+
+    def archive_source(self, class_name: str,
+                       program: HyperProgram) -> None:
+        """Record the hyper-program that defines a persistent class."""
+        archive = self._store.get_root(SOURCE_ARCHIVE_ROOT)
+        archive[class_name] = program
+
+    def source_of(self, class_name: str) -> HyperProgram:
+        archive = self._store.get_root(SOURCE_ARCHIVE_ROOT)
+        try:
+            return archive[class_name]
+        except KeyError:
+            raise EvolutionError(
+                f"no archived source for class {class_name!r}; classes "
+                f"created outside the system cannot be evolved "
+                f"(paper footnote 2)"
+            ) from None
+
+    def archived_classes(self) -> tuple[str, ...]:
+        return tuple(sorted(self._store.get_root(SOURCE_ARCHIVE_ROOT)))
+
+    # ------------------------------------------------------------------
+    # evolution
+    # ------------------------------------------------------------------
+
+    def run(self, step: EvolutionStep) -> type:
+        """Execute one evolution step transactionally; returns the evolved
+        class.  On any failure the store is rolled back to the last
+        stabilised state and :class:`EvolutionError` is raised."""
+        self._store.stabilize()  # evolution starts from a durable state
+        try:
+            with self._store.transaction():
+                evolved = self._run_inside_txn(step)
+        except EvolutionError:
+            raise
+        except Exception as exc:
+            raise EvolutionError(
+                f"{step.describe()} failed and was rolled back: {exc}"
+            ) from exc
+        return evolved
+
+    def _run_inside_txn(self, step: EvolutionStep) -> type:
+        registry = self._store.registry
+        old_entry = registry.entry_for_name(step.class_name)
+        old_fingerprint = old_entry.fingerprint
+        program = self.source_of(step.class_name)
+
+        # Live instances of the old class would be unserialisable once the
+        # registry binding moves to the evolved class; flush them so every
+        # fetch below materialises (and converts) against the new class.
+        self._store.evict_all()
+
+        # 1. Update the source.
+        new_text = step.rewrite(program.the_text)
+        new_program = HyperProgram(new_text, list(program.the_links),
+                                   program.class_name)
+
+        # 2. Re-compile through linguistic reflection.
+        evolved = DynamicCompiler.compile_hyper_program(new_program)
+
+        # 3. Re-register under the *same qualified name* so stored records
+        #    resolve to the evolved class, and install the converter.
+        module_name, __, simple = step.class_name.rpartition(".")
+        evolved.__module__ = module_name or evolved.__module__
+        evolved.__qualname__ = simple or step.class_name
+        entry = registry.register(evolved)
+        if entry.name != step.class_name:
+            raise EvolutionError(
+                f"evolved class registers as {entry.name!r}, expected "
+                f"{step.class_name!r}"
+            )
+        registry.register_converter(evolved, old_fingerprint, step.convert)
+
+        # 4. Reconstruct stored instances: fetch (conversion applies on
+        #    materialisation), so the next stabilise writes new-schema
+        #    records.
+        reconstructed = 0
+        for oid in self._store.stored_oids():
+            record = self._store.stored_record(oid)
+            if record.kind == KIND_INSTANCE and \
+                    record.class_name == step.class_name and \
+                    record.fingerprint == old_fingerprint:
+                self._store.object_for(oid)
+                reconstructed += 1
+
+        # 5. Archive the evolved source.
+        self.archive_source(step.class_name, new_program)
+        self._last_reconstructed = reconstructed
+        return evolved
+
+    @property
+    def last_reconstructed(self) -> int:
+        """Instances reconstructed by the most recent step."""
+        return getattr(self, "_last_reconstructed", 0)

@@ -1,0 +1,7 @@
+"""Publication of hyper-programs (paper Section 6)."""
+
+from repro.export.html import export_html, export_program_set
+from repro.export.printing import describe_link, print_form
+
+__all__ = ["export_html", "export_program_set", "print_form",
+           "describe_link"]

@@ -1,0 +1,134 @@
+"""HTML export of hyper-programs — the paper's Section 6 future work.
+
+"It is, however, possible to translate each hyper-program into HTML,
+representing the hyper-links as URLs.  This was done to publish the
+Napier88 compiler source, which is itself a hyper-program, and it is our
+intention to do the same for Java."
+
+Each hyper-program becomes one HTML page: the text verbatim (in ``pre``),
+with every link rendered as an anchor.  Link URLs address a store-object
+namespace — ``store://<oid>`` for persistent objects and
+``entity://<description>`` for special links — so a published page keeps
+a stable name for every linked entity.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import TYPE_CHECKING
+
+from repro.core.hyperlink import (
+    ArrayElementLocation,
+    ClassRef,
+    ConstructorRef,
+    FieldLocation,
+    FieldRef,
+    HyperLinkHP,
+    MethodRef,
+)
+from repro.core.hyperprogram import HyperProgram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.objectstore import ObjectStore
+
+_PAGE_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+pre {{ font-family: monospace; }}
+a.hyperlink {{ background: #e8e8ff; text-decoration: none;
+               border: 1px solid #88f; padding: 0 2px; }}
+a.hyperlink.special {{ background: #e8ffe8; border-color: #4a4; }}
+a.hyperlink.primitive {{ background: #ffe8ff; border-color: #a4a; }}
+</style>
+</head>
+<body>
+<h1>{title}</h1>
+<pre>{body}</pre>
+</body>
+</html>
+"""
+
+
+def link_url(link: HyperLinkHP,
+             store: "ObjectStore | None" = None) -> str:
+    """The URL a hyper-link is published under."""
+    obj = link.hyper_link_object
+    if isinstance(obj, MethodRef):
+        return f"entity://method/{obj.class_name}/{obj.method_name}"
+    if isinstance(obj, FieldRef):
+        return f"entity://field/{obj.class_name}/{obj.field_name}"
+    if isinstance(obj, ConstructorRef):
+        return f"entity://constructor/{obj.class_name}"
+    if isinstance(obj, ClassRef):
+        return f"entity://class/{obj.class_name}"
+    if isinstance(obj, FieldLocation):
+        holder = _object_url(obj.holder, store)
+        return f"{holder}/{obj.field_name}"
+    if isinstance(obj, ArrayElementLocation):
+        holder = _object_url(obj.array, store)
+        return f"{holder}/{obj.index}"
+    if link.is_primitive:
+        return f"entity://literal/{html.escape(repr(obj))}"
+    return _object_url(obj, store)
+
+
+def _object_url(obj: object, store: "ObjectStore | None") -> str:
+    if store is not None:
+        oid = store.oid_of(obj)
+        if oid is not None:
+            return f"store://{int(oid)}"
+    return f"object://{type(obj).__name__}/{id(obj):x}"
+
+
+def link_anchor(link: HyperLinkHP,
+                store: "ObjectStore | None" = None) -> str:
+    """The HTML anchor for one hyper-link."""
+    classes = "hyperlink"
+    if link.is_special:
+        classes += " special"
+    if link.is_primitive:
+        classes += " primitive"
+    url = link_url(link, store)
+    label = html.escape(link.label)
+    return f'<a class="{classes}" href="{url}">{label}</a>'
+
+
+def export_html(program: HyperProgram,
+                store: "ObjectStore | None" = None) -> str:
+    """One hyper-program as a standalone HTML page."""
+    parts: list[str] = []
+    cursor = 0
+    text = program.the_text
+    for link in sorted(program.the_links, key=lambda item: item.string_pos):
+        parts.append(html.escape(text[cursor:link.string_pos]))
+        parts.append(link_anchor(link, store))
+        cursor = link.string_pos
+    parts.append(html.escape(text[cursor:]))
+    title = html.escape(program.class_name or "hyper-program")
+    return _PAGE_TEMPLATE.format(title=title, body="".join(parts))
+
+
+def export_program_set(programs: dict[str, HyperProgram],
+                       store: "ObjectStore | None" = None) -> dict[str, str]:
+    """Publish a set of hyper-programs as pages, keyed by file name.
+
+    An ``index.html`` linking every page is included — the shape of the
+    Napier88 compiler-source publication the paper cites.
+    """
+    pages: dict[str, str] = {}
+    index_items: list[str] = []
+    for name, program in sorted(programs.items()):
+        file_name = f"{name}.html"
+        pages[file_name] = export_html(program, store)
+        index_items.append(
+            f'<li><a href="{file_name}">{html.escape(name)}</a> '
+            f"({len(program.the_links)} links)</li>"
+        )
+    pages["index.html"] = _PAGE_TEMPLATE.format(
+        title="Hyper-program index",
+        body="<ul>\n" + "\n".join(index_items) + "\n</ul>",
+    )
+    return pages

@@ -1,0 +1,83 @@
+"""Printing hyper-programs (paper Section 6).
+
+"The printing of hyper-programs and the transferring of hyper-programs
+from one system to another is hindered by the presence of hyper-links."
+
+HTML publication (:mod:`repro.export.html`) is the paper's answer for
+transfer; for *printing*, this module renders a hyper-program as plain
+text with each link shown as a numbered button and a footnote block
+describing every linked entity — enough for a reader with no store access
+to understand what the program is bound to.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.hyperlink import (
+    ArrayElementLocation,
+    ClassRef,
+    ConstructorRef,
+    FieldLocation,
+    FieldRef,
+    HyperLinkHP,
+    MethodRef,
+)
+from repro.core.hyperprogram import HyperProgram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.objectstore import ObjectStore
+
+
+def describe_link(link: HyperLinkHP,
+                  store: "ObjectStore | None" = None) -> str:
+    """A one-line, store-independent description of a linked entity."""
+    obj = link.hyper_link_object
+    if isinstance(obj, MethodRef):
+        return f"static method {obj.class_name}.{obj.method_name}"
+    if isinstance(obj, FieldRef):
+        return f"static field {obj.class_name}.{obj.field_name}"
+    if isinstance(obj, ConstructorRef):
+        return f"constructor of {obj.class_name}"
+    if isinstance(obj, ClassRef):
+        return f"class {obj.class_name}"
+    if isinstance(obj, FieldLocation):
+        return (f"location {type(obj.holder).__name__}"
+                f".{obj.field_name}{_oid_note(obj.holder, store)}")
+    if isinstance(obj, ArrayElementLocation):
+        return f"location [{obj.index}] of an array of {len(obj.array)}"
+    if link.is_primitive:
+        return f"literal {obj!r}"
+    return f"{type(obj).__name__} instance{_oid_note(obj, store)}"
+
+
+def _oid_note(obj: object, store: "ObjectStore | None") -> str:
+    if store is not None:
+        oid = store.oid_of(obj)
+        if oid is not None:
+            return f" (oid {int(oid)})"
+    return ""
+
+
+def print_form(program: HyperProgram,
+               store: "ObjectStore | None" = None,
+               width: int = 72) -> str:
+    """The printable form: text with ``[n:label]`` buttons plus footnotes."""
+    parts: list[str] = []
+    cursor = 0
+    footnotes: list[str] = []
+    ordered = sorted(enumerate(program.the_links),
+                     key=lambda item: item[1].string_pos)
+    for number, (__, link) in enumerate(ordered, start=1):
+        parts.append(program.the_text[cursor:link.string_pos])
+        parts.append(f"[{number}:{link.label}]")
+        footnotes.append(f"  [{number}] {describe_link(link, store)}")
+        cursor = link.string_pos
+    parts.append(program.the_text[cursor:])
+    body = "".join(parts)
+    header = f"=== {program.class_name or 'hyper-program'} ===".ljust(width)
+    if not footnotes:
+        return f"{header}\n{body}"
+    rule = "-" * width
+    return (f"{header}\n{body}\n{rule}\nlinked entities:\n"
+            + "\n".join(footnotes) + "\n")

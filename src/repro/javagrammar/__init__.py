@@ -1,0 +1,46 @@
+"""A Java-subset grammar for Table 1.
+
+Section 2 of the paper defines which Java denotable values may be
+hyper-linked and pairs each kind with the grammar production it must be
+parsable as (Table 1), noting that "if a hyper-link cannot be parsed as its
+equivalent production then it is syntactically illegal.  If it can then its
+use is context sensitive with respect to the surrounding hyper-program."
+
+This package implements that check from scratch:
+
+* :mod:`~repro.javagrammar.lexer` — a Java lexer, extended with a *hole*
+  token ``⟦kind⟧`` marking an embedded hyper-link of the given kind;
+* :mod:`~repro.javagrammar.parser` — a recursive-descent parser for the
+  Java subset covering classes, members, statements, expressions and all
+  nine productions named by Table 1;
+* :mod:`~repro.javagrammar.productions` — the public API:
+  :func:`parse_production` (can this text derive production P?),
+  :func:`check_program` (is this hole-bearing Java program legal, holes
+  included?), and :func:`table1_rows` (regenerates Table 1).
+
+The parser enforces both halves of the paper's rule: a hole is accepted
+only where its production fits (necessity), and kind-specific context
+rules apply on top — a constructor hole only after ``new``, a method hole
+only as an invocation target, and nothing accepts a package position
+"since packages cannot be linked to".
+"""
+
+from repro.javagrammar.lexer import Lexer, Token, TokenType
+from repro.javagrammar.parser import Parser
+from repro.javagrammar.productions import (
+    PRODUCTIONS,
+    check_program,
+    parse_production,
+    table1_rows,
+)
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "Parser",
+    "PRODUCTIONS",
+    "parse_production",
+    "check_program",
+    "table1_rows",
+]

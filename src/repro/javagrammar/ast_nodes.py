@@ -1,0 +1,281 @@
+"""AST nodes for the Java subset.
+
+Plain dataclasses; the parser builds these and the production checkers
+inspect their shapes.  Hyper-link holes appear as :class:`HoleExpr` /
+:class:`HoleType` carrying their :class:`~repro.core.linkkinds.LinkKind`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.linkkinds import LinkKind
+
+
+class Node:
+    """Base class for all AST nodes."""
+
+
+# -- types -------------------------------------------------------------------
+
+@dataclass
+class PrimitiveTypeNode(Node):
+    name: str
+
+
+@dataclass
+class ClassTypeNode(Node):
+    parts: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass
+class ArrayTypeNode(Node):
+    element: Node
+    dimensions: int = 1
+
+
+@dataclass
+class HoleType(Node):
+    """A hyper-link hole in a type position."""
+    kind: LinkKind
+    ordinal: int = -1
+
+
+# -- expressions ---------------------------------------------------------------
+
+@dataclass
+class Literal(Node):
+    value: str
+    literal_kind: str  # int/float/char/string/bool/null
+
+
+@dataclass
+class NameExpr(Node):
+    parts: tuple[str, ...]
+
+    @property
+    def name(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass
+class ThisExpr(Node):
+    pass
+
+
+@dataclass
+class ParenExpr(Node):
+    inner: Node
+
+
+@dataclass
+class FieldAccessExpr(Node):
+    target: Node
+    name: str
+
+
+@dataclass
+class ArrayAccessExpr(Node):
+    array: Node
+    index: Node
+
+
+@dataclass
+class MethodCallExpr(Node):
+    target: Optional[Node]  # None for unqualified calls
+    name: str
+    args: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class HoleCallExpr(Node):
+    """Invocation of a hyper-linked method: ``⟦(static) method⟧(args)``."""
+    hole: "HoleExpr"
+    args: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class NewExpr(Node):
+    created: Node  # ClassTypeNode or HoleType/HoleExpr for linked ctor/class
+    args: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class NewArrayExpr(Node):
+    element: Node
+    dimension_exprs: list[Node] = field(default_factory=list)
+    extra_dims: int = 0
+
+
+@dataclass
+class UnaryExpr(Node):
+    op: str
+    operand: Node
+    prefix: bool = True
+
+
+@dataclass
+class BinaryExpr(Node):
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass
+class InstanceOfExpr(Node):
+    expr: Node
+    type: Node
+
+
+@dataclass
+class ConditionalExpr(Node):
+    condition: Node
+    then: Node
+    otherwise: Node
+
+
+@dataclass
+class AssignmentExpr(Node):
+    op: str
+    target: Node
+    value: Node
+
+
+@dataclass
+class CastExpr(Node):
+    type: Node
+    expr: Node
+
+
+@dataclass
+class HoleExpr(Node):
+    """A hyper-link hole in an expression position."""
+    kind: LinkKind
+    ordinal: int = -1
+
+
+# -- statements -------------------------------------------------------------------
+
+@dataclass
+class Block(Node):
+    statements: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class LocalVarDecl(Node):
+    type: Node
+    declarators: list[tuple[str, int, Optional[Node]]] = field(
+        default_factory=list)  # (name, extra array dims, initialiser)
+
+
+@dataclass
+class ExprStatement(Node):
+    expr: Node
+
+
+@dataclass
+class IfStatement(Node):
+    condition: Node
+    then: Node
+    otherwise: Optional[Node] = None
+
+
+@dataclass
+class WhileStatement(Node):
+    condition: Node
+    body: Node
+
+
+@dataclass
+class ForStatement(Node):
+    init: Optional[Node]
+    condition: Optional[Node]
+    update: list[Node]
+    body: Node
+
+
+@dataclass
+class ReturnStatement(Node):
+    value: Optional[Node] = None
+
+
+@dataclass
+class ThrowStatement(Node):
+    value: Node
+
+
+@dataclass
+class EmptyStatement(Node):
+    pass
+
+
+@dataclass
+class BreakStatement(Node):
+    pass
+
+
+@dataclass
+class ContinueStatement(Node):
+    pass
+
+
+# -- declarations --------------------------------------------------------------------
+
+@dataclass
+class Param(Node):
+    type: Node
+    name: str
+    extra_dims: int = 0
+
+
+@dataclass
+class FieldDecl(Node):
+    modifiers: tuple[str, ...]
+    type: Node
+    declarators: list[tuple[str, int, Optional[Node]]] = field(
+        default_factory=list)
+
+
+@dataclass
+class MethodDecl(Node):
+    modifiers: tuple[str, ...]
+    return_type: Optional[Node]  # None for void
+    name: str
+    params: list[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class ConstructorDecl(Node):
+    modifiers: tuple[str, ...]
+    name: str
+    params: list[Param] = field(default_factory=list)
+    body: Optional[Block] = None
+
+
+@dataclass
+class ClassDecl(Node):
+    modifiers: tuple[str, ...]
+    name: str
+    is_interface: bool = False
+    extends: Optional[Node] = None
+    implements: list[Node] = field(default_factory=list)
+    members: list[Node] = field(default_factory=list)
+
+
+@dataclass
+class ImportDecl(Node):
+    parts: tuple[str, ...]
+    wildcard: bool = False
+
+
+@dataclass
+class CompilationUnit(Node):
+    package: Optional[tuple[str, ...]] = None
+    imports: list[ImportDecl] = field(default_factory=list)
+    types: list[ClassDecl] = field(default_factory=list)

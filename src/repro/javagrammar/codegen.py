@@ -1,0 +1,409 @@
+"""Java-subset to Python transpilation.
+
+The paper's hyper-programs are Java source.  This module closes the loop:
+a hyper-program written in the Java subset (with ``⟦kind⟧`` holes where
+links sit) is parsed by :mod:`repro.javagrammar.parser` and transpiled to
+Python, each hole replaced by the caller-supplied denotation for the
+corresponding link — the same retrieval expressions the textual form uses.
+The result compiles with the standard (Python) compiler and runs against
+the persistent store, so Figure 2 can be written *verbatim* and executed.
+
+Translation summary:
+
+========================  =======================================
+Java                      Python
+========================  =======================================
+class C extends B         class C(B)
+fields                    class-level annotations / assignments
+constructor               ``__init__``
+static method             ``@staticmethod``
+``System.out.println``    ``print``
+``new C(args)``           ``C(args)``
+``new T[n]``              ``[default] * n``
+``a && b`` / ``!a``       ``a and b`` / ``not a``
+``x instanceof T``        ``isinstance(x, T)``
+``(T) expr``              ``expr`` (fidelity enforced by the store)
+``c ? a : b``             ``a if c else b``
+``i++`` (statement)       ``i += 1``
+``throw e``               ``raise e``
+========================  =======================================
+
+Assignments and ``++``/``--`` are supported in statement positions (and
+``for`` updates), matching idiomatic Python; using them as values raises
+:class:`~repro.errors.GrammarError`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.errors import GrammarError
+from repro.javagrammar import ast_nodes as ast
+from repro.javagrammar.parser import Parser
+
+#: Maps a hole's source ordinal to its Python denotation.
+HoleText = Callable[[int, "ast.LinkKind"], str]
+
+_INDENT = "    "
+
+_PRIMITIVE_DEFAULTS = {
+    "boolean": "False", "char": "'\\x00'", "byte": "0", "short": "0",
+    "int": "0", "long": "0", "float": "0.0", "double": "0.0",
+}
+
+_BINARY_OPS = {
+    "&&": "and", "||": "or",
+    "==": "==", "!=": "!=", "<": "<", ">": ">", "<=": "<=", ">=": ">=",
+    "+": "+", "-": "-", "*": "*", "/": "/", "%": "%",
+    "&": "&", "|": "|", "^": "^", "<<": "<<", ">>": ">>", ">>>": ">>",
+}
+
+_WELL_KNOWN_NAMES = {
+    "System.out.println": "print",
+    "System.out.print": "print",
+    "null": "None",
+    "this": "self",
+}
+
+
+class JavaToPython:
+    """Transpiles one parsed compilation unit."""
+
+    def __init__(self, hole_text: Optional[HoleText] = None):
+        self._hole_text = hole_text or self._default_hole_text
+
+    @staticmethod
+    def _default_hole_text(ordinal: int, kind) -> str:
+        raise GrammarError(
+            f"hyper-link hole #{ordinal} ({kind.value}) has no denotation; "
+            f"supply hole_text when transpiling hyper-programs"
+        )
+
+    # ------------------------------------------------------------------
+    # entry points
+    # ------------------------------------------------------------------
+
+    def transpile_source(self, java_source: str) -> str:
+        parser = Parser(java_source)
+        unit = parser.parse_compilation_unit()
+        parser.expect_eof()
+        return self.transpile_unit(unit)
+
+    def transpile_unit(self, unit: ast.CompilationUnit) -> str:
+        chunks = []
+        for decl in unit.types:
+            chunks.append(self._class_decl(decl, 0))
+        return "\n\n".join(chunks) + "\n"
+
+    # ------------------------------------------------------------------
+    # declarations
+    # ------------------------------------------------------------------
+
+    def _class_decl(self, decl: ast.ClassDecl, depth: int) -> str:
+        indent = _INDENT * depth
+        bases = []
+        if decl.extends is not None:
+            bases.append(self._type_name(decl.extends))
+        for implemented in decl.implements:
+            bases.append(self._type_name(implemented))
+        base_clause = f"({', '.join(bases)})" if bases else ""
+        lines = [f"{indent}class {decl.name}{base_clause}:"]
+        body: list[str] = []
+        instance_fields: list[tuple[str, Optional[ast.Node], ast.Node]] = []
+        for member in decl.members:
+            if isinstance(member, ast.FieldDecl):
+                static = "static" in member.modifiers
+                for name, __, initialiser in member.declarators:
+                    if static:
+                        value = (self._expr(initialiser)
+                                 if initialiser is not None
+                                 else self._default_for(member.type))
+                        body.append(f"{_INDENT * (depth + 1)}{name} = {value}")
+                    else:
+                        instance_fields.append((name, initialiser,
+                                                member.type))
+            elif isinstance(member, ast.ConstructorDecl):
+                body.append(self._constructor(member, instance_fields,
+                                              depth + 1))
+                instance_fields = []  # consumed by the constructor
+            elif isinstance(member, ast.MethodDecl):
+                body.append(self._method(member, depth + 1))
+            elif isinstance(member, ast.ClassDecl):
+                body.append(self._class_decl(member, depth + 1))
+        if instance_fields:
+            # No explicit constructor: synthesise one initialising fields.
+            body.insert(0, self._default_constructor(instance_fields,
+                                                     depth + 1))
+        if not body:
+            body.append(f"{_INDENT * (depth + 1)}pass")
+        lines.extend(body)
+        return "\n".join(lines)
+
+    def _default_for(self, type_node: ast.Node) -> str:
+        if isinstance(type_node, ast.PrimitiveTypeNode):
+            return _PRIMITIVE_DEFAULTS.get(type_node.name, "None")
+        return "None"
+
+    def _default_constructor(self, fields, depth: int) -> str:
+        indent = _INDENT * depth
+        lines = [f"{indent}def __init__(self):"]
+        for name, initialiser, type_node in fields:
+            value = (self._expr(initialiser) if initialiser is not None
+                     else self._default_for(type_node))
+            lines.append(f"{indent}{_INDENT}self.{name} = {value}")
+        return "\n".join(lines)
+
+    def _constructor(self, decl: ast.ConstructorDecl, fields,
+                     depth: int) -> str:
+        indent = _INDENT * depth
+        params = ", ".join(["self"] + [param.name for param in decl.params])
+        lines = [f"{indent}def __init__({params}):"]
+        for name, initialiser, type_node in fields:
+            value = (self._expr(initialiser) if initialiser is not None
+                     else self._default_for(type_node))
+            lines.append(f"{indent}{_INDENT}self.{name} = {value}")
+        body = self._block_lines(decl.body, depth + 1) if decl.body else []
+        lines.extend(body)
+        if len(lines) == 1:
+            lines.append(f"{indent}{_INDENT}pass")
+        return "\n".join(lines)
+
+    def _method(self, decl: ast.MethodDecl, depth: int) -> str:
+        indent = _INDENT * depth
+        is_static = "static" in decl.modifiers
+        lines = []
+        if is_static:
+            lines.append(f"{indent}@staticmethod")
+            params = ", ".join(param.name for param in decl.params)
+        else:
+            params = ", ".join(["self"] +
+                               [param.name for param in decl.params])
+        lines.append(f"{indent}def {decl.name}({params}):")
+        if decl.body is None:
+            lines.append(f"{indent}{_INDENT}raise NotImplementedError"
+                         f"('{decl.name} is abstract')")
+        else:
+            body = self._block_lines(decl.body, depth + 1)
+            lines.extend(body if body else [f"{indent}{_INDENT}pass"])
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _block_lines(self, block: ast.Block, depth: int) -> list[str]:
+        lines: list[str] = []
+        for statement in block.statements:
+            lines.extend(self._statement(statement, depth))
+        return lines
+
+    def _statement(self, node: ast.Node, depth: int) -> list[str]:
+        indent = _INDENT * depth
+        if isinstance(node, ast.Block):
+            inner = self._block_lines(node, depth)
+            return inner if inner else [f"{indent}pass"]
+        if isinstance(node, ast.LocalVarDecl):
+            lines = []
+            for name, __, initialiser in node.declarators:
+                value = (self._expr(initialiser) if initialiser is not None
+                         else self._default_for(node.type))
+                lines.append(f"{indent}{name} = {value}")
+            return lines
+        if isinstance(node, ast.ExprStatement):
+            return [f"{indent}{self._statement_expr(node.expr)}"]
+        if isinstance(node, ast.IfStatement):
+            lines = [f"{indent}if {self._expr(node.condition)}:"]
+            lines.extend(self._suite(node.then, depth + 1))
+            if node.otherwise is not None:
+                lines.append(f"{indent}else:")
+                lines.extend(self._suite(node.otherwise, depth + 1))
+            return lines
+        if isinstance(node, ast.WhileStatement):
+            lines = [f"{indent}while {self._expr(node.condition)}:"]
+            lines.extend(self._suite(node.body, depth + 1))
+            return lines
+        if isinstance(node, ast.ForStatement):
+            return self._for_statement(node, depth)
+        if isinstance(node, ast.ReturnStatement):
+            if node.value is None:
+                return [f"{indent}return"]
+            return [f"{indent}return {self._expr(node.value)}"]
+        if isinstance(node, ast.ThrowStatement):
+            return [f"{indent}raise {self._expr(node.value)}"]
+        if isinstance(node, ast.BreakStatement):
+            return [f"{indent}break"]
+        if isinstance(node, ast.ContinueStatement):
+            return [f"{indent}continue"]
+        if isinstance(node, ast.EmptyStatement):
+            return [f"{indent}pass"]
+        raise GrammarError(f"cannot transpile statement {node!r}")
+
+    def _suite(self, node: ast.Node, depth: int) -> list[str]:
+        lines = self._statement(node, depth)
+        return lines if lines else [f"{_INDENT * depth}pass"]
+
+    def _for_statement(self, node: ast.ForStatement,
+                       depth: int) -> list[str]:
+        # Java's general for-loop becomes init; while cond: body; update.
+        indent = _INDENT * depth
+        lines: list[str] = []
+        if node.init is not None:
+            lines.extend(self._statement(node.init, depth))
+        condition = self._expr(node.condition) if node.condition is not None \
+            else "True"
+        lines.append(f"{indent}while {condition}:")
+        body = self._suite(node.body, depth + 1)
+        lines.extend(body)
+        for update in node.update:
+            lines.append(f"{_INDENT * (depth + 1)}"
+                         f"{self._statement_expr(update)}")
+        return lines
+
+    def _statement_expr(self, node: ast.Node) -> str:
+        """An expression used as a statement; assignments and ++/-- are
+        legal here and rendered as Python statements."""
+        if isinstance(node, ast.AssignmentExpr):
+            target = self._expr(node.target)
+            op = node.op if node.op != ">>>=" else ">>="
+            return f"{target} {op} {self._expr(node.value)}"
+        if isinstance(node, ast.UnaryExpr) and node.op in ("++", "--"):
+            delta = "+= 1" if node.op == "++" else "-= 1"
+            return f"{self._expr(node.operand)} {delta}"
+        return self._expr(node)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _expr(self, node: ast.Node) -> str:
+        if isinstance(node, ast.Literal):
+            return self._literal(node)
+        if isinstance(node, ast.NameExpr):
+            return self._name(node.name)
+        if isinstance(node, ast.ThisExpr):
+            return "self"
+        if isinstance(node, ast.ParenExpr):
+            return f"({self._expr(node.inner)})"
+        if isinstance(node, ast.FieldAccessExpr):
+            return f"{self._expr(node.target)}.{node.name}"
+        if isinstance(node, ast.ArrayAccessExpr):
+            return f"{self._expr(node.array)}[{self._expr(node.index)}]"
+        if isinstance(node, ast.MethodCallExpr):
+            args = ", ".join(self._expr(arg) for arg in node.args)
+            if node.target is None:
+                return f"{self._name(node.name)}({args})"
+            qualified = f"{self._expr(node.target)}.{node.name}"
+            return f"{self._name(qualified)}({args})"
+        if isinstance(node, ast.HoleCallExpr):
+            args = ", ".join(self._expr(arg) for arg in node.args)
+            return f"{self._hole(node.hole)}({args})"
+        if isinstance(node, ast.NewExpr):
+            args = ", ".join(self._expr(arg) for arg in node.args)
+            created = (self._hole(node.created)
+                       if isinstance(node.created, ast.HoleExpr)
+                       else self._type_name(node.created))
+            return f"{created}({args})"
+        if isinstance(node, ast.NewArrayExpr):
+            return self._new_array(node)
+        if isinstance(node, ast.UnaryExpr):
+            return self._unary(node)
+        if isinstance(node, ast.BinaryExpr):
+            return self._binary(node)
+        if isinstance(node, ast.InstanceOfExpr):
+            return (f"isinstance({self._expr(node.expr)}, "
+                    f"{self._type_name(node.type)})")
+        if isinstance(node, ast.ConditionalExpr):
+            return (f"({self._expr(node.then)} "
+                    f"if {self._expr(node.condition)} "
+                    f"else {self._expr(node.otherwise)})")
+        if isinstance(node, ast.CastExpr):
+            # Java casts narrow static types; object fidelity is enforced
+            # by the store's registry, so the cast is a no-op wrapper.
+            return f"({self._expr(node.expr)})"
+        if isinstance(node, ast.AssignmentExpr):
+            raise GrammarError(
+                "assignment is only supported in statement position"
+            )
+        if isinstance(node, (ast.HoleExpr, ast.HoleType)):
+            return self._hole(node)
+        raise GrammarError(f"cannot transpile expression {node!r}")
+
+    def _hole(self, node: ast.Node) -> str:
+        return self._hole_text(node.ordinal, node.kind)
+
+    def _literal(self, node: ast.Literal) -> str:
+        if node.literal_kind == "null":
+            return "None"
+        if node.literal_kind == "bool":
+            return "True" if node.value == "true" else "False"
+        if node.literal_kind == "char":
+            return node.value.replace("'", '"', 2) \
+                if '"' not in node.value else node.value
+        if node.literal_kind in ("int", "float"):
+            return node.value.rstrip("lLfFdD")
+        return node.value  # strings carry their quotes
+
+    def _name(self, dotted: str) -> str:
+        return _WELL_KNOWN_NAMES.get(dotted, dotted)
+
+    def _type_name(self, node: ast.Node) -> str:
+        if isinstance(node, ast.PrimitiveTypeNode):
+            return {"boolean": "bool", "char": "str", "float": "float",
+                    "double": "float"}.get(node.name, "int")
+        if isinstance(node, ast.ClassTypeNode):
+            if node.name == "String":
+                return "str"
+            if node.name == "Object":
+                return "object"
+            return node.name
+        if isinstance(node, ast.ArrayTypeNode):
+            return "list"
+        if isinstance(node, (ast.HoleType, ast.HoleExpr)):
+            return self._hole(node)
+        raise GrammarError(f"cannot transpile type {node!r}")
+
+    def _new_array(self, node: ast.NewArrayExpr) -> str:
+        if not node.dimension_exprs:
+            raise GrammarError("array creation needs at least one dimension")
+        default = "None"
+        if isinstance(node.element, ast.PrimitiveTypeNode):
+            default = _PRIMITIVE_DEFAULTS.get(node.element.name, "None")
+        result = default
+        for dimension in reversed(node.dimension_exprs):
+            size = self._expr(dimension)
+            result = f"[{result} for __ in range({size})]"
+        return result
+
+    def _unary(self, node: ast.UnaryExpr) -> str:
+        if node.op in ("++", "--"):
+            raise GrammarError(
+                f"{node.op} is only supported in statement position"
+            )
+        operand = self._expr(node.operand)
+        if node.op == "!":
+            return f"(not {operand})"
+        return f"({node.op}{operand})"
+
+    def _binary(self, node: ast.BinaryExpr) -> str:
+        op = _BINARY_OPS.get(node.op)
+        if op is None:
+            raise GrammarError(f"unsupported binary operator {node.op!r}")
+        left, right = self._expr(node.left), self._expr(node.right)
+        if node.op == "/" and self._is_integral(node):
+            # Java / on integers truncates; Python // floors.  Use int()
+            # of true division to match Java's truncation toward zero.
+            return f"int({left} / {right})"
+        return f"({left} {op} {right})"
+
+    @staticmethod
+    def _is_integral(node: ast.BinaryExpr) -> bool:
+        return (isinstance(node.left, ast.Literal)
+                and node.left.literal_kind == "int"
+                and isinstance(node.right, ast.Literal)
+                and node.right.literal_kind == "int")
+
+
+def transpile(java_source: str,
+              hole_text: Optional[HoleText] = None) -> str:
+    """One-shot transpilation of Java-subset source to Python."""
+    return JavaToPython(hole_text).transpile_source(java_source)

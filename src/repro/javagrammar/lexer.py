@@ -1,0 +1,266 @@
+"""Lexer for the Java subset, with hyper-link hole tokens.
+
+The lexer recognises standard Java tokens (identifiers, keywords,
+literals, separators, operators, comments) plus one extension: a *hole*
+``⟦kind⟧`` standing for an embedded hyper-link of the given
+:class:`~repro.core.linkkinds.LinkKind` — the way this reproduction writes
+down "a hyper-link occurs here" in flat text for grammar checking.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.linkkinds import LinkKind
+from repro.errors import LexError
+
+HOLE_OPEN = "⟦"   # ⟦
+HOLE_CLOSE = "⟧"  # ⟧
+
+
+class TokenType(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    INT_LIT = "int"
+    FLOAT_LIT = "float"
+    CHAR_LIT = "char"
+    STRING_LIT = "string"
+    BOOL_LIT = "bool"
+    NULL_LIT = "null"
+    SEPARATOR = "separator"   # ( ) { } [ ] ; , .
+    OPERATOR = "operator"
+    HOLE = "hole"             # ⟦kind⟧ hyper-link hole
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({
+    "abstract", "boolean", "break", "byte", "case", "catch", "char",
+    "class", "const", "continue", "default", "do", "double", "else",
+    "extends", "final", "finally", "float", "for", "goto", "if",
+    "implements", "import", "instanceof", "int", "interface", "long",
+    "native", "new", "package", "private", "protected", "public",
+    "return", "short", "static", "strictfp", "super", "switch",
+    "synchronized", "this", "throw", "throws", "transient", "try",
+    "void", "volatile", "while",
+})
+
+PRIMITIVE_TYPE_KEYWORDS = frozenset({
+    "boolean", "byte", "char", "double", "float", "int", "long", "short",
+})
+
+MODIFIER_KEYWORDS = frozenset({
+    "abstract", "final", "native", "private", "protected", "public",
+    "static", "strictfp", "synchronized", "transient", "volatile",
+})
+
+_SEPARATORS = "(){}[];,."
+
+# Longest first so ">>>=" wins over ">>" etc.
+_OPERATORS = sorted([
+    ">>>=", ">>>", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<",
+    ">>", "+", "-", "*", "/", "%", "<", ">", "=", "!", "~", "&", "|",
+    "^", "?", ":",
+], key=len, reverse=True)
+
+_KIND_BY_VALUE = {kind.value: kind for kind in LinkKind}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+    #: For HOLE tokens: the 0-based ordinal of the hole in source order,
+    #: linking the hole to its entry in the hyper-program's link vector.
+    ordinal: int = -1
+
+    @property
+    def hole_kind(self) -> LinkKind:
+        if self.type is not TokenType.HOLE:
+            raise ValueError(f"{self!r} is not a hole token")
+        return _KIND_BY_VALUE[self.value]
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Tokenises Java-subset source text."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+        self._hole_counter = 0
+
+    def tokens(self) -> list[Token]:
+        """The full token stream, ending with one EOF token."""
+        out: list[Token] = []
+        while True:
+            token = self._next_token()
+            out.append(token)
+            if token.type is TokenType.EOF:
+                return out
+
+    # -- machinery -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        return self._source[index] if index < len(self._source) else ""
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._source[self._pos:self._pos + count]
+        for ch in text:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return text
+
+    def _error(self, message: str) -> LexError:
+        return LexError(f"{message} at {self._line}:{self._column}",
+                        self._line, self._column)
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self._pos < len(self._source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                self._advance(2)
+                while self._pos < len(self._source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise self._error("unterminated block comment")
+            else:
+                return
+
+    # -- token recognisers ------------------------------------------------
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, column = self._line, self._column
+        if self._pos >= len(self._source):
+            return Token(TokenType.EOF, "", line, column)
+        ch = self._peek()
+        if ch == HOLE_OPEN:
+            return self._lex_hole(line, column)
+        if ch.isalpha() or ch == "_" or ch == "$":
+            return self._lex_word(line, column)
+        if ch.isdigit() or (ch == "." and self._peek(1).isdigit()):
+            return self._lex_number(line, column)
+        if ch == '"':
+            return self._lex_string(line, column)
+        if ch == "'":
+            return self._lex_char(line, column)
+        if ch in _SEPARATORS:
+            self._advance()
+            return Token(TokenType.SEPARATOR, ch, line, column)
+        for op in _OPERATORS:
+            if self._source.startswith(op, self._pos):
+                self._advance(len(op))
+                return Token(TokenType.OPERATOR, op, line, column)
+        raise self._error(f"unexpected character {ch!r}")
+
+    def _lex_hole(self, line: int, column: int) -> Token:
+        self._advance()  # consume ⟦
+        end = self._source.find(HOLE_CLOSE, self._pos)
+        if end == -1:
+            raise self._error("unterminated hyper-link hole")
+        kind_text = self._source[self._pos:end].strip()
+        if kind_text not in _KIND_BY_VALUE:
+            raise self._error(f"unknown hyper-link kind {kind_text!r}")
+        self._advance(end - self._pos + 1)
+        ordinal = self._hole_counter
+        self._hole_counter += 1
+        return Token(TokenType.HOLE, kind_text, line, column, ordinal)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and (
+                self._peek().isalnum() or self._peek() in "_$"):
+            self._advance()
+        word = self._source[start:self._pos]
+        if word in ("true", "false"):
+            return Token(TokenType.BOOL_LIT, word, line, column)
+        if word == "null":
+            return Token(TokenType.NULL_LIT, word, line, column)
+        if word in KEYWORDS:
+            return Token(TokenType.KEYWORD, word, line, column)
+        return Token(TokenType.IDENT, word, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        # NB: _peek() returns "" at end of input, and `"" in "eE"` is true
+        # in Python, so every membership test below guards on truthiness.
+        start = self._pos
+        is_float = False
+        if self._peek() == "0" and self._peek(1) and self._peek(1) in "xX":
+            self._advance(2)
+            while self._peek() and self._peek() in "0123456789abcdefABCDEF":
+                self._advance()
+        else:
+            while self._peek().isdigit():
+                self._advance()
+            if self._peek() == ".":
+                is_float = True
+                self._advance()
+                while self._peek().isdigit():
+                    self._advance()
+            if self._peek() and self._peek() in "eE":
+                is_float = True
+                self._advance()
+                if self._peek() and self._peek() in "+-":
+                    self._advance()
+                if not self._peek().isdigit():
+                    raise self._error("malformed exponent")
+                while self._peek().isdigit():
+                    self._advance()
+        if self._peek() and self._peek() in "fFdD":
+            is_float = True
+            self._advance()
+        elif self._peek() and self._peek() in "lL":
+            self._advance()
+        text = self._source[start:self._pos]
+        return Token(TokenType.FLOAT_LIT if is_float else TokenType.INT_LIT,
+                     text, line, column)
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        start = self._pos
+        self._advance()  # opening quote
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise self._error("unterminated string literal")
+            if ch == "\\":
+                self._advance(2)
+                continue
+            self._advance()
+            if ch == '"':
+                break
+        return Token(TokenType.STRING_LIT,
+                     self._source[start:self._pos], line, column)
+
+    def _lex_char(self, line: int, column: int) -> Token:
+        start = self._pos
+        self._advance()  # opening quote
+        if self._peek() == "\\":
+            self._advance(2)
+        else:
+            self._advance()
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self._advance()
+        return Token(TokenType.CHAR_LIT,
+                     self._source[start:self._pos], line, column)

@@ -1,0 +1,668 @@
+"""Recursive-descent parser for the Java subset, hole-aware.
+
+The grammar covers what the paper's examples and Table 1 need: compilation
+units, class/interface declarations, fields, methods, constructors, the
+usual statements, and the full expression grammar down to the productions
+named in Table 1 (``Primary``, ``Literal``, ``FieldAccess``, ``Name``,
+``ArrayAccess``) plus the type productions (``ClassType``,
+``InterfaceType``, ``PrimitiveType``, ``ArrayType``).
+
+Hyper-link holes (``⟦kind⟧`` tokens) are accepted exactly where the
+paper's Section 2 rule allows:
+
+* **type positions** accept type-kind holes (class, interface, primitive
+  type, array type);
+* **primary positions** accept value-kind holes (object, primitive value,
+  field, array, array element);
+* a **method hole** is accepted only as an invocation target (its ``Name``
+  production is context-sensitive);
+* a **constructor hole** is accepted only directly after ``new``;
+* package positions never accept holes — "packages cannot be linked to".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.linkkinds import LinkKind
+from repro.errors import ParseError
+from repro.javagrammar import ast_nodes as ast
+from repro.javagrammar.lexer import (
+    Lexer,
+    MODIFIER_KEYWORDS,
+    PRIMITIVE_TYPE_KEYWORDS,
+    Token,
+    TokenType,
+)
+
+#: Hole kinds legal in a type position.
+_TYPE_HOLE_KINDS = frozenset({
+    LinkKind.CLASS, LinkKind.INTERFACE, LinkKind.PRIMITIVE_TYPE,
+    LinkKind.ARRAY_TYPE,
+})
+
+#: Hole kinds legal as a primary expression on their own.
+_PRIMARY_HOLE_KINDS = frozenset({
+    LinkKind.OBJECT, LinkKind.PRIMITIVE_VALUE, LinkKind.FIELD,
+    LinkKind.ARRAY, LinkKind.ARRAY_ELEMENT,
+})
+
+_ASSIGN_OPS = frozenset({"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                         "^=", "<<=", ">>=", ">>>="})
+
+# Binary operator precedence (higher binds tighter).
+_BINARY_PRECEDENCE = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,  # instanceof handled separately
+    "<<": 8, ">>": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+
+class Parser:
+    """One-token-lookahead recursive-descent parser."""
+
+    def __init__(self, source: str):
+        self._tokens = Lexer(source).tokens()
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token machinery
+    # ------------------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, type_: TokenType, value: str | None = None) -> bool:
+        token = self._peek()
+        return token.type is type_ and (value is None or token.value == value)
+
+    def _match(self, type_: TokenType, value: str | None = None
+               ) -> Optional[Token]:
+        if self._check(type_, value):
+            return self._advance()
+        return None
+
+    def _expect(self, type_: TokenType, value: str | None = None) -> Token:
+        if self._check(type_, value):
+            return self._advance()
+        token = self._peek()
+        wanted = value if value is not None else type_.value
+        raise ParseError(
+            f"expected {wanted!r} but found {token.value or token.type.value!r}",
+            token.line, token.column,
+        )
+
+    def _error(self, message: str) -> ParseError:
+        token = self._peek()
+        return ParseError(f"{message} (at {token.value!r})",
+                          token.line, token.column)
+
+    def at_eof(self) -> bool:
+        return self._peek().type is TokenType.EOF
+
+    def expect_eof(self) -> None:
+        if not self.at_eof():
+            raise self._error("trailing input after parse")
+
+    # ------------------------------------------------------------------
+    # compilation unit and declarations
+    # ------------------------------------------------------------------
+
+    def parse_compilation_unit(self) -> ast.CompilationUnit:
+        unit = ast.CompilationUnit()
+        if self._match(TokenType.KEYWORD, "package"):
+            unit.package = self._qualified_name_parts()
+            self._expect(TokenType.SEPARATOR, ";")
+        while self._check(TokenType.KEYWORD, "import"):
+            unit.imports.append(self._parse_import())
+        while not self.at_eof():
+            unit.types.append(self.parse_class_declaration())
+        return unit
+
+    def _parse_import(self) -> ast.ImportDecl:
+        self._expect(TokenType.KEYWORD, "import")
+        parts = [self._expect(TokenType.IDENT).value]
+        wildcard = False
+        while self._match(TokenType.SEPARATOR, "."):
+            if self._match(TokenType.OPERATOR, "*"):
+                wildcard = True
+                break
+            parts.append(self._expect(TokenType.IDENT).value)
+        self._expect(TokenType.SEPARATOR, ";")
+        return ast.ImportDecl(tuple(parts), wildcard)
+
+    def _parse_modifiers(self) -> tuple[str, ...]:
+        modifiers = []
+        while self._peek().type is TokenType.KEYWORD and \
+                self._peek().value in MODIFIER_KEYWORDS:
+            modifiers.append(self._advance().value)
+        return tuple(modifiers)
+
+    def parse_class_declaration(self) -> ast.ClassDecl:
+        modifiers = self._parse_modifiers()
+        is_interface = False
+        if self._match(TokenType.KEYWORD, "interface"):
+            is_interface = True
+        else:
+            self._expect(TokenType.KEYWORD, "class")
+        name = self._expect(TokenType.IDENT).value
+        decl = ast.ClassDecl(modifiers, name, is_interface)
+        if self._match(TokenType.KEYWORD, "extends"):
+            decl.extends = self.parse_type()
+        if self._match(TokenType.KEYWORD, "implements"):
+            decl.implements.append(self.parse_type())
+            while self._match(TokenType.SEPARATOR, ","):
+                decl.implements.append(self.parse_type())
+        self._expect(TokenType.SEPARATOR, "{")
+        while not self._check(TokenType.SEPARATOR, "}"):
+            if self._match(TokenType.SEPARATOR, ";"):
+                continue
+            decl.members.append(self._parse_member(decl.name))
+        self._expect(TokenType.SEPARATOR, "}")
+        return decl
+
+    def _parse_member(self, class_name: str) -> ast.Node:
+        modifiers = self._parse_modifiers()
+        if self._check(TokenType.KEYWORD, "class") or \
+                self._check(TokenType.KEYWORD, "interface"):
+            # Nested type: re-parse with the modifiers already consumed.
+            nested = self.parse_class_declaration_body(modifiers)
+            return nested
+        # Constructor: ClassName '('
+        if self._check(TokenType.IDENT, class_name) and \
+                self._peek(1).type is TokenType.SEPARATOR and \
+                self._peek(1).value == "(":
+            name = self._advance().value
+            params = self._parse_params()
+            self._skip_throws()
+            body = self.parse_block()
+            return ast.ConstructorDecl(modifiers, name, params, body)
+        # void method
+        if self._match(TokenType.KEYWORD, "void"):
+            name = self._expect(TokenType.IDENT).value
+            params = self._parse_params()
+            self._skip_throws()
+            body = None if self._match(TokenType.SEPARATOR, ";") \
+                else self.parse_block()
+            return ast.MethodDecl(modifiers, None, name, params, body)
+        # Field or typed method.
+        member_type = self.parse_type()
+        name = self._expect(TokenType.IDENT).value
+        if self._check(TokenType.SEPARATOR, "("):
+            params = self._parse_params()
+            self._skip_throws()
+            body = None if self._match(TokenType.SEPARATOR, ";") \
+                else self.parse_block()
+            return ast.MethodDecl(modifiers, member_type, name, params, body)
+        declarators = [self._parse_declarator(name)]
+        while self._match(TokenType.SEPARATOR, ","):
+            next_name = self._expect(TokenType.IDENT).value
+            declarators.append(self._parse_declarator(next_name))
+        self._expect(TokenType.SEPARATOR, ";")
+        return ast.FieldDecl(modifiers, member_type, declarators)
+
+    def parse_class_declaration_body(self,
+                                     modifiers: tuple[str, ...]
+                                     ) -> ast.ClassDecl:
+        """Class declaration whose modifiers were already consumed."""
+        decl = self.parse_class_declaration()
+        decl.modifiers = modifiers + decl.modifiers
+        return decl
+
+    def _parse_declarator(self, name: str) -> tuple[str, int, Optional[ast.Node]]:
+        dims = 0
+        while self._check(TokenType.SEPARATOR, "[") and \
+                self._peek(1).value == "]":
+            self._advance()
+            self._advance()
+            dims += 1
+        initialiser = None
+        if self._match(TokenType.OPERATOR, "="):
+            initialiser = self.parse_expression()
+        return name, dims, initialiser
+
+    def _parse_params(self) -> list[ast.Param]:
+        self._expect(TokenType.SEPARATOR, "(")
+        params: list[ast.Param] = []
+        if not self._check(TokenType.SEPARATOR, ")"):
+            params.append(self._parse_param())
+            while self._match(TokenType.SEPARATOR, ","):
+                params.append(self._parse_param())
+        self._expect(TokenType.SEPARATOR, ")")
+        return params
+
+    def _parse_param(self) -> ast.Param:
+        self._match(TokenType.KEYWORD, "final")
+        param_type = self.parse_type()
+        name = self._expect(TokenType.IDENT).value
+        dims = 0
+        while self._check(TokenType.SEPARATOR, "[") and \
+                self._peek(1).value == "]":
+            self._advance()
+            self._advance()
+            dims += 1
+        return ast.Param(param_type, name, dims)
+
+    def _skip_throws(self) -> None:
+        if self._match(TokenType.KEYWORD, "throws"):
+            self.parse_type()
+            while self._match(TokenType.SEPARATOR, ","):
+                self.parse_type()
+
+    # ------------------------------------------------------------------
+    # types
+    # ------------------------------------------------------------------
+
+    def parse_type(self) -> ast.Node:
+        """Type = (PrimitiveType | ClassOrInterfaceType | type hole) {'[' ']'}"""
+        base: ast.Node
+        token = self._peek()
+        if token.type is TokenType.HOLE:
+            kind = token.hole_kind
+            if kind not in _TYPE_HOLE_KINDS:
+                raise self._error(
+                    f"a {kind.value} hyper-link is not legal in a type position"
+                )
+            self._advance()
+            base = ast.HoleType(kind, token.ordinal)
+        elif token.type is TokenType.KEYWORD and \
+                token.value in PRIMITIVE_TYPE_KEYWORDS:
+            self._advance()
+            base = ast.PrimitiveTypeNode(token.value)
+        elif token.type is TokenType.IDENT:
+            base = ast.ClassTypeNode(self._qualified_name_parts())
+        else:
+            raise self._error("expected a type")
+        dims = 0
+        while self._check(TokenType.SEPARATOR, "[") and \
+                self._peek(1).value == "]":
+            self._advance()
+            self._advance()
+            dims += 1
+        if dims:
+            return ast.ArrayTypeNode(base, dims)
+        return base
+
+    def _qualified_name_parts(self) -> tuple[str, ...]:
+        parts = [self._expect(TokenType.IDENT).value]
+        while self._check(TokenType.SEPARATOR, ".") and \
+                self._peek(1).type is TokenType.IDENT:
+            self._advance()
+            parts.append(self._advance().value)
+        return tuple(parts)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def parse_block(self) -> ast.Block:
+        self._expect(TokenType.SEPARATOR, "{")
+        block = ast.Block()
+        while not self._check(TokenType.SEPARATOR, "}"):
+            block.statements.append(self.parse_statement())
+        self._expect(TokenType.SEPARATOR, "}")
+        return block
+
+    def parse_statement(self) -> ast.Node:
+        token = self._peek()
+        if token.type is TokenType.SEPARATOR and token.value == "{":
+            return self.parse_block()
+        if token.type is TokenType.SEPARATOR and token.value == ";":
+            self._advance()
+            return ast.EmptyStatement()
+        if token.type is TokenType.KEYWORD:
+            if token.value == "if":
+                return self._parse_if()
+            if token.value == "while":
+                return self._parse_while()
+            if token.value == "for":
+                return self._parse_for()
+            if token.value == "return":
+                self._advance()
+                value = None
+                if not self._check(TokenType.SEPARATOR, ";"):
+                    value = self.parse_expression()
+                self._expect(TokenType.SEPARATOR, ";")
+                return ast.ReturnStatement(value)
+            if token.value == "throw":
+                self._advance()
+                value = self.parse_expression()
+                self._expect(TokenType.SEPARATOR, ";")
+                return ast.ThrowStatement(value)
+            if token.value == "break":
+                self._advance()
+                self._match(TokenType.IDENT)
+                self._expect(TokenType.SEPARATOR, ";")
+                return ast.BreakStatement()
+            if token.value == "continue":
+                self._advance()
+                self._match(TokenType.IDENT)
+                self._expect(TokenType.SEPARATOR, ";")
+                return ast.ContinueStatement()
+            if token.value in PRIMITIVE_TYPE_KEYWORDS or \
+                    token.value == "final":
+                return self._parse_local_declaration()
+        if self._looks_like_local_declaration():
+            return self._parse_local_declaration()
+        expr = self.parse_expression()
+        self._expect(TokenType.SEPARATOR, ";")
+        return ast.ExprStatement(expr)
+
+    def _looks_like_local_declaration(self) -> bool:
+        """Disambiguate ``Type name ...`` from an expression statement."""
+        token = self._peek()
+        if token.type is TokenType.HOLE and \
+                token.hole_kind in _TYPE_HOLE_KINDS:
+            follow = self._peek(1)
+            return follow.type is TokenType.IDENT or \
+                (follow.type is TokenType.SEPARATOR and follow.value == "[")
+        if token.type is not TokenType.IDENT:
+            return False
+        offset = 1
+        while self._peek(offset).type is TokenType.SEPARATOR and \
+                self._peek(offset).value == "." and \
+                self._peek(offset + 1).type is TokenType.IDENT:
+            offset += 2
+        while self._peek(offset).type is TokenType.SEPARATOR and \
+                self._peek(offset).value == "[" and \
+                self._peek(offset + 1).value == "]":
+            offset += 2
+        return self._peek(offset).type is TokenType.IDENT
+
+    def _parse_local_declaration(self) -> ast.LocalVarDecl:
+        self._match(TokenType.KEYWORD, "final")
+        var_type = self.parse_type()
+        name = self._expect(TokenType.IDENT).value
+        declarators = [self._parse_declarator(name)]
+        while self._match(TokenType.SEPARATOR, ","):
+            next_name = self._expect(TokenType.IDENT).value
+            declarators.append(self._parse_declarator(next_name))
+        self._expect(TokenType.SEPARATOR, ";")
+        return ast.LocalVarDecl(var_type, declarators)
+
+    def _parse_if(self) -> ast.IfStatement:
+        self._expect(TokenType.KEYWORD, "if")
+        self._expect(TokenType.SEPARATOR, "(")
+        condition = self.parse_expression()
+        self._expect(TokenType.SEPARATOR, ")")
+        then = self.parse_statement()
+        otherwise = None
+        if self._match(TokenType.KEYWORD, "else"):
+            otherwise = self.parse_statement()
+        return ast.IfStatement(condition, then, otherwise)
+
+    def _parse_while(self) -> ast.WhileStatement:
+        self._expect(TokenType.KEYWORD, "while")
+        self._expect(TokenType.SEPARATOR, "(")
+        condition = self.parse_expression()
+        self._expect(TokenType.SEPARATOR, ")")
+        return ast.WhileStatement(condition, self.parse_statement())
+
+    def _parse_for(self) -> ast.ForStatement:
+        self._expect(TokenType.KEYWORD, "for")
+        self._expect(TokenType.SEPARATOR, "(")
+        init: Optional[ast.Node] = None
+        if not self._check(TokenType.SEPARATOR, ";"):
+            if self._looks_like_local_declaration() or \
+                    (self._peek().type is TokenType.KEYWORD and
+                     self._peek().value in PRIMITIVE_TYPE_KEYWORDS):
+                init = self._parse_local_declaration()
+            else:
+                init = ast.ExprStatement(self.parse_expression())
+                self._expect(TokenType.SEPARATOR, ";")
+        else:
+            self._advance()
+        condition = None
+        if not self._check(TokenType.SEPARATOR, ";"):
+            condition = self.parse_expression()
+        self._expect(TokenType.SEPARATOR, ";")
+        update: list[ast.Node] = []
+        if not self._check(TokenType.SEPARATOR, ")"):
+            update.append(self.parse_expression())
+            while self._match(TokenType.SEPARATOR, ","):
+                update.append(self.parse_expression())
+        self._expect(TokenType.SEPARATOR, ")")
+        return ast.ForStatement(init, condition, update,
+                                self.parse_statement())
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> ast.Node:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Node:
+        left = self._parse_conditional()
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in _ASSIGN_OPS:
+            if not self._is_assignable(left):
+                raise self._error("left-hand side is not assignable")
+            op = self._advance().value
+            value = self._parse_assignment()
+            return ast.AssignmentExpr(op, left, value)
+        return left
+
+    @staticmethod
+    def _is_assignable(node: ast.Node) -> bool:
+        if isinstance(node, (ast.NameExpr, ast.FieldAccessExpr,
+                             ast.ArrayAccessExpr)):
+            return True
+        # A location-capable hole is assignable (links to locations,
+        # Section 2): field and array-element holes.
+        if isinstance(node, ast.HoleExpr):
+            return node.kind in (LinkKind.FIELD, LinkKind.ARRAY_ELEMENT)
+        return False
+
+    def _parse_conditional(self) -> ast.Node:
+        condition = self._parse_binary(1)
+        if self._match(TokenType.OPERATOR, "?"):
+            then = self.parse_expression()
+            self._expect(TokenType.OPERATOR, ":")
+            otherwise = self._parse_conditional()
+            return ast.ConditionalExpr(condition, then, otherwise)
+        return condition
+
+    def _parse_binary(self, min_precedence: int) -> ast.Node:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.KEYWORD and \
+                    token.value == "instanceof":
+                self._advance()
+                left = ast.InstanceOfExpr(left, self.parse_type())
+                continue
+            if token.type is not TokenType.OPERATOR:
+                return left
+            precedence = _BINARY_PRECEDENCE.get(token.value, 0)
+            if precedence < min_precedence:
+                return left
+            op = self._advance().value
+            right = self._parse_binary(precedence + 1)
+            left = ast.BinaryExpr(op, left, right)
+
+    def _parse_unary(self) -> ast.Node:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and \
+                token.value in ("+", "-", "!", "~", "++", "--"):
+            op = self._advance().value
+            return ast.UnaryExpr(op, self._parse_unary(), prefix=True)
+        if self._is_cast_ahead():
+            self._expect(TokenType.SEPARATOR, "(")
+            cast_type = self.parse_type()
+            self._expect(TokenType.SEPARATOR, ")")
+            return ast.CastExpr(cast_type, self._parse_unary())
+        return self._parse_postfix()
+
+    def _is_cast_ahead(self) -> bool:
+        """Lookahead for ``( Type )`` followed by a unary expression."""
+        if not self._check(TokenType.SEPARATOR, "("):
+            return False
+        token = self._peek(1)
+        if token.type is TokenType.KEYWORD and \
+                token.value in PRIMITIVE_TYPE_KEYWORDS:
+            return True
+        if token.type is TokenType.HOLE and \
+                token.hole_kind in _TYPE_HOLE_KINDS:
+            return True
+        if token.type is not TokenType.IDENT:
+            return False
+        # ( Name ) ident/literal/( — treat as cast; ( Name ) op — expression.
+        offset = 2
+        while self._peek(offset).value == "." and \
+                self._peek(offset + 1).type is TokenType.IDENT:
+            offset += 2
+        while self._peek(offset).value == "[" and \
+                self._peek(offset + 1).value == "]":
+            offset += 2
+        if self._peek(offset).value != ")":
+            return False
+        after = self._peek(offset + 1)
+        return after.type in (TokenType.IDENT, TokenType.INT_LIT,
+                              TokenType.FLOAT_LIT, TokenType.STRING_LIT,
+                              TokenType.CHAR_LIT, TokenType.BOOL_LIT,
+                              TokenType.NULL_LIT, TokenType.HOLE) or \
+            (after.type is TokenType.SEPARATOR and after.value == "(") or \
+            (after.type is TokenType.KEYWORD and
+             after.value in ("this", "new"))
+
+    def _parse_postfix(self) -> ast.Node:
+        expr = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.type is TokenType.SEPARATOR and token.value == ".":
+                self._advance()
+                name = self._expect(TokenType.IDENT).value
+                if self._check(TokenType.SEPARATOR, "("):
+                    args = self._parse_args()
+                    expr = ast.MethodCallExpr(expr, name, args)
+                else:
+                    expr = ast.FieldAccessExpr(expr, name)
+            elif token.type is TokenType.SEPARATOR and token.value == "[":
+                self._advance()
+                index = self.parse_expression()
+                self._expect(TokenType.SEPARATOR, "]")
+                expr = ast.ArrayAccessExpr(expr, index)
+            elif token.type is TokenType.OPERATOR and \
+                    token.value in ("++", "--"):
+                self._advance()
+                expr = ast.UnaryExpr(token.value, expr, prefix=False)
+            else:
+                return expr
+
+    def _parse_args(self) -> list[ast.Node]:
+        self._expect(TokenType.SEPARATOR, "(")
+        args: list[ast.Node] = []
+        if not self._check(TokenType.SEPARATOR, ")"):
+            args.append(self.parse_expression())
+            while self._match(TokenType.SEPARATOR, ","):
+                args.append(self.parse_expression())
+        self._expect(TokenType.SEPARATOR, ")")
+        return args
+
+    def _parse_primary(self) -> ast.Node:
+        token = self._peek()
+        if token.type is TokenType.HOLE:
+            return self._parse_hole_primary()
+        if token.type in (TokenType.INT_LIT, TokenType.FLOAT_LIT,
+                          TokenType.CHAR_LIT, TokenType.STRING_LIT,
+                          TokenType.BOOL_LIT, TokenType.NULL_LIT):
+            self._advance()
+            return ast.Literal(token.value, token.type.value)
+        if token.type is TokenType.KEYWORD and token.value == "this":
+            self._advance()
+            return ast.ThisExpr()
+        if token.type is TokenType.KEYWORD and token.value == "new":
+            return self._parse_creation()
+        if token.type is TokenType.SEPARATOR and token.value == "(":
+            self._advance()
+            inner = self.parse_expression()
+            self._expect(TokenType.SEPARATOR, ")")
+            return ast.ParenExpr(inner)
+        if token.type is TokenType.IDENT:
+            parts = self._qualified_name_parts()
+            if self._check(TokenType.SEPARATOR, "("):
+                args = self._parse_args()
+                if len(parts) == 1:
+                    return ast.MethodCallExpr(None, parts[0], args)
+                return ast.MethodCallExpr(
+                    ast.NameExpr(parts[:-1]), parts[-1], args)
+            return ast.NameExpr(parts)
+        raise self._error("expected an expression")
+
+    def _parse_hole_primary(self) -> ast.Node:
+        token = self._advance()
+        kind = token.hole_kind
+        hole = ast.HoleExpr(kind, token.ordinal)
+        if kind in _PRIMARY_HOLE_KINDS:
+            return hole
+        if kind is LinkKind.STATIC_METHOD:
+            # "a hyper-link can appear legally at a position corresponding
+            # to the production Name where it denotes a constructor" — for
+            # a method the Name must be an invocation target.
+            if self._check(TokenType.SEPARATOR, "("):
+                return ast.HoleCallExpr(hole, self._parse_args())
+            raise ParseError(
+                "a (static) method hyper-link is only legal as an "
+                "invocation target", token.line, token.column,
+            )
+        if kind is LinkKind.CONSTRUCTOR:
+            raise ParseError(
+                "a constructor hyper-link is only legal after 'new'",
+                token.line, token.column,
+            )
+        if kind is LinkKind.CLASS or kind is LinkKind.INTERFACE:
+            # A linked type in an expression is only legal as the target
+            # of a static member access or invocation.
+            if self._match(TokenType.SEPARATOR, "."):
+                name = self._expect(TokenType.IDENT).value
+                if self._check(TokenType.SEPARATOR, "("):
+                    return ast.MethodCallExpr(hole, name, self._parse_args())
+                return ast.FieldAccessExpr(hole, name)
+            raise ParseError(
+                f"a {kind.value} hyper-link is not an expression by itself",
+                token.line, token.column,
+            )
+        raise ParseError(
+            f"a {kind.value} hyper-link is not legal in an expression",
+            token.line, token.column,
+        )
+
+    def _parse_creation(self) -> ast.Node:
+        self._expect(TokenType.KEYWORD, "new")
+        token = self._peek()
+        if token.type is TokenType.HOLE:
+            kind = token.hole_kind
+            if kind in (LinkKind.CONSTRUCTOR, LinkKind.CLASS):
+                self._advance()
+                created: ast.Node = ast.HoleExpr(kind, token.ordinal)
+                args = self._parse_args()
+                return ast.NewExpr(created, args)
+            raise ParseError(
+                f"a {kind.value} hyper-link cannot follow 'new'",
+                token.line, token.column,
+            )
+        created_type = self.parse_type()
+        if self._check(TokenType.SEPARATOR, "["):
+            dim_exprs: list[ast.Node] = []
+            extra = 0
+            while self._match(TokenType.SEPARATOR, "["):
+                if self._check(TokenType.SEPARATOR, "]"):
+                    self._advance()
+                    extra += 1
+                else:
+                    dim_exprs.append(self.parse_expression())
+                    self._expect(TokenType.SEPARATOR, "]")
+            return ast.NewArrayExpr(created_type, dim_exprs, extra)
+        args = self._parse_args()
+        return ast.NewExpr(created_type, args)

@@ -1,0 +1,35 @@
+"""Reflection substrate.
+
+Hyper-programming needs two reflective capabilities (paper, Section 1):
+
+* **Core reflection** — the textual-form generator calls ``getName`` /
+  ``getDeclaringClass`` on ``Method`` instances and ``getClass`` on linked
+  objects (Section 4.2).  :mod:`repro.reflect.metaobjects` provides the
+  Java-shaped meta-objects (:class:`JClass`, :class:`JMethod`,
+  :class:`JField`, :class:`JConstructor`) over Python classes.
+* **Linguistic reflection** — "the executing application generates new
+  program fragments in the form of source code, invokes a dynamically
+  callable compiler, and finally links the results of the compilation into
+  its own execution" (Section 4).  :mod:`repro.reflect.generator` provides
+  the generator discipline and :mod:`repro.reflect.loader` the
+  ``ClassLoader`` analogue that links compiled code into the running
+  program.
+"""
+
+from repro.reflect.metaobjects import JClass, JConstructor, JField, JMethod
+from repro.reflect.introspect import for_class, for_object
+from repro.reflect.loader import ClassLoader, LoadedModule
+from repro.reflect.generator import Generator, generate_and_load
+
+__all__ = [
+    "JClass",
+    "JMethod",
+    "JField",
+    "JConstructor",
+    "for_class",
+    "for_object",
+    "ClassLoader",
+    "LoadedModule",
+    "Generator",
+    "generate_and_load",
+]

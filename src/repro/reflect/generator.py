@@ -1,0 +1,81 @@
+"""Type-safe linguistic reflection.
+
+Section 4 of the paper: "the executing application generates new program
+fragments in the form of source code, invokes a dynamically callable
+compiler, and finally links the results of the compilation into its own
+execution.  We use this technique to process a hyper-program."
+
+A :class:`Generator` is a named source-producing function plus a
+*validation* step: the generated source is checked (compiled) before it is
+linked, so generation errors surface at generation time — the "type-safe"
+part of the discipline.  Both the hyper-program compiler and the evolution
+engine (:mod:`repro.evolve.evolution`) are clients.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Mapping
+
+from repro.errors import CompilationError
+from repro.reflect.loader import ClassLoader, LoadedModule
+
+
+class Generator:
+    """A reusable source generator.
+
+    ``produce`` maps arbitrary inputs to Python source text.  ``generate``
+    runs it and validates the output parses; ``generate_and_load`` also
+    compiles and links the result into the running program.
+    """
+
+    def __init__(self, name: str,
+                 produce: Callable[..., str],
+                 loader: ClassLoader | None = None):
+        self.name = name
+        self._produce = produce
+        self._loader = loader if loader is not None else ClassLoader()
+        self.generation_count = 0
+
+    def generate(self, *args: Any, **kwargs: Any) -> str:
+        """Produce and validate source (parse check only, no execution)."""
+        source = self._produce(*args, **kwargs)
+        if not isinstance(source, str):
+            raise CompilationError(
+                f"generator {self.name!r} produced "
+                f"{type(source).__name__}, not source text"
+            )
+        try:
+            ast.parse(source)
+        except SyntaxError as exc:
+            raise CompilationError(
+                f"generator {self.name!r} produced invalid source: {exc}",
+                textual_form=source,
+                diagnostics=str(exc),
+            ) from exc
+        self.generation_count += 1
+        return source
+
+    def generate_and_load(self, *args: Any,
+                          bindings: Mapping[str, Any] | None = None,
+                          **kwargs: Any) -> LoadedModule:
+        """Generate, compile, and link into the running program."""
+        source = self.generate(*args, **kwargs)
+        return self._loader.load_source(source, bindings=bindings)
+
+    @property
+    def loader(self) -> ClassLoader:
+        return self._loader
+
+    def __repr__(self) -> str:
+        return f"Generator({self.name!r}, generations={self.generation_count})"
+
+
+def generate_and_load(produce: Callable[..., str], *args: Any,
+                      bindings: Mapping[str, Any] | None = None,
+                      loader: ClassLoader | None = None,
+                      **kwargs: Any) -> LoadedModule:
+    """One-shot linguistic reflection: generate source, compile, link."""
+    generator = Generator(getattr(produce, "__name__", "anonymous"),
+                          produce, loader)
+    return generator.generate_and_load(*args, bindings=bindings, **kwargs)

@@ -1,0 +1,75 @@
+"""Reflection entry points.
+
+Thin, cached constructors for the meta-objects of
+:mod:`repro.reflect.metaobjects` — the analogue of ``obj.getClass()`` and
+``Class.forName`` in the paper's Java.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ReflectionError
+from repro.reflect.metaobjects import JClass, JConstructor, JField, JMethod
+
+_class_cache: dict[type, JClass] = {}
+
+
+def for_class(cls: type) -> JClass:
+    """The (cached) :class:`JClass` meta-object for a Python class."""
+    meta = _class_cache.get(cls)
+    if meta is None:
+        meta = JClass(cls)
+        _class_cache[cls] = meta
+    return meta
+
+
+def for_object(obj: Any) -> JClass:
+    """``obj.getClass()`` — the meta-object for an object's class."""
+    return for_class(type(obj))
+
+
+def method_of(cls: type, name: str) -> JMethod:
+    """Look up a method meta-object, as ``Class.getMethod`` would."""
+    return for_class(cls).get_method(name)
+
+
+def field_of(cls: type, name: str) -> JField:
+    """Look up a field meta-object, as ``Class.getField`` would."""
+    return for_class(cls).get_field(name)
+
+
+def constructor_of(cls: type) -> JConstructor:
+    return for_class(cls).get_constructor()
+
+
+def class_by_name(qualified: str, namespace: dict[str, Any] | None = None) -> JClass:
+    """Resolve ``module.QualName`` to a meta-object (``Class.forName``).
+
+    ``namespace`` lets callers resolve dynamically compiled classes that
+    live in loader namespaces rather than importable modules.
+    """
+    if namespace is not None:
+        simple = qualified.rsplit(".", 1)[-1]
+        candidate = namespace.get(simple)
+        if isinstance(candidate, type):
+            return for_class(candidate)
+    module_name, __, qualname = qualified.rpartition(".")
+    if not module_name:
+        raise ReflectionError(f"{qualified!r} is not a qualified class name")
+    import importlib
+
+    try:
+        module = importlib.import_module(module_name)
+    except ImportError as exc:
+        raise ReflectionError(
+            f"cannot import module {module_name!r} for class {qualified!r}"
+        ) from exc
+    target: Any = module
+    for part in qualname.split("."):
+        target = getattr(target, part, None)
+        if target is None:
+            raise ReflectionError(f"no class {qualified!r}")
+    if not isinstance(target, type):
+        raise ReflectionError(f"{qualified!r} names {target!r}, not a class")
+    return for_class(target)

@@ -1,0 +1,117 @@
+"""Dynamic loading — the ``ClassLoader`` analogue.
+
+In the paper (Section 4.3), dynamic compilation produces ``.class`` files
+which "must then be loaded into the running system and converted to a
+Class object ... by using a subclass of the class Classloader", after which
+``newInstance`` creates objects of the loaded class.
+
+The Python analogue executes compiled code objects in a fresh module
+namespace.  Each load gets its own namespace (like each Java class loader
+defining its own namespace), and the loader can *inject* bindings — the
+analogue of the generated ``import`` statements in the paper's Figure 8
+textual form (``import compiler.DynamicCompiler; import Person;``).
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Any, Mapping, Optional
+
+from repro.errors import LoadingError
+
+
+class LoadedModule:
+    """The result of one dynamic load: a namespace plus its classes."""
+
+    def __init__(self, name: str, namespace: dict[str, Any], source: str):
+        self.name = name
+        self.namespace = namespace
+        self.source = source
+        #: Classes defined by the load, in definition order.
+        self.classes: tuple[type, ...] = tuple(
+            value for value in namespace.values()
+            if isinstance(value, type) and
+            getattr(value, "__loaded_by__", None) is name
+        )
+
+    def get_class(self, simple_name: str) -> type:
+        value = self.namespace.get(simple_name)
+        if not isinstance(value, type):
+            raise LoadingError(
+                f"load {self.name!r} defines no class {simple_name!r}"
+            )
+        return value
+
+    @property
+    def principal_class(self) -> Optional[type]:
+        """The first class defined — the paper's default principal class."""
+        return self.classes[0] if self.classes else None
+
+    def __repr__(self) -> str:
+        return f"LoadedModule({self.name}, classes={[c.__name__ for c in self.classes]})"
+
+
+class ClassLoader:
+    """Loads compiled source into fresh namespaces and tracks the results."""
+
+    def __init__(self, parent_bindings: Mapping[str, Any] | None = None):
+        #: Bindings visible to every load (the "system classpath").
+        self._parent = dict(parent_bindings or {})
+        self._loads: dict[str, LoadedModule] = {}
+        self._counter = 0
+
+    def add_binding(self, name: str, value: Any) -> None:
+        """Make ``value`` visible (as ``name``) to future loads."""
+        self._parent[name] = value
+
+    def load_source(self, source: str, *, name: str | None = None,
+                    bindings: Mapping[str, Any] | None = None) -> LoadedModule:
+        """Compile and execute ``source`` in a fresh namespace.
+
+        ``bindings`` are extra names injected for this load only — the
+        analogue of the textual form's generated imports.
+        """
+        self._counter += 1
+        load_name = name or f"hyperload_{self._counter}"
+        namespace: dict[str, Any] = {"__name__": load_name,
+                                     "__builtins__": __builtins__}
+        namespace.update(self._parent)
+        if bindings:
+            namespace.update(bindings)
+        pre_existing = {key for key, value in namespace.items()
+                        if isinstance(value, type)}
+        try:
+            code = compile(source, filename=f"<{load_name}>", mode="exec")
+        except SyntaxError as exc:
+            raise LoadingError(f"source for {load_name} does not compile: {exc}") from exc
+        try:
+            exec(code, namespace)
+        except Exception as exc:
+            raise LoadingError(f"executing {load_name} failed: {exc}") from exc
+        # Tag classes defined by this load so LoadedModule can find them in
+        # definition order (dicts preserve insertion order).
+        for key, value in namespace.items():
+            if isinstance(value, type) and key not in pre_existing and \
+                    getattr(value, "__loaded_by__", None) is None:
+                try:
+                    value.__loaded_by__ = load_name
+                except TypeError:
+                    pass
+        loaded = LoadedModule(load_name, namespace, source)
+        self._loads[load_name] = loaded
+        return loaded
+
+    def as_module(self, loaded: LoadedModule) -> types.ModuleType:
+        """Wrap a load as a real module object (handy for REPL use)."""
+        module = types.ModuleType(loaded.name)
+        module.__dict__.update(loaded.namespace)
+        return module
+
+    def loaded_names(self) -> tuple[str, ...]:
+        return tuple(self._loads)
+
+    def get_load(self, name: str) -> LoadedModule:
+        try:
+            return self._loads[name]
+        except KeyError:
+            raise LoadingError(f"no load named {name!r}") from None

@@ -1,0 +1,297 @@
+"""Java-shaped meta-objects over Python classes.
+
+The paper's textual-form generation (Section 4.2) is written against Java
+core reflection: a link to a static method stores a ``Method`` instance and
+the generator calls ``getName()`` and ``getDeclaringClass().getName()`` on
+it; a link to an object calls ``getClass().getName()``.  These classes
+reproduce that API surface over Python, so the hyper-programming core reads
+exactly like the paper.
+
+Names follow Java's camelCase *and* Python's snake_case — both spellings
+are provided, with snake_case as the implementation and camelCase aliases
+for fidelity to the quoted code.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Any, Optional
+
+from repro.errors import NoSuchMemberError
+
+
+class JClass:
+    """Meta-object for a class (``java.lang.Class`` analogue)."""
+
+    def __init__(self, cls: type):
+        if not isinstance(cls, type):
+            raise TypeError(f"JClass wraps classes, not {type(cls).__name__}")
+        self._cls = cls
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def python_class(self) -> type:
+        return self._cls
+
+    def get_name(self) -> str:
+        """Fully qualified name, ``module.QualName``."""
+        return f"{self._cls.__module__}.{self._cls.__qualname__}"
+
+    def get_simple_name(self) -> str:
+        return self._cls.__name__
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, JClass) and other._cls is self._cls
+
+    def __hash__(self) -> int:
+        return hash(self._cls)
+
+    def __repr__(self) -> str:
+        return f"JClass({self.get_name()})"
+
+    # -- hierarchy ----------------------------------------------------------
+
+    def get_superclass(self) -> Optional["JClass"]:
+        bases = [base for base in self._cls.__bases__ if base is not object]
+        if bases:
+            return JClass(bases[0])
+        if self._cls is not object:
+            return JClass(object)
+        return None
+
+    def get_interfaces(self) -> tuple["JClass", ...]:
+        """Abstract bases beyond the first concrete superclass."""
+        return tuple(JClass(base) for base in self._cls.__bases__[1:])
+
+    def is_interface(self) -> bool:
+        """True for classes that are purely abstract (no concrete methods)."""
+        abstract = getattr(self._cls, "__abstractmethods__", frozenset())
+        return bool(abstract)
+
+    def is_instance(self, obj: Any) -> bool:
+        return isinstance(obj, self._cls)
+
+    # -- members ------------------------------------------------------------
+
+    def get_methods(self) -> tuple["JMethod", ...]:
+        """All callable members, including inherited ones, sorted by name."""
+        methods = []
+        for name, __ in inspect.getmembers(self._cls, callable):
+            if name.startswith("__") and name != "__init__":
+                continue
+            if name == "__init__":
+                continue
+            methods.append(JMethod(self._cls, name))
+        return tuple(sorted(methods, key=lambda m: m.get_name()))
+
+    def get_method(self, name: str) -> "JMethod":
+        attr = inspect.getattr_static(self._cls, name, None)
+        if attr is None or not self._is_callable_member(name):
+            raise NoSuchMemberError(
+                f"{self.get_name()} has no method {name!r}"
+            )
+        return JMethod(self._cls, name)
+
+    def _is_callable_member(self, name: str) -> bool:
+        attr = inspect.getattr_static(self._cls, name, None)
+        if isinstance(attr, (staticmethod, classmethod)):
+            return True
+        return callable(attr) or isinstance(attr, property) is False and \
+            callable(getattr(self._cls, name, None))
+
+    def get_fields(self) -> tuple["JField", ...]:
+        """Declared persistent fields (annotations/slots) plus class-level
+        non-callable attributes (static fields)."""
+        from repro.store.registry import declared_fields
+
+        names: list[str] = list(declared_fields(self._cls))
+        for name, value in vars(self._cls).items():
+            if name.startswith("_") or callable(value) or \
+                    isinstance(value, (staticmethod, classmethod, property)):
+                continue
+            if name not in names:
+                names.append(name)
+        return tuple(JField(self._cls, name) for name in sorted(names))
+
+    def get_field(self, name: str) -> "JField":
+        for field in self.get_fields():
+            if field.get_name() == name:
+                return field
+        raise NoSuchMemberError(f"{self.get_name()} has no field {name!r}")
+
+    def get_constructor(self) -> "JConstructor":
+        return JConstructor(self._cls)
+
+    def new_instance(self, *args: Any, **kwargs: Any) -> Any:
+        return self._cls(*args, **kwargs)
+
+    # Java spellings ----------------------------------------------------------
+
+    getName = get_name
+    getSimpleName = get_simple_name
+    getSuperclass = get_superclass
+    getMethods = get_methods
+    getMethod = get_method
+    getFields = get_fields
+    getField = get_field
+    getConstructor = get_constructor
+    newInstance = new_instance
+
+
+class JMethod:
+    """Meta-object for a method (``java.lang.reflect.Method`` analogue)."""
+
+    def __init__(self, declaring_class: type, name: str):
+        self._cls = declaring_class
+        self._name = name
+        if inspect.getattr_static(declaring_class, name, None) is None:
+            raise NoSuchMemberError(
+                f"{declaring_class.__qualname__} has no member {name!r}"
+            )
+
+    def get_name(self) -> str:
+        return self._name
+
+    def get_declaring_class(self) -> JClass:
+        """The most-derived class in the MRO that actually defines the method."""
+        for klass in self._cls.__mro__:
+            if self._name in vars(klass):
+                return JClass(klass)
+        return JClass(self._cls)
+
+    def is_static(self) -> bool:
+        attr = inspect.getattr_static(self._cls, self._name)
+        return isinstance(attr, staticmethod)
+
+    def is_class_method(self) -> bool:
+        attr = inspect.getattr_static(self._cls, self._name)
+        return isinstance(attr, classmethod)
+
+    def parameter_names(self) -> tuple[str, ...]:
+        func = getattr(self._cls, self._name)
+        try:
+            params = list(inspect.signature(func).parameters)
+        except (TypeError, ValueError):
+            return ()
+        if not self.is_static() and params and params[0] in ("self", "cls"):
+            params = params[1:]
+        return tuple(params)
+
+    def invoke(self, target: Any, *args: Any, **kwargs: Any) -> Any:
+        """Invoke as Java reflection would: ``target`` is ignored for
+        static methods (pass ``None``)."""
+        if self.is_static() or self.is_class_method():
+            return getattr(self._cls, self._name)(*args, **kwargs)
+        if target is None:
+            raise TypeError(
+                f"instance method {self._name} requires a target object"
+            )
+        return getattr(target, self._name)(*args, **kwargs)
+
+    def qualified_name(self) -> str:
+        """``Class.method`` — the string the textual form emits for a
+        static-method hyper-link (paper Section 4.2)."""
+        return f"{self.get_declaring_class().get_simple_name()}.{self._name}"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, JMethod) and other._cls is self._cls
+                and other._name == self._name)
+
+    def __hash__(self) -> int:
+        return hash((self._cls, self._name))
+
+    def __repr__(self) -> str:
+        return f"JMethod({self.qualified_name()})"
+
+    getName = get_name
+    getDeclaringClass = get_declaring_class
+
+
+class JField:
+    """Meta-object for a field; supports both instance and static fields.
+
+    A field meta-object is also how the system links to a *location* rather
+    than a value (paper Sections 2 and 5.4.1): the location is
+    (holder, field-name), and reading it at run time yields whatever the
+    location currently contains — preserving delayed binding.
+    """
+
+    def __init__(self, declaring_class: type, name: str):
+        self._cls = declaring_class
+        self._name = name
+
+    def get_name(self) -> str:
+        return self._name
+
+    def get_declaring_class(self) -> JClass:
+        for klass in self._cls.__mro__:
+            if self._name in vars(klass) or \
+                    self._name in klass.__dict__.get("__annotations__", {}):
+                return JClass(klass)
+        return JClass(self._cls)
+
+    def is_static(self) -> bool:
+        """True when the field lives on the class itself (a class attribute
+        that instances have not shadowed)."""
+        return self._name in vars(self._cls) and \
+            self._name not in self._cls.__dict__.get("__annotations__", {})
+
+    def get(self, target: Any = None) -> Any:
+        holder = self._cls if target is None else target
+        try:
+            return getattr(holder, self._name)
+        except AttributeError:
+            raise NoSuchMemberError(
+                f"{holder!r} has no field {self._name!r}"
+            ) from None
+
+    def set(self, target: Any, value: Any) -> None:
+        holder = self._cls if target is None else target
+        setattr(holder, self._name, value)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, JField) and other._cls is self._cls
+                and other._name == self._name)
+
+    def __hash__(self) -> int:
+        return hash((self._cls, self._name, "field"))
+
+    def __repr__(self) -> str:
+        return f"JField({self._cls.__qualname__}.{self._name})"
+
+    getName = get_name
+    getDeclaringClass = get_declaring_class
+
+
+class JConstructor:
+    """Meta-object for a constructor."""
+
+    def __init__(self, cls: type):
+        self._cls = cls
+
+    def get_declaring_class(self) -> JClass:
+        return JClass(self._cls)
+
+    def get_name(self) -> str:
+        return self._cls.__name__
+
+    def parameter_names(self) -> tuple[str, ...]:
+        init = inspect.getattr_static(self._cls, "__init__", None)
+        if init is None or init is object.__init__:
+            return ()
+        try:
+            params = list(inspect.signature(self._cls.__init__).parameters)
+        except (TypeError, ValueError):
+            return ()
+        return tuple(params[1:])  # drop self
+
+    def new_instance(self, *args: Any, **kwargs: Any) -> Any:
+        return self._cls(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"JConstructor({self._cls.__qualname__})"
+
+    getName = get_name
+    getDeclaringClass = get_declaring_class
+    newInstance = new_instance

@@ -1,0 +1,41 @@
+"""Orthogonally persistent object store — the PJama-analogue substrate.
+
+The paper's hyper-programming system rests on "a persistent store with
+root(s), reachability and referential integrity" (Section 1).  This package
+provides that substrate for Python:
+
+* :class:`~repro.store.objectstore.ObjectStore` — named roots, persistence by
+  reachability, an identity map so every OID has at most one live object, and
+  referential integrity (an OID reachable from a stored object always
+  resolves).
+* :class:`~repro.store.registry.ClassRegistry` — typed-object fidelity: every
+  stored instance is re-bound to its registered class and checked against a
+  schema fingerprint on fetch, which plain pickle does not guarantee.
+* :mod:`~repro.store.heap` / :mod:`~repro.store.wal` — a slotted-page heap
+  file plus a write-ahead log, giving stabilisation (checkpoint) and crash
+  recovery.
+* :mod:`~repro.store.gc` — a reachability collector over the stored graph
+  with persistent *weak references*, as required by the paper's Figure 7 for
+  collectable hyper-programs.
+* :mod:`~repro.store.transactions` — begin/commit/abort built on the WAL, as
+  assumed by the paper's Section 7 evolution discussion.
+"""
+
+from repro.store.oids import Oid, OidAllocator
+from repro.store.registry import ClassRegistry, persistent
+from repro.store.serializer import Serializer, Record
+from repro.store.objectstore import ObjectStore
+from repro.store.weakrefs import PersistentWeakRef
+from repro.store.transactions import Transaction
+
+__all__ = [
+    "Oid",
+    "OidAllocator",
+    "ClassRegistry",
+    "persistent",
+    "Serializer",
+    "Record",
+    "ObjectStore",
+    "PersistentWeakRef",
+    "Transaction",
+]

@@ -1,0 +1,62 @@
+"""Identity map: the live-object cache of the store.
+
+PJama guarantees that fetching the same persistent object twice yields the
+*same* Java object — object identity is preserved across the store
+boundary.  The identity map provides that guarantee: it is a bidirectional
+association between OIDs and live Python objects, keyed by ``id()`` on the
+object side (with the mapping itself keeping the object alive, so an id is
+never reused while mapped).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.store.oids import Oid
+
+
+class IdentityMap:
+    """Bidirectional OID <-> live object association."""
+
+    def __init__(self) -> None:
+        self._by_oid: dict[Oid, Any] = {}
+        self._oid_by_id: dict[int, Oid] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_oid)
+
+    def __contains__(self, oid: Oid) -> bool:
+        return oid in self._by_oid
+
+    def add(self, oid: Oid, obj: Any) -> None:
+        existing = self._by_oid.get(oid)
+        if existing is not None and existing is not obj:
+            raise ValueError(f"oid {oid} is already bound to another object")
+        self._by_oid[oid] = obj
+        self._oid_by_id[id(obj)] = oid
+
+    def object_for(self, oid: Oid) -> Optional[Any]:
+        return self._by_oid.get(oid)
+
+    def oid_for(self, obj: Any) -> Optional[Oid]:
+        oid = self._oid_by_id.get(id(obj))
+        # Guard against id() collisions with unmapped objects: the entry is
+        # only valid if the mapped object is this very object.
+        if oid is not None and self._by_oid.get(oid) is obj:
+            return oid
+        return None
+
+    def evict(self, oid: Oid) -> None:
+        obj = self._by_oid.pop(oid, None)
+        if obj is not None:
+            self._oid_by_id.pop(id(obj), None)
+
+    def clear(self) -> None:
+        self._by_oid.clear()
+        self._oid_by_id.clear()
+
+    def items(self) -> Iterator[tuple[Oid, Any]]:
+        return iter(list(self._by_oid.items()))
+
+    def oids(self) -> set[Oid]:
+        return set(self._by_oid)

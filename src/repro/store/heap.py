@@ -1,0 +1,405 @@
+"""Slotted-page heap file.
+
+The stable home of the store: a single file of fixed-size pages, each with
+a classic slotted-page layout (header, slot directory growing from the
+front, record bytes growing from the back).  Records larger than a page go
+into a run of contiguous *overflow* pages.  The heap knows nothing about
+objects — it stores opaque byte records addressed by :class:`RecordId` and
+is driven by :mod:`repro.store.objectstore` through the write-ahead log.
+
+Layout of a normal page::
+
+    0   u16  slot_count
+    2   u16  free_space_offset  (from page start; records end here, grow down)
+    4   u8   page_kind          (1 = slotted, 2 = overflow head, 3 = overflow cont.)
+    5   ...  slot directory: slot i at byte 8 + 4*i  ->  u16 offset, u16 length
+    ...      record bytes packed at the page tail
+
+A slot with length ``0xFFFF`` is a tombstone (deleted record); its space is
+reclaimed by :meth:`HeapFile.compact_page`.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+
+from repro.errors import CorruptHeapError
+
+PAGE_SIZE = 4096
+_HEADER_SIZE = 8
+_SLOT_SIZE = 4
+_TOMBSTONE = 0xFFFF
+
+PAGE_SLOTTED = 1
+PAGE_OVERFLOW_HEAD = 2
+PAGE_OVERFLOW_CONT = 3
+
+#: Usable bytes in a slotted page once the header and one slot are paid for.
+MAX_INLINE_RECORD = PAGE_SIZE - _HEADER_SIZE - _SLOT_SIZE
+
+# Overflow pages reuse the generic header slots:
+#   0-1  u16 chunk_len         2-3  unused        4  u8 kind
+#   8-11 u32 total length (head page only)
+#   12-15 u32 next page number (0 = end of chain)
+#   16.. payload
+_OVERFLOW_DATA_START = 16
+_OVERFLOW_CAPACITY = PAGE_SIZE - _OVERFLOW_DATA_START
+
+
+@dataclass(frozen=True)
+class RecordId:
+    """Address of a record: page number plus slot (slot 0 for overflow runs)."""
+
+    page_no: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"RecordId({self.page_no}, {self.slot})"
+
+
+class _Page:
+    """An in-memory image of one slotted page."""
+
+    __slots__ = ("data",)
+
+    def __init__(self, data: bytearray | None = None):
+        if data is None:
+            data = bytearray(PAGE_SIZE)
+            struct.pack_into("<HHB", data, 0, 0, PAGE_SIZE, PAGE_SLOTTED)
+        self.data = data
+
+    # -- header ---------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        return struct.unpack_from("<H", self.data, 0)[0]
+
+    @slot_count.setter
+    def slot_count(self, value: int) -> None:
+        struct.pack_into("<H", self.data, 0, value)
+
+    @property
+    def free_offset(self) -> int:
+        return struct.unpack_from("<H", self.data, 2)[0]
+
+    @free_offset.setter
+    def free_offset(self, value: int) -> None:
+        struct.pack_into("<H", self.data, 2, value)
+
+    @property
+    def kind(self) -> int:
+        return self.data[4]
+
+    # -- slots ------------------------------------------------------------
+
+    def _slot_at(self, slot: int) -> tuple[int, int]:
+        base = _HEADER_SIZE + _SLOT_SIZE * slot
+        return struct.unpack_from("<HH", self.data, base)
+
+    def _set_slot(self, slot: int, offset: int, length: int) -> None:
+        base = _HEADER_SIZE + _SLOT_SIZE * slot
+        struct.pack_into("<HH", self.data, base, offset, length)
+
+    def free_space(self) -> int:
+        """Bytes available for one more record plus its slot entry."""
+        directory_end = _HEADER_SIZE + _SLOT_SIZE * self.slot_count
+        return self.free_offset - directory_end - _SLOT_SIZE
+
+    def insert(self, record: bytes) -> int:
+        """Insert ``record``; returns the slot number.
+
+        Reuses a tombstoned slot entry when one exists (the record bytes
+        still go to the current free offset; page compaction reclaims the
+        dead bytes).
+        """
+        if len(record) > self.free_space():
+            raise CorruptHeapError(
+                f"insert of {len(record)} bytes into page with "
+                f"{self.free_space()} free"
+            )
+        offset = self.free_offset - len(record)
+        self.data[offset:offset + len(record)] = record
+        self.free_offset = offset
+        for slot in range(self.slot_count):
+            __, length = self._slot_at(slot)
+            if length == _TOMBSTONE:
+                self._set_slot(slot, offset, len(record))
+                return slot
+        slot = self.slot_count
+        self._set_slot(slot, offset, len(record))
+        self.slot_count = slot + 1
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        if slot >= self.slot_count:
+            raise CorruptHeapError(f"slot {slot} out of range")
+        offset, length = self._slot_at(slot)
+        if length == _TOMBSTONE:
+            raise CorruptHeapError(f"slot {slot} is deleted")
+        return bytes(self.data[offset:offset + length])
+
+    def delete(self, slot: int) -> None:
+        if slot >= self.slot_count:
+            raise CorruptHeapError(f"slot {slot} out of range")
+        offset, __ = self._slot_at(slot)
+        self._set_slot(slot, offset, _TOMBSTONE)
+
+    def live_records(self) -> list[tuple[int, bytes]]:
+        out = []
+        for slot in range(self.slot_count):
+            offset, length = self._slot_at(slot)
+            if length != _TOMBSTONE:
+                out.append((slot, bytes(self.data[offset:offset + length])))
+        return out
+
+    def compact(self) -> None:
+        """Rewrite live records contiguously at the tail, dropping dead bytes."""
+        live = [(slot, self._slot_at(slot)) for slot in range(self.slot_count)]
+        records = {slot: bytes(self.data[off:off + ln])
+                   for slot, (off, ln) in live if ln != _TOMBSTONE}
+        # Trim trailing tombstones off the directory entirely.
+        count = self.slot_count
+        while count and self._slot_at(count - 1)[1] == _TOMBSTONE \
+                and (count - 1) not in records:
+            count -= 1
+        self.slot_count = count
+        offset = PAGE_SIZE
+        for slot in range(count):
+            if slot in records:
+                raw = records[slot]
+                offset -= len(raw)
+                self.data[offset:offset + len(raw)] = raw
+                self._set_slot(slot, offset, len(raw))
+            else:
+                self._set_slot(slot, 0, _TOMBSTONE)
+        self.free_offset = offset
+
+
+class HeapFile:
+    """A file of pages with insert/read/delete of variable-length records."""
+
+    def __init__(self, path: str):
+        self._path = path
+        exists = os.path.exists(path)
+        self._file = open(path, "r+b" if exists else "w+b")
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        if size % PAGE_SIZE:
+            raise CorruptHeapError(
+                f"heap file {path} size {size} is not a multiple of the "
+                f"page size {PAGE_SIZE}"
+            )
+        self._page_count = size // PAGE_SIZE
+        self._cache: dict[int, _Page] = {}
+        self._dirty: set[int] = set()
+        # Pages that may still have room; validated lazily on insert.
+        self._spacious: set[int] = set(range(self._page_count))
+
+    # -- page plumbing ----------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return self._page_count
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def _load_page(self, page_no: int) -> _Page:
+        if page_no in self._cache:
+            return self._cache[page_no]
+        if page_no >= self._page_count:
+            raise CorruptHeapError(f"page {page_no} beyond end of heap")
+        self._file.seek(page_no * PAGE_SIZE)
+        raw = self._file.read(PAGE_SIZE)
+        if len(raw) != PAGE_SIZE:
+            raise CorruptHeapError(f"short read on page {page_no}")
+        page = _Page(bytearray(raw))
+        self._cache[page_no] = page
+        return page
+
+    def _new_page(self, kind: int = PAGE_SLOTTED) -> tuple[int, _Page]:
+        page = _Page()
+        page.data[4] = kind
+        page_no = self._page_count
+        self._page_count += 1
+        self._cache[page_no] = page
+        self._dirty.add(page_no)
+        return page_no, page
+
+    def _mark_dirty(self, page_no: int) -> None:
+        self._dirty.add(page_no)
+
+    # -- record operations ------------------------------------------------
+
+    def insert(self, record: bytes) -> RecordId:
+        """Store ``record`` and return its address."""
+        if len(record) > MAX_INLINE_RECORD:
+            return self._insert_overflow(record)
+        exhausted = []
+        chosen = None
+        for page_no in sorted(self._spacious):
+            page = self._load_page(page_no)
+            if page.kind != PAGE_SLOTTED:
+                exhausted.append(page_no)
+                continue
+            if len(record) <= page.free_space():
+                chosen = page_no
+                break
+            if page.free_space() < 64:
+                exhausted.append(page_no)
+        for page_no in exhausted:
+            self._spacious.discard(page_no)
+        if chosen is None:
+            chosen, page = self._new_page()
+            self._spacious.add(chosen)
+        else:
+            page = self._load_page(chosen)
+        slot = page.insert(record)
+        self._mark_dirty(chosen)
+        return RecordId(chosen, slot)
+
+    def _insert_overflow(self, record: bytes) -> RecordId:
+        chunks = [record[i:i + _OVERFLOW_CAPACITY]
+                  for i in range(0, len(record), _OVERFLOW_CAPACITY)]
+        page_nos = [self._new_page(PAGE_OVERFLOW_HEAD if i == 0
+                                   else PAGE_OVERFLOW_CONT)[0]
+                    for i in range(len(chunks))]
+        for i, (page_no, chunk) in enumerate(zip(page_nos, chunks)):
+            page = self._cache[page_no]
+            next_page = page_nos[i + 1] if i + 1 < len(page_nos) else 0
+            struct.pack_into("<H", page.data, 0, len(chunk))
+            struct.pack_into("<I", page.data, 8, len(record) if i == 0 else 0)
+            struct.pack_into("<I", page.data, 12, next_page)
+            page.data[_OVERFLOW_DATA_START:
+                      _OVERFLOW_DATA_START + len(chunk)] = chunk
+            self._mark_dirty(page_no)
+        return RecordId(page_nos[0], 0)
+
+    def read(self, rid: RecordId) -> bytes:
+        page = self._load_page(rid.page_no)
+        if page.kind == PAGE_SLOTTED:
+            return page.read(rid.slot)
+        if page.kind == PAGE_OVERFLOW_HEAD:
+            return self._read_overflow(rid.page_no)
+        raise CorruptHeapError(
+            f"record id {rid} addresses an overflow continuation page"
+        )
+
+    def _read_overflow(self, head_page_no: int) -> bytes:
+        page = self._load_page(head_page_no)
+        if page.kind != PAGE_OVERFLOW_HEAD:
+            raise CorruptHeapError(f"page {head_page_no} is not an overflow head")
+        total = struct.unpack_from("<I", page.data, 8)[0]
+        chunk_len = struct.unpack_from("<H", page.data, 0)[0]
+        next_page = struct.unpack_from("<I", page.data, 12)[0]
+        out = bytearray(page.data[_OVERFLOW_DATA_START:
+                                  _OVERFLOW_DATA_START + chunk_len])
+        while len(out) < total:
+            if next_page == 0:
+                raise CorruptHeapError("overflow chain truncated")
+            cont = self._load_page(next_page)
+            if cont.kind != PAGE_OVERFLOW_CONT:
+                raise CorruptHeapError(
+                    f"page {next_page} is not an overflow continuation"
+                )
+            chunk_len = struct.unpack_from("<H", cont.data, 0)[0]
+            next_page = struct.unpack_from("<I", cont.data, 12)[0]
+            out.extend(cont.data[_OVERFLOW_DATA_START:
+                                 _OVERFLOW_DATA_START + chunk_len])
+        return bytes(out[:total])
+
+    def delete(self, rid: RecordId) -> None:
+        page = self._load_page(rid.page_no)
+        if page.kind == PAGE_SLOTTED:
+            page.delete(rid.slot)
+            self._mark_dirty(rid.page_no)
+            self._spacious.add(rid.page_no)
+            return
+        if page.kind != PAGE_OVERFLOW_HEAD:
+            raise CorruptHeapError(
+                f"record id {rid} addresses an overflow continuation page"
+            )
+        # Turn the whole chain into empty slotted pages, reusable for
+        # future inserts.
+        next_page = struct.unpack_from("<I", page.data, 12)[0]
+        self._reset_page(rid.page_no)
+        while next_page:
+            cont = self._load_page(next_page)
+            link = struct.unpack_from("<I", cont.data, 12)[0]
+            self._reset_page(next_page)
+            next_page = link
+
+    def _reset_page(self, page_no: int) -> None:
+        page = _Page()
+        self._cache[page_no] = page
+        self._dirty.add(page_no)
+        self._spacious.add(page_no)
+
+    def compact_page(self, page_no: int) -> None:
+        """Reclaim dead bytes on one slotted page."""
+        page = self._load_page(page_no)
+        if page.kind == PAGE_SLOTTED:
+            page.compact()
+            self._mark_dirty(page_no)
+            self._spacious.add(page_no)
+
+    # -- fragmentation ------------------------------------------------------
+
+    def dead_bytes_on(self, page_no: int) -> int:
+        """Bytes held by tombstoned records on one slotted page."""
+        page = self._load_page(page_no)
+        if page.kind != PAGE_SLOTTED:
+            return 0
+        live = sum(len(record) for __, record in page.live_records())
+        used = PAGE_SIZE - page.free_offset
+        return max(0, used - live)
+
+    def fragmentation(self) -> tuple[int, int]:
+        """``(dead_bytes, total_bytes)`` across all slotted pages."""
+        dead = 0
+        total = 0
+        for page_no in range(self._page_count):
+            page = self._load_page(page_no)
+            if page.kind == PAGE_SLOTTED:
+                dead += self.dead_bytes_on(page_no)
+                total += PAGE_SIZE
+        return dead, total
+
+    def compact_fragmented(self, threshold: float = 0.25) -> int:
+        """Compact every slotted page whose dead fraction exceeds
+        ``threshold``; returns the number of pages compacted.
+
+        Called by the store after garbage collection, so space freed by
+        collected records becomes reusable without growing the file.
+        """
+        compacted = 0
+        for page_no in range(self._page_count):
+            if self.dead_bytes_on(page_no) > PAGE_SIZE * threshold:
+                self.compact_page(page_no)
+                compacted += 1
+        return compacted
+
+    # -- durability -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Write all dirty pages and fsync the file."""
+        for page_no in sorted(self._dirty):
+            self._file.seek(page_no * PAGE_SIZE)
+            self._file.write(self._cache[page_no].data)
+        self._dirty.clear()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self.flush()
+            self._file.close()
+
+    def __enter__(self) -> "HeapFile":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

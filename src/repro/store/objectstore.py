@@ -1,0 +1,605 @@
+"""The orthogonally persistent object store.
+
+This is the PJama analogue: "a persistent store with root(s), reachability
+and referential integrity" (paper, Section 1).  Key behaviours:
+
+* **Roots** — named entry points (:meth:`ObjectStore.set_root`).
+* **Persistence by reachability** — :meth:`stabilize` makes durable exactly
+  the storable nodes reachable from the roots by strong edges; no explicit
+  "save this object" calls are needed for interior objects.
+* **Referential integrity** — stored objects refer to each other by OID,
+  OIDs are never reused, and garbage collection only frees what is
+  unreachable, so a stored reference always resolves.
+* **Identity** — fetching an OID twice returns the same live object
+  (:class:`~repro.store.cache.IdentityMap`).
+* **Typed fidelity** — instances are rebuilt from their *registered* class
+  after a schema-fingerprint check (:mod:`repro.store.registry`).
+* **Weak references** — :class:`~repro.store.weakrefs.PersistentWeakRef`
+  edges do not make their target reachable; the collector clears dead ones
+  (paper Figure 7).
+* **Crash safety** — stabilisation is atomic through the write-ahead log
+  (:mod:`repro.store.wal`).
+
+The store lives in a directory holding ``store.heap``, ``store.wal`` and
+``store.meta``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from typing import Any, Callable, Iterable, Optional
+
+from repro.errors import (
+    StoreClosedError,
+    UnknownOidError,
+    UnknownRootError,
+)
+from repro.store.cache import IdentityMap
+from repro.store.heap import HeapFile, RecordId
+from repro.store.oids import NULL_OID, Oid, OidAllocator
+from repro.store.registry import ClassRegistry, default_registry
+from repro.store.serializer import (
+    KIND_WEAKREF,
+    Record,
+    Ref,
+    Serializer,
+)
+from repro.store.wal import (
+    ENTRY_BEGIN,
+    ENTRY_DELETE,
+    ENTRY_NEXT_OID,
+    ENTRY_ROOT,
+    ENTRY_UNROOT,
+    ENTRY_WRITE,
+    LogEntry,
+    WriteAheadLog,
+)
+from repro.store.weakrefs import PersistentWeakRef
+
+_HEAP_NAME = "store.heap"
+_WAL_NAME = "store.wal"
+_META_NAME = "store.meta"
+
+
+def record_refs(record: Record, include_weak: bool = True) -> list[Oid]:
+    """All OIDs referenced by a record (optionally excluding weak edges)."""
+    if record.kind == KIND_WEAKREF:
+        if include_weak and isinstance(record.payload, Ref):
+            return [record.payload.oid]
+        return []
+    refs: list[Oid] = []
+
+    def visit(value: Any) -> None:
+        if isinstance(value, Ref):
+            refs.append(value.oid)
+        elif type(value) is tuple or type(value) is frozenset:
+            for item in value:
+                visit(item)
+
+    payload = record.payload
+    if isinstance(payload, dict):
+        for value in payload.values():
+            visit(value)
+    elif isinstance(payload, list):
+        # List/set records hold values; dict records hold (key, value)
+        # tuples — visit() recurses into tuples either way.
+        for item in payload:
+            visit(item)
+    return refs
+
+
+class StoreStatistics:
+    """A point-in-time summary of store contents (used by the browser)."""
+
+    def __init__(self, object_count: int, root_count: int, live_count: int,
+                 heap_pages: int, next_oid: int):
+        self.object_count = object_count
+        self.root_count = root_count
+        self.live_count = live_count
+        self.heap_pages = heap_pages
+        self.next_oid = next_oid
+
+    def __repr__(self) -> str:
+        return (f"StoreStatistics(objects={self.object_count}, "
+                f"roots={self.root_count}, live={self.live_count}, "
+                f"pages={self.heap_pages}, next_oid={self.next_oid})")
+
+
+class ObjectStore:
+    """An orthogonally persistent object store over a directory."""
+
+    def __init__(self, directory: str,
+                 registry: ClassRegistry | None = None):
+        self._directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.registry = registry if registry is not None else default_registry
+        self._serializer = Serializer(self.registry)
+        self._heap = HeapFile(os.path.join(directory, _HEAP_NAME))
+        self._wal = WriteAheadLog(os.path.join(directory, _WAL_NAME))
+        self._identity = IdentityMap()
+        self._allocator = OidAllocator()
+        self._roots: dict[str, Oid] = {}
+        self._table: dict[Oid, RecordId] = {}
+        self._stored_sig: dict[Oid, tuple[int, int]] = {}  # oid -> (len, crc)
+        self._txn_counter = 0
+        self._active_txn = None
+        self._closed = False
+        self._load_metadata()
+        self._recover()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, directory: str,
+             registry: ClassRegistry | None = None) -> "ObjectStore":
+        """Open (creating if necessary) the store in ``directory``."""
+        return cls(directory, registry)
+
+    def close(self) -> None:
+        """Flush and close; the store object is unusable afterwards."""
+        if self._closed:
+            return
+        self._heap.close()
+        self._wal.close()
+        self._closed = True
+
+    def __enter__(self) -> "ObjectStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def directory(self) -> str:
+        return self._directory
+
+    @property
+    def is_closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("the store has been closed")
+
+    # ------------------------------------------------------------------
+    # metadata snapshot
+    # ------------------------------------------------------------------
+
+    def _meta_path(self) -> str:
+        return os.path.join(self._directory, _META_NAME)
+
+    def _load_metadata(self) -> None:
+        path = self._meta_path()
+        if not os.path.exists(path):
+            return
+        with open(path, "r", encoding="utf-8") as fh:
+            meta = json.load(fh)
+        self._allocator.advance_to(meta["next_oid"])
+        self._roots = {name: Oid(oid) for name, oid in meta["roots"].items()}
+        self._table = {Oid(int(oid)): RecordId(rid[0], rid[1])
+                       for oid, rid in meta["objects"].items()}
+        self._stored_sig = {Oid(int(oid)): (sig[0], sig[1])
+                            for oid, sig in meta.get("signatures", {}).items()}
+
+    def _write_metadata(self) -> None:
+        meta = {
+            "format": 1,
+            "next_oid": int(self._allocator.next_oid),
+            "roots": {name: int(oid) for name, oid in self._roots.items()},
+            "objects": {str(int(oid)): [rid.page_no, rid.slot]
+                        for oid, rid in self._table.items()},
+            "signatures": {str(int(oid)): [sig[0], sig[1]]
+                           for oid, sig in self._stored_sig.items()},
+        }
+        path = self._meta_path()
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay committed WAL batches over the metadata snapshot."""
+        batches = self._wal.committed_batches()
+        if not batches:
+            self._wal.truncate()
+            return
+        for batch in batches:
+            for entry in batch:
+                if entry.kind == ENTRY_WRITE:
+                    self._apply_write(entry.oid, entry.data)
+                elif entry.kind == ENTRY_DELETE:
+                    self._apply_delete(entry.oid)
+                elif entry.kind == ENTRY_ROOT:
+                    self._roots[entry.name] = entry.oid
+                elif entry.kind == ENTRY_UNROOT:
+                    self._roots.pop(entry.name, None)
+                elif entry.kind == ENTRY_NEXT_OID:
+                    self._allocator.advance_to(int(entry.oid))
+        self._heap.flush()
+        self._write_metadata()
+        self._wal.truncate()
+
+    def _apply_write(self, oid: Oid, record_bytes: bytes) -> None:
+        old = self._table.pop(oid, None)
+        if old is not None:
+            self._heap.delete(old)
+        self._table[oid] = self._heap.insert(record_bytes)
+        self._stored_sig[oid] = (len(record_bytes), zlib.crc32(record_bytes))
+
+    def _apply_delete(self, oid: Oid) -> None:
+        rid = self._table.pop(oid, None)
+        if rid is not None:
+            self._heap.delete(rid)
+        self._stored_sig.pop(oid, None)
+
+    # ------------------------------------------------------------------
+    # roots
+    # ------------------------------------------------------------------
+
+    def set_root(self, name: str, obj: Any) -> Oid:
+        """Bind ``obj`` as the persistent root called ``name``.
+
+        The binding becomes durable at the next :meth:`stabilize`.
+        """
+        self._check_open()
+        oid = self._ensure_oid(obj)
+        self._roots[name] = oid
+        return oid
+
+    def get_root(self, name: str) -> Any:
+        """The object bound to root ``name`` (fetched if not yet live)."""
+        self._check_open()
+        try:
+            oid = self._roots[name]
+        except KeyError:
+            raise UnknownRootError(name) from None
+        return self.object_for(oid)
+
+    def delete_root(self, name: str) -> None:
+        """Unbind a root; its objects survive until garbage collection."""
+        self._check_open()
+        if name not in self._roots:
+            raise UnknownRootError(name)
+        del self._roots[name]
+
+    def has_root(self, name: str) -> bool:
+        return name in self._roots
+
+    def root_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._roots))
+
+    def root_oid(self, name: str) -> Oid:
+        try:
+            return self._roots[name]
+        except KeyError:
+            raise UnknownRootError(name) from None
+
+    # ------------------------------------------------------------------
+    # identity / oids
+    # ------------------------------------------------------------------
+
+    def oid_of(self, obj: Any) -> Optional[Oid]:
+        """The OID of a live object, or ``None`` if it has none yet."""
+        return self._identity.oid_for(obj)
+
+    def _ensure_oid(self, obj: Any) -> Oid:
+        oid = self._identity.oid_for(obj)
+        if oid is None:
+            if type(obj) is not PersistentWeakRef:
+                # Validate up front that the object is storable at all, so
+                # errors surface at set_root time rather than at stabilise.
+                self._serializer.references_of(obj)
+            oid = self._allocator.allocate()
+            self._identity.add(oid, obj)
+        return oid
+
+    def is_stored(self, oid: Oid) -> bool:
+        return oid in self._table
+
+    def stored_oids(self) -> tuple[Oid, ...]:
+        return tuple(sorted(self._table))
+
+    # ------------------------------------------------------------------
+    # fetch
+    # ------------------------------------------------------------------
+
+    def object_for(self, oid: Oid) -> Any:
+        """Materialise (or return the live) object named by ``oid``.
+
+        Fetch is closure-based: the whole subgraph below ``oid`` that is
+        not yet live is decoded in two phases (shells, then fills), so
+        shared structure and cycles come back exactly as stored.
+        """
+        self._check_open()
+        live = self._identity.object_for(oid)
+        if live is not None:
+            return live
+        if oid not in self._table:
+            raise UnknownOidError(int(oid))
+        # Phase 0: find every record needed that is not already live.
+        needed: dict[Oid, Record] = {}
+        worklist = [oid]
+        while worklist:
+            current = worklist.pop()
+            if current in needed or current in self._identity:
+                continue
+            record = self._read_record(current)
+            needed[current] = record
+            for ref in record_refs(record, include_weak=True):
+                if ref not in needed and ref not in self._identity:
+                    if ref not in self._table:
+                        raise UnknownOidError(
+                            f"stored object {int(current)} references "
+                            f"missing oid {int(ref)}"
+                        )
+                    worklist.append(ref)
+        # Phase 1: shells.
+        for record_oid, record in needed.items():
+            shell = self._serializer.make_shell(record)
+            self._identity.add(record_oid, shell)
+        # Phase 2: fill.
+        for record_oid, record in needed.items():
+            shell = self._identity.object_for(record_oid)
+            self._serializer.fill_shell(shell, record, self._resolve)
+        return self._identity.object_for(oid)
+
+    def _resolve(self, oid: Oid) -> Any:
+        obj = self._identity.object_for(oid)
+        if obj is None:
+            raise UnknownOidError(int(oid))
+        return obj
+
+    def _read_record(self, oid: Oid) -> Record:
+        rid = self._table[oid]
+        return Record.from_bytes(self._heap.read(rid))
+
+    def refresh(self, obj: Any) -> Any:
+        """Discard in-memory state of ``obj``'s OID and re-fetch from disk."""
+        self._check_open()
+        oid = self._identity.oid_for(obj)
+        if oid is None or oid not in self._table:
+            raise UnknownOidError("object is not stored")
+        self._identity.evict(oid)
+        return self.object_for(oid)
+
+    def evict_all(self) -> None:
+        """Drop every live object; subsequent fetches re-read from disk.
+
+        Used by transaction abort: live objects mutated inside the aborted
+        transaction become unreachable through the store, and fresh fetches
+        observe the last stabilised state.
+        """
+        self._identity.clear()
+
+    # ------------------------------------------------------------------
+    # stabilisation (checkpoint)
+    # ------------------------------------------------------------------
+
+    def stabilize(self) -> int:
+        """Make the state reachable from the roots durable; returns the
+        number of records written.
+
+        This is PJama's ``stabilizeAll``: persistence by reachability.  The
+        live graph is walked from the root objects along strong edges; new
+        and modified nodes are written through the WAL, then checkpointed
+        into the heap and metadata snapshot.
+        """
+        self._check_open()
+        reachable, records = self._flatten_from_roots()
+        changed: list[tuple[Oid, bytes]] = []
+        for oid, record in records.items():
+            raw = record.to_bytes()
+            sig = (len(raw), zlib.crc32(raw))
+            if self._stored_sig.get(oid) != sig:
+                changed.append((oid, raw))
+        self._txn_counter += 1
+        txn = self._txn_counter
+        self._wal.append(LogEntry(ENTRY_BEGIN, txn))
+        for oid, raw in changed:
+            self._wal.append(LogEntry(ENTRY_WRITE, txn, oid, raw))
+        for name, oid in self._roots.items():
+            self._wal.append(LogEntry(ENTRY_ROOT, txn, oid, b"", name))
+        self._wal.append(LogEntry(ENTRY_NEXT_OID, txn,
+                                  Oid(int(self._allocator.next_oid))))
+        self._wal.commit(txn)
+        for oid, raw in changed:
+            self._apply_write(oid, raw)
+        self._heap.flush()
+        self._write_metadata()
+        self._wal.truncate()
+        return len(changed)
+
+    def _flatten_from_roots(self) -> tuple[set[Oid], dict[Oid, Record]]:
+        """Walk the live graph from the roots; returns (reachable-oids,
+        records-for-live-reachable-nodes).
+
+        Roots that are not live (never fetched this session) contribute
+        their *stored* subgraph to the reachable set without being decoded.
+        """
+        records: dict[Oid, Record] = {}
+        reachable: set[Oid] = set()
+        live_worklist: list[Any] = []
+        stored_worklist: list[Oid] = []
+
+        for oid in self._roots.values():
+            obj = self._identity.object_for(oid)
+            if obj is not None:
+                live_worklist.append(obj)
+            else:
+                stored_worklist.append(oid)
+
+        seen_ids: set[int] = set()
+        weakrefs: list[tuple[Oid, PersistentWeakRef]] = []
+
+        def walk_live(start: Any) -> None:
+            pending = [start]
+            while pending:
+                obj = pending.pop()
+                if id(obj) in seen_ids:
+                    continue
+                seen_ids.add(id(obj))
+                oid = self._ensure_oid(obj)
+                reachable.add(oid)
+                if isinstance(obj, PersistentWeakRef):
+                    weakrefs.append((oid, obj))
+                    continue
+                pending.extend(self._serializer.references_of(obj))
+                records[oid] = self._serializer.encode_object(
+                    oid, obj, self._ensure_oid
+                )
+
+        while live_worklist:
+            walk_live(live_worklist.pop())
+
+        # Weak references never pull their target into persistence: the
+        # stored edge points at the target only if it is independently
+        # persistent (already stored or strongly reachable this round).
+        for oid, weakref in weakrefs:
+            target = weakref.get()
+            target_oid = None
+            if target is not None:
+                candidate = self._identity.oid_for(target)
+                if candidate is not None and (candidate in reachable
+                                              or candidate in self._table):
+                    target_oid = candidate
+            payload = Ref(target_oid) if target_oid is not None else None
+            records[oid] = Record(oid, KIND_WEAKREF, "", "", payload)
+
+        # Stored-only roots: mark their stored closure reachable.  If the
+        # walk reaches an OID whose object *is* live (fetched and possibly
+        # mutated), switch back to the live walk so its current state is
+        # re-encoded — otherwise mutations behind a never-fetched root
+        # would silently miss the checkpoint.
+        seen_stored: set[Oid] = set()
+        while stored_worklist:
+            oid = stored_worklist.pop()
+            if oid in seen_stored or oid in reachable:
+                continue
+            live = self._identity.object_for(oid)
+            if live is not None:
+                walk_live(live)
+                continue
+            seen_stored.add(oid)
+            reachable.add(oid)
+            if oid in self._table:
+                for ref in record_refs(self._read_record(oid),
+                                       include_weak=False):
+                    stored_worklist.append(ref)
+        return reachable, records
+
+    # ------------------------------------------------------------------
+    # garbage collection
+    # ------------------------------------------------------------------
+
+    def collect_garbage(self) -> int:
+        """Disk garbage collection: free stored objects unreachable from the
+        roots along strong edges, and clear weak references to them.
+
+        Returns the number of freed objects.  Mirrors the paper's Figure 7
+        requirement: hyper-programs held only through weak references become
+        collectable once no strong user references remain.
+        """
+        self._check_open()
+        # Bring the durable state up to date first, so the mark phase can
+        # run purely over stored records: collecting against a stale disk
+        # image could free objects the durable graph still references.
+        self.stabilize()
+        marked: set[Oid] = set()
+        worklist: list[Oid] = list(self._roots.values())
+        while worklist:
+            oid = worklist.pop()
+            if oid in marked:
+                continue
+            marked.add(oid)
+            if oid in self._table:
+                for ref in record_refs(self._read_record(oid),
+                                       include_weak=False):
+                    if ref not in marked:
+                        worklist.append(ref)
+
+        victims = [oid for oid in self._table if oid not in marked]
+        for oid in victims:
+            self._apply_delete(oid)
+            self._identity.evict(oid)
+        # Reclaim page space the deletions left behind.
+        self._heap.compact_fragmented()
+        # Clear stored weak references whose targets were freed.
+        freed = set(victims)
+        for oid in list(self._table):
+            record = self._read_record(oid)
+            if record.kind == KIND_WEAKREF and isinstance(record.payload, Ref):
+                if record.payload.oid in freed or \
+                        record.payload.oid not in self._table:
+                    cleared = Record(oid, KIND_WEAKREF, "", "", None)
+                    self._apply_write(oid, cleared.to_bytes())
+                    live = self._identity.object_for(oid)
+                    if isinstance(live, PersistentWeakRef):
+                        live.clear()
+        # Clear live weak references pointing at freed objects.
+        for oid, obj in self._identity.items():
+            if isinstance(obj, PersistentWeakRef) and obj.get() is not None:
+                target_oid = self._identity.oid_for(obj.get())
+                if target_oid is not None and target_oid in freed:
+                    obj.clear()
+        self._heap.flush()
+        self._write_metadata()
+        return len(victims)
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def transaction(self) -> "Transaction":
+        """A commit-on-success / revert-on-failure scope around mutations.
+
+        See :class:`repro.store.transactions.Transaction`.
+        """
+        from repro.store.transactions import Transaction
+        return Transaction(self)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def statistics(self) -> StoreStatistics:
+        return StoreStatistics(
+            object_count=len(self._table),
+            root_count=len(self._roots),
+            live_count=len(self._identity),
+            heap_pages=self._heap.page_count,
+            next_oid=int(self._allocator.next_oid),
+        )
+
+    def stored_record(self, oid: Oid) -> Record:
+        """The stored record for an OID (browser / debugging use)."""
+        self._check_open()
+        if oid not in self._table:
+            raise UnknownOidError(int(oid))
+        return self._read_record(oid)
+
+    def verify_referential_integrity(self) -> list[str]:
+        """Check that every stored reference resolves; returns problems found
+        (empty list means the store is sound)."""
+        problems: list[str] = []
+        for oid in self._table:
+            record = self._read_record(oid)
+            for ref in record_refs(record, include_weak=True):
+                if ref not in self._table:
+                    problems.append(
+                        f"oid {int(oid)} references missing oid {int(ref)}"
+                    )
+        for name, oid in self._roots.items():
+            if oid not in self._table and \
+                    self._identity.object_for(oid) is None:
+                problems.append(f"root {name!r} names missing oid {int(oid)}")
+        return problems

@@ -1,0 +1,56 @@
+"""Object identifiers.
+
+Every persistent object is named by a small integer *OID*.  OIDs are the
+unit of referential integrity: stored objects refer to each other by OID,
+and the store guarantees that any OID reachable from a stored object
+resolves to a record (see :mod:`repro.store.objectstore`).
+"""
+
+from __future__ import annotations
+
+from typing import NewType
+
+Oid = NewType("Oid", int)
+
+#: OID 0 is reserved as the "null" reference; real objects start at 1.
+NULL_OID: Oid = Oid(0)
+
+#: The first OID handed out by a fresh allocator.
+FIRST_OID: Oid = Oid(1)
+
+
+class OidAllocator:
+    """Monotonic allocator of fresh OIDs.
+
+    The allocator never reuses an OID, even after the object it named is
+    garbage collected — reuse would let a stale reference silently resolve
+    to an unrelated object, breaking identity.
+    """
+
+    def __init__(self, next_oid: int = FIRST_OID):
+        if next_oid < FIRST_OID:
+            raise ValueError(f"next_oid must be >= {FIRST_OID}, got {next_oid}")
+        self._next = int(next_oid)
+
+    def allocate(self) -> Oid:
+        """Return a fresh, never-before-issued OID."""
+        oid = Oid(self._next)
+        self._next += 1
+        return oid
+
+    @property
+    def next_oid(self) -> Oid:
+        """The OID that the next :meth:`allocate` call will return."""
+        return Oid(self._next)
+
+    def advance_to(self, next_oid: int) -> None:
+        """Move the allocation cursor forward (used by recovery).
+
+        The cursor never moves backwards: recovering an old snapshot must
+        not resurrect OIDs issued after the snapshot was taken.
+        """
+        if next_oid > self._next:
+            self._next = int(next_oid)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OidAllocator(next={self._next})"

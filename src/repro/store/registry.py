@@ -1,0 +1,198 @@
+"""Class registry — typed-object fidelity for the persistent store.
+
+PJama stores Java objects together with their classes, so a fetched object
+is always an instance of the *same* class it was stored as.  A naive Python
+port built on pickle loses that guarantee: pickle looks classes up by import
+path at load time, silently binds to whatever is there, and performs no
+schema check.  The registry restores the PJama behaviour:
+
+* every persistent class is registered under a stable *qualified name*;
+* registration computes a *schema fingerprint* over the class's declared
+  persistent fields;
+* on fetch, the stored fingerprint is compared with the live class's
+  fingerprint and a :class:`~repro.errors.SchemaMismatchError` is raised on
+  drift (unless an evolution step has installed a converter — see
+  :mod:`repro.evolve.evolution`).
+
+Persistent fields are declared either with ``__slots__``, with class-level
+type annotations, or implicitly by whatever attributes instances carry at
+store time (in declaration-independent alphabetical order).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Iterable
+
+from repro.errors import ClassNotRegisteredError, SchemaMismatchError
+
+
+def qualified_name(cls: type) -> str:
+    """The stable name a class is registered under: ``module.QualName``."""
+    return f"{cls.__module__}.{cls.__qualname__}"
+
+
+def declared_fields(cls: type) -> tuple[str, ...]:
+    """The persistent fields a class declares, in a stable order.
+
+    ``__slots__`` wins if present (in declaration order, including inherited
+    slots, base classes first); otherwise class-level annotations are used
+    (again base-first declaration order); otherwise the class declares no
+    fixed schema and instances are stored with their live ``__dict__`` keys.
+    """
+    slots: list[str] = []
+    annotations: list[str] = []
+    for klass in reversed(cls.__mro__):
+        raw_slots = klass.__dict__.get("__slots__")
+        if raw_slots is not None:
+            if isinstance(raw_slots, str):
+                raw_slots = (raw_slots,)
+            slots.extend(name for name in raw_slots if name not in slots)
+        for name in klass.__dict__.get("__annotations__", {}):
+            if not name.startswith("_") and name not in annotations:
+                annotations.append(name)
+    if slots:
+        return tuple(slots)
+    return tuple(annotations)
+
+
+def schema_fingerprint(cls: type, fields: Iterable[str] | None = None) -> str:
+    """A short hash identifying a class's persistent schema.
+
+    The fingerprint covers the qualified name and the declared field list.
+    It deliberately ignores method bodies: adding behaviour is not a schema
+    change, but renaming/removing a field is.
+    """
+    if fields is None:
+        fields = declared_fields(cls)
+    payload = qualified_name(cls) + "(" + ",".join(fields) + ")"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+class RegisteredClass:
+    """Registry entry for one persistent class."""
+
+    __slots__ = ("cls", "name", "fields", "fingerprint", "converters")
+
+    def __init__(self, cls: type):
+        self.cls = cls
+        self.name = qualified_name(cls)
+        self.fields = declared_fields(cls)
+        self.fingerprint = schema_fingerprint(cls, self.fields)
+        #: old-fingerprint -> converter(dict-of-old-fields) -> dict-of-new-fields
+        self.converters: dict[str, Callable[[dict[str, Any]], dict[str, Any]]] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegisteredClass({self.name}, fields={self.fields})"
+
+
+class ClassRegistry:
+    """Maps qualified class names to :class:`RegisteredClass` entries."""
+
+    def __init__(self) -> None:
+        self._by_name: dict[str, RegisteredClass] = {}
+        self._by_class: dict[type, RegisteredClass] = {}
+
+    # -- registration -------------------------------------------------
+
+    def register(self, cls: type) -> RegisteredClass:
+        """Register ``cls`` (idempotent) and return its entry.
+
+        Re-registering the *same* class object refreshes the entry, which
+        picks up schema changes made by evolution.  Registering a different
+        class under an already-used name replaces the binding — this is how
+        an evolved class supersedes its predecessor.
+        """
+        entry = RegisteredClass(cls)
+        previous = self._by_name.get(entry.name)
+        if previous is not None and previous.cls is not cls:
+            # Carry converters across an evolution re-registration, and keep
+            # accepting objects stored under the superseded fingerprint if
+            # the field lists still agree.
+            entry.converters.update(previous.converters)
+            self._by_class.pop(previous.cls, None)
+        self._by_name[entry.name] = entry
+        self._by_class[cls] = entry
+        return entry
+
+    def register_converter(self, cls: type, old_fingerprint: str,
+                           converter: Callable[[dict[str, Any]], dict[str, Any]]) -> None:
+        """Install a converter mapping old-schema field dicts to the new schema."""
+        self.entry_for_class(cls).converters[old_fingerprint] = converter
+
+    # -- lookup ---------------------------------------------------------
+
+    def is_registered(self, cls: type) -> bool:
+        return cls in self._by_class
+
+    def entry_for_class(self, cls: type) -> RegisteredClass:
+        try:
+            return self._by_class[cls]
+        except KeyError:
+            raise ClassNotRegisteredError(
+                f"class {qualified_name(cls)} is not registered; decorate it "
+                f"with @persistent or call registry.register()"
+            ) from None
+
+    def entry_for_name(self, name: str) -> RegisteredClass:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ClassNotRegisteredError(
+                f"no class registered under {name!r}; register it before "
+                f"fetching objects stored as that class"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._by_name))
+
+    # -- schema checking ------------------------------------------------
+
+    def check_fingerprint(self, name: str, stored_fingerprint: str) -> RegisteredClass:
+        """Validate a stored object's schema against the live class.
+
+        Returns the entry when the fingerprints match or a converter is
+        available for the stored fingerprint; raises
+        :class:`SchemaMismatchError` otherwise.
+        """
+        entry = self.entry_for_name(name)
+        if stored_fingerprint == entry.fingerprint:
+            return entry
+        if stored_fingerprint in entry.converters:
+            return entry
+        raise SchemaMismatchError(
+            f"object stored as {name} with schema {stored_fingerprint} does "
+            f"not match the live class (schema {entry.fingerprint}); run an "
+            f"evolution step or register a converter"
+        )
+
+
+#: The default registry used by stores that are not handed an explicit one.
+default_registry = ClassRegistry()
+
+
+def persistent(cls: type | None = None, *,
+               registry: ClassRegistry | None = None):
+    """Class decorator marking a class as persistent.
+
+    Usage::
+
+        @persistent
+        class Person:
+            name: str
+            spouse: "Person | None"
+
+    or with an explicit registry::
+
+        @persistent(registry=my_registry)
+        class Person: ...
+    """
+    target = registry if registry is not None else default_registry
+
+    def decorate(klass: type) -> type:
+        target.register(klass)
+        return klass
+
+    if cls is None:
+        return decorate
+    return decorate(cls)

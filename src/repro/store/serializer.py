@@ -1,0 +1,536 @@
+"""Typed, identity-preserving serialisation.
+
+The store does not use pickle: pickle re-imports classes by path without a
+schema check and flattens away the distinction between *references* and
+*values*, losing exactly the typed-object fidelity PJama provides and
+hyper-links require.  This module defines a small binary record format with
+explicit type tags in which:
+
+* every *storable node* (registered instance, ``list``, ``dict``, ``set``,
+  ``bytearray``, :class:`~repro.store.weakrefs.PersistentWeakRef`) becomes
+  one :class:`Record` named by an OID, and inter-node edges are stored as
+  OID references — so sharing and cycles survive a round trip;
+* immutable values (``None``, ``bool``, ``int``, ``float``, ``complex``,
+  ``str``, ``bytes``, ``tuple``, ``frozenset``) are inlined with their own
+  tags — a fetched field has exactly the type it was stored with;
+* instance records carry the class's qualified name and schema fingerprint,
+  checked against the :class:`~repro.store.registry.ClassRegistry` on fetch.
+
+Decoding is two-phase so that cyclic graphs materialise correctly: first a
+*shell* object is created for each record, then fields are filled with
+references resolved through the store's identity map.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import DeserializationError, SerializationError
+from repro.store.oids import Oid
+from repro.store.registry import ClassRegistry, RegisteredClass
+
+# ---------------------------------------------------------------------------
+# Record kinds
+# ---------------------------------------------------------------------------
+
+KIND_INSTANCE = 1
+KIND_LIST = 2
+KIND_DICT = 3
+KIND_SET = 4
+KIND_BYTEARRAY = 5
+KIND_WEAKREF = 6
+
+_KIND_NAMES = {
+    KIND_INSTANCE: "instance",
+    KIND_LIST: "list",
+    KIND_DICT: "dict",
+    KIND_SET: "set",
+    KIND_BYTEARRAY: "bytearray",
+    KIND_WEAKREF: "weakref",
+}
+
+# Value tags -----------------------------------------------------------------
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_COMPLEX = b"c"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_TUPLE = b"u"
+_TAG_FROZENSET = b"z"
+_TAG_REF = b"r"
+
+
+@dataclass(frozen=True)
+class Ref:
+    """A decoded reference to another storable node."""
+
+    oid: Oid
+
+    def __repr__(self) -> str:
+        return f"Ref({self.oid})"
+
+
+# ---------------------------------------------------------------------------
+# Varint helpers
+# ---------------------------------------------------------------------------
+
+def write_uvarint(buf: bytearray, value: int) -> None:
+    """Append an unsigned LEB128 varint."""
+    if value < 0:
+        raise SerializationError(f"uvarint cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            buf.append(byte | 0x80)
+        else:
+            buf.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, pos: int) -> tuple[int, int]:
+    """Read an unsigned LEB128 varint; returns (value, new_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise DeserializationError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def write_svarint(buf: bytearray, value: int) -> None:
+    """Append a signed integer as zigzag-encoded varint (arbitrary size)."""
+    # Zigzag for arbitrary-precision ints: non-negative -> 2n, negative -> -2n-1.
+    encoded = value * 2 if value >= 0 else -value * 2 - 1
+    write_uvarint(buf, encoded)
+
+
+def read_svarint(data: bytes, pos: int) -> tuple[int, int]:
+    encoded, pos = read_uvarint(data, pos)
+    value = encoded // 2 if encoded % 2 == 0 else -(encoded + 1) // 2
+    return value, pos
+
+
+def _write_str(buf: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    write_uvarint(buf, len(raw))
+    buf.extend(raw)
+
+
+def _read_str(data: bytes, pos: int) -> tuple[str, int]:
+    length, pos = read_uvarint(data, pos)
+    end = pos + length
+    if end > len(data):
+        raise DeserializationError("truncated string")
+    return data[pos:end].decode("utf-8"), end
+
+
+# ---------------------------------------------------------------------------
+# Value encoding
+# ---------------------------------------------------------------------------
+
+def encode_value(buf: bytearray, value: Any,
+                 ref_fn: Callable[[Any], Oid]) -> None:
+    """Encode one value into ``buf``.
+
+    ``ref_fn`` is called for every storable node met inside the value; it
+    must return the node's OID (allocating one if necessary) — the store
+    supplies it during graph flattening.
+    """
+    if value is None:
+        buf.extend(_TAG_NONE)
+    elif value is True:
+        buf.extend(_TAG_TRUE)
+    elif value is False:
+        buf.extend(_TAG_FALSE)
+    elif type(value) is int:
+        buf.extend(_TAG_INT)
+        write_svarint(buf, value)
+    elif type(value) is float:
+        buf.extend(_TAG_FLOAT)
+        buf.extend(struct.pack("<d", value))
+    elif type(value) is complex:
+        buf.extend(_TAG_COMPLEX)
+        buf.extend(struct.pack("<dd", value.real, value.imag))
+    elif type(value) is str:
+        buf.extend(_TAG_STR)
+        _write_str(buf, value)
+    elif type(value) is bytes:
+        buf.extend(_TAG_BYTES)
+        write_uvarint(buf, len(value))
+        buf.extend(value)
+    elif type(value) is tuple:
+        buf.extend(_TAG_TUPLE)
+        write_uvarint(buf, len(value))
+        for item in value:
+            encode_value(buf, item, ref_fn)
+    elif type(value) is frozenset:
+        buf.extend(_TAG_FROZENSET)
+        write_uvarint(buf, len(value))
+        # Sort by encoding for a canonical order, so equal frozensets
+        # produce identical bytes.
+        encoded_items = []
+        for item in value:
+            item_buf = bytearray()
+            encode_value(item_buf, item, ref_fn)
+            encoded_items.append(bytes(item_buf))
+        for raw in sorted(encoded_items):
+            buf.extend(raw)
+    else:
+        oid = ref_fn(value)
+        buf.extend(_TAG_REF)
+        write_uvarint(buf, oid)
+
+
+def decode_value(data: bytes, pos: int) -> tuple[Any, int]:
+    """Decode one value; storable-node references come back as :class:`Ref`."""
+    if pos >= len(data):
+        raise DeserializationError("truncated value")
+    tag = data[pos:pos + 1]
+    pos += 1
+    if tag == _TAG_NONE:
+        return None, pos
+    if tag == _TAG_TRUE:
+        return True, pos
+    if tag == _TAG_FALSE:
+        return False, pos
+    if tag == _TAG_INT:
+        return read_svarint(data, pos)
+    if tag == _TAG_FLOAT:
+        if pos + 8 > len(data):
+            raise DeserializationError("truncated float")
+        return struct.unpack_from("<d", data, pos)[0], pos + 8
+    if tag == _TAG_COMPLEX:
+        if pos + 16 > len(data):
+            raise DeserializationError("truncated complex")
+        real, imag = struct.unpack_from("<dd", data, pos)
+        return complex(real, imag), pos + 16
+    if tag == _TAG_STR:
+        return _read_str(data, pos)
+    if tag == _TAG_BYTES:
+        length, pos = read_uvarint(data, pos)
+        end = pos + length
+        if end > len(data):
+            raise DeserializationError("truncated bytes")
+        return data[pos:end], end
+    if tag == _TAG_TUPLE:
+        count, pos = read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = decode_value(data, pos)
+            items.append(item)
+        return tuple(items), pos
+    if tag == _TAG_FROZENSET:
+        count, pos = read_uvarint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = decode_value(data, pos)
+            items.append(item)
+        return frozenset(items), pos
+    if tag == _TAG_REF:
+        oid, pos = read_uvarint(data, pos)
+        return Ref(Oid(oid)), pos
+    raise DeserializationError(f"unknown value tag {tag!r} at offset {pos - 1}")
+
+
+# ---------------------------------------------------------------------------
+# Records
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Record:
+    """One storable node, flattened.
+
+    ``payload`` is kind-specific *decoded structure*:
+
+    * instance — ``dict[str, value]`` of persistent fields,
+    * list/set — ``list[value]``,
+    * dict — ``list[tuple[key, value]]``,
+    * bytearray — ``bytes``,
+    * weakref — a single value (``Ref`` or ``None``).
+
+    Values may contain :class:`Ref` placeholders after decoding.
+    """
+
+    oid: Oid
+    kind: int
+    class_name: str
+    fingerprint: str
+    payload: Any
+
+    @property
+    def kind_name(self) -> str:
+        return _KIND_NAMES.get(self.kind, f"kind#{self.kind}")
+
+    # -- binary format --------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        buf = bytearray()
+        write_uvarint(buf, self.oid)
+        buf.append(self.kind)
+        _write_str(buf, self.class_name)
+        _write_str(buf, self.fingerprint)
+        body = bytearray()
+        self._encode_payload(body)
+        write_uvarint(buf, len(body))
+        buf.extend(body)
+        return bytes(buf)
+
+    def _encode_payload(self, buf: bytearray) -> None:
+        def no_refs(value: Any) -> Oid:
+            if isinstance(value, Ref):
+                return value.oid
+            raise SerializationError(
+                f"record payload for oid {self.oid} contains live object "
+                f"{value!r}; flatten through Serializer.encode_object first"
+            )
+
+        if self.kind == KIND_INSTANCE:
+            write_uvarint(buf, len(self.payload))
+            for name, value in self.payload.items():
+                _write_str(buf, name)
+                encode_value(buf, value, no_refs)
+        elif self.kind in (KIND_LIST, KIND_SET):
+            write_uvarint(buf, len(self.payload))
+            for value in self.payload:
+                encode_value(buf, value, no_refs)
+        elif self.kind == KIND_DICT:
+            write_uvarint(buf, len(self.payload))
+            for key, value in self.payload:
+                encode_value(buf, key, no_refs)
+                encode_value(buf, value, no_refs)
+        elif self.kind == KIND_BYTEARRAY:
+            write_uvarint(buf, len(self.payload))
+            buf.extend(self.payload)
+        elif self.kind == KIND_WEAKREF:
+            encode_value(buf, self.payload, no_refs)
+        else:
+            raise SerializationError(f"unknown record kind {self.kind}")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Record":
+        oid, pos = read_uvarint(data, 0)
+        if pos >= len(data):
+            raise DeserializationError("truncated record header")
+        kind = data[pos]
+        pos += 1
+        class_name, pos = _read_str(data, pos)
+        fingerprint, pos = _read_str(data, pos)
+        body_len, pos = read_uvarint(data, pos)
+        end = pos + body_len
+        if end > len(data):
+            raise DeserializationError("truncated record body")
+        body = data[pos:end]
+        payload = cls._decode_payload(kind, body)
+        return cls(Oid(oid), kind, class_name, fingerprint, payload)
+
+    @staticmethod
+    def _decode_payload(kind: int, body: bytes) -> Any:
+        pos = 0
+        if kind == KIND_INSTANCE:
+            count, pos = read_uvarint(body, pos)
+            fields: dict[str, Any] = {}
+            for _ in range(count):
+                name, pos = _read_str(body, pos)
+                value, pos = decode_value(body, pos)
+                fields[name] = value
+            return fields
+        if kind in (KIND_LIST, KIND_SET):
+            count, pos = read_uvarint(body, pos)
+            items = []
+            for _ in range(count):
+                value, pos = decode_value(body, pos)
+                items.append(value)
+            return items
+        if kind == KIND_DICT:
+            count, pos = read_uvarint(body, pos)
+            pairs = []
+            for _ in range(count):
+                key, pos = decode_value(body, pos)
+                value, pos = decode_value(body, pos)
+                pairs.append((key, value))
+            return pairs
+        if kind == KIND_BYTEARRAY:
+            length, pos = read_uvarint(body, pos)
+            return body[pos:pos + length]
+        if kind == KIND_WEAKREF:
+            value, pos = decode_value(body, pos)
+            return value
+        raise DeserializationError(f"unknown record kind {kind}")
+
+
+# ---------------------------------------------------------------------------
+# Object <-> Record
+# ---------------------------------------------------------------------------
+
+def is_inline(value: Any) -> bool:
+    """True when a value is inlined rather than given its own record."""
+    return type(value) in (type(None), bool, int, float, complex, str, bytes,
+                           tuple, frozenset)
+
+
+class Serializer:
+    """Flattens storable nodes to :class:`Record` and rebuilds them.
+
+    The serializer is stateless apart from its registry; graph traversal,
+    OID assignment and the identity map belong to the
+    :class:`~repro.store.objectstore.ObjectStore`.
+    """
+
+    def __init__(self, registry: ClassRegistry):
+        self._registry = registry
+
+    # -- encoding -------------------------------------------------------
+
+    def encode_object(self, oid: Oid, obj: Any,
+                      ref_fn: Callable[[Any], Oid]) -> Record:
+        """Flatten one storable node into a :class:`Record`.
+
+        ``ref_fn`` maps every referenced storable node to its OID.
+        """
+        from repro.store.weakrefs import PersistentWeakRef
+
+        def as_ref(value: Any) -> Any:
+            buf = bytearray()
+            encode_value(buf, value, ref_fn)
+            decoded, _ = decode_value(bytes(buf), 0)
+            return decoded
+
+        if isinstance(obj, PersistentWeakRef):
+            target = obj.get()
+            payload = Ref(ref_fn(target)) if target is not None else None
+            return Record(oid, KIND_WEAKREF, "", "", payload)
+        if type(obj) is list:
+            return Record(oid, KIND_LIST, "", "", [as_ref(v) for v in obj])
+        if type(obj) is set:
+            return Record(oid, KIND_SET, "", "", [as_ref(v) for v in obj])
+        if type(obj) is dict:
+            pairs = [(as_ref(k), as_ref(v)) for k, v in obj.items()]
+            return Record(oid, KIND_DICT, "", "", pairs)
+        if type(obj) is bytearray:
+            return Record(oid, KIND_BYTEARRAY, "", "", bytes(obj))
+        entry = self._registry.entry_for_class(type(obj))
+        fields = self._instance_fields(obj, entry)
+        payload = {name: as_ref(value) for name, value in fields.items()}
+        return Record(oid, KIND_INSTANCE, entry.name, entry.fingerprint, payload)
+
+    @staticmethod
+    def _instance_fields(obj: Any, entry: RegisteredClass) -> dict[str, Any]:
+        if entry.fields:
+            fields = {}
+            for name in entry.fields:
+                if hasattr(obj, name):
+                    fields[name] = getattr(obj, name)
+            return fields
+        instance_dict = getattr(obj, "__dict__", None)
+        if instance_dict is None:
+            raise SerializationError(
+                f"instance of {entry.name} has neither declared fields nor "
+                f"a __dict__; nothing to store"
+            )
+        return {name: instance_dict[name] for name in sorted(instance_dict)
+                if not name.startswith("_")}
+
+    def references_of(self, obj: Any) -> list[Any]:
+        """Every storable node directly referenced by ``obj`` (for traversal).
+
+        Weak-reference targets are deliberately *excluded* — they do not
+        keep their target alive (paper Figure 7).
+        """
+        from repro.store.weakrefs import PersistentWeakRef
+
+        refs: list[Any] = []
+
+        def visit(value: Any) -> None:
+            if type(value) in (tuple, frozenset):
+                for item in value:
+                    visit(item)
+            elif not is_inline(value):
+                refs.append(value)
+
+        if isinstance(obj, PersistentWeakRef):
+            return []
+        if type(obj) is list or type(obj) is set:
+            for value in obj:
+                visit(value)
+        elif type(obj) is dict:
+            for key, value in obj.items():
+                visit(key)
+                visit(value)
+        elif type(obj) is bytearray:
+            pass
+        else:
+            entry = self._registry.entry_for_class(type(obj))
+            for value in self._instance_fields(obj, entry).values():
+                visit(value)
+        return refs
+
+    # -- decoding -------------------------------------------------------
+
+    def make_shell(self, record: Record) -> Any:
+        """Phase one of materialisation: an empty object of the right type."""
+        from repro.store.weakrefs import PersistentWeakRef
+
+        if record.kind == KIND_LIST:
+            return []
+        if record.kind == KIND_SET:
+            return set()
+        if record.kind == KIND_DICT:
+            return {}
+        if record.kind == KIND_BYTEARRAY:
+            return bytearray(record.payload)
+        if record.kind == KIND_WEAKREF:
+            return PersistentWeakRef(None)
+        entry = self._registry.check_fingerprint(record.class_name,
+                                                 record.fingerprint)
+        return object.__new__(entry.cls)
+
+    def fill_shell(self, shell: Any, record: Record,
+                   resolve: Callable[[Oid], Any]) -> None:
+        """Phase two: populate ``shell``, resolving :class:`Ref` via ``resolve``."""
+        from repro.store.weakrefs import PersistentWeakRef
+
+        def hydrate(value: Any) -> Any:
+            if isinstance(value, Ref):
+                return resolve(value.oid)
+            if type(value) is tuple:
+                return tuple(hydrate(item) for item in value)
+            if type(value) is frozenset:
+                return frozenset(hydrate(item) for item in value)
+            return value
+
+        if record.kind == KIND_LIST:
+            shell.extend(hydrate(v) for v in record.payload)
+        elif record.kind == KIND_SET:
+            shell.update(hydrate(v) for v in record.payload)
+        elif record.kind == KIND_DICT:
+            for key, value in record.payload:
+                shell[hydrate(key)] = hydrate(value)
+        elif record.kind == KIND_BYTEARRAY:
+            pass  # filled at shell creation
+        elif record.kind == KIND_WEAKREF:
+            assert isinstance(shell, PersistentWeakRef)
+            shell.set(hydrate(record.payload))
+        elif record.kind == KIND_INSTANCE:
+            entry = self._registry.check_fingerprint(record.class_name,
+                                                     record.fingerprint)
+            fields = {name: hydrate(value)
+                      for name, value in record.payload.items()}
+            if record.fingerprint != entry.fingerprint:
+                converter = entry.converters[record.fingerprint]
+                fields = converter(fields)
+            for name, value in fields.items():
+                setattr(shell, name, value)
+        else:
+            raise DeserializationError(f"unknown record kind {record.kind}")

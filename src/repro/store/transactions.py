@@ -1,0 +1,91 @@
+"""Transactions over the object store.
+
+The paper's Section 7 argues that, "in a transactional system", evolution
+can run "in a separate transaction while the system is live".  The store
+supports that with coarse-grained transactions whose commit is a
+stabilisation and whose abort reverts the store to the last stabilised
+state:
+
+* ``commit`` — stabilise: everything reachable from the roots becomes
+  durable atomically (via the WAL).
+* ``abort`` — root bindings made inside the transaction are undone and the
+  identity map is flushed, so subsequent fetches observe the last
+  stabilised state.  Live references the application still holds to
+  aborted objects are *stale* by definition; re-fetch through a root to
+  get the durable state.
+
+Usage::
+
+    with store.transaction():
+        person = store.get_root("people")[0]
+        person.name = "renamed"
+    # committed (stabilised) here; raising inside the block aborts
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import NoTransactionError, TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.objectstore import ObjectStore
+
+
+class Transaction:
+    """A single commit/abort scope; not re-entrant, not nestable."""
+
+    def __init__(self, store: "ObjectStore"):
+        self._store = store
+        self._roots_snapshot: dict[str, int] | None = None
+        self._finished = False
+
+    @property
+    def is_active(self) -> bool:
+        return self._roots_snapshot is not None and not self._finished
+
+    def begin(self) -> "Transaction":
+        if self.is_active:
+            raise TransactionError("transaction already begun")
+        if self._finished:
+            raise TransactionError("transaction objects are single-use")
+        if getattr(self._store, "_active_txn", None) is not None:
+            raise TransactionError("store already has an active transaction")
+        self._roots_snapshot = dict(self._store._roots)
+        self._store._active_txn = self
+        return self
+
+    def commit(self) -> int:
+        """Stabilise and finish; returns the number of records written."""
+        self._require_active()
+        written = self._store.stabilize()
+        self._finish()
+        return written
+
+    def abort(self) -> None:
+        """Revert root bindings and flush live objects."""
+        self._require_active()
+        assert self._roots_snapshot is not None
+        self._store._roots = dict(self._roots_snapshot)
+        self._store.evict_all()
+        self._finish()
+
+    def _require_active(self) -> None:
+        if not self.is_active:
+            raise NoTransactionError("no active transaction")
+
+    def _finish(self) -> None:
+        self._finished = True
+        self._store._active_txn = None
+
+    def __enter__(self) -> "Transaction":
+        return self.begin()
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> bool:
+        if not self.is_active:
+            return False  # already explicitly committed or aborted
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+        return False

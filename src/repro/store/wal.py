@@ -1,0 +1,166 @@
+"""Write-ahead log.
+
+Durability for :class:`~repro.store.objectstore.ObjectStore` follows the
+classic checkpoint + log discipline:
+
+* the durable state is the heap file plus a metadata snapshot (roots,
+  OID allocator cursor, object table);
+* every :meth:`stabilise <repro.store.objectstore.ObjectStore.stabilize>`
+  first appends the batch of object writes to the log and *commits* it
+  (fsync), then applies the batch to the heap and atomically replaces the
+  metadata snapshot, then truncates the log;
+* recovery replays committed log batches over the snapshot, so a crash at
+  any point yields either the old or the new state, never a mixture.
+
+Each log entry is framed as ``u32 length | u32 crc32 | payload`` and the
+payload starts with a one-byte entry type.  A torn tail (bad length or CRC)
+ends replay — exactly the entries up to the last fsynced commit survive.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import CorruptHeapError
+from repro.store.oids import Oid
+
+ENTRY_BEGIN = b"B"
+ENTRY_WRITE = b"W"
+ENTRY_DELETE = b"D"
+ENTRY_ROOT = b"R"
+ENTRY_UNROOT = b"U"
+ENTRY_NEXT_OID = b"N"
+ENTRY_COMMIT = b"C"
+
+_FRAME = struct.Struct("<II")
+
+
+@dataclass
+class LogEntry:
+    """One decoded log entry."""
+
+    kind: bytes
+    txn_id: int
+    oid: Oid = Oid(0)
+    data: bytes = b""
+    name: str = ""
+
+    def encode(self) -> bytes:
+        buf = bytearray()
+        buf.extend(self.kind)
+        buf.extend(struct.pack("<Q", self.txn_id))
+        if self.kind in (ENTRY_WRITE, ENTRY_DELETE, ENTRY_NEXT_OID):
+            buf.extend(struct.pack("<Q", self.oid))
+            buf.extend(self.data)
+        elif self.kind in (ENTRY_ROOT, ENTRY_UNROOT):
+            raw_name = self.name.encode("utf-8")
+            buf.extend(struct.pack("<QI", self.oid, len(raw_name)))
+            buf.extend(raw_name)
+        return bytes(buf)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "LogEntry":
+        kind = payload[0:1]
+        txn_id = struct.unpack_from("<Q", payload, 1)[0]
+        pos = 9
+        if kind in (ENTRY_WRITE, ENTRY_DELETE, ENTRY_NEXT_OID):
+            oid = struct.unpack_from("<Q", payload, pos)[0]
+            return cls(kind, txn_id, Oid(oid), payload[pos + 8:])
+        if kind in (ENTRY_ROOT, ENTRY_UNROOT):
+            oid, name_len = struct.unpack_from("<QI", payload, pos)
+            name = payload[pos + 12:pos + 12 + name_len].decode("utf-8")
+            return cls(kind, txn_id, Oid(oid), b"", name)
+        return cls(kind, txn_id)
+
+
+class WriteAheadLog:
+    """Append-only, CRC-framed log with batch commit."""
+
+    def __init__(self, path: str):
+        self._path = path
+        self._file = open(path, "ab+")
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def size(self) -> int:
+        self._file.seek(0, os.SEEK_END)
+        return self._file.tell()
+
+    # -- writing ----------------------------------------------------------
+
+    def append(self, entry: LogEntry) -> None:
+        payload = entry.encode()
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+        self._file.write(frame + payload)
+
+    def commit(self, txn_id: int) -> None:
+        """Append a commit marker and force everything to disk."""
+        self.append(LogEntry(ENTRY_COMMIT, txn_id))
+        self.sync()
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def truncate(self) -> None:
+        """Discard the log after a successful checkpoint."""
+        self._file.seek(0)
+        self._file.truncate()
+        self.sync()
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    # -- replay -----------------------------------------------------------
+
+    def _iter_raw(self) -> Iterator[LogEntry]:
+        self._file.seek(0)
+        data = self._file.read()
+        pos = 0
+        while pos + _FRAME.size <= len(data):
+            length, crc = _FRAME.unpack_from(data, pos)
+            start = pos + _FRAME.size
+            end = start + length
+            if end > len(data):
+                return  # torn tail
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                return  # torn/corrupt tail ends replay
+            try:
+                yield LogEntry.decode(payload)
+            except (struct.error, IndexError, UnicodeDecodeError) as exc:
+                raise CorruptHeapError(
+                    f"undecodable log entry at offset {pos}: {exc}"
+                ) from exc
+            pos = end
+
+    def committed_batches(self) -> list[list[LogEntry]]:
+        """Entries of every committed batch, in commit order.
+
+        Entries of a batch that never reached its commit marker are
+        discarded, which is the atomicity guarantee.
+        """
+        batches: dict[int, list[LogEntry]] = {}
+        committed: list[list[LogEntry]] = []
+        for entry in self._iter_raw():
+            if entry.kind == ENTRY_BEGIN:
+                batches[entry.txn_id] = []
+            elif entry.kind == ENTRY_COMMIT:
+                if entry.txn_id in batches:
+                    committed.append(batches.pop(entry.txn_id))
+            else:
+                batches.setdefault(entry.txn_id, []).append(entry)
+        return committed
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

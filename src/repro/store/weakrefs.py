@@ -1,0 +1,47 @@
+"""Persistent weak references.
+
+Section 4.1 of the paper plans to hold compiled hyper-programs through
+*weak references* (JDK 1.2) so that "hyper-programs may be garbage
+collected once no user references to them remain" (Figure 7).  The store's
+reachability collector treats a :class:`PersistentWeakRef` as a node whose
+outgoing edge does **not** keep its target alive; when the target becomes
+unreachable through strong edges, the collector clears the reference.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+
+class PersistentWeakRef:
+    """A store-aware weak reference.
+
+    Unlike :mod:`weakref`, this works for any value the store can hold and
+    its weakness is interpreted by the *store's* collector over the stored
+    graph, not by the Python runtime over the in-memory graph.
+    """
+
+    __slots__ = ("_target",)
+
+    def __init__(self, target: Any = None):
+        self._target = target
+
+    def get(self) -> Optional[Any]:
+        """The referent, or ``None`` once it has been collected."""
+        return self._target
+
+    def set(self, target: Any) -> None:
+        """Re-point the reference (used during materialisation)."""
+        self._target = target
+
+    def clear(self) -> None:
+        """Drop the referent; called by the store collector."""
+        self._target = None
+
+    @property
+    def is_cleared(self) -> bool:
+        return self._target is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cleared" if self.is_cleared else f"-> {type(self._target).__name__}"
+        return f"PersistentWeakRef({state})"

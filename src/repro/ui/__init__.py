@@ -1,0 +1,34 @@
+"""The hyper-programming user interface (paper Section 5, Figure 12).
+
+A small windowing simulation (window stack with a front-most window,
+buttons, right-mouse-button events) that composes the hyper-program editor
+and the OCB browser exactly as Section 5.4 describes:
+
+* right button over a denotable entity in a browser window inserts a link
+  into the *front-most editor* window;
+* the editor's Insert Link button inserts a link to the object displayed
+  in the *front-most browser* window;
+* pressing a link button displays the entity in the top-most browser;
+* Display Class and Go compile/run the hyper-program.
+
+PJama could not persist AWT objects (Section 7); rendering here is text,
+which exercises the same architecture without a display.
+"""
+
+from repro.ui.events import ButtonPress, Event, LinkPress, RightClick
+from repro.ui.buttons import Button
+from repro.ui.windows import BrowserWindow, EditorWindow, Window, WindowManager
+from repro.ui.app import HyperProgrammingUI
+
+__all__ = [
+    "Event",
+    "RightClick",
+    "ButtonPress",
+    "LinkPress",
+    "Button",
+    "Window",
+    "EditorWindow",
+    "BrowserWindow",
+    "WindowManager",
+    "HyperProgrammingUI",
+]

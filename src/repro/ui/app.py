@@ -1,0 +1,160 @@
+"""The integrated hyper-programming user interface (Figure 12).
+
+"The user interface to the hyper-programming system has two components:
+the hyper-program editor, which is used to construct and edit
+hyper-programs, and the object/class browser, which is used to select the
+persistent data to be linked into the hyper-programs."  (Section 5)
+
+:class:`HyperProgrammingUI` wires the two together over a window manager
+and implements the gestures of Section 5.4:
+
+* :meth:`right_click` — a hyper-link to the selected entity is inserted
+  into the front-most editor window (left half = location link);
+* the editor's **Insert Link** button — a link to the object displayed in
+  the front-most browser window is inserted into the selected editor;
+* :meth:`press_link` — the associated entity is displayed in the top-most
+  browser window;
+* **Display Class** and **Go** — compile/load/execute (Section 5.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, TYPE_CHECKING
+
+from repro.browser.ocb import OCB
+from repro.browser.panels import DenotableEntity
+from repro.core.editform import HyperLink
+from repro.editor.hyper import HyperProgramEditor
+from repro.errors import NoFrontWindowError, UIError
+from repro.ui.buttons import Button
+from repro.ui.events import ButtonPress, Event, LinkPress, RightClick
+from repro.ui.windows import (
+    BrowserWindow,
+    EditorWindow,
+    Window,
+    WindowManager,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.objectstore import ObjectStore
+
+
+class HyperProgrammingUI:
+    """One hyper-programming session: windows, gestures, actions."""
+
+    def __init__(self, store: "ObjectStore | None" = None):
+        self.store = store
+        self.windows = WindowManager()
+        self.event_log: list[Event] = []
+
+    # ------------------------------------------------------------------
+    # window creation
+    # ------------------------------------------------------------------
+
+    def open_editor(self, class_name: str = "",
+                    check_insertions: bool = False) -> EditorWindow:
+        editor = HyperProgramEditor(class_name,
+                                    check_insertions=check_insertions)
+        window = EditorWindow(editor)
+        window.add_button(Button("Insert Link", lambda: self.insert_link_from_front_browser(window)))
+        window.add_button(Button("Display Class", lambda: self.display_class(window)))
+        window.add_button(Button("Go", lambda: self.go(window)))
+        return self.windows.open(window)  # type: ignore[return-value]
+
+    def open_browser(self, browser: Optional[OCB] = None) -> BrowserWindow:
+        if browser is None:
+            browser = OCB(self.store)
+        window = BrowserWindow(browser)
+        return self.windows.open(window)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # gestures (Section 5.4.1)
+    # ------------------------------------------------------------------
+
+    def right_click(self, event: RightClick) -> HyperLink:
+        """Right button over a denotable entity in a browser window:
+        insert a hyper-link to it into the front-most editor window."""
+        self.event_log.append(event)
+        window = self.windows.window(event.window_id)
+        if not isinstance(window, BrowserWindow):
+            raise UIError("right-click link insertion starts in a browser")
+        entity = window.browser.select_entity(
+            event.panel_id, event.entity_label,
+            as_location=event.as_location)
+        editor_window = self.windows.front_of_kind(EditorWindow)
+        link = entity.make_link(as_location=event.as_location)
+        return editor_window.editor.insert_link(link)
+
+    def insert_link_from_front_browser(self,
+                                       editor_window: EditorWindow
+                                       ) -> HyperLink:
+        """The editor's Insert Link button: link to the object displayed
+        in the front-most browser window, inserted into this editor."""
+        browser_window = self.windows.front_of_kind(BrowserWindow)
+        panel = browser_window.browser.front_panel
+        if panel is None:
+            raise NoFrontWindowError("the front browser has no open panel")
+        entities = panel.entities()
+        if not entities:
+            raise UIError("the front panel shows nothing linkable")
+        link = entities[0].make_link()
+        return editor_window.editor.insert_link(link)
+
+    def press_link(self, event: LinkPress) -> Any:
+        """Pressing a link button in an editor: display the associated
+        entity in the top-most browser window."""
+        self.event_log.append(event)
+        window = self.windows.window(event.window_id)
+        if not isinstance(window, EditorWindow):
+            raise UIError("link buttons live in editor windows")
+        links = window.editor.basic.form.links_on_line(event.line)
+        if not 0 <= event.link_index < len(links):
+            raise UIError(
+                f"line {event.line} has no link {event.link_index}"
+            )
+        entity = window.editor.press_link(links[event.link_index])
+        browser_window = self.windows.front_of_kind(BrowserWindow)
+        browser_window.browser.open_object(entity)
+        return entity
+
+    def press_button(self, event: ButtonPress) -> Any:
+        self.event_log.append(event)
+        return self.windows.window(event.window_id).press(event.button)
+
+    def drag_entity(self, browser_window: BrowserWindow, panel_id: int,
+                    entity_label: str, editor_window: EditorWindow,
+                    position: tuple[int, int],
+                    as_location: bool = False) -> HyperLink:
+        """Drag-and-drop link insertion (the paper's planned gesture,
+        Section 5.4.1): drop a browser entity at an explicit editor
+        position rather than at the cursor."""
+        entity = browser_window.browser.select_entity(
+            panel_id, entity_label, as_location=as_location)
+        link = entity.make_link(as_location=as_location)
+        line, column = position
+        editor_window.editor.basic.move_cursor(line, column)
+        return editor_window.editor.insert_link(link)
+
+    # ------------------------------------------------------------------
+    # actions (Section 5.4.2)
+    # ------------------------------------------------------------------
+
+    def display_class(self, editor_window: EditorWindow) -> Any:
+        """Display Class: compile and open the principal class in the
+        front-most browser."""
+        principal = editor_window.editor.display_class()
+        browser_window = self.windows.front_of_kind(BrowserWindow)
+        browser_window.browser.open_class(principal)
+        return principal
+
+    def go(self, editor_window: EditorWindow,
+           args: Sequence[str] | None = None) -> Any:
+        """Go: compile (if needed) and execute the main method."""
+        return editor_window.editor.go(args)
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+
+    def render(self) -> str:
+        return self.windows.render()

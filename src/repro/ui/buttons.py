@@ -1,0 +1,31 @@
+"""Window buttons.
+
+Each window carries named buttons (Insert Link, Display Class, Go, ...)
+mapping to callables; the window manager dispatches
+:class:`~repro.ui.events.ButtonPress` events to them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Button:
+    """A named, pressable button."""
+
+    def __init__(self, name: str, action: Callable[[], Any],
+                 enabled: bool = True):
+        self.name = name
+        self._action = action
+        self.enabled = enabled
+        self.press_count = 0
+
+    def press(self) -> Any:
+        if not self.enabled:
+            raise RuntimeError(f"button {self.name!r} is disabled")
+        self.press_count += 1
+        return self._action()
+
+    def __repr__(self) -> str:
+        state = "" if self.enabled else " (disabled)"
+        return f"Button({self.name!r}{state})"

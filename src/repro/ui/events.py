@@ -1,0 +1,51 @@
+"""UI events.
+
+The interactions Section 5.4.1 describes are modelled as small event
+objects dispatched through the window manager: right-button presses over
+panel entities (with the value/location half encoded) and named button
+presses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Event:
+    """Base class for UI events."""
+
+
+@dataclass(frozen=True)
+class RightClick(Event):
+    """Right mouse button over a denotable entity in a browser panel.
+
+    ``half`` is ``"right"`` for a value link and ``"left"`` for a location
+    link — "by pressing the right-hand mouse button over the right or left
+    half of the panel respectively" (Section 5.4.1).
+    """
+
+    window_id: int
+    panel_id: int
+    entity_label: str
+    half: str = "right"
+
+    @property
+    def as_location(self) -> bool:
+        return self.half == "left"
+
+
+@dataclass(frozen=True)
+class ButtonPress(Event):
+    """A named button pressed in a window (Insert Link, Go, ...)."""
+
+    window_id: int
+    button: str
+
+
+@dataclass(frozen=True)
+class LinkPress(Event):
+    """A hyper-link button pressed inside an editor window."""
+
+    window_id: int
+    line: int
+    link_index: int

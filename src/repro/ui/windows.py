@@ -1,0 +1,129 @@
+"""Windows and the window manager.
+
+The paper's gestures depend on window stacking: links from the browser go
+"into the front-most editor window", Insert Link links "the object
+displayed in the front-most browser window", and pressing a link shows the
+entity "in the top-most browser window" (Section 5.4.1).  The manager
+keeps a stack, raises windows, and answers front-most-of-kind queries.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional, TypeVar
+
+from repro.browser.ocb import OCB
+from repro.editor.hyper import HyperProgramEditor
+from repro.errors import NoFrontWindowError, UIError
+from repro.ui.buttons import Button
+
+_window_ids = itertools.count(1)
+
+W = TypeVar("W", bound="Window")
+
+
+class Window:
+    """A titled window with named buttons."""
+
+    def __init__(self, title: str):
+        self.id = next(_window_ids)
+        self.title = title
+        self.buttons: dict[str, Button] = {}
+
+    def add_button(self, button: Button) -> Button:
+        self.buttons[button.name] = button
+        return button
+
+    def press(self, name: str) -> Any:
+        try:
+            button = self.buttons[name]
+        except KeyError:
+            raise UIError(
+                f"window {self.title!r} has no button {name!r}; "
+                f"available: {sorted(self.buttons)}"
+            ) from None
+        return button.press()
+
+    def render(self) -> str:  # pragma: no cover - subclasses override
+        return f"<{self.title}>"
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.id}, {self.title!r})"
+
+
+class EditorWindow(Window):
+    """A window wrapping one hyper-program editor."""
+
+    def __init__(self, editor: HyperProgramEditor, title: str = ""):
+        super().__init__(title or f"Hyper-Program Editor: "
+                                  f"{editor.class_name or 'untitled'}")
+        self.editor = editor
+
+    def render(self) -> str:
+        bar = " ".join(f"({name})" for name in self.buttons)
+        body = self.editor.render()
+        return f"== {self.title} ==\n{body}\n{bar}"
+
+
+class BrowserWindow(Window):
+    """A window wrapping one OCB browser."""
+
+    def __init__(self, browser: OCB, title: str = "Object/Class Browser"):
+        super().__init__(title)
+        self.browser = browser
+
+    def render(self) -> str:
+        panels = self.browser.panels()
+        parts = [f"== {self.title} =="]
+        for panel in panels[-2:]:  # Figure 12 shows two panels
+            parts.append(panel.render())
+        bar = " ".join(f"({name})" for name in self.buttons)
+        if bar:
+            parts.append(bar)
+        return "\n--\n".join(parts)
+
+
+class WindowManager:
+    """A window stack; the last element is the front-most window."""
+
+    def __init__(self) -> None:
+        self._stack: list[Window] = []
+
+    def open(self, window: Window) -> Window:
+        self._stack.append(window)
+        return window
+
+    def close(self, window: Window) -> None:
+        if window in self._stack:
+            self._stack.remove(window)
+
+    def raise_window(self, window: Window) -> None:
+        """Bring a window to the front."""
+        if window not in self._stack:
+            raise UIError(f"{window!r} is not open")
+        self._stack.remove(window)
+        self._stack.append(window)
+
+    def window(self, window_id: int) -> Window:
+        for window in self._stack:
+            if window.id == window_id:
+                return window
+        raise UIError(f"no window with id {window_id}")
+
+    def windows(self) -> tuple[Window, ...]:
+        return tuple(self._stack)
+
+    @property
+    def front(self) -> Optional[Window]:
+        return self._stack[-1] if self._stack else None
+
+    def front_of_kind(self, kind: type[W]) -> W:
+        """The front-most window of a given class."""
+        for window in reversed(self._stack):
+            if isinstance(window, kind):
+                return window
+        raise NoFrontWindowError(f"no open {kind.__name__}")
+
+    def render(self) -> str:
+        """All windows back-to-front (front-most last, as on screen)."""
+        return "\n\n".join(window.render() for window in self._stack)

@@ -1,0 +1,96 @@
+"""Object sharing and identity visualisation (OCB design aim)."""
+
+from repro.browser.graphview import (
+    object_graph,
+    render_graph,
+    shared_nodes,
+    sharing_report,
+)
+from repro.store.weakrefs import PersistentWeakRef
+
+from tests.conftest import Person
+
+
+class TestObjectGraph:
+    def test_nodes_and_edges(self):
+        a, b = Person("a"), Person("b")
+        a.spouse = b
+        graph = object_graph(a)
+        assert graph.number_of_nodes() == 2
+        assert graph.edges[id(a), id(b), 0]["label"] == ".spouse"
+
+    def test_cycles_handled(self):
+        a, b = Person("a"), Person("b")
+        Person.marry(a, b)
+        graph = object_graph(a)
+        assert graph.number_of_edges() == 2
+
+    def test_containers_edge_labels(self):
+        person = Person("p")
+        graph = object_graph({"key": [person]})
+        labels = {data["label"] for __, __, data in graph.edges(data=True)}
+        assert "['key']" in labels
+        assert "[0]" in labels
+
+    def test_tuple_edges_labelled_with_index(self):
+        person = Person("p")
+        graph = object_graph([(1, person)])
+        labels = {data["label"] for __, __, data in graph.edges(data=True)}
+        assert "[0](1)" in labels
+
+    def test_weak_edges_marked(self):
+        target = Person("t")
+        graph = object_graph([PersistentWeakRef(target)])
+        weak_edges = [data for __, __, data in graph.edges(data=True)
+                      if data.get("weak")]
+        assert len(weak_edges) == 1
+
+
+class TestSharing:
+    def test_shared_node_detected(self):
+        shared = Person("shared")
+        holder = [shared, [shared]]
+        graph = object_graph(holder)
+        assert id(shared) in shared_nodes(graph)
+
+    def test_unshared_graph_reports_nothing(self):
+        report = sharing_report([Person("a"), Person("b")])
+        assert len(report) == 1  # just the header line
+
+    def test_sharing_report_names_referrers(self):
+        shared = Person("shared")
+        report = sharing_report([shared, shared])
+        assert any("shared:" in line for line in report)
+        assert any("[0]" in line and "[1]" in line for line in report)
+
+    def test_report_includes_oids_when_stored(self, store):
+        shared = Person("shared")
+        store.set_root("pair", [shared, shared])
+        store.stabilize()
+        report = sharing_report(store.get_root("pair"), store)
+        assert any("oid" in line for line in report)
+
+
+class TestRenderGraph:
+    def test_tree_rendering(self):
+        a, b = Person("a"), Person("b")
+        a.spouse = b
+        text = render_graph(a)
+        assert "root -> Person" in text
+        assert ".spouse -> Person" in text
+
+    def test_back_reference_marked_with_star(self):
+        a, b = Person("a"), Person("b")
+        Person.marry(a, b)
+        text = render_graph(a)
+        assert "*" in text  # the cycle is not expanded twice
+
+    def test_depth_limited(self):
+        head = tail = Person("p0")
+        for i in range(1, 20):
+            nxt = Person(f"p{i}")
+            tail.spouse = nxt
+            tail = nxt
+        text = render_graph(head, max_depth=3)
+        # root + at most max_depth expanded levels
+        assert len(text.splitlines()) == 4

@@ -1,0 +1,211 @@
+"""Panels, denotable entities, and the OCB browser session (Sections 5.3,
+5.4.1)."""
+
+import pytest
+
+from repro.browser.callbacks import CallbackRegistry
+from repro.browser.ocb import OCB
+from repro.browser.panels import Panel
+from repro.core.hyperlink import (
+    ArrayElementLocation,
+    ClassRef,
+    FieldLocation,
+    MethodRef,
+)
+from repro.core.linkkinds import LinkKind
+from repro.errors import BrowserError, NoSuchPanelError
+
+from tests.conftest import Person
+
+
+class TestPanelEntities:
+    def test_object_panel_lists_self_and_fields(self):
+        person = Person("ada")
+        panel = Panel(person)
+        labels = [entity.label for entity in panel.entities()]
+        assert any(".name" in label for label in labels)
+        assert any(".spouse" in label for label in labels)
+
+    def test_class_panel_lists_class_ctor_methods_fields(self):
+        panel = Panel(Person, subject_kind="class")
+        kinds = {entity.kind for entity in panel.entities()}
+        assert LinkKind.CLASS in kinds
+        assert LinkKind.CONSTRUCTOR in kinds
+        assert LinkKind.STATIC_METHOD in kinds
+        assert LinkKind.FIELD in kinds
+
+    def test_array_panel_lists_elements(self):
+        panel = Panel([Person("a"), Person("b")])
+        element_entities = [entity for entity in panel.entities()
+                            if entity.kind is LinkKind.ARRAY_ELEMENT]
+        assert len(element_entities) == 2
+        assert element_entities[0].location_capable
+
+    def test_entity_named_lookup(self):
+        panel = Panel(Person("x"))
+        entity = panel.entity_named(".name")
+        assert entity.member == "name"
+        with pytest.raises(BrowserError):
+            panel.entity_named("missing")
+
+    def test_unknown_panel_kind_rejected(self):
+        with pytest.raises(BrowserError):
+            Panel(Person("x"), subject_kind="mystery")
+
+
+class TestMakeLink:
+    def test_value_link_to_object_field(self):
+        spouse = Person("s")
+        person = Person("p")
+        person.spouse = spouse
+        entity = Panel(person).entity_named(".spouse")
+        link = entity.make_link(as_location=False)
+        assert link.hyper_link_object is spouse
+        assert link.kind is LinkKind.OBJECT
+
+    def test_location_link_to_field(self):
+        """The value-or-location gesture of Section 5.4.1."""
+        person = Person("p")
+        entity = Panel(person).entity_named(".spouse")
+        link = entity.make_link(as_location=True)
+        assert isinstance(link.hyper_link_object, FieldLocation)
+        assert link.hyper_link_object.holder is person
+
+    def test_location_link_to_array_element(self):
+        array = [1, 2]
+        entity = Panel(array).entity_named("[1]")
+        link = entity.make_link(as_location=True)
+        assert isinstance(link.hyper_link_object, ArrayElementLocation)
+
+    def test_primitive_field_value_link(self):
+        entity = Panel(Person("ada")).entity_named(".name")
+        link = entity.make_link()
+        assert link.is_primitive
+        assert link.hyper_link_object == "ada"
+
+    def test_method_link_from_class_panel(self):
+        entity = Panel(Person, subject_kind="class") \
+            .entity_named("Person.marry")
+        link = entity.make_link()
+        assert isinstance(link.hyper_link_object, MethodRef)
+        assert link.is_special
+
+    def test_class_link(self):
+        entity = Panel(Person, subject_kind="class").entity_named("Person")
+        link = entity.make_link()
+        assert isinstance(link.hyper_link_object, ClassRef)
+        assert link.kind is LinkKind.CLASS
+
+    def test_location_on_non_location_entity_raises(self):
+        entity = Panel(Person, subject_kind="class").entity_named("Person")
+        with pytest.raises(BrowserError):
+            entity.make_link(as_location=True)
+
+
+class TestOCB:
+    def test_open_and_close_panels(self):
+        browser = OCB()
+        panel = browser.open_object(Person("x"))
+        assert browser.panel(panel.id) is panel
+        browser.close_panel(panel.id)
+        with pytest.raises(NoSuchPanelError):
+            browser.panel(panel.id)
+
+    def test_front_panel_is_most_recent(self):
+        browser = OCB()
+        browser.open_object(Person("first"))
+        second = browser.open_object(Person("second"))
+        assert browser.front_panel is second
+
+    def test_open_root(self, store, people):
+        browser = OCB(store)
+        panel = browser.open_root("people")
+        assert panel.subject is store.get_root("people")
+
+    def test_open_root_without_store_raises(self):
+        with pytest.raises(BrowserError):
+            OCB().open_root("x")
+
+    def test_store_overview(self, store, people):
+        store.stabilize()
+        lines = OCB(store).open_store_overview()
+        assert any("people" in line for line in lines)
+
+    def test_navigate_opens_new_panel(self):
+        browser = OCB()
+        a, b = Person("a"), Person("b")
+        a.spouse = b
+        panel = browser.open_object(a)
+        spouse_panel = browser.navigate(panel.id, ".spouse")
+        assert spouse_panel.subject is b
+
+    def test_navigate_to_method_opens_method_panel(self):
+        browser = OCB()
+        panel = browser.open_class(Person)
+        method_panel = browser.navigate(panel.id, "Person.marry")
+        assert method_panel.subject_kind == "method"
+
+    def test_select_entity_fires_link_requested(self):
+        callbacks = CallbackRegistry()
+        received = []
+        callbacks.register("link-requested",
+                           lambda entity, as_location:
+                           received.append((entity.label, as_location)))
+        browser = OCB(callbacks=callbacks)
+        panel = browser.open_object(Person("x"))
+        browser.select_entity(panel.id, ".name")
+        assert received == [(".name", False)]
+
+    def test_select_location_on_value_only_entity_raises(self):
+        browser = OCB()
+        panel = browser.open_class(Person)
+        with pytest.raises(BrowserError):
+            browser.select_entity(panel.id, "Person", as_location=True)
+
+    def test_invoke_method_on_object_panel(self):
+        browser = OCB()
+        panel = browser.open_object(Person("ada"))
+        assert browser.invoke_method(panel.id, "greet") == "hello, ada"
+
+    def test_invoke_static_method_on_class_panel(self):
+        browser = OCB()
+        a, b = Person("a"), Person("b")
+        panel = browser.open_class(Person)
+        browser.invoke_method(panel.id, "marry", a, b)
+        assert a.spouse is b
+
+    def test_invoke_on_method_panel_rejected(self):
+        browser = OCB()
+        panel = browser.open_method(Person, "marry")
+        with pytest.raises(BrowserError):
+            browser.invoke_method(panel.id, "marry")
+
+    def test_panel_opened_callback(self):
+        callbacks = CallbackRegistry()
+        opened = []
+        callbacks.register("panel-opened",
+                           lambda panel: opened.append(panel.subject_kind))
+        browser = OCB(callbacks=callbacks)
+        browser.open_object(Person("x"))
+        browser.open_class(Person)
+        assert opened == ["object", "class"]
+
+
+class TestCallbacks:
+    def test_fire_returns_results(self):
+        registry = CallbackRegistry()
+        registry.register("event", lambda value: value * 2)
+        registry.register("event", lambda value: value * 3)
+        assert registry.fire("event", value=2) == [4, 6]
+
+    def test_unregister(self):
+        registry = CallbackRegistry()
+        handler = lambda: None
+        registry.register("e", handler)
+        registry.unregister("e", handler)
+        assert registry.handlers_for("e") == ()
+
+    def test_firing_history_recorded(self):
+        registry = CallbackRegistry()
+        registry.fire("anything", detail=1)
+        assert registry.fired == [("anything", {"detail": 1})]

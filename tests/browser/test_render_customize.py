@@ -1,0 +1,105 @@
+"""Browser rendering and per-class display customisation (Section 5.3)."""
+
+import pytest
+
+from repro.browser.customize import DisplayCustomizer
+from repro.browser.render import (
+    default_summary,
+    identity_marker,
+    render_class,
+    render_method,
+    render_object,
+    summarise,
+)
+
+from tests.conftest import Employee, Person
+
+
+class TestSummaries:
+    def test_primitive_summaries_are_reprs(self):
+        assert default_summary(42) == "42"
+        assert default_summary("hi") == "'hi'"
+
+    def test_long_strings_truncated(self):
+        summary = default_summary("x" * 200)
+        assert len(summary) <= 48 and summary.endswith("...")
+
+    def test_container_summaries(self):
+        assert default_summary([1, 2, 3]).startswith("array[3]")
+        assert default_summary({"a": 1}).startswith("map[1]")
+        assert default_summary({1, 2}).startswith("set[2]")
+
+    def test_instance_summary_names_class(self):
+        assert default_summary(Person("x")).startswith("Person")
+
+    def test_identity_marker_uses_oid_when_stored(self, store):
+        person = Person("p")
+        store.set_root("p", person)
+        oid = store.oid_of(person)
+        assert identity_marker(person, store) == f"#{int(oid)}"
+
+    def test_identity_marker_without_store(self):
+        assert identity_marker(Person("p"), None).startswith("@")
+
+    def test_custom_summary_applies(self):
+        customizer = DisplayCustomizer()
+        customizer.set_summary(Person, lambda person: f"<{person.name}>")
+        assert summarise(Person("ada"), customizer) == "<ada>"
+
+
+class TestRenderObject:
+    def test_fields_and_methods_listed(self):
+        lines = render_object(Person("ada"))
+        text = "\n".join(lines)
+        assert ".name = 'ada'" in text
+        assert "static marry(a, b)" in text
+        assert "greet()" in text
+
+    def test_array_rendering(self):
+        lines = render_object([10, Person("x")])
+        assert lines[0].startswith("array[2]")
+        assert "[0] = 10" in lines[1]
+
+    def test_dict_rendering(self):
+        lines = render_object({"k": 1})
+        assert "'k' -> 1" in lines[1]
+
+    def test_field_filter_hides_fields(self):
+        customizer = DisplayCustomizer()
+        customizer.set_field_filter(Person, lambda name: name != "spouse")
+        text = "\n".join(render_object(Person("p"), customizer))
+        assert ".name" in text and ".spouse" not in text
+
+    def test_hide_superclass_members(self):
+        """Section 5.3: "temporary hiding of superclass fields and
+        methods"."""
+        customizer = DisplayCustomizer()
+        customizer.hide_superclass_members(Employee)
+        text = "\n".join(render_object(Employee("e", 10), customizer))
+        assert ".salary = 10" in text
+        assert ".name" not in text       # inherited, hidden
+        assert "greet" not in text       # inherited method, hidden
+
+    def test_unhide_superclass_members(self):
+        customizer = DisplayCustomizer()
+        customizer.hide_superclass_members(Employee)
+        customizer.hide_superclass_members(Employee, hide=False)
+        text = "\n".join(render_object(Employee("e", 10), customizer))
+        assert ".name = 'e'" in text
+
+
+class TestRenderClass:
+    def test_class_header_and_members(self):
+        lines = render_class(Person)
+        assert lines[0].startswith("class ")
+        text = "\n".join(lines)
+        assert "field name" in text
+        assert "static method marry(a, b)" in text
+
+    def test_subclass_shows_extends(self):
+        text = "\n".join(render_class(Employee))
+        assert "extends Person" in text
+
+    def test_render_method_figure12_right_panel(self):
+        lines = render_method(Person, "marry")
+        assert lines == ["static method Person.marry(a, b)"]

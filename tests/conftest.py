@@ -1,0 +1,70 @@
+"""Shared fixtures: a fresh store, registered example classes, and an
+installed DynamicCompiler per test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.linkstore import LinkStore
+from repro.store.objectstore import ObjectStore
+from repro.store.registry import ClassRegistry
+
+
+class Person:
+    """The paper's example class (Figure 3)."""
+
+    name: str
+    spouse: object
+
+    def __init__(self, name: str):
+        self.name = name
+        self.spouse = None
+
+    @staticmethod
+    def marry(a: "Person", b: "Person") -> None:
+        a.spouse = b
+        b.spouse = a
+
+    def greet(self) -> str:
+        return f"hello, {self.name}"
+
+
+class Employee(Person):
+    """A subclass for inheritance-related tests."""
+
+    salary: int
+
+    def __init__(self, name: str, salary: int):
+        super().__init__(name)
+        self.salary = salary
+
+
+@pytest.fixture
+def registry() -> ClassRegistry:
+    reg = ClassRegistry()
+    reg.register(Person)
+    reg.register(Employee)
+    return reg
+
+
+@pytest.fixture
+def store(tmp_path, registry) -> ObjectStore:
+    with ObjectStore.open(str(tmp_path / "store"), registry=registry) as st:
+        yield st
+
+
+@pytest.fixture
+def link_store(store) -> LinkStore:
+    ls = LinkStore(store)
+    DynamicCompiler.install(ls)
+    yield ls
+    DynamicCompiler.uninstall()
+
+
+@pytest.fixture
+def people(store):
+    vangelis = Person("vangelis")
+    mary = Person("mary")
+    store.set_root("people", [vangelis, mary])
+    return vangelis, mary

@@ -1,0 +1,208 @@
+"""DynamicCompiler (Figure 9): both compilation mechanisms, hyper-program
+compilation, the run-time get_link access path, and error reporting."""
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.errors import BadPasswordError, CompilationError, HyperProgramError
+from repro.reflect.introspect import for_class
+
+from tests.conftest import Person
+
+
+def marry_program(vangelis, mary):
+    """The paper's MarryExample (Figure 2), Python syntax."""
+    text = ("class MarryExample:\n"
+            "    @staticmethod\n"
+            "    def main(args):\n"
+            "        (, )\n")
+    program = HyperProgram(text, class_name="MarryExample")
+    pos = text.index("(, )")
+    marry = for_class(Person).get_method("marry")
+    program.add_link(HyperLinkHP.to_static_method(marry, "Person.marry",
+                                                  pos))
+    program.add_link(HyperLinkHP.to_object(vangelis, "vangelis", pos + 1))
+    program.add_link(HyperLinkHP.to_object(mary, "mary", pos + 3))
+    return program
+
+
+class TestPlainCompilation:
+    def test_compile_class_direct(self, link_store):
+        cls = DynamicCompiler.compile_class(
+            "Greeter",
+            "class Greeter:\n"
+            "    @staticmethod\n"
+            "    def greet():\n"
+            "        return 'hi'\n")
+        assert cls.greet() == "hi"
+
+    def test_compile_class_forked(self, link_store):
+        before = DynamicCompiler.fork_count
+        cls = DynamicCompiler.compile_class(
+            "Forked",
+            "class Forked:\n    value = 99\n",
+            mechanism="forked")
+        assert cls.value == 99
+        assert DynamicCompiler.fork_count == before + 1
+
+    def test_direct_and_forked_agree(self, link_store):
+        source = "class Agree:\n    answer = 6 * 7\n"
+        direct = DynamicCompiler.compile_class("Agree", source,
+                                               mechanism="direct")
+        forked = DynamicCompiler.compile_class("Agree", source,
+                                               mechanism="forked")
+        assert direct.answer == forked.answer == 42
+
+    def test_later_classes_see_earlier_ones(self, link_store):
+        classes = DynamicCompiler.compile_classes(
+            ["Base", "Derived"],
+            ["class Base:\n    x = 1\n",
+             "class Derived(Base):\n    y = 2\n"])
+        assert issubclass(classes[1], classes[0])
+
+    def test_name_defn_count_mismatch(self, link_store):
+        with pytest.raises(CompilationError):
+            DynamicCompiler.compile_classes(["A", "B"], ["class A: pass"])
+
+    def test_source_must_define_named_class(self, link_store):
+        with pytest.raises(CompilationError):
+            DynamicCompiler.compile_class("Missing", "x = 1\n")
+
+    def test_unknown_mechanism_rejected(self, link_store):
+        with pytest.raises(CompilationError):
+            DynamicCompiler.compile_class("A", "class A: pass",
+                                          mechanism="jit")
+
+    def test_direct_failure_reports_diagnostics(self, link_store):
+        with pytest.raises(CompilationError) as excinfo:
+            DynamicCompiler.compile_class("Bad", "class Bad(:\n",
+                                          mechanism="direct")
+        assert excinfo.value.textual_form is not None
+        assert excinfo.value.diagnostics
+
+    def test_auto_falls_back_to_fork_then_fails(self, link_store):
+        before = DynamicCompiler.fork_count
+        with pytest.raises(CompilationError) as excinfo:
+            DynamicCompiler.compile_class("Bad", "def broken(:\n")
+        assert DynamicCompiler.fork_count == before + 1
+        assert excinfo.value.diagnostics  # child stderr captured
+
+
+class TestHyperProgramCompilation:
+    def test_marry_example_end_to_end(self, store, link_store, people):
+        vangelis, mary = people
+        program = marry_program(vangelis, mary)
+        cls = DynamicCompiler.compile_hyper_program(program)
+        DynamicCompiler.run_main(cls)
+        assert vangelis.spouse is mary and mary.spouse is vangelis
+
+    def test_textual_form_matches_figure8(self, store, link_store, people):
+        program = marry_program(*people)
+        source = DynamicCompiler.generate_textual_form(program)
+        assert "Person.marry" in source
+        assert "DynamicCompiler.get_link('passwd'" in source
+        assert ".get_object()" in source
+
+    def test_compile_registers_in_link_store(self, store, link_store,
+                                             people):
+        program = marry_program(*people)
+        DynamicCompiler.compile_hyper_program(program)
+        assert link_store.index_of(program, link_store.password) is not None
+
+    def test_recompile_reuses_registration(self, store, link_store, people):
+        program = marry_program(*people)
+        DynamicCompiler.compile_hyper_program(program)
+        DynamicCompiler.compile_hyper_program(program)
+        assert link_store.count(link_store.password) == 1
+
+    def test_batch_compilation(self, store, link_store, people):
+        programs = [marry_program(*people),
+                    HyperProgram("class Other:\n    pass\n",
+                                 class_name="Other")]
+        classes = DynamicCompiler.compile_hyper_programs(programs)
+        assert [cls.__name__ for cls in classes] == ["MarryExample",
+                                                     "Other"]
+
+    def test_forked_mechanism_for_hyper_programs(self, store, link_store,
+                                                 people):
+        vangelis, mary = people
+        cls = DynamicCompiler.compile_hyper_program(
+            marry_program(vangelis, mary), mechanism="forked")
+        DynamicCompiler.run_main(cls)
+        assert vangelis.spouse is mary
+
+    def test_location_link_reads_at_run_time(self, store, link_store,
+                                             people):
+        """Delayed binding through a location link (Section 7)."""
+        vangelis, __ = people
+        text = ("class Probe:\n"
+                "    @staticmethod\n"
+                "    def main(args):\n"
+                "        return \n")
+        program = HyperProgram(text, class_name="Probe")
+        pos = text.index("return ") + len("return ")
+        program.add_link(HyperLinkHP.to_field_location(
+            vangelis, "name", ".name", pos))
+        cls = DynamicCompiler.compile_hyper_program(program)
+        assert DynamicCompiler.run_main(cls) == "vangelis"
+        vangelis.name = "renamed after compilation"
+        assert DynamicCompiler.run_main(cls) == "renamed after compilation"
+
+    def test_primitive_link_compiles_to_literal(self, store, link_store):
+        text = ("class Lit:\n"
+                "    @staticmethod\n"
+                "    def main(args):\n"
+                "        return \n")
+        program = HyperProgram(text, class_name="Lit")
+        pos = text.index("return ") + len("return ")
+        program.add_link(HyperLinkHP.to_primitive(42, "42", pos))
+        cls = DynamicCompiler.compile_hyper_program(program)
+        assert DynamicCompiler.run_main(cls) == 42
+
+    def test_constructor_link(self, store, link_store):
+        text = ("class Maker:\n"
+                "    @staticmethod\n"
+                "    def main(args):\n"
+                "        return ('made')\n")
+        program = HyperProgram(text, class_name="Maker")
+        pos = text.index("return ") + len("return ")
+        program.add_link(HyperLinkHP.to_constructor(Person, "new Person",
+                                                    pos))
+        cls = DynamicCompiler.compile_hyper_program(program)
+        result = DynamicCompiler.run_main(cls)
+        assert isinstance(result, Person) and result.name == "made"
+
+
+class TestRuntimeAccessPath:
+    def test_get_link_requires_password(self, store, link_store, people):
+        program = marry_program(*people)
+        DynamicCompiler.compile_hyper_program(program)
+        with pytest.raises(BadPasswordError):
+            DynamicCompiler.get_link("wrong", 0, 0)
+
+    def test_get_link_returns_hyperlink(self, store, link_store, people):
+        program = marry_program(*people)
+        DynamicCompiler.compile_hyper_program(program)
+        link = DynamicCompiler.get_link(link_store.password, 0, 1)
+        assert link.get_object() is people[0]
+
+    def test_uninstalled_compiler_raises(self):
+        DynamicCompiler.uninstall()
+        with pytest.raises(HyperProgramError):
+            DynamicCompiler.get_link("passwd", 0, 0)
+
+    def test_run_main_requires_main(self, link_store):
+        cls = DynamicCompiler.compile_class("NoMain", "class NoMain: pass")
+        with pytest.raises(HyperProgramError):
+            DynamicCompiler.run_main(cls)
+
+    def test_run_main_passes_args(self, link_store):
+        cls = DynamicCompiler.compile_class(
+            "Echo",
+            "class Echo:\n"
+            "    @staticmethod\n"
+            "    def main(args):\n"
+            "        return list(args)\n")
+        assert DynamicCompiler.run_main(cls, ["a", "b"]) == ["a", "b"]

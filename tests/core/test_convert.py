@@ -1,0 +1,134 @@
+"""Editing form <-> storage form translation (Section 3), including the
+exact Figure 5 / Figure 11 correspondence and round-trip properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.convert import editing_to_storage, storage_to_editing
+from repro.core.editform import EditForm, HyperLine, HyperLink
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.linkkinds import LinkKind
+
+
+def editing_link(label, pos):
+    return HyperLink(object(), label, pos, False, False, LinkKind.OBJECT)
+
+
+class TestEditingToStorage:
+    def test_text_joined_with_newlines(self):
+        form = EditForm([HyperLine("one"), HyperLine("two")])
+        program = editing_to_storage(form)
+        assert program.the_text == "one\ntwo"
+
+    def test_positions_become_absolute(self):
+        """Figure 11's (line, offset) pairs map to Figure 5's stringPos."""
+        form = EditForm([
+            HyperLine("0123"),                       # line starts at 0
+            HyperLine("abcd", [editing_link("x", 2)]),  # starts at 5
+        ])
+        program = editing_to_storage(form)
+        assert program.the_links[0].string_pos == 5 + 2
+
+    def test_flags_and_object_carried(self):
+        target = object()
+        form = EditForm([HyperLine("ab", [
+            HyperLink(target, "lbl", 1, True, False, LinkKind.CLASS)
+        ])])
+        program = editing_to_storage(form)
+        link = program.the_links[0]
+        assert link.hyper_link_object is target
+        assert link.is_special and not link.is_primitive
+        assert link.kind is LinkKind.CLASS
+
+    def test_class_name_passed_through(self):
+        program = editing_to_storage(EditForm(), "MarryExample")
+        assert program.class_name == "MarryExample"
+
+    def test_document_order_preserved(self):
+        form = EditForm([
+            HyperLine("ab", [editing_link("b", 2), editing_link("a", 0)]),
+            HyperLine("cd", [editing_link("c", 1)]),
+        ])
+        program = editing_to_storage(form)
+        assert [link.label for link in program.the_links] == ["a", "b", "c"]
+
+
+class TestStorageToEditing:
+    def test_lines_split(self):
+        program = HyperProgram("one\ntwo\nthree")
+        form = storage_to_editing(program)
+        assert [form.text_of_line(i) for i in range(3)] == \
+            ["one", "two", "three"]
+
+    def test_absolute_positions_become_line_offsets(self):
+        program = HyperProgram("0123\nabcd")
+        program.add_link(HyperLinkHP(None, "x", 7, False, False))
+        form = storage_to_editing(program)
+        assert form.links_on_line(1)[0].pos == 2
+
+    def test_link_at_line_start(self):
+        program = HyperProgram("ab\ncd")
+        program.add_link(HyperLinkHP(None, "x", 3, False, False))
+        form = storage_to_editing(program)
+        assert form.links_on_line(1)[0].pos == 0
+
+    def test_link_at_line_end(self):
+        program = HyperProgram("ab\ncd")
+        program.add_link(HyperLinkHP(None, "x", 2, False, False))
+        form = storage_to_editing(program)
+        assert form.links_on_line(0)[0].pos == 2
+
+    def test_link_at_document_end(self):
+        program = HyperProgram("ab")
+        program.add_link(HyperLinkHP(None, "x", 2, False, False))
+        form = storage_to_editing(program)
+        assert form.links_on_line(0)[0].pos == 2
+
+
+class TestRoundTrip:
+    def test_marry_example_roundtrip(self):
+        text = ("class MarryExample:\n"
+                "    @staticmethod\n"
+                "    def main(args):\n"
+                "        (, )")
+        program = HyperProgram(text)
+        call_pos = text.index("(, )")
+        program.add_link(HyperLinkHP(None, "Person.marry", call_pos,
+                                     True, False, LinkKind.STATIC_METHOD))
+        program.add_link(HyperLinkHP(None, "vangelis", call_pos + 1,
+                                     False, False))
+        program.add_link(HyperLinkHP(None, "mary", call_pos + 3,
+                                     False, False))
+        back = editing_to_storage(storage_to_editing(program),
+                                  program.class_name)
+        assert back.the_text == program.the_text
+        assert [(l.label, l.string_pos) for l in back.the_links] == \
+            [(l.label, l.string_pos) for l in program.the_links]
+
+    def test_render_identical_after_roundtrip(self):
+        program = HyperProgram("a\nb\nc")
+        program.add_link(HyperLinkHP(None, "L1", 1, False, False))
+        program.add_link(HyperLinkHP(None, "L2", 4, False, False))
+        form = storage_to_editing(program)
+        assert form.render() == program.render()
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.data())
+    def test_roundtrip_property(self, data):
+        line_texts = data.draw(st.lists(
+            st.text(alphabet=st.characters(blacklist_characters="\n",
+                                           min_codepoint=32,
+                                           max_codepoint=126),
+                    max_size=12),
+            min_size=1, max_size=6))
+        text = "\n".join(line_texts)
+        program = HyperProgram(text)
+        for __ in range(data.draw(st.integers(0, 6))):
+            pos = data.draw(st.integers(0, len(text)))
+            program.add_link(HyperLinkHP(None, "L", pos, False, False))
+        back = editing_to_storage(storage_to_editing(program))
+        assert back.the_text == program.the_text
+        assert sorted(l.string_pos for l in back.the_links) == \
+            sorted(l.string_pos for l in program.the_links)
+        assert back.render() == program.render()

@@ -1,0 +1,225 @@
+"""The editing form (Figure 11): line-structured text with anchored links,
+and all the edit operations that must preserve link positions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.editform import EditForm, HyperLine, HyperLink
+from repro.core.linkkinds import LinkKind
+from repro.errors import EditPositionError
+
+
+def make_form(*lines):
+    return EditForm([HyperLine(text) for text in lines])
+
+
+def link(label="L", pos=0):
+    return HyperLink(None, label, pos, False, False, LinkKind.OBJECT)
+
+
+class TestConstruction:
+    def test_empty_form_has_one_line(self):
+        form = EditForm()
+        assert form.line_count() == 1
+        assert form.text_of_line(0) == ""
+
+    def test_link_beyond_line_rejected(self):
+        with pytest.raises(EditPositionError):
+            HyperLine("ab", [link(pos=5)])
+
+    def test_char_count_includes_newlines(self):
+        assert make_form("ab", "cd").char_count() == 5
+
+
+class TestInsertText:
+    def test_single_line_insert(self):
+        form = make_form("helloworld")
+        end = form.insert_text(0, 5, ", ")
+        assert form.text_of_line(0) == "hello, world"
+        assert end == (0, 7)
+
+    def test_multi_line_insert_splits(self):
+        form = make_form("headtail")
+        end = form.insert_text(0, 4, "-one\ntwo-")
+        assert form.text_of_line(0) == "head-one"
+        assert form.text_of_line(1) == "two-tail"
+        assert end == (1, 4)
+
+    def test_insert_shifts_links_right_of_point(self):
+        form = make_form("abcdef")
+        moved = link("moved", 4)
+        form.lines[0].links.append(moved)
+        form.insert_text(0, 2, "XY")
+        assert moved.pos == 6
+
+    def test_insert_at_anchor_leaves_link(self):
+        """Left gravity: typing at the cursor after inserting a link goes
+        after the link."""
+        form = make_form("ab")
+        anchored = link("anchor", 1)
+        form.lines[0].links.append(anchored)
+        form.insert_text(0, 1, "ZZZ")
+        assert anchored.pos == 1
+
+    def test_multiline_insert_moves_tail_links(self):
+        form = make_form("headtail")
+        tail_link = link("tail", 6)
+        form.lines[0].links.append(tail_link)
+        form.insert_text(0, 4, "x\ny")
+        # tail is now on line 1: "ytail", link after 'ta' -> offset 3
+        assert form.links_on_line(1)[0].pos == 3
+
+    def test_out_of_range_positions_rejected(self):
+        form = make_form("ab")
+        with pytest.raises(EditPositionError):
+            form.insert_text(5, 0, "x")
+        with pytest.raises(EditPositionError):
+            form.insert_text(0, 9, "x")
+
+
+class TestDeleteRange:
+    def test_same_line_delete(self):
+        form = make_form("hello, world")
+        deleted = form.delete_range((0, 5), (0, 7))
+        assert deleted == ", "
+        assert form.text_of_line(0) == "helloworld"
+
+    def test_multi_line_delete_joins(self):
+        form = make_form("aaa", "bbb", "ccc")
+        deleted = form.delete_range((0, 1), (2, 2))
+        assert deleted == "aa\nbbb\ncc"
+        assert form.line_count() == 1
+        assert form.text_of_line(0) == "ac"
+
+    def test_links_inside_range_removed(self):
+        form = make_form("abcdef")
+        doomed = link("doomed", 3)
+        form.lines[0].links.append(doomed)
+        form.delete_range((0, 1), (0, 5))
+        assert form.link_count() == 0
+
+    def test_links_at_boundaries_survive(self):
+        form = make_form("abcdef")
+        at_start, at_end = link("s", 1), link("e", 5)
+        form.lines[0].links.extend([at_start, at_end])
+        form.delete_range((0, 1), (0, 5))
+        assert form.link_count() == 2
+        assert at_end.pos == 1  # shifted left to the deletion point
+
+    def test_reversed_range_rejected(self):
+        form = make_form("abc")
+        with pytest.raises(EditPositionError):
+            form.delete_range((0, 2), (0, 1))
+
+    def test_multiline_delete_preserves_far_links(self):
+        form = make_form("abc", "def", "ghi")
+        first = link("first", 1)
+        last = link("last", 2)
+        form.lines[0].links.append(first)
+        form.lines[2].links.append(last)
+        form.delete_range((0, 2), (2, 1))
+        assert form.text_of_line(0) == "abhi"
+        kept = form.links_on_line(0)
+        assert [item.label for item in kept] == ["first", "last"]
+        assert kept[1].pos == 3  # 'last' was at col 2, now after "abh"
+
+
+class TestLineOperations:
+    def test_split_line(self):
+        form = make_form("headtail")
+        form.split_line(0, 4)
+        assert form.text_of_line(0) == "head"
+        assert form.text_of_line(1) == "tail"
+
+    def test_join_lines(self):
+        form = make_form("head", "tail")
+        form.join_lines(0)
+        assert form.line_count() == 1
+        assert form.text_of_line(0) == "headtail"
+
+    def test_join_moves_links(self):
+        form = make_form("head", "tail")
+        moved = link("m", 2)
+        form.lines[1].links.append(moved)
+        form.join_lines(0)
+        assert form.links_on_line(0)[0].pos == 6
+
+    def test_join_last_line_rejected(self):
+        with pytest.raises(EditPositionError):
+            make_form("only").join_lines(0)
+
+
+class TestLinks:
+    def test_insert_link_sets_position(self):
+        form = make_form("abc")
+        inserted = form.insert_link(0, 2, link("x"))
+        assert inserted.pos == 2
+        assert form.link_count() == 1
+
+    def test_remove_link(self):
+        form = make_form("abc")
+        inserted = form.insert_link(0, 1, link("x"))
+        form.remove_link(0, inserted)
+        assert form.link_count() == 0
+
+    def test_remove_missing_link_raises(self):
+        form = make_form("abc")
+        with pytest.raises(EditPositionError):
+            form.remove_link(0, link("ghost"))
+
+    def test_all_links_document_order(self):
+        form = make_form("abc", "def")
+        form.insert_link(1, 0, link("second"))
+        form.insert_link(0, 2, link("first"))
+        labels = [item.label for __, item in form.all_links()]
+        assert labels == ["first", "second"]
+
+
+class TestRenderAndClone:
+    def test_render_with_buttons(self):
+        form = make_form("f(, )")
+        form.insert_link(0, 2, link("a"))
+        form.insert_link(0, 4, link("b"))
+        assert form.render() == "f([a], [b])"
+
+    def test_clone_is_deep_for_links(self):
+        form = make_form("ab")
+        original = form.insert_link(0, 1, link("orig"))
+        copy = form.clone()
+        copy.links_on_line(0)[0].label = "changed"
+        assert original.label == "orig"
+
+    def test_clone_shares_linked_objects(self):
+        """Clone copies anchors, not linked entities — links keep identity."""
+        target = object()
+        form = make_form("ab")
+        form.insert_link(0, 1, HyperLink(target, "t", 0, False, False))
+        copy = form.clone()
+        assert copy.links_on_line(0)[0].hyper_link_object is target
+
+
+class TestEditProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(alphabet="abc\n", max_size=40),
+           st.data())
+    def test_insert_then_delete_is_identity(self, text, data):
+        form = make_form("base line one", "base line two")
+        line = data.draw(st.integers(0, form.line_count() - 1))
+        col = data.draw(st.integers(0, len(form.text_of_line(line))))
+        before = form.render()
+        end = form.insert_text(line, col, text)
+        form.delete_range((line, col), end)
+        assert form.render() == before
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 30), st.text("xyz", min_size=1,
+                                                          max_size=5)),
+                    max_size=10))
+    def test_link_positions_always_valid(self, edits):
+        form = make_form("0123456789")
+        form.insert_link(0, 5, link("anchor"))
+        for col, text in edits:
+            col = min(col, len(form.text_of_line(0)))
+            form.insert_text(0, col, text)
+        for item in form.links_on_line(0):
+            assert 0 <= item.pos <= len(form.text_of_line(0))

@@ -1,0 +1,82 @@
+"""Source maps: errors re-expressed in hyper-program terms — the
+Section 5.4.2 "future version" of error display."""
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.errormap import describe_syntax_error
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.textual import generate_textual_form_with_map
+from repro.errors import CompilationError
+
+from tests.conftest import Person
+
+
+def program_with_object_link(text, marker, target):
+    program = HyperProgram(text, class_name="P")
+    program.add_link(HyperLinkHP.to_object(target, "the-link",
+                                           text.index(marker) + len(marker)))
+    return program
+
+
+class TestSourceMap:
+    def test_verbatim_positions_map_back(self, registry):
+        text = "x = 1\ny = (\n"
+        program = HyperProgram(text, class_name="")
+        source, __, source_map = generate_textual_form_with_map(
+            program, 0, "pw", registry)
+        # The broken "(" sits on hyper-program line 2, column 5.
+        try:
+            compile(source, "<t>", "exec")
+            raised = False
+        except SyntaxError as error:
+            raised = True
+            description = describe_syntax_error(error, source_map, source)
+        assert raised
+        assert "line 2" in description
+
+    def test_link_positions_name_the_link(self, registry):
+        text = "x = \ny = (\n"
+        program = program_with_object_link(text, "x = ", Person("p"))
+        source, __, source_map = generate_textual_form_with_map(
+            program, 0, "pw", registry)
+        # Locate an offset inside the generated retrieval expression.
+        link_offset = source.index("get_link")
+        lines_before = source[:link_offset].count("\n")
+        column = link_offset - source.rfind("\n", 0, link_offset)
+        location = source_map.hyper_location(lines_before + 1, column,
+                                             source)
+        assert location.link_label == "the-link"
+        assert "inside the hyper-link [the-link]" in location.describe()
+
+    def test_header_offsets_resolve_to_origin(self, registry):
+        program = HyperProgram("x = 1\n", class_name="")
+        source, __, source_map = generate_textual_form_with_map(
+            program, 0, "pw", registry)
+        location = source_map.hyper_location(1, 1, source)
+        assert (location.line, location.column) == (0, 0)
+
+
+class TestEditorIntegration:
+    def test_error_report_in_hyper_terms(self, link_store):
+        from repro.editor.hyper import HyperProgramEditor
+        editor = HyperProgramEditor("Broken")
+        editor.type_text("class Broken:\n"
+                         "    def method(self):\n"
+                         "        return ((\n")
+        with pytest.raises(CompilationError):
+            editor.compile()
+        report = editor.error_report()
+        assert "in the hyper-program: " in report
+        assert "line 3" in report
+
+    def test_textual_terms_still_available(self, link_store):
+        from repro.editor.hyper import HyperProgramEditor
+        editor = HyperProgramEditor("Broken")
+        editor.type_text("def broken(:\n")
+        with pytest.raises(CompilationError):
+            editor.compile()
+        report = editor.error_report(hyper_terms=False)
+        assert "in the hyper-program" not in report
+        assert "translated textual form" in report

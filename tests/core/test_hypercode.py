@@ -1,0 +1,98 @@
+"""The hyper-code abstraction (Section 6): run-time errors presented in
+hyper-program terms, and the drag-and-drop gesture."""
+
+import pytest
+
+from repro.core.hypercode import HyperCodeError, HyperCodeSession
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+
+from tests.conftest import Person
+
+
+def failing_program(person):
+    text = ("class Crasher:\n"
+            "    @staticmethod\n"
+            "    def main(args):\n"
+            "        x = .name\n"
+            "        return x / 2\n")
+    program = HyperProgram(text, class_name="Crasher")
+    program.add_link(HyperLinkHP.to_object(
+        person, "the person", text.index("= .") + 2))
+    return program
+
+
+class TestHyperCodeSession:
+    def test_successful_run_passes_through(self, link_store):
+        session = HyperCodeSession()
+        text = ("class Fine:\n"
+                "    @staticmethod\n"
+                "    def main(args):\n"
+                "        return 21 * 2\n")
+        assert session.compile_and_run(
+            HyperProgram(text, class_name="Fine")) == 42
+
+    def test_runtime_error_located_in_hyper_program(self, link_store):
+        session = HyperCodeSession()
+        program = failing_program(Person("p"))
+        with pytest.raises(HyperCodeError) as excinfo:
+            session.compile_and_run(program)
+        error = excinfo.value
+        assert isinstance(error.original, TypeError)
+        assert error.location is not None
+        assert error.location.line == 4  # "return x / 2" (0-based)
+        assert "line 5" in str(error)
+
+    def test_annotated_render_marks_failing_line(self, link_store):
+        session = HyperCodeSession()
+        program = failing_program(Person("p"))
+        with pytest.raises(HyperCodeError) as excinfo:
+            session.compile_and_run(program)
+        rendered = excinfo.value.annotated_render()
+        failing = [line for line in rendered.splitlines()
+                   if "error here" in line]
+        assert failing == ["        return x / 2  <-- error here"]
+
+    def test_original_exception_chained(self, link_store):
+        session = HyperCodeSession()
+        with pytest.raises(HyperCodeError) as excinfo:
+            session.compile_and_run(failing_program(Person("p")))
+        assert excinfo.value.__cause__ is excinfo.value.original
+
+    def test_unknown_class_errors_pass_through(self, link_store):
+        session = HyperCodeSession()
+
+        class NotCompiledHere:
+            @staticmethod
+            def main(args):
+                raise ValueError("raw")
+        with pytest.raises(ValueError):
+            session.run(NotCompiledHere)
+
+
+class TestDragAndDrop:
+    def test_drag_entity_inserts_at_position(self, store, link_store,
+                                             people):
+        from repro.ui.app import HyperProgrammingUI
+        ui = HyperProgrammingUI(store)
+        browser_window = ui.open_browser()
+        editor_window = ui.open_editor("Dragged")
+        editor_window.editor.type_text("a = \nb = \n")
+        panel = browser_window.browser.open_object(people[0])
+        link = ui.drag_entity(browser_window, panel.id,
+                              panel.entities()[0].label,
+                              editor_window, (1, 4))
+        assert link.pos == 4
+        assert editor_window.editor.basic.form.links_on_line(1) == [link]
+
+    def test_drag_location_half(self, store, link_store, people):
+        from repro.core.hyperlink import FieldLocation
+        from repro.ui.app import HyperProgrammingUI
+        ui = HyperProgrammingUI(store)
+        browser_window = ui.open_browser()
+        editor_window = ui.open_editor("Dragged")
+        editor_window.editor.type_text("x = \n")
+        panel = browser_window.browser.open_object(people[0])
+        link = ui.drag_entity(browser_window, panel.id, ".spouse",
+                              editor_window, (0, 4), as_location=True)
+        assert isinstance(link.hyper_link_object, FieldLocation)

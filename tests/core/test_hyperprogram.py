@@ -1,0 +1,99 @@
+"""HyperProgram — the storage form (Figures 4 and 5)."""
+
+import pytest
+
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.errors import LinkPositionError
+
+
+def link_at(pos, label="L"):
+    return HyperLinkHP(None, label, pos, False, False)
+
+
+class TestConstruction:
+    def test_figure4_constructors(self):
+        assert HyperProgram().get_the_text() == ""
+        assert HyperProgram("text").get_the_text() == "text"
+        link = link_at(2)
+        program = HyperProgram("text", [link])
+        assert program.get_the_links() == [link]
+
+    def test_java_spellings(self):
+        program = HyperProgram("x", [])
+        assert program.getTheText() == "x"
+        assert program.getTheLinks() == []
+
+    def test_link_beyond_text_rejected(self):
+        with pytest.raises(LinkPositionError):
+            HyperProgram("ab", [link_at(5)])
+
+    def test_link_at_text_end_allowed(self):
+        HyperProgram("ab", [link_at(2)])
+
+
+class TestClassNameInference:
+    def test_python_class_detected(self):
+        program = HyperProgram("class MarryExample:\n    pass\n")
+        assert program.get_class_name() == "MarryExample"
+
+    def test_java_style_class_detected(self):
+        program = HyperProgram("public class MarryExample {\n}\n")
+        assert program.get_class_name() == "MarryExample"
+
+    def test_first_class_is_principal(self):
+        """Paper footnote 1: "by default ... the first class defined"."""
+        program = HyperProgram("class First:\n    pass\nclass Second:\n    pass\n")
+        assert program.get_class_name() == "First"
+
+    def test_explicit_name_wins(self):
+        program = HyperProgram("class A:\n pass\n", class_name="Chosen")
+        assert program.get_class_name() == "Chosen"
+
+    def test_no_class_empty_name(self):
+        assert HyperProgram("x = 1\n").get_class_name() == ""
+
+
+class TestLinkManagement:
+    def test_add_link_keeps_position_order(self):
+        program = HyperProgram("0123456789")
+        program.add_link(link_at(7, "late"))
+        program.add_link(link_at(2, "early"))
+        labels = [link.label for link in program.get_the_links()]
+        assert labels == ["early", "late"]
+
+    def test_add_link_returns_index(self):
+        program = HyperProgram("0123456789")
+        assert program.add_link(link_at(5)) == 0
+        assert program.add_link(link_at(1)) == 0  # sorts before
+        assert program.link_count() == 2
+
+    def test_add_link_validates_position(self):
+        program = HyperProgram("ab")
+        with pytest.raises(LinkPositionError):
+            program.add_link(link_at(10))
+
+    def test_link_at_index(self):
+        program = HyperProgram("abc", [link_at(1, "only")])
+        assert program.link_at(0).label == "only"
+
+
+class TestRender:
+    def test_render_splices_labels(self):
+        program = HyperProgram("f(, )")
+        program.add_link(link_at(2, "a"))
+        program.add_link(link_at(4, "b"))
+        assert program.render() == "f([a], [b])"
+
+    def test_render_custom_marks(self):
+        program = HyperProgram("x", [link_at(1, "L")])
+        assert program.render("<", ">") == "x<L>"
+
+    def test_render_empty_program(self):
+        assert HyperProgram().render() == ""
+
+    def test_adjacent_links_keep_vector_order(self):
+        program = HyperProgram("ab")
+        program.add_link(link_at(1, "first"))
+        program.add_link(link_at(1, "second"))
+        assert program.render() == "a[first][second]b"

@@ -1,0 +1,123 @@
+"""Java-syntax hyper-programs end to end (the paper's Figure 2 verbatim)."""
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.javaform import hole_marked_java, java_to_python_source
+from repro.errors import CompilationError
+from repro.reflect.introspect import for_class
+
+from tests.conftest import Person
+
+FIGURE2_JAVA = """public class MarryExample {
+  public static void main(String[] args) {
+    (, );
+  }
+}
+"""
+
+
+def figure2_program(vangelis, mary):
+    program = HyperProgram(FIGURE2_JAVA, class_name="MarryExample")
+    call = FIGURE2_JAVA.index("(, )")
+    marry = for_class(Person).get_method("marry")
+    program.add_link(HyperLinkHP.to_static_method(marry, "Person.marry",
+                                                  call))
+    program.add_link(HyperLinkHP.to_object(vangelis, "vangelis", call + 1))
+    program.add_link(HyperLinkHP.to_object(mary, "mary", call + 3))
+    return program
+
+
+class TestHoleMarking:
+    def test_markers_spliced_at_link_positions(self, people):
+        program = figure2_program(*people)
+        marked = hole_marked_java(program)
+        assert "⟦(static) method⟧(⟦object⟧, ⟦object⟧);" in marked
+
+    def test_marked_java_passes_grammar_check(self, people):
+        from repro.javagrammar.productions import check_program
+        assert check_program(hole_marked_java(figure2_program(*people))) \
+            == []
+
+
+class TestTranspiledSource:
+    def test_denotations_match_python_textual_form(self, registry, people):
+        program = figure2_program(*people)
+        source, bindings = java_to_python_source(program, 7, "pw", registry)
+        assert "Person.marry" in source
+        assert "DynamicCompiler.get_link('pw', 7, 1).get_object()" in source
+        assert "DynamicCompiler.get_link('pw', 7, 2).get_object()" in source
+        assert bindings["Person"] is Person
+
+    def test_untranspilable_java_reports_compilation_error(self, registry):
+        program = HyperProgram("public class C { void m() { goto x; } }",
+                               class_name="C")
+        with pytest.raises(CompilationError):
+            java_to_python_source(program, 0, "pw", registry)
+
+
+class TestEndToEnd:
+    def test_figure2_runs_verbatim(self, store, link_store, people):
+        vangelis, mary = people
+        program = figure2_program(vangelis, mary)
+        compiled = DynamicCompiler.compile_java_hyper_program(program)
+        DynamicCompiler.run_main(compiled)
+        assert vangelis.spouse is mary and mary.spouse is vangelis
+
+    def test_java_program_with_location_link(self, store, link_store,
+                                             people):
+        vangelis, __ = people
+        java = ("public class Probe {\n"
+                "  public static Object main(String[] args) {\n"
+                "    return ;\n"
+                "  }\n"
+                "}\n")
+        program = HyperProgram(java, class_name="Probe")
+        program.add_link(HyperLinkHP.to_field_location(
+            vangelis, "name", ".name", java.index("return ") + 7))
+        compiled = DynamicCompiler.compile_java_hyper_program(program)
+        assert DynamicCompiler.run_main(compiled) == "vangelis"
+        vangelis.name = "rebound"
+        assert DynamicCompiler.run_main(compiled) == "rebound"
+
+    def test_java_program_survives_persistence(self, tmp_path, registry):
+        from repro.core.linkstore import LinkStore
+        from repro.store.objectstore import ObjectStore
+        directory = str(tmp_path / "s")
+        store = ObjectStore.open(directory, registry=registry)
+        DynamicCompiler.install(LinkStore(store))
+        try:
+            vangelis, mary = Person("vangelis"), Person("mary")
+            store.set_root("people", [vangelis, mary])
+            store.set_root("programs",
+                           [figure2_program(vangelis, mary)])
+            store.stabilize()
+        finally:
+            store.close()
+            DynamicCompiler.uninstall()
+        store = ObjectStore.open(directory, registry=registry)
+        DynamicCompiler.install(LinkStore(store))
+        try:
+            program = store.get_root("programs")[0]
+            vangelis, mary = store.get_root("people")
+            compiled = DynamicCompiler.compile_java_hyper_program(program)
+            DynamicCompiler.run_main(compiled)
+            assert vangelis.spouse is mary
+        finally:
+            store.close()
+            DynamicCompiler.uninstall()
+
+    def test_java_constructor_link(self, store, link_store):
+        java = ("public class Maker {\n"
+                "  public static Object main(String[] args) {\n"
+                '    return new ("built");\n'
+                "  }\n"
+                "}\n")
+        program = HyperProgram(java, class_name="Maker")
+        program.add_link(HyperLinkHP.to_constructor(
+            Person, "new Person", java.index("new (") + 4))
+        compiled = DynamicCompiler.compile_java_hyper_program(program)
+        result = DynamicCompiler.run_main(compiled)
+        assert isinstance(result, Person) and result.name == "built"

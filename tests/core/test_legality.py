@@ -1,0 +1,104 @@
+"""Parser-directed legality of link insertions (Section 2's planned
+extension) over Python hyper-programs."""
+
+import pytest
+
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.legality import (
+    CONTEXTS,
+    PLACEHOLDERS,
+    context_accepts,
+    format_legality_matrix,
+    is_legal_insertion,
+    legality_matrix,
+    textual_skeleton,
+)
+from repro.core.linkkinds import LinkKind
+
+
+class TestSkeleton:
+    def test_skeleton_replaces_links_with_placeholders(self):
+        program = HyperProgram("x = \n")
+        program.add_link(HyperLinkHP.to_primitive(1, "1", 4))
+        assert textual_skeleton(program.the_text, program.the_links) == \
+            "x = 0\n"
+
+    def test_every_kind_has_placeholder(self):
+        assert set(PLACEHOLDERS) == set(LinkKind)
+
+
+class TestIsLegalInsertion:
+    def test_object_link_in_expression_position(self):
+        program = HyperProgram("x = \n")
+        assert is_legal_insertion(program, 4, LinkKind.OBJECT)
+
+    def test_object_link_in_keyword_position_illegal(self):
+        program = HyperProgram("def f():\n    pass\n")
+        assert not is_legal_insertion(program, 0, LinkKind.OBJECT)
+
+    def test_method_link_as_callee(self):
+        program = HyperProgram("(1, 2)\n")
+        assert is_legal_insertion(program, 0, LinkKind.STATIC_METHOD)
+
+    def test_insertion_considers_existing_links(self):
+        """With an existing hole filled, the second insertion must parse in
+        the *joint* program."""
+        text = "f(, )\n"
+        program = HyperProgram(text)
+        program.add_link(HyperLinkHP.to_primitive(1, "1", 2))
+        assert is_legal_insertion(program, 4, LinkKind.OBJECT)
+
+    def test_out_of_range_position_illegal(self):
+        program = HyperProgram("x")
+        assert not is_legal_insertion(program, 99, LinkKind.OBJECT)
+        assert not is_legal_insertion(program, -1, LinkKind.OBJECT)
+
+    def test_assignment_target_accepts_location_kinds(self):
+        program = HyperProgram(" = 5\n")
+        assert is_legal_insertion(program, 0, LinkKind.FIELD)
+        assert is_legal_insertion(program, 0, LinkKind.ARRAY_ELEMENT)
+
+    def test_assignment_target_rejects_literal(self):
+        program = HyperProgram(" = 5\n")
+        assert not is_legal_insertion(program, 0, LinkKind.PRIMITIVE_VALUE)
+
+
+class TestLegalityMatrix:
+    def test_matrix_covers_all_pairs(self):
+        matrix = legality_matrix()
+        assert len(matrix) == len(LinkKind) * len(CONTEXTS)
+
+    def test_expression_context_accepts_value_kinds(self):
+        matrix = legality_matrix()
+        for kind in (LinkKind.OBJECT, LinkKind.PRIMITIVE_VALUE,
+                     LinkKind.ARRAY, LinkKind.ARRAY_ELEMENT,
+                     LinkKind.FIELD):
+            assert matrix[(kind.value, "expression")]
+
+    def test_assign_target_rejects_plain_values(self):
+        matrix = legality_matrix()
+        assert not matrix[(LinkKind.PRIMITIVE_VALUE.value, "assign target")]
+        assert not matrix[(LinkKind.OBJECT.value, "assign target")]
+        assert matrix[(LinkKind.FIELD.value, "assign target")]
+        assert matrix[(LinkKind.ARRAY_ELEMENT.value, "assign target")]
+
+    def test_annotation_context_accepts_types(self):
+        matrix = legality_matrix()
+        assert matrix[(LinkKind.CLASS.value, "annotation")]
+        assert matrix[(LinkKind.PRIMITIVE_TYPE.value, "annotation")]
+
+    def test_callee_context(self):
+        matrix = legality_matrix()
+        assert matrix[(LinkKind.STATIC_METHOD.value, "callee")]
+        assert matrix[(LinkKind.CONSTRUCTOR.value, "callee")]
+
+    def test_format_produces_full_table(self):
+        table = format_legality_matrix()
+        for kind in LinkKind:
+            assert kind.value[:10] in table or kind.value in table
+        assert "yes" in table and "-" in table
+
+    def test_context_accepts_direct(self):
+        assert context_accepts("x = {}\n", LinkKind.OBJECT)
+        assert not context_accepts("class {}: pass\n", LinkKind.OBJECT)

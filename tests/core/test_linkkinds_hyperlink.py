@@ -1,0 +1,181 @@
+"""Link kinds (Table 1) and HyperLinkHP (Figure 6)."""
+
+import pytest
+
+from repro.core.hyperlink import (
+    ArrayElementLocation,
+    ClassRef,
+    ConstructorRef,
+    FieldLocation,
+    FieldRef,
+    HyperLinkHP,
+    MethodRef,
+)
+from repro.core.linkkinds import (
+    LinkKind,
+    PRODUCTION_FOR_KIND,
+    production_for_kind,
+)
+from repro.errors import LinkKindError, NoSuchMemberError
+from repro.reflect.introspect import for_class
+
+from tests.conftest import Person
+
+
+class TestTable1Mapping:
+    def test_all_eleven_kinds_present(self):
+        assert len(LinkKind) == 11
+        assert len(PRODUCTION_FOR_KIND) == 11
+
+    @pytest.mark.parametrize("kind,production", [
+        (LinkKind.CLASS, "ClassType"),
+        (LinkKind.PRIMITIVE_TYPE, "PrimitiveType"),
+        (LinkKind.INTERFACE, "InterfaceType"),
+        (LinkKind.ARRAY_TYPE, "ArrayType"),
+        (LinkKind.OBJECT, "Primary"),
+        (LinkKind.PRIMITIVE_VALUE, "Literal"),
+        (LinkKind.FIELD, "FieldAccess"),
+        (LinkKind.STATIC_METHOD, "Name"),
+        (LinkKind.CONSTRUCTOR, "Name"),
+        (LinkKind.ARRAY, "Primary"),
+        (LinkKind.ARRAY_ELEMENT, "ArrayAccess"),
+    ])
+    def test_table1_rows_exact(self, kind, production):
+        assert production_for_kind(kind) == production
+
+
+class TestDescriptors:
+    def test_class_ref_roundtrip(self, registry):
+        ref = ClassRef.of(Person)
+        assert ref.simple_name() == "Person"
+        assert ref.resolve(registry).python_class is Person
+
+    def test_method_ref_roundtrip(self, registry):
+        method = for_class(Person).get_method("marry")
+        ref = MethodRef.of(method)
+        assert ref.method_name == "marry"
+        resolved = ref.resolve(registry)
+        assert resolved.qualified_name() == "Person.marry"
+
+    def test_constructor_ref(self, registry):
+        ref = ConstructorRef.of(Person)
+        ctor = ref.resolve_constructor(registry)
+        assert ctor.new_instance("x").name == "x"
+
+    def test_field_ref(self, registry):
+        field = for_class(Person).get_field("name")
+        ref = FieldRef.of(field)
+        assert ref.resolve(registry).get_name() == "name"
+
+    def test_descriptor_equality(self):
+        assert ClassRef("m.A") == ClassRef("m.A")
+        assert ClassRef("m.A") != ConstructorRef("m.A")  # different kinds
+        assert MethodRef("m.A", "f") == MethodRef("m.A", "f")
+        assert MethodRef("m.A", "f") != MethodRef("m.A", "g")
+
+
+class TestLocations:
+    def test_field_location_reads_current_value(self):
+        person = Person("old")
+        location = FieldLocation(person, "name")
+        assert location.get() == "old"
+        person.name = "new"
+        assert location.get() == "new"  # delayed binding
+
+    def test_field_location_set(self):
+        person = Person("x")
+        FieldLocation(person, "name").set("y")
+        assert person.name == "y"
+
+    def test_field_location_missing_field(self):
+        with pytest.raises(NoSuchMemberError):
+            FieldLocation(Person("x"), "missing").get()
+
+    def test_array_element_location(self):
+        array = [10, 20, 30]
+        location = ArrayElementLocation(array, 1)
+        assert location.get() == 20
+        array[1] = 99
+        assert location.get() == 99
+        location.set(7)
+        assert array[1] == 7
+
+
+class TestHyperLinkHP:
+    def test_figure6_accessors(self):
+        link = HyperLinkHP("obj", "label", 5, False, False)
+        assert link.get_object() == "obj" or link.getObject() == "obj"
+        assert link.get_label() == "label"
+        assert link.get_string_pos() == 5
+        assert link.get_is_special() is False
+        assert link.get_is_primitive() is False
+
+    def test_special_and_primitive_exclusive(self):
+        with pytest.raises(LinkKindError):
+            HyperLinkHP(None, "x", 0, True, True)
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(LinkKindError):
+            HyperLinkHP(None, "x", -1, False, False)
+
+    def test_to_object_infers_kind(self):
+        person = Person("p")
+        assert HyperLinkHP.to_object(person, "p", 0).kind is LinkKind.OBJECT
+        assert HyperLinkHP.to_object([1], "a", 0).kind is LinkKind.ARRAY
+
+    def test_to_object_rejects_primitives(self):
+        with pytest.raises(LinkKindError):
+            HyperLinkHP.to_object(42, "n", 0)
+
+    def test_to_primitive(self):
+        link = HyperLinkHP.to_primitive(42, "42", 0)
+        assert link.is_primitive and not link.is_special
+        assert link.kind is LinkKind.PRIMITIVE_VALUE
+
+    def test_to_primitive_rejects_objects(self):
+        with pytest.raises(LinkKindError):
+            HyperLinkHP.to_primitive(Person("p"), "p", 0)
+
+    def test_to_class_and_interface(self):
+        assert HyperLinkHP.to_class(Person, "Person", 0).kind \
+            is LinkKind.CLASS
+        assert HyperLinkHP.to_class(Person, "P", 0, interface=True).kind \
+            is LinkKind.INTERFACE
+
+    def test_to_static_method_stores_descriptor(self):
+        method = for_class(Person).get_method("marry")
+        link = HyperLinkHP.to_static_method(method, "marry", 0)
+        assert link.is_special
+        assert isinstance(link.get_object(), MethodRef)
+        assert link.kind is LinkKind.STATIC_METHOD
+
+    def test_to_constructor(self):
+        link = HyperLinkHP.to_constructor(Person, "new Person", 0)
+        assert link.kind is LinkKind.CONSTRUCTOR
+        assert isinstance(link.get_object(), ConstructorRef)
+
+    def test_to_field_location_dereferences(self):
+        person = Person("val")
+        link = HyperLinkHP.to_field_location(person, "name", ".name", 0)
+        assert link.is_location()
+        assert link.dereference() == "val"
+        person.name = "changed"
+        assert link.dereference() == "changed"
+
+    def test_to_array_element_bounds_checked(self):
+        with pytest.raises(LinkKindError):
+            HyperLinkHP.to_array_element([1, 2], 5, "x", 0)
+        with pytest.raises(LinkKindError):
+            HyperLinkHP.to_array_element("not a list", 0, "x", 0)
+
+    def test_value_link_dereference_is_identity(self):
+        person = Person("v")
+        link = HyperLinkHP.to_object(person, "v", 0)
+        assert link.dereference() is person
+        assert not link.is_location()
+
+    def test_kind_survives_as_string(self):
+        """kind is stored as its string value, so links persist cleanly."""
+        link = HyperLinkHP.to_primitive(1, "1", 0)
+        assert isinstance(link.kind_name, str)
+        assert link.kind is LinkKind.PRIMITIVE_VALUE

@@ -1,0 +1,168 @@
+"""The password-protected link registry (Figure 7): addHP/getLink, password
+checking, weak vs strong reference modes, persistence of the structure."""
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.linkstore import DEFAULT_PASSWORD, LinkStore, REGISTRY_ROOT
+from repro.errors import (
+    BadPasswordError,
+    HyperProgramCollectedError,
+    UnknownHyperLinkError,
+    UnknownHyperProgramError,
+)
+
+from tests.conftest import Person
+
+
+def simple_program(label="x"):
+    program = HyperProgram("text", class_name="C")
+    program.add_link(HyperLinkHP.to_primitive(1, label, 0))
+    return program
+
+
+class TestPasswordProtection:
+    def test_wrong_password_rejected_everywhere(self, store):
+        link_store = LinkStore(store)
+        program = simple_program()
+        link_store.add_hp(program, DEFAULT_PASSWORD)
+        for call in (lambda: link_store.add_hp(program, "wrong"),
+                     lambda: link_store.get_hp("wrong", 0),
+                     lambda: link_store.get_link("wrong", 0, 0),
+                     lambda: link_store.count("wrong"),
+                     lambda: link_store.index_of(program, "wrong")):
+            with pytest.raises(BadPasswordError):
+                call()
+
+    def test_custom_password(self, store):
+        link_store = LinkStore(store, password="secret")
+        program = simple_program()
+        link_store.add_hp(program, "secret")
+        with pytest.raises(BadPasswordError):
+            link_store.add_hp(program, DEFAULT_PASSWORD)
+
+    def test_password_fixed_at_creation(self, tmp_path, registry, store):
+        LinkStore(store, password="first")
+        # A second LinkStore over the same store sees the stored password.
+        second = LinkStore(store, password="ignored")
+        assert second.password == "first"
+
+
+class TestAddAndGet:
+    def test_add_returns_stable_index(self, store):
+        link_store = LinkStore(store)
+        a, b = simple_program("a"), simple_program("b")
+        assert link_store.add_hp(a, DEFAULT_PASSWORD) == 0
+        assert link_store.add_hp(b, DEFAULT_PASSWORD) == 1
+        assert link_store.add_hp(a, DEFAULT_PASSWORD) == 0  # idempotent
+
+    def test_get_hp_returns_same_object(self, store):
+        link_store = LinkStore(store)
+        program = simple_program()
+        index = link_store.add_hp(program, DEFAULT_PASSWORD)
+        assert link_store.get_hp(DEFAULT_PASSWORD, index) is program
+
+    def test_get_link_figure9(self, store):
+        link_store = LinkStore(store)
+        program = simple_program("the link")
+        index = link_store.add_hp(program, DEFAULT_PASSWORD)
+        link = link_store.get_link(DEFAULT_PASSWORD, index, 0)
+        assert link.label == "the link"
+
+    def test_unknown_indices_raise(self, store):
+        link_store = LinkStore(store)
+        program = simple_program()
+        link_store.add_hp(program, DEFAULT_PASSWORD)
+        with pytest.raises(UnknownHyperProgramError):
+            link_store.get_hp(DEFAULT_PASSWORD, 5)
+        with pytest.raises(UnknownHyperLinkError):
+            link_store.get_link(DEFAULT_PASSWORD, 0, 5)
+
+    def test_index_of_missing_program(self, store):
+        link_store = LinkStore(store)
+        assert link_store.index_of(simple_program(), DEFAULT_PASSWORD) \
+            is None
+
+
+class TestReferenceModes:
+    def test_weak_mode_allows_collection(self, store):
+        """Paper Section 4.1: with weak references, hyper-programs are
+        collectable once no user references remain.  "User references" are
+        persistent-root reachability in this store."""
+        link_store = LinkStore(store, weak=True)
+        program = simple_program()
+        index = link_store.add_hp(program, DEFAULT_PASSWORD)
+        store.set_root("user-reference", [program])
+        store.stabilize()
+        # While the user reference exists, the registry resolves the link.
+        assert link_store.get_hp(DEFAULT_PASSWORD, index) is program
+        # Drop the user reference and collect.
+        store.delete_root("user-reference")
+        del program
+        store.collect_garbage()
+        assert link_store.collected_count(DEFAULT_PASSWORD) == 1
+        with pytest.raises(HyperProgramCollectedError):
+            link_store.get_hp(DEFAULT_PASSWORD, index)
+
+    def test_strong_mode_prevents_collection(self, store):
+        """The paper's current implementation: "no hyper-program that is
+        translated and compiled can be subsequently garbage collected"."""
+        link_store = LinkStore(store, weak=False)
+        program = simple_program()
+        index = link_store.add_hp(program, DEFAULT_PASSWORD)
+        store.stabilize()
+        del program
+        store.collect_garbage()
+        fetched = link_store.get_hp(DEFAULT_PASSWORD, index)
+        assert fetched.get_class_name() == "C"
+
+    def test_weak_entry_with_live_reference_survives(self, store):
+        link_store = LinkStore(store, weak=True)
+        program = simple_program()
+        index = link_store.add_hp(program, DEFAULT_PASSWORD)
+        store.set_root("user-ref", [program])  # user still holds it
+        store.stabilize()
+        store.collect_garbage()
+        assert link_store.get_hp(DEFAULT_PASSWORD, index) is program
+
+
+class TestPersistence:
+    def test_registry_structure_survives_reopen(self, tmp_path, registry):
+        from repro.store.objectstore import ObjectStore
+        directory = str(tmp_path / "s")
+        with ObjectStore.open(directory, registry=registry) as store:
+            link_store = LinkStore(store, weak=False)
+            program = simple_program("persisted")
+            index = link_store.add_hp(program, DEFAULT_PASSWORD)
+            store.stabilize()
+        with ObjectStore.open(directory, registry=registry) as store:
+            link_store = LinkStore(store)
+            link = link_store.get_link(DEFAULT_PASSWORD, index, 0)
+            assert link.label == "persisted"
+
+    def test_registry_root_name(self, store):
+        LinkStore(store)
+        assert store.has_root(REGISTRY_ROOT)
+
+    def test_compiled_form_outlives_discarded_source(self, tmp_path,
+                                                     registry, store):
+        """Section 4.1: "The hyper-linked entities will thus remain
+        accessible by the compiled form even if the original hyper-program
+        is discarded" — in strong mode."""
+        link_store = LinkStore(store, weak=False)
+        DynamicCompiler.install(link_store)
+        try:
+            target = Person("linked")
+            store.set_root("target", [target])
+            text = "class Probe:\n    @staticmethod\n    def main(args):\n        return .name\n"
+            program = HyperProgram(text, class_name="Probe")
+            program.add_link(HyperLinkHP.to_object(
+                target, "t", text.index("return ") + len("return ")))
+            compiled = DynamicCompiler.compile_hyper_program(program)
+            del program  # discard the source; compiled form still works
+            store.collect_garbage()
+            assert DynamicCompiler.run_main(compiled) == "linked"
+        finally:
+            DynamicCompiler.uninstall()

@@ -1,0 +1,151 @@
+"""Textual-form generation (Section 4.2, Figure 8) and the textual-lookup
+baseline."""
+
+import pytest
+
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.textual import (
+    PersistentLookup,
+    TextualBaseline,
+    generate_textual_form,
+    textual_for_link,
+)
+from repro.errors import CompilationError, UnknownRootError
+from repro.reflect.introspect import for_class
+
+from tests.conftest import Person
+
+
+class TestLinkDenotations:
+    def test_object_link_becomes_get_link_expression(self, registry):
+        bindings = {}
+        link = HyperLinkHP.to_object(Person("p"), "p", 0)
+        text = textual_for_link(link, 3, 7, "passwd", registry, bindings)
+        assert text == "(DynamicCompiler.get_link('passwd', 3, 7)" \
+                       ".get_object())"
+
+    def test_location_link_dereferences_at_runtime(self, registry):
+        link = HyperLinkHP.to_field_location(Person("p"), "name", "n", 0)
+        text = textual_for_link(link, 0, 0, "pw", registry, {})
+        assert ".dereference())" in text
+
+    def test_method_link_is_qualified_name(self, registry):
+        method = for_class(Person).get_method("marry")
+        link = HyperLinkHP.to_static_method(method, "m", 0)
+        bindings = {}
+        text = textual_for_link(link, 0, 0, "pw", registry, bindings)
+        assert text == "Person.marry"
+        assert bindings["Person"] is Person  # the generated import
+
+    def test_class_link_is_simple_name_with_binding(self, registry):
+        link = HyperLinkHP.to_class(Person, "P", 0)
+        bindings = {}
+        assert textual_for_link(link, 0, 0, "pw", registry,
+                                bindings) == "Person"
+        assert bindings["Person"] is Person
+
+    def test_constructor_link_is_class_name(self, registry):
+        link = HyperLinkHP.to_constructor(Person, "new", 0)
+        assert textual_for_link(link, 0, 0, "pw", registry, {}) == "Person"
+
+    def test_builtin_primitive_type_needs_no_binding(self, registry):
+        link = HyperLinkHP.to_primitive_type("int", "int", 0)
+        bindings = {}
+        assert textual_for_link(link, 0, 0, "pw", registry,
+                                bindings) == "int"
+        assert "int" not in bindings
+
+    def test_primitive_value_is_literal(self, registry):
+        link = HyperLinkHP.to_primitive(42, "42", 0)
+        assert textual_for_link(link, 0, 0, "pw", registry, {}) == "42"
+        link = HyperLinkHP.to_primitive("s", "s", 0)
+        assert textual_for_link(link, 0, 0, "pw", registry, {}) == "'s'"
+
+
+class TestGenerateTextualForm:
+    def _marry_program(self, registry):
+        text = "Person.marry(, )\n"
+        program = HyperProgram(text, class_name="Anon")
+        pos = text.index("(")
+        program.add_link(HyperLinkHP.to_object(Person("v"), "v", pos + 1))
+        program.add_link(HyperLinkHP.to_object(Person("m"), "m", pos + 2))
+        return program
+
+    def test_figure8_shape(self, registry):
+        program = self._marry_program(registry)
+        source, bindings = generate_textual_form(program, 0, "passwd",
+                                                 registry)
+        assert "DynamicCompiler.get_link('passwd', 0, 0).get_object()" \
+            in source
+        assert "DynamicCompiler.get_link('passwd', 0, 1).get_object()" \
+            in source
+        assert "DynamicCompiler" in bindings
+
+    def test_header_mirrors_imports(self, registry):
+        program = self._marry_program(registry)
+        source, __ = generate_textual_form(program, 0, "pw", registry)
+        header = source.splitlines()[1]
+        assert header.startswith("# bindings:")
+        assert "DynamicCompiler" in header
+
+    def test_unique_ids_embedded(self, registry):
+        """The hyper-program id and link index appear in each retrieval
+        expression (Section 4.1)."""
+        program = self._marry_program(registry)
+        source, __ = generate_textual_form(program, 17, "pw", registry)
+        assert "get_link('pw', 17, 0)" in source
+        assert "get_link('pw', 17, 1)" in source
+
+    def test_text_outside_links_verbatim(self, registry):
+        program = self._marry_program(registry)
+        source, __ = generate_textual_form(program, 0, "pw", registry)
+        assert "Person.marry(" in source
+
+    def test_empty_program(self, registry):
+        source, bindings = generate_textual_form(HyperProgram("x = 1\n"),
+                                                 0, "pw", registry)
+        assert source.endswith("x = 1\n")
+
+
+class TestPersistentLookupBaseline:
+    def test_lookup_root(self, store, people):
+        PersistentLookup.install(store)
+        assert PersistentLookup.lookup("people")[0] is people[0]
+
+    def test_lookup_path_with_index_and_field(self, store, people):
+        PersistentLookup.install(store)
+        Person.marry(*people)
+        assert PersistentLookup.lookup("people", "0.spouse") is people[1]
+        assert PersistentLookup.lookup("people", "1.name") == "mary"
+
+    def test_lookup_fails_at_runtime_only(self, store, people):
+        """The baseline's defining weakness: a bad path is only detected
+        when the program runs (hyper-links fail at compose time)."""
+        PersistentLookup.install(store)
+        expression = TextualBaseline.expression("people", "0.nonexistent")
+        compiled = compile(expression, "<baseline>", "eval")  # compiles fine
+        with pytest.raises(LookupError):
+            eval(compiled, TextualBaseline.bindings())
+
+    def test_missing_root_raises(self, store):
+        PersistentLookup.install(store)
+        with pytest.raises(UnknownRootError):
+            PersistentLookup.lookup("no such root")
+
+    def test_no_store_installed(self):
+        PersistentLookup.install(None)  # type: ignore[arg-type]
+        PersistentLookup._store = None
+        with pytest.raises(UnknownRootError):
+            PersistentLookup.lookup("x")
+
+    def test_expression_shapes(self):
+        assert TextualBaseline.expression("r") == \
+            "PersistentLookup.lookup('r')"
+        assert TextualBaseline.expression("r", "a.0") == \
+            "PersistentLookup.lookup('r', 'a.0')"
+
+    def test_dict_path_step(self, store):
+        PersistentLookup.install(store)
+        store.set_root("config", {"limit": 10})
+        assert PersistentLookup.lookup("config", "limit") == 10

@@ -1,0 +1,202 @@
+"""The basic editor (Figure 10 layer 1): cursor, selection, insertion,
+deletion, cut/copy/paste of text *and links*, undo/redo."""
+
+import pytest
+
+from repro.core.editform import HyperLink
+from repro.core.linkkinds import LinkKind
+from repro.editor.basic import BasicEditor
+from repro.errors import NothingToUndoError
+
+
+def link(label="L"):
+    return HyperLink(object(), label, 0, False, False, LinkKind.OBJECT)
+
+
+@pytest.fixture
+def editor():
+    ed = BasicEditor()
+    ed.insert_text("line one\nline two\nline three")
+    ed.move_cursor(0, 0)
+    return ed
+
+
+class TestCursorAndSelection:
+    def test_cursor_clamped_to_document(self, editor):
+        editor.move_cursor(99, 99)
+        assert editor.cursor == (2, len("line three"))
+        editor.move_cursor(-1, -5)
+        assert editor.cursor == (0, 0)
+
+    def test_selection_ordered(self, editor):
+        editor.set_selection((2, 3), (0, 1))
+        assert editor.selection == ((0, 1), (2, 3))
+
+    def test_empty_selection_is_none(self, editor):
+        editor.set_selection((1, 1), (1, 1))
+        assert editor.selection is None
+
+
+class TestTyping:
+    def test_insert_at_cursor_advances(self, editor):
+        editor.insert_text("X")
+        assert editor.cursor == (0, 1)
+        assert editor.text().startswith("Xline one")
+
+    def test_newline_splits(self, editor):
+        editor.move_cursor(0, 4)
+        editor.newline()
+        assert editor.form.line_count() == 4
+        assert editor.cursor == (1, 0)
+
+    def test_typing_replaces_selection(self, editor):
+        editor.set_selection((0, 0), (0, 4))
+        editor.insert_text("word")
+        assert editor.text().startswith("word one")
+
+
+class TestDeletion:
+    def test_backspace_single_char(self, editor):
+        editor.move_cursor(0, 4)
+        editor.backspace()
+        assert editor.text().startswith("lin one")
+        assert editor.cursor == (0, 3)
+
+    def test_backspace_at_line_start_joins(self, editor):
+        editor.move_cursor(1, 0)
+        editor.backspace()
+        assert editor.form.text_of_line(0) == "line oneline two"
+        assert editor.cursor == (0, 8)
+
+    def test_backspace_at_document_start_is_noop(self, editor):
+        editor.backspace()
+        assert editor.text().startswith("line one")
+
+    def test_backspace_removes_link_first(self, editor):
+        editor.move_cursor(0, 4)
+        editor.insert_link(link("btn"))
+        assert editor.form.link_count() == 1
+        editor.backspace()
+        assert editor.form.link_count() == 0
+        assert editor.form.text_of_line(0) == "line one"  # text untouched
+
+    def test_delete_selection(self, editor):
+        editor.set_selection((0, 4), (1, 4))
+        deleted = editor.delete_selection()
+        assert deleted == " one\nline"
+        assert editor.form.text_of_line(0) == "line two"
+
+
+class TestClipboard:
+    def test_copy_paste_text(self, editor):
+        editor.set_selection((0, 0), (0, 4))
+        editor.copy()
+        editor.clear_selection()
+        editor.move_cursor(2, 10)
+        editor.paste()
+        assert editor.form.text_of_line(2) == "line threeline"
+
+    def test_cut_removes_and_stores(self, editor):
+        editor.set_selection((0, 0), (0, 5))
+        fragment = editor.cut()
+        assert fragment.text == "line "
+        assert editor.form.text_of_line(0) == "one"
+
+    def test_links_travel_with_clipboard(self, editor):
+        """Section 5.1: cutting and pasting of text AND links."""
+        editor.move_cursor(0, 4)
+        editor.insert_link(link("travelling"))
+        editor.set_selection((0, 2), (0, 6))
+        editor.cut()
+        assert editor.form.link_count() == 0
+        editor.move_cursor(2, 0)
+        editor.paste()
+        links = editor.form.links_on_line(2)
+        assert len(links) == 1
+        assert links[0].label == "travelling"
+        assert links[0].pos == 2  # same relative offset
+
+    def test_multiline_fragment_with_links(self, editor):
+        editor.move_cursor(1, 2)
+        editor.insert_link(link("second-line"))
+        editor.set_selection((0, 5), (2, 4))
+        fragment = editor.copy()
+        assert fragment.line_count() == 3
+        assert fragment.links[0][0] == 1  # fragment-relative line
+
+    def test_paste_twice_duplicates_links(self, editor):
+        editor.move_cursor(0, 4)
+        editor.insert_link(link("dup"))
+        editor.set_selection((0, 3), (0, 5))
+        editor.copy()
+        editor.clear_selection()
+        editor.move_cursor(2, 0)
+        editor.paste()
+        editor.move_cursor(1, 0)
+        editor.paste()
+        assert editor.form.link_count() == 3
+
+    def test_paste_empty_clipboard_is_noop(self, editor):
+        before = editor.text()
+        editor.paste()
+        assert editor.text() == before
+
+
+class TestUndoRedo:
+    def test_undo_insert(self, editor):
+        before = editor.text()
+        editor.insert_text("XYZ")
+        editor.undo()
+        assert editor.text() == before
+
+    def test_redo_after_undo(self, editor):
+        editor.insert_text("XYZ")
+        after = editor.text()
+        editor.undo()
+        editor.redo()
+        assert editor.text() == after
+
+    def test_undo_restores_links(self, editor):
+        editor.move_cursor(0, 4)
+        editor.insert_link(link("undone"))
+        editor.undo()
+        assert editor.form.link_count() == 0
+
+    def test_undo_empty_history_raises(self):
+        with pytest.raises(NothingToUndoError):
+            BasicEditor().undo()
+
+    def test_new_edit_clears_redo(self, editor):
+        editor.insert_text("A")
+        editor.undo()
+        editor.insert_text("B")
+        with pytest.raises(NothingToUndoError):
+            editor.redo()
+
+    def test_undo_chain(self, editor):
+        original = editor.text()
+        for ch in "abc":
+            editor.insert_text(ch)
+        for __ in range(3):
+            editor.undo()
+        assert editor.text() == original
+
+
+class TestQueries:
+    def test_link_at_cursor(self, editor):
+        editor.move_cursor(1, 3)
+        inserted = editor.insert_link(link("here"))
+        assert editor.link_at_cursor() is inserted
+        editor.move_cursor(0, 0)
+        assert editor.link_at_cursor() is None
+
+    def test_find(self, editor):
+        assert editor.find("two") == (1, 5)
+        assert editor.find("two", (1, 6)) is None
+        assert editor.find("line", (1, 0)) == (1, 0)
+        assert editor.find("absent") is None
+
+    def test_render_shows_buttons(self, editor):
+        editor.move_cursor(0, 4)
+        editor.insert_link(link("B"))
+        assert "[B]" in editor.render()

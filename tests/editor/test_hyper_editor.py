@@ -1,0 +1,154 @@
+"""The hyper-program editor (Figure 10 layer 3): load/save, link buttons,
+legality-checked insertion, Compile / Display Class / Go, error reports."""
+
+import pytest
+
+from repro.core.editform import HyperLink
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.linkkinds import LinkKind
+from repro.editor.hyper import HyperProgramEditor
+from repro.errors import CompilationError, IllegalLinkInsertionError
+from repro.reflect.introspect import for_class
+
+from tests.conftest import Person
+
+
+def object_link(target, label):
+    return HyperLink(target, label, 0, False, False, LinkKind.OBJECT)
+
+
+class TestLoadSave:
+    def test_load_storage_form(self):
+        program = HyperProgram("class C:\n    pass\n", class_name="C")
+        editor = HyperProgramEditor()
+        editor.load(program)
+        assert editor.basic.text() == program.the_text
+        assert editor.class_name == "C"
+
+    def test_roundtrip_through_editor(self):
+        text = "f(, )\n"
+        program = HyperProgram(text, class_name="X")
+        program.add_link(HyperLinkHP.to_primitive(1, "one", 2))
+        editor = HyperProgramEditor()
+        editor.load(program)
+        back = editor.to_storage_form()
+        assert back.the_text == text
+        assert back.the_links[0].string_pos == 2
+
+    def test_edit_then_save(self):
+        editor = HyperProgramEditor("C")
+        editor.type_text("x = 1\n")
+        program = editor.to_storage_form()
+        assert program.the_text == "x = 1\n"
+        assert program.class_name == "C"
+
+
+class TestLinkInsertion:
+    def test_insert_link_at_cursor(self):
+        editor = HyperProgramEditor()
+        editor.type_text("value = ")
+        inserted = editor.insert_link(object_link(Person("p"), "p"))
+        assert inserted.pos == 8
+
+    def test_press_link_returns_entity(self):
+        target = Person("shown")
+        editor = HyperProgramEditor()
+        inserted = editor.insert_link(object_link(target, "t"))
+        assert editor.press_link(inserted) is target
+
+    def test_relabel_does_not_change_semantics(self):
+        """Button names "are not significant to the semantics" (5.4.1)."""
+        target = Person("x")
+        editor = HyperProgramEditor()
+        inserted = editor.insert_link(object_link(target, "old name"))
+        editor.relabel_link(inserted, "new name")
+        assert inserted.label == "new name"
+        assert inserted.hyper_link_object is target
+
+    def test_checked_insertion_rejects_illegal(self):
+        editor = HyperProgramEditor(check_insertions=True)
+        editor.type_text("def f(")
+        editor.basic.move_cursor(0, 4)  # inside the name "f(" — illegal
+        with pytest.raises(IllegalLinkInsertionError):
+            editor.insert_link(object_link(Person("p"), "p"))
+
+    def test_checked_insertion_allows_legal(self):
+        editor = HyperProgramEditor(check_insertions=True)
+        editor.type_text("value = \n")
+        editor.basic.move_cursor(0, 8)
+        editor.insert_link(object_link(Person("p"), "p"))
+
+    def test_unchecked_insertion_allows_anything(self):
+        """Paper: the *present* system allows illegal insertions; errors
+        surface at compilation."""
+        editor = HyperProgramEditor(check_insertions=False)
+        editor.type_text("def f(")
+        editor.basic.move_cursor(0, 2)
+        editor.insert_link(object_link(Person("p"), "p"))  # no raise
+
+
+class TestCompileAndGo:
+    def _marry_editor(self, people):
+        vangelis, mary = people
+        editor = HyperProgramEditor("MarryExample")
+        editor.type_text("class MarryExample:\n"
+                         "    @staticmethod\n"
+                         "    def main(args):\n"
+                         "        ")
+        marry = for_class(Person).get_method("marry")
+        editor.insert_link(HyperLink(None, "m", 0, True, False,
+                                     LinkKind.STATIC_METHOD))
+        # Replace the raw HyperLink with a proper descriptor link:
+        editor.basic.undo()
+        from repro.core.hyperlink import MethodRef
+        editor.insert_link(HyperLink(MethodRef.of(marry), "Person.marry",
+                                     0, True, False,
+                                     LinkKind.STATIC_METHOD))
+        editor.type_text("(")
+        editor.insert_link(object_link(vangelis, "vangelis"))
+        editor.type_text(", ")
+        editor.insert_link(object_link(mary, "mary"))
+        editor.type_text(")\n")
+        return editor
+
+    def test_compile_returns_principal_class(self, link_store, people):
+        editor = self._marry_editor(people)
+        cls = editor.compile()
+        assert cls.__name__ == "MarryExample"
+
+    def test_go_executes_main(self, link_store, people):
+        vangelis, mary = people
+        editor = self._marry_editor(people)
+        editor.go()
+        assert vangelis.spouse is mary
+
+    def test_display_class_compiles_once(self, link_store, people):
+        editor = self._marry_editor(people)
+        first = editor.display_class()
+        second = editor.display_class()
+        assert first is second
+
+    def test_edit_invalidates_compiled_class(self, link_store, people):
+        editor = self._marry_editor(people)
+        first = editor.display_class()
+        editor.type_text("# comment\n")
+        second = editor.display_class()
+        assert first is not second
+
+    def test_compile_error_reported_in_textual_terms(self, link_store):
+        """Section 5.4.2: "the error is described in terms of the
+        translated textual form"."""
+        editor = HyperProgramEditor("Broken")
+        editor.type_text("class Broken(:\n    pass\n")
+        with pytest.raises(CompilationError):
+            editor.compile()
+        report = editor.error_report()
+        assert "textual form" in report
+        assert "class Broken(:" in report
+
+    def test_error_cleared_after_successful_compile(self, link_store,
+                                                    people):
+        editor = self._marry_editor(people)
+        editor.compile()
+        assert editor.error_report() == "no error"

@@ -1,0 +1,152 @@
+"""The window editor (Figure 10 layer 2): viewport, faces, styled spans,
+button hit-testing."""
+
+import pytest
+
+from repro.core.editform import HyperLink
+from repro.core.linkkinds import LinkKind
+from repro.editor.basic import BasicEditor
+from repro.editor.faces import Face, FaceTable
+from repro.editor.window import WindowEditor
+
+
+def make_editor(lines=30):
+    editor = BasicEditor()
+    editor.insert_text("\n".join(f"line {i}" for i in range(lines)))
+    editor.move_cursor(0, 0)
+    return editor
+
+
+class TestFaces:
+    def test_default_faces_defined(self):
+        table = FaceTable()
+        for name in ("text", "keyword", "link", "special-link",
+                     "primitive-link"):
+            assert table.face(name) is not None
+
+    def test_define_custom_face(self):
+        table = FaceTable()
+        table.define("warning", Face(colour="red", bold=True))
+        assert table.face("warning").colour == "red"
+
+    def test_unknown_face_raises(self):
+        with pytest.raises(KeyError):
+            FaceTable().face("nope")
+
+    def test_with_modifier(self):
+        face = Face().with_(bold=True, size=16)
+        assert face.bold and face.size == 16
+        assert not Face().bold  # original untouched
+
+    def test_face_for_link_kind_policy(self):
+        table = FaceTable()
+        special = table.face_for_link_kind(LinkKind.CLASS, True, False)
+        primitive = table.face_for_link_kind(LinkKind.PRIMITIVE_VALUE,
+                                             False, True)
+        plain = table.face_for_link_kind(LinkKind.OBJECT, False, False)
+        assert special == table.face("special-link")
+        assert primitive == table.face("primitive-link")
+        assert plain == table.face("link")
+
+    def test_describe(self):
+        assert "monospace" in Face().describe()
+        assert Face(bold=True).describe().endswith("+b")
+
+
+class TestViewport:
+    def test_visible_window(self):
+        window = WindowEditor(make_editor(), height=5)
+        assert list(window.visible_line_numbers()) == [0, 1, 2, 3, 4]
+        window.scroll_to(10)
+        assert list(window.visible_line_numbers()) == list(range(10, 15))
+
+    def test_scroll_clamped(self):
+        window = WindowEditor(make_editor(5), height=3)
+        window.scroll_to(100)
+        assert window.top_line == 4
+        window.scroll_by(-100)
+        assert window.top_line == 0
+
+    def test_ensure_cursor_visible(self):
+        editor = make_editor()
+        window = WindowEditor(editor, height=5)
+        editor.move_cursor(20, 0)
+        window.ensure_cursor_visible()
+        assert 20 in window.visible_line_numbers()
+        editor.move_cursor(2, 0)
+        window.ensure_cursor_visible()
+        assert 2 in window.visible_line_numbers()
+
+    def test_resize_validation(self):
+        window = WindowEditor(make_editor())
+        with pytest.raises(ValueError):
+            window.resize(2, 0)
+        window.resize(40, 10)
+        assert (window.width, window.height) == (40, 10)
+
+
+class TestRendering:
+    def test_render_truncates_to_width(self):
+        editor = BasicEditor()
+        editor.insert_text("x" * 100)
+        window = WindowEditor(editor, width=10)
+        assert len(window.render_line(0)) == 10
+
+    def test_render_includes_buttons(self):
+        editor = make_editor(3)
+        editor.move_cursor(1, 2)
+        editor.insert_link(HyperLink(None, "BTN", 0, False, False))
+        window = WindowEditor(editor)
+        assert "[BTN]" in window.render_line(1)
+
+    def test_styled_spans_carry_faces_and_links(self):
+        editor = make_editor(2)
+        editor.move_cursor(0, 2)
+        inserted = editor.insert_link(
+            HyperLink(None, "B", 0, True, False, LinkKind.CLASS))
+        window = WindowEditor(editor)
+        spans = window.styled_line(0)
+        button_spans = [span for span in spans if span.is_button]
+        assert len(button_spans) == 1
+        assert button_spans[0].link is inserted
+        assert button_spans[0].face == window.faces.face("special-link")
+
+    def test_cursor_rendering(self):
+        editor = make_editor(2)
+        editor.move_cursor(0, 2)
+        window = WindowEditor(editor)
+        rendered = window.render(show_cursor=True).splitlines()[0]
+        assert rendered.startswith("li|ne")
+
+    def test_cursor_position_accounts_for_buttons(self):
+        editor = make_editor(2)
+        editor.move_cursor(0, 2)
+        editor.insert_link(HyperLink(None, "AB", 0, False, False))
+        editor.move_cursor(0, 4)
+        window = WindowEditor(editor)
+        rendered = window.render(show_cursor=True).splitlines()[0]
+        # "li[AB]ne| 0" — cursor after text col 4 plus 4 button chars
+        assert rendered.index("|") == 8
+
+
+class TestButtons:
+    def test_button_at_display_position(self):
+        editor = make_editor(2)
+        editor.move_cursor(0, 2)
+        inserted = editor.insert_link(HyperLink(None, "BTN", 0, False,
+                                                False))
+        window = WindowEditor(editor)
+        # Display: "li[BTN]ne 0" — button covers columns 2..6
+        assert window.button_at(0, 3) is inserted
+        assert window.button_at(0, 0) is None
+        assert window.button_at(0, 8) is None
+
+    def test_buttons_listing(self):
+        editor = make_editor(3)
+        editor.move_cursor(0, 1)
+        editor.insert_link(HyperLink(None, "one", 0, False, False))
+        editor.move_cursor(2, 1)
+        editor.insert_link(HyperLink(None, "two", 0, False, False))
+        window = WindowEditor(editor)
+        assert [(line, link.label) for line, link in window.buttons()] == \
+            [(0, "one"), (2, "two")]

@@ -1,0 +1,175 @@
+"""End-to-end reproduction of the paper's workflow: compose in the editor
+with browser gestures, compile, run, persist, reopen, re-run — the full
+Figure 1 → Figure 12 story."""
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.core.linkstore import LinkStore
+from repro.errors import HyperProgramCollectedError
+from repro.reflect.introspect import for_class
+from repro.store.objectstore import ObjectStore
+from repro.ui.app import HyperProgrammingUI
+from repro.ui.events import ButtonPress, RightClick
+
+from tests.conftest import Person
+
+
+def compose_marry_example(ui, browser_window, editor_window, people):
+    """Compose Figure 2's MarryExample through the Figure 12 gestures."""
+    editor = editor_window.editor
+    editor.type_text("class MarryExample:\n"
+                     "    @staticmethod\n"
+                     "    def main(args):\n"
+                     "        ")
+    class_panel = browser_window.browser.open_class(Person)
+    ui.right_click(RightClick(browser_window.id, class_panel.id,
+                              "Person.marry"))
+    editor.type_text("(")
+    for index, separator in ((0, ", "), (1, ")\n")):
+        panel = browser_window.browser.open_object(people[index])
+        ui.right_click(RightClick(browser_window.id, panel.id,
+                                  panel.entities()[0].label))
+        editor.type_text(separator)
+
+
+class TestFullWorkflow:
+    def test_compose_compile_run_persist_reopen(self, tmp_path, registry):
+        directory = str(tmp_path / "store")
+        # --- Session 1: compose and run -------------------------------
+        store = ObjectStore.open(directory, registry=registry)
+        link_store = LinkStore(store)
+        DynamicCompiler.install(link_store)
+        try:
+            vangelis, mary = Person("vangelis"), Person("mary")
+            store.set_root("people", [vangelis, mary])
+            ui = HyperProgrammingUI(store)
+            browser_window = ui.open_browser()
+            editor_window = ui.open_editor("MarryExample")
+            compose_marry_example(ui, browser_window, editor_window,
+                                  (vangelis, mary))
+            ui.press_button(ButtonPress(editor_window.id, "Go"))
+            assert vangelis.spouse is mary
+
+            # Persist the hyper-program itself (it is a persistent object).
+            program = editor_window.editor.to_storage_form()
+            store.set_root("programs", {"marry": program})
+            store.stabilize()
+        finally:
+            DynamicCompiler.uninstall()
+            store.close()
+
+        # --- Session 2: reopen, links resolve to stored objects --------
+        store = ObjectStore.open(directory, registry=registry)
+        link_store = LinkStore(store)
+        DynamicCompiler.install(link_store)
+        try:
+            program = store.get_root("programs")["marry"]
+            vangelis, mary = store.get_root("people")
+            vangelis.spouse = mary.spouse = None
+            compiled = DynamicCompiler.compile_hyper_program(program)
+            DynamicCompiler.run_main(compiled)
+            assert vangelis.spouse is mary and mary.spouse is vangelis
+        finally:
+            DynamicCompiler.uninstall()
+            store.close()
+
+    def test_hyper_program_render_matches_paper_figure2(self, store,
+                                                        link_store,
+                                                        people):
+        vangelis, mary = people
+        text = ("class MarryExample:\n"
+                "    @staticmethod\n"
+                "    def main(args):\n"
+                "        (, )\n")
+        program = HyperProgram(text, class_name="MarryExample")
+        pos = text.index("(, )")
+        marry = for_class(Person).get_method("marry")
+        program.add_link(HyperLinkHP.to_static_method(
+            marry, "Person.marry", pos))
+        program.add_link(HyperLinkHP.to_object(vangelis, "vangelis",
+                                               pos + 1))
+        program.add_link(HyperLinkHP.to_object(mary, "mary", pos + 3))
+        rendered = program.render()
+        assert "[Person.marry]([vangelis], [mary])" in rendered
+
+    def test_early_checking_benefit(self, store, link_store, people):
+        """Section 1 benefit: program checking happens early.  A link to a
+        missing entity fails at compose/compile time, not run time."""
+        text = "x = \n"
+        program = HyperProgram(text, class_name="")
+        # Composing a link requires the entity to exist *now*: building a
+        # link to a nonexistent method raises immediately.
+        from repro.errors import NoSuchMemberError
+        with pytest.raises(NoSuchMemberError):
+            for_class(Person).get_method("divorce")
+
+    def test_succinctness_benefit(self, store, link_store, people):
+        """Section 1 benefit: hyper-programs are more succinct — the link
+        replaces the whole textual access path."""
+        from repro.core.textual import TextualBaseline
+        hyper_denotation_len = 0  # a link occupies no source text
+        baseline = TextualBaseline.expression("people", "0.spouse")
+        assert len(baseline) > hyper_denotation_len
+        assert "PersistentLookup" in baseline
+
+    def test_weak_registry_lifecycle(self, tmp_path, registry):
+        """Figure 7 lifecycle: compile, persist, discard, collect."""
+        directory = str(tmp_path / "store")
+        store = ObjectStore.open(directory, registry=registry)
+        link_store = LinkStore(store, weak=True)
+        DynamicCompiler.install(link_store)
+        try:
+            target = Person("held")
+            store.set_root("target", [target])
+            text = "class P:\n    @staticmethod\n    def main(args):\n        return \n"
+            program = HyperProgram(text, class_name="P")
+            program.add_link(HyperLinkHP.to_object(
+                target, "t", text.index("return ") + 7))
+            store.set_root("user", [program])
+            compiled = DynamicCompiler.compile_hyper_program(program)
+            assert DynamicCompiler.run_main(compiled) is target
+            store.stabilize()
+
+            store.delete_root("user")
+            del program
+            store.collect_garbage()
+            index = 0
+            with pytest.raises(HyperProgramCollectedError):
+                link_store.get_hp(link_store.password, index)
+        finally:
+            DynamicCompiler.uninstall()
+            store.close()
+
+
+class TestMultiProgramSystem:
+    def test_library_of_hyper_programs(self, store, link_store, people):
+        """Several hyper-programs sharing linked objects, batch-compiled."""
+        vangelis, mary = people
+        programs = []
+        for index, person in enumerate(people):
+            text = (f"class Greeter{index}:\n"
+                    f"    @staticmethod\n"
+                    f"    def main(args):\n"
+                    f"        return 'hi ' + .name\n")
+            program = HyperProgram(text, class_name=f"Greeter{index}")
+            program.add_link(HyperLinkHP.to_object(
+                person, person.name, text.index("+ .") + 2))
+            programs.append(program)
+        classes = DynamicCompiler.compile_hyper_programs(programs)
+        assert DynamicCompiler.run_main(classes[0]) == "hi vangelis"
+        assert DynamicCompiler.run_main(classes[1]) == "hi mary"
+
+    def test_store_integrity_with_programs_and_data(self, store,
+                                                    link_store, people):
+        vangelis, mary = people
+        text = "x = \n"
+        program = HyperProgram(text, class_name="")
+        program.add_link(HyperLinkHP.to_object(vangelis, "v", 4))
+        DynamicCompiler.add_hp(program, link_store.password)
+        store.stabilize()
+        assert store.verify_referential_integrity() == []
+        store.collect_garbage()
+        assert store.verify_referential_integrity() == []

@@ -1,0 +1,124 @@
+"""The Java-subset lexer, including hyper-link hole tokens."""
+
+import pytest
+
+from repro.core.linkkinds import LinkKind
+from repro.errors import LexError
+from repro.javagrammar.lexer import Lexer, TokenType
+
+
+def lex(source):
+    tokens = Lexer(source).tokens()
+    assert tokens[-1].type is TokenType.EOF
+    return tokens[:-1]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        tokens = lex("public class Person extends Object")
+        assert [(t.type, t.value) for t in tokens] == [
+            (TokenType.KEYWORD, "public"),
+            (TokenType.KEYWORD, "class"),
+            (TokenType.IDENT, "Person"),
+            (TokenType.KEYWORD, "extends"),
+            (TokenType.IDENT, "Object"),
+        ]
+
+    def test_dollar_and_underscore_identifiers(self):
+        tokens = lex("_x $y a1")
+        assert all(t.type is TokenType.IDENT for t in tokens)
+
+    @pytest.mark.parametrize("source,type_", [
+        ("42", TokenType.INT_LIT),
+        ("0x1F", TokenType.INT_LIT),
+        ("42L", TokenType.INT_LIT),
+        ("3.14", TokenType.FLOAT_LIT),
+        ("1e10", TokenType.FLOAT_LIT),
+        ("2.5e-3", TokenType.FLOAT_LIT),
+        ("1.0f", TokenType.FLOAT_LIT),
+        ("2d", TokenType.FLOAT_LIT),
+        ('"str"', TokenType.STRING_LIT),
+        ("'c'", TokenType.CHAR_LIT),
+        ("'\\n'", TokenType.CHAR_LIT),
+        ("true", TokenType.BOOL_LIT),
+        ("false", TokenType.BOOL_LIT),
+        ("null", TokenType.NULL_LIT),
+    ])
+    def test_literals(self, source, type_):
+        tokens = lex(source)
+        assert len(tokens) == 1 and tokens[0].type is type_
+
+    def test_string_with_escapes(self):
+        tokens = lex(r'"a\"b"')
+        assert tokens[0].value == r'"a\"b"'
+
+    def test_operators_longest_match(self):
+        tokens = lex("a >>>= b >>> c >> d > e")
+        ops = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+        assert ops == [">>>=", ">>>", ">>", ">"]
+
+    def test_separators(self):
+        tokens = lex("(){}[];,.")
+        assert all(t.type is TokenType.SEPARATOR for t in tokens)
+        assert "".join(t.value for t in tokens) == "(){}[];,."
+
+    def test_positions_tracked(self):
+        tokens = lex("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert [t.value for t in lex("a // comment\nb")] == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert [t.value for t in lex("a /* x\ny */ b")] == ["a", "b"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            lex("a /* never closed")
+
+
+class TestHoles:
+    def test_hole_token(self):
+        tokens = lex("⟦object⟧")
+        assert tokens[0].type is TokenType.HOLE
+        assert tokens[0].hole_kind is LinkKind.OBJECT
+
+    @pytest.mark.parametrize("kind", list(LinkKind))
+    def test_every_kind_lexes(self, kind):
+        tokens = lex(f"⟦{kind.value}⟧")
+        assert tokens[0].hole_kind is kind
+
+    def test_hole_with_spaces(self):
+        tokens = lex("⟦ (static) method ⟧")
+        assert tokens[0].hole_kind is LinkKind.STATIC_METHOD
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(LexError):
+            lex("⟦not a kind⟧")
+
+    def test_unterminated_hole_rejected(self):
+        with pytest.raises(LexError):
+            lex("⟦object")
+
+    def test_holes_embedded_in_code(self):
+        tokens = lex("f(⟦object⟧, ⟦primitive value⟧);")
+        kinds = [t.hole_kind for t in tokens if t.type is TokenType.HOLE]
+        assert kinds == [LinkKind.OBJECT, LinkKind.PRIMITIVE_VALUE]
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(LexError) as excinfo:
+            lex("a # b")
+        assert excinfo.value.line == 1
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            lex('"never closed')
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            lex("'ab")

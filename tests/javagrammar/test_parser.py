@@ -1,0 +1,245 @@
+"""The Java-subset parser: declarations, statements, expressions, and the
+hole-placement rules of Section 2."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.javagrammar import ast_nodes as ast
+from repro.javagrammar.parser import Parser
+
+
+def parse_unit(source):
+    parser = Parser(source)
+    unit = parser.parse_compilation_unit()
+    parser.expect_eof()
+    return unit
+
+
+def parse_expr(source):
+    parser = Parser(source)
+    expr = parser.parse_expression()
+    parser.expect_eof()
+    return expr
+
+
+class TestDeclarations:
+    def test_figure3_person_class(self):
+        unit = parse_unit("""
+            public class Person {
+              private String name;
+              private Person spouse;
+              public static void marry (Person a, Person b) {
+                a.spouse = b;
+                b.spouse = a;
+              }
+            }
+        """)
+        person = unit.types[0]
+        assert person.name == "Person"
+        assert "public" in person.modifiers
+        fields = [m for m in person.members if isinstance(m, ast.FieldDecl)]
+        methods = [m for m in person.members
+                   if isinstance(m, ast.MethodDecl)]
+        assert len(fields) == 2 and len(methods) == 1
+        assert methods[0].name == "marry"
+        assert "static" in methods[0].modifiers
+        assert len(methods[0].params) == 2
+
+    def test_interface_declaration(self):
+        unit = parse_unit("interface Comparable { int compareTo(Object o); }")
+        assert unit.types[0].is_interface
+        method = unit.types[0].members[0]
+        assert method.body is None  # abstract
+
+    def test_extends_and_implements(self):
+        unit = parse_unit(
+            "class Employee extends Person implements Payable, Cloneable {}"
+        )
+        decl = unit.types[0]
+        assert decl.extends.name == "Person"
+        assert len(decl.implements) == 2
+
+    def test_constructor_recognised(self):
+        unit = parse_unit("class A { A(int x) { this.x = x; } }")
+        assert isinstance(unit.types[0].members[0], ast.ConstructorDecl)
+
+    def test_package_and_imports(self):
+        unit = parse_unit("""
+            package compiler;
+            import compiler.DynamicCompiler;
+            import java.util.*;
+            class X {}
+        """)
+        assert unit.package == ("compiler",)
+        assert unit.imports[0].parts == ("compiler", "DynamicCompiler")
+        assert unit.imports[1].wildcard
+
+    def test_field_with_initialiser_and_array_dims(self):
+        unit = parse_unit("class A { int[] xs = new int[10]; int y[]; }")
+        fields = unit.types[0].members
+        assert isinstance(fields[0].type, ast.ArrayTypeNode)
+        assert fields[1].declarators[0][1] == 1  # trailing [] dims
+
+    def test_method_throws_clause(self):
+        unit = parse_unit(
+            "class A { void m() throws Exception, Error { } }")
+        assert unit.types[0].members[0].name == "m"
+
+
+class TestStatements:
+    def _body(self, statements):
+        unit = parse_unit(f"class A {{ void m() {{ {statements} }} }}")
+        return unit.types[0].members[0].body.statements
+
+    def test_local_declarations(self):
+        stmts = self._body("int x = 1; Person p; final double d = 2.0;")
+        assert all(isinstance(s, ast.LocalVarDecl) for s in stmts)
+
+    def test_if_else(self):
+        stmts = self._body("if (a < b) x = 1; else { x = 2; }")
+        assert isinstance(stmts[0], ast.IfStatement)
+        assert stmts[0].otherwise is not None
+
+    def test_while_and_for(self):
+        stmts = self._body(
+            "while (x > 0) x--; for (int i = 0; i < 10; i++) sum = sum + i;")
+        assert isinstance(stmts[0], ast.WhileStatement)
+        assert isinstance(stmts[1], ast.ForStatement)
+
+    def test_return_break_continue_throw(self):
+        stmts = self._body(
+            "while (true) { break; } while (true) { continue; } "
+            "if (bad) throw new Error(); return 42;")
+        assert isinstance(stmts[-1], ast.ReturnStatement)
+
+    def test_expression_statement(self):
+        stmts = self._body("Person.marry(a, b);")
+        call = stmts[0].expr
+        assert isinstance(call, ast.MethodCallExpr)
+        assert call.name == "marry"
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.left.op == "-"
+
+    def test_conditional(self):
+        expr = parse_expr("a ? b : c")
+        assert isinstance(expr, ast.ConditionalExpr)
+
+    def test_assignment_chains_right(self):
+        expr = parse_expr("a = b = 1")
+        assert isinstance(expr.value, ast.AssignmentExpr)
+
+    def test_assignment_target_checked(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 = 2")
+        with pytest.raises(ParseError):
+            parse_expr("f() = 2")
+
+    def test_field_access_and_array_access(self):
+        expr = parse_expr("a.b[1].c")
+        assert isinstance(expr, ast.FieldAccessExpr)
+        assert isinstance(expr.target, ast.ArrayAccessExpr)
+
+    def test_method_chain(self):
+        expr = parse_expr("obj.getClass().getName()")
+        assert isinstance(expr, ast.MethodCallExpr)
+        assert expr.name == "getName"
+
+    def test_new_object_and_array(self):
+        assert isinstance(parse_expr("new Person(a)"), ast.NewExpr)
+        new_array = parse_expr("new int[5][]")
+        assert isinstance(new_array, ast.NewArrayExpr)
+        assert new_array.extra_dims == 1
+
+    def test_cast(self):
+        expr = parse_expr("(Person) x")
+        assert isinstance(expr, ast.CastExpr)
+
+    def test_paper_figure8_cast_of_getlink(self):
+        expr = parse_expr(
+            '((Person) DynamicCompiler.getLink("passwd", 0, 1).getObject())')
+        assert isinstance(expr, ast.ParenExpr)
+        assert isinstance(expr.inner, ast.CastExpr)
+
+    def test_parenthesised_arithmetic_not_cast(self):
+        expr = parse_expr("(a) + b")
+        assert isinstance(expr, ast.BinaryExpr)
+
+    def test_instanceof(self):
+        expr = parse_expr("x instanceof Person")
+        assert isinstance(expr, ast.InstanceOfExpr)
+
+    def test_unary_operators(self):
+        assert isinstance(parse_expr("-x"), ast.UnaryExpr)
+        assert isinstance(parse_expr("!done"), ast.UnaryExpr)
+        postfix = parse_expr("i++")
+        assert isinstance(postfix, ast.UnaryExpr) and not postfix.prefix
+
+
+class TestHolePlacement:
+    def test_value_holes_in_expressions(self):
+        expr = parse_expr("⟦object⟧")
+        assert isinstance(expr, ast.HoleExpr)
+
+    def test_method_hole_must_be_called(self):
+        call = parse_expr("⟦(static) method⟧(a, b)")
+        assert isinstance(call, ast.HoleCallExpr)
+        with pytest.raises(ParseError):
+            parse_expr("⟦(static) method⟧ + 1")
+
+    def test_constructor_hole_only_after_new(self):
+        creation = parse_expr("new ⟦constructor⟧(x)")
+        assert isinstance(creation, ast.NewExpr)
+        with pytest.raises(ParseError):
+            parse_expr("⟦constructor⟧(x)")
+
+    def test_class_hole_in_type_position(self):
+        unit = parse_unit("class A { ⟦class⟧ field; }")
+        field = unit.types[0].members[0]
+        assert isinstance(field.type, ast.HoleType)
+
+    def test_class_hole_as_static_access_target(self):
+        expr = parse_expr("⟦class⟧.CONSTANT")
+        assert isinstance(expr, ast.FieldAccessExpr)
+        expr = parse_expr("⟦class⟧.create()")
+        assert isinstance(expr, ast.MethodCallExpr)
+
+    def test_bare_class_hole_in_expression_illegal(self):
+        with pytest.raises(ParseError):
+            parse_expr("⟦class⟧ + 1")
+
+    def test_type_hole_rejected_in_value_position(self):
+        with pytest.raises(ParseError):
+            parse_expr("1 + ⟦primitive type⟧")
+
+    def test_value_hole_rejected_in_type_position(self):
+        with pytest.raises(ParseError):
+            parse_unit("class A { ⟦object⟧ field; }")
+
+    def test_location_holes_assignable(self):
+        expr = parse_expr("⟦(static) field⟧ = 1")
+        assert isinstance(expr, ast.AssignmentExpr)
+        expr = parse_expr("⟦array element⟧ = ⟦object⟧")
+        assert isinstance(expr, ast.AssignmentExpr)
+
+    def test_value_hole_not_assignable(self):
+        with pytest.raises(ParseError):
+            parse_expr("⟦object⟧ = 1")
+
+    def test_hole_as_cast_type(self):
+        expr = parse_expr("(⟦class⟧) x")
+        assert isinstance(expr, ast.CastExpr)
+
+    def test_array_type_hole_local_declaration(self):
+        unit = parse_unit(
+            "class A { void m() { ⟦array type⟧ xs; xs[0] = 1; } }")
+        stmts = unit.types[0].members[0].body.statements
+        assert isinstance(stmts[0], ast.LocalVarDecl)

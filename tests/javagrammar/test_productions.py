@@ -1,0 +1,159 @@
+"""Table 1 as executable checks: parse_production, check_program, and the
+regenerated table."""
+
+import pytest
+
+from repro.core.linkkinds import LinkKind, PRODUCTION_FOR_KIND
+from repro.errors import GrammarError, ParseError
+from repro.javagrammar.productions import (
+    PRODUCTIONS,
+    check_program,
+    derives,
+    hole,
+    parse_production,
+    table1_rows,
+)
+
+
+class TestProductions:
+    def test_all_nine_productions_named(self):
+        assert set(PRODUCTIONS) == {
+            "ClassType", "PrimitiveType", "InterfaceType", "ArrayType",
+            "Primary", "Literal", "FieldAccess", "Name", "ArrayAccess",
+        }
+
+    @pytest.mark.parametrize("production,text", [
+        ("ClassType", "Person"),
+        ("ClassType", "java.util.Vector"),
+        ("PrimitiveType", "int"),
+        ("PrimitiveType", "boolean"),
+        ("ArrayType", "int[]"),
+        ("ArrayType", "Person[][]"),
+        ("Primary", "this"),
+        ("Primary", "(a + b)"),
+        ("Primary", "new Person(x)"),
+        ("Primary", "obj.method()"),
+        ("Literal", "42"),
+        ("Literal", '"string"'),
+        ("Literal", "null"),
+        ("FieldAccess", "a.b"),
+        ("FieldAccess", "obj.field.deeper"),
+        ("Name", "marry"),
+        ("Name", "Person.marry"),
+        ("ArrayAccess", "xs[0]"),
+        ("ArrayAccess", "matrix[i][j]"),
+    ])
+    def test_positive_derivations(self, production, text):
+        parse_production(production, text)
+
+    @pytest.mark.parametrize("production,text", [
+        ("ClassType", "int"),
+        ("PrimitiveType", "Person"),
+        ("ArrayType", "Person"),
+        ("Literal", "x"),
+        ("Literal", "1 + 2"),
+        ("FieldAccess", "x"),
+        ("Name", "42"),
+        ("ArrayAccess", "xs"),
+        ("Primary", "x + y"),
+    ])
+    def test_negative_derivations(self, production, text):
+        assert not derives(production, text)
+
+    def test_trailing_input_rejected(self):
+        with pytest.raises(ParseError):
+            parse_production("Literal", "42 extra")
+
+    def test_unknown_production_rejected(self):
+        with pytest.raises(GrammarError):
+            parse_production("Statement", "x;")
+
+
+class TestTable1:
+    def test_every_row_derives(self):
+        rows = table1_rows()
+        assert len(rows) == 11
+        for kind, production, derives_ok in rows:
+            assert derives_ok, f"{kind} should derive {production}"
+
+    def test_rows_match_paper_order_and_productions(self):
+        rows = table1_rows()
+        expected = [(kind.value, PRODUCTION_FOR_KIND[kind])
+                    for kind in LinkKind]
+        assert [(kind, production) for kind, production, __ in rows] == \
+            expected
+
+    @pytest.mark.parametrize("kind,wrong_production", [
+        (LinkKind.OBJECT, "Literal"),
+        (LinkKind.PRIMITIVE_VALUE, "FieldAccess"),
+        (LinkKind.CLASS, "PrimitiveType"),
+        (LinkKind.ARRAY_ELEMENT, "Literal"),
+        (LinkKind.PRIMITIVE_TYPE, "ClassType"),
+    ])
+    def test_cross_production_mismatches(self, kind, wrong_production):
+        """Necessity: a hole does not derive another kind's production."""
+        assert not derives(wrong_production, hole(kind))
+
+    def test_literal_hole_is_also_primary(self):
+        """Literal derives from Primary in the Java grammar, so a primitive
+        value hole is acceptable where Primary is required."""
+        assert derives("Primary", hole(LinkKind.PRIMITIVE_VALUE))
+
+
+class TestCheckProgram:
+    def test_marry_example_with_holes(self):
+        diagnostics = check_program("""
+            public class MarryExample {
+              public static void main(String[] args) {
+                ⟦(static) method⟧(⟦object⟧, ⟦object⟧);
+              }
+            }
+        """)
+        assert diagnostics == []
+
+    def test_plain_java_program(self):
+        diagnostics = check_program("""
+            public class Person {
+              private String name;
+              public static void marry(Person a, Person b) {
+                a.spouse = b; b.spouse = a;
+              }
+            }
+        """)
+        assert diagnostics == []
+
+    def test_context_sensitive_rejection(self):
+        """Production match is necessary but not sufficient (Section 2)."""
+        diagnostics = check_program("""
+            class C { void m() { ⟦constructor⟧(1); } }
+        """)
+        assert len(diagnostics) == 1
+        assert "new" in diagnostics[0]
+
+    def test_package_position_never_accepts_holes(self):
+        """"packages cannot be linked to" (Section 2)."""
+        diagnostics = check_program("package ⟦class⟧; class C {}")
+        assert diagnostics  # rejected
+
+    def test_syntax_error_reported_with_location(self):
+        diagnostics = check_program("class C { void m( { } }")
+        assert len(diagnostics) == 1
+        assert "line" in diagnostics[0]
+
+    def test_all_kinds_somewhere_legal(self):
+        source = """
+        class Everything {
+          ⟦class⟧ a;
+          ⟦interface⟧ b;
+          ⟦primitive type⟧ c;
+          ⟦array type⟧ d;
+          void m(⟦class⟧ p) {
+            ⟦primitive type⟧ x = ⟦primitive value⟧;
+            Object o = ⟦object⟧;
+            Object q = new ⟦constructor⟧(⟦array⟧, ⟦array element⟧);
+            ⟦(static) field⟧ = ⟦(static) method⟧(o);
+            ⟦array element⟧ = (⟦class⟧) o;
+          }
+        }
+        """
+        assert check_program(source) == []

@@ -1,0 +1,155 @@
+"""Dynamic loading and linguistic reflection: the ClassLoader analogue and
+the generator discipline of Section 4."""
+
+import pytest
+
+from repro.errors import CompilationError, LoadingError
+from repro.reflect.generator import Generator, generate_and_load
+from repro.reflect.introspect import (
+    class_by_name,
+    for_class,
+    for_object,
+    method_of,
+)
+from repro.reflect.loader import ClassLoader
+
+from tests.conftest import Person
+
+
+class TestClassLoader:
+    def test_load_defines_classes_in_order(self):
+        loader = ClassLoader()
+        loaded = loader.load_source("class A:\n pass\nclass B:\n pass\n")
+        assert [cls.__name__ for cls in loaded.classes] == ["A", "B"]
+        assert loaded.principal_class.__name__ == "A"
+
+    def test_each_load_gets_fresh_namespace(self):
+        loader = ClassLoader()
+        first = loader.load_source("class C:\n    marker = 1\n")
+        second = loader.load_source("class C:\n    marker = 2\n")
+        assert first.get_class("C") is not second.get_class("C")
+        assert first.get_class("C").marker == 1
+        assert second.get_class("C").marker == 2
+
+    def test_parent_bindings_visible(self):
+        loader = ClassLoader({"Person": Person})
+        loaded = loader.load_source(
+            "class Wedding:\n"
+            "    @staticmethod\n"
+            "    def run():\n"
+            "        return Person('bride')\n"
+        )
+        bride = loaded.get_class("Wedding").run()
+        assert isinstance(bride, Person)
+
+    def test_per_load_bindings(self):
+        loader = ClassLoader()
+        loaded = loader.load_source("value = injected * 2\n",
+                                    bindings={"injected": 21})
+        assert loaded.namespace["value"] == 42
+
+    def test_syntax_error_raises_loading_error(self):
+        with pytest.raises(LoadingError):
+            ClassLoader().load_source("class :::\n")
+
+    def test_runtime_error_raises_loading_error(self):
+        with pytest.raises(LoadingError):
+            ClassLoader().load_source("raise ValueError('boom')\n")
+
+    def test_missing_class_lookup_raises(self):
+        loaded = ClassLoader().load_source("x = 1\n")
+        with pytest.raises(LoadingError):
+            loaded.get_class("Nothing")
+        assert loaded.principal_class is None
+
+    def test_loads_are_tracked(self):
+        loader = ClassLoader()
+        loaded = loader.load_source("pass\n", name="myload")
+        assert "myload" in loader.loaded_names()
+        assert loader.get_load("myload") is loaded
+        with pytest.raises(LoadingError):
+            loader.get_load("other")
+
+    def test_as_module(self):
+        loader = ClassLoader()
+        loaded = loader.load_source("x = 5\n", name="mod")
+        module = loader.as_module(loaded)
+        assert module.x == 5
+        assert module.__name__ == "mod"
+
+
+class TestGenerator:
+    def test_generate_validates_source(self):
+        gen = Generator("greeting", lambda who: f"x = 'hello {who}'\n")
+        source = gen.generate("world")
+        assert "hello world" in source
+        assert gen.generation_count == 1
+
+    def test_invalid_generated_source_raises(self):
+        gen = Generator("bad", lambda: "def broken(:\n")
+        with pytest.raises(CompilationError) as excinfo:
+            gen.generate()
+        assert excinfo.value.textual_form is not None
+
+    def test_non_string_output_raises(self):
+        gen = Generator("wrong", lambda: 42)
+        with pytest.raises(CompilationError):
+            gen.generate()
+
+    def test_generate_and_load_links_into_execution(self):
+        def produce(n):
+            return (f"class Multiplier:\n"
+                    f"    @staticmethod\n"
+                    f"    def times(x):\n"
+                    f"        return x * {n}\n")
+        gen = Generator("multiplier", produce)
+        loaded = gen.generate_and_load(7)
+        assert loaded.get_class("Multiplier").times(6) == 42
+
+    def test_one_shot_helper(self):
+        loaded = generate_and_load(lambda: "answer = 41 + 1\n")
+        assert loaded.namespace["answer"] == 42
+
+    def test_generated_code_reflects_over_data(self):
+        """The paper's use: generate accessors from a schema at run time."""
+        schema = {"name": "str", "age": "int"}
+
+        def produce(fields):
+            lines = ["class Generated:"]
+            lines.append("    def __init__(self, " +
+                         ", ".join(fields) + "):")
+            for field in fields:
+                lines.append(f"        self.{field} = {field}")
+            return "\n".join(lines) + "\n"
+
+        loaded = generate_and_load(produce, list(schema))
+        instance = loaded.get_class("Generated")("ada", 36)
+        assert instance.name == "ada" and instance.age == 36
+
+
+class TestIntrospectHelpers:
+    def test_for_class_is_cached(self):
+        assert for_class(Person) is for_class(Person)
+
+    def test_for_object(self):
+        assert for_object(Person("x")).python_class is Person
+
+    def test_method_of(self):
+        assert method_of(Person, "marry").get_name() == "marry"
+
+    def test_class_by_name_from_namespace(self):
+        loaded = ClassLoader().load_source("class Dyn:\n pass\n")
+        meta = class_by_name("anything.Dyn", loaded.namespace)
+        assert meta.python_class is loaded.get_class("Dyn")
+
+    def test_class_by_name_importable(self):
+        meta = class_by_name("collections.OrderedDict")
+        import collections
+        assert meta.python_class is collections.OrderedDict
+
+    def test_class_by_name_errors(self):
+        from repro.errors import ReflectionError
+        with pytest.raises(ReflectionError):
+            class_by_name("nomodule.NoClass")
+        with pytest.raises(ReflectionError):
+            class_by_name("unqualified")

@@ -1,0 +1,174 @@
+"""Java-shaped meta-objects: the reflection calls Section 4.2 relies on."""
+
+import pytest
+
+from repro.errors import NoSuchMemberError
+from repro.reflect.metaobjects import JClass, JConstructor, JField, JMethod
+
+from tests.conftest import Employee, Person
+
+
+class TestJClass:
+    def test_get_name_is_qualified(self):
+        assert JClass(Person).get_name().endswith(".Person")
+        assert "." in JClass(Person).get_name()
+
+    def test_get_simple_name(self):
+        assert JClass(Person).get_simple_name() == "Person"
+
+    def test_wraps_only_classes(self):
+        with pytest.raises(TypeError):
+            JClass(Person("x"))
+
+    def test_equality_by_class_identity(self):
+        assert JClass(Person) == JClass(Person)
+        assert JClass(Person) != JClass(Employee)
+        assert hash(JClass(Person)) == hash(JClass(Person))
+
+    def test_superclass_chain(self):
+        assert JClass(Employee).get_superclass() == JClass(Person)
+        assert JClass(Person).get_superclass() == JClass(object)
+        assert JClass(object).get_superclass() is None
+
+    def test_is_instance(self):
+        assert JClass(Person).is_instance(Employee("e", 1))
+        assert not JClass(Employee).is_instance(Person("p"))
+
+    def test_is_interface_for_abstract_class(self):
+        import abc
+
+        class Shape(abc.ABC):
+            @abc.abstractmethod
+            def area(self): ...
+        assert JClass(Shape).is_interface()
+        assert not JClass(Person).is_interface()
+
+    def test_get_methods_includes_inherited(self):
+        names = [m.get_name() for m in JClass(Employee).get_methods()]
+        assert "marry" in names and "greet" in names
+
+    def test_get_method_by_name(self):
+        method = JClass(Person).get_method("marry")
+        assert isinstance(method, JMethod)
+
+    def test_missing_method_raises(self):
+        with pytest.raises(NoSuchMemberError):
+            JClass(Person).get_method("divorce")
+
+    def test_get_fields_from_annotations(self):
+        names = [f.get_name() for f in JClass(Person).get_fields()]
+        assert names == ["name", "spouse"]
+
+    def test_subclass_fields_include_inherited(self):
+        names = [f.get_name() for f in JClass(Employee).get_fields()]
+        assert set(names) == {"name", "spouse", "salary"}
+
+    def test_missing_field_raises(self):
+        with pytest.raises(NoSuchMemberError):
+            JClass(Person).get_field("age")
+
+    def test_new_instance(self):
+        person = JClass(Person).new_instance("ada")
+        assert isinstance(person, Person) and person.name == "ada"
+
+    def test_java_spellings_alias(self):
+        meta = JClass(Person)
+        assert meta.getName() == meta.get_name()
+        assert meta.getSimpleName() == meta.get_simple_name()
+
+
+class TestJMethod:
+    def test_get_name_and_declaring_class(self):
+        method = JClass(Person).get_method("marry")
+        assert method.get_name() == "marry"
+        assert method.get_declaring_class().get_simple_name() == "Person"
+
+    def test_declaring_class_of_inherited_method(self):
+        method = JClass(Employee).get_method("greet")
+        assert method.get_declaring_class().python_class is Person
+
+    def test_is_static(self):
+        assert JClass(Person).get_method("marry").is_static()
+        assert not JClass(Person).get_method("greet").is_static()
+
+    def test_invoke_static_ignores_target(self):
+        a, b = Person("a"), Person("b")
+        JClass(Person).get_method("marry").invoke(None, a, b)
+        assert a.spouse is b
+
+    def test_invoke_instance_method(self):
+        person = Person("eve")
+        result = JClass(Person).get_method("greet").invoke(person)
+        assert result == "hello, eve"
+
+    def test_invoke_instance_method_without_target_raises(self):
+        with pytest.raises(TypeError):
+            JClass(Person).get_method("greet").invoke(None)
+
+    def test_parameter_names_drop_self(self):
+        assert JClass(Person).get_method("greet").parameter_names() == ()
+        assert JClass(Person).get_method("marry").parameter_names() == \
+            ("a", "b")
+
+    def test_qualified_name_matches_paper_format(self):
+        method = JClass(Person).get_method("marry")
+        assert method.qualified_name() == "Person.marry"
+
+    def test_equality(self):
+        assert JClass(Person).get_method("marry") == \
+            JClass(Person).get_method("marry")
+
+    def test_unknown_member_raises(self):
+        with pytest.raises(NoSuchMemberError):
+            JMethod(Person, "nothing")
+
+    def test_java_spellings(self):
+        method = JClass(Person).get_method("marry")
+        assert method.getName() == "marry"
+        assert method.getDeclaringClass().getName().endswith("Person")
+
+
+class TestJField:
+    def test_instance_field_get_set(self):
+        person = Person("x")
+        field = JField(Person, "name")
+        assert field.get(person) == "x"
+        field.set(person, "y")
+        assert person.name == "y"
+
+    def test_static_field(self):
+        class Config:
+            limit = 10
+        field = JField(Config, "limit")
+        assert field.is_static()
+        assert field.get() == 10
+        field.set(None, 20)
+        assert Config.limit == 20
+
+    def test_instance_field_is_not_static(self):
+        assert not JField(Person, "name").is_static()
+
+    def test_missing_field_read_raises(self):
+        person = Person("x")
+        with pytest.raises(NoSuchMemberError):
+            JField(Person, "missing").get(person)
+
+
+class TestJConstructor:
+    def test_new_instance(self):
+        ctor = JConstructor(Person)
+        person = ctor.new_instance("ada")
+        assert person.name == "ada"
+
+    def test_parameter_names(self):
+        assert JConstructor(Person).parameter_names() == ("name",)
+        assert JConstructor(Employee).parameter_names() == ("name", "salary")
+
+    def test_declaring_class(self):
+        assert JConstructor(Person).get_declaring_class() == JClass(Person)
+
+    def test_no_init_class(self):
+        class Plain:
+            pass
+        assert JConstructor(Plain).parameter_names() == ()
+        assert isinstance(JConstructor(Plain).new_instance(), Plain)

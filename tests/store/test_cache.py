@@ -1,0 +1,82 @@
+"""The identity map: bidirectional OID <-> object association."""
+
+import pytest
+
+from repro.store.cache import IdentityMap
+from repro.store.oids import Oid
+
+from tests.conftest import Person
+
+
+class TestIdentityMap:
+    def test_add_and_lookup_both_directions(self):
+        mapping = IdentityMap()
+        person = Person("x")
+        mapping.add(Oid(1), person)
+        assert mapping.object_for(Oid(1)) is person
+        assert mapping.oid_for(person) == Oid(1)
+        assert Oid(1) in mapping
+        assert len(mapping) == 1
+
+    def test_missing_lookups_return_none(self):
+        mapping = IdentityMap()
+        assert mapping.object_for(Oid(9)) is None
+        assert mapping.oid_for(Person("unmapped")) is None
+
+    def test_rebinding_same_pair_is_idempotent(self):
+        mapping = IdentityMap()
+        person = Person("x")
+        mapping.add(Oid(1), person)
+        mapping.add(Oid(1), person)
+        assert len(mapping) == 1
+
+    def test_rebinding_oid_to_other_object_rejected(self):
+        mapping = IdentityMap()
+        mapping.add(Oid(1), Person("a"))
+        with pytest.raises(ValueError):
+            mapping.add(Oid(1), Person("b"))
+
+    def test_evict_removes_both_directions(self):
+        mapping = IdentityMap()
+        person = Person("x")
+        mapping.add(Oid(1), person)
+        mapping.evict(Oid(1))
+        assert mapping.object_for(Oid(1)) is None
+        assert mapping.oid_for(person) is None
+
+    def test_evict_missing_is_noop(self):
+        IdentityMap().evict(Oid(404))
+
+    def test_clear(self):
+        mapping = IdentityMap()
+        mapping.add(Oid(1), Person("a"))
+        mapping.add(Oid(2), Person("b"))
+        mapping.clear()
+        assert len(mapping) == 0
+
+    def test_stale_id_reuse_not_confused(self):
+        """oid_for validates the reverse entry against the forward map, so
+        a recycled id() of a dead object cannot resolve to a stale OID."""
+        mapping = IdentityMap()
+        person = Person("original")
+        mapping.add(Oid(1), person)
+        # Simulate the forward side being re-pointed (as evict+add would).
+        mapping.evict(Oid(1))
+        replacement = Person("replacement")
+        mapping.add(Oid(1), replacement)
+        assert mapping.oid_for(person) is None
+        assert mapping.oid_for(replacement) == Oid(1)
+
+    def test_items_snapshot_is_safe_to_mutate_over(self):
+        mapping = IdentityMap()
+        for index in range(5):
+            mapping.add(Oid(index + 1), Person(f"p{index}"))
+        for oid, __ in mapping.items():
+            mapping.evict(oid)  # no RuntimeError: items() snapshots
+        assert len(mapping) == 0
+
+    def test_oids_set(self):
+        mapping = IdentityMap()
+        mapping.add(Oid(3), Person("a"))
+        mapping.add(Oid(7), Person("b"))
+        assert mapping.oids() == {Oid(3), Oid(7)}

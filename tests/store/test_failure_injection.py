@@ -1,0 +1,119 @@
+"""Failure injection: corrupted files, interrupted checkpoints, stale
+artefacts — the store must fail loudly or recover cleanly, never silently
+serve bad data."""
+
+import json
+import os
+import struct
+
+import pytest
+
+from repro.errors import CorruptHeapError
+from repro.store.heap import PAGE_SIZE, HeapFile
+from repro.store.objectstore import ObjectStore
+
+from tests.conftest import Person
+
+
+def store_paths(directory):
+    return (os.path.join(directory, "store.heap"),
+            os.path.join(directory, "store.wal"),
+            os.path.join(directory, "store.meta"))
+
+
+class TestHeapCorruption:
+    def test_truncated_heap_rejected(self, tmp_path, registry):
+        directory = str(tmp_path / "s")
+        with ObjectStore.open(directory, registry=registry) as store:
+            store.set_root("p", Person("x"))
+            store.stabilize()
+        heap_path = store_paths(directory)[0]
+        with open(heap_path, "r+b") as fh:
+            fh.truncate(PAGE_SIZE // 2)  # not page-aligned any more
+        with pytest.raises(CorruptHeapError):
+            ObjectStore.open(directory, registry=registry)
+
+    def test_reading_slot_out_of_range(self, tmp_path):
+        with HeapFile(str(tmp_path / "h.heap")) as heap:
+            rid = heap.insert(b"one")
+            from repro.store.heap import RecordId
+            with pytest.raises(CorruptHeapError):
+                heap.read(RecordId(rid.page_no, 99))
+
+    def test_overflow_chain_truncation_detected(self, tmp_path):
+        path = str(tmp_path / "h.heap")
+        with HeapFile(path) as heap:
+            rid = heap.insert(b"z" * (PAGE_SIZE * 3))
+        # Break the chain: zero the next-pointer of the head page.
+        with open(path, "r+b") as fh:
+            fh.seek(rid.page_no * PAGE_SIZE + 12)
+            fh.write(struct.pack("<I", 0))
+        with HeapFile(path) as heap:
+            with pytest.raises(CorruptHeapError):
+                heap.read(rid)
+
+
+class TestInterruptedCheckpoint:
+    def test_leftover_meta_tmp_ignored(self, tmp_path, registry):
+        """A crash between writing store.meta.tmp and the rename leaves a
+        .tmp file; reopening must use the last complete snapshot."""
+        directory = str(tmp_path / "s")
+        with ObjectStore.open(directory, registry=registry) as store:
+            store.set_root("p", Person("good"))
+            store.stabilize()
+        meta_path = store_paths(directory)[2]
+        with open(meta_path + ".tmp", "w", encoding="utf-8") as fh:
+            fh.write("{ this is garbage")
+        with ObjectStore.open(directory, registry=registry) as store:
+            assert store.get_root("p").name == "good"
+
+    def test_wal_garbage_after_commit_tolerated(self, tmp_path, registry):
+        directory = str(tmp_path / "s")
+        with ObjectStore.open(directory, registry=registry) as store:
+            store.set_root("p", Person("good"))
+            store.stabilize()
+        wal_path = store_paths(directory)[1]
+        with open(wal_path, "ab") as fh:
+            fh.write(os.urandom(37))  # torn tail
+        with ObjectStore.open(directory, registry=registry) as store:
+            assert store.get_root("p").name == "good"
+
+    def test_missing_wal_file_is_fine(self, tmp_path, registry):
+        directory = str(tmp_path / "s")
+        with ObjectStore.open(directory, registry=registry) as store:
+            store.set_root("p", Person("good"))
+            store.stabilize()
+        os.remove(store_paths(directory)[1])
+        with ObjectStore.open(directory, registry=registry) as store:
+            assert store.get_root("p").name == "good"
+
+
+class TestMetadataDamage:
+    def test_metadata_points_into_heap(self, tmp_path, registry):
+        """Sanity: the snapshot's record ids resolve in the heap."""
+        directory = str(tmp_path / "s")
+        with ObjectStore.open(directory, registry=registry) as store:
+            store.set_root("p", [Person("a"), Person("b")])
+            store.stabilize()
+        with open(store_paths(directory)[2], encoding="utf-8") as fh:
+            meta = json.load(fh)
+        with ObjectStore.open(directory, registry=registry) as store:
+            for oid_text in meta["objects"]:
+                from repro.store.oids import Oid
+                record = store.stored_record(Oid(int(oid_text)))
+                assert record.oid == int(oid_text)
+
+    def test_dangling_root_detected_by_verifier(self, tmp_path, registry):
+        directory = str(tmp_path / "s")
+        with ObjectStore.open(directory, registry=registry) as store:
+            store.set_root("p", Person("x"))
+            store.stabilize()
+        meta_path = store_paths(directory)[2]
+        with open(meta_path, encoding="utf-8") as fh:
+            meta = json.load(fh)
+        meta["roots"]["ghost"] = 424242
+        with open(meta_path, "w", encoding="utf-8") as fh:
+            json.dump(meta, fh)
+        with ObjectStore.open(directory, registry=registry) as store:
+            problems = store.verify_referential_integrity()
+            assert any("ghost" in problem for problem in problems)

@@ -1,0 +1,145 @@
+"""Garbage collection and persistent weak references (paper Figure 7
+semantics: weak edges keep nothing alive; dead weak refs are cleared)."""
+
+import pytest
+
+from repro.store.gc import (
+    reachable_oids,
+    unreachable_oids,
+    weakly_only_reachable,
+)
+from repro.store.weakrefs import PersistentWeakRef
+
+from tests.conftest import Person
+
+
+class TestPersistentWeakRef:
+    def test_get_set_clear(self):
+        target = Person("t")
+        ref = PersistentWeakRef(target)
+        assert ref.get() is target
+        assert not ref.is_cleared
+        ref.clear()
+        assert ref.get() is None
+        assert ref.is_cleared
+
+    def test_empty_ref(self):
+        assert PersistentWeakRef().get() is None
+
+
+class TestCollector:
+    def test_unreachable_objects_freed(self, store):
+        keep, drop = Person("keep"), Person("drop")
+        holder = [keep, drop]
+        store.set_root("holder", holder)
+        store.stabilize()
+        drop_oid = store.oid_of(drop)
+        holder.pop()  # drop becomes unreachable
+        freed = store.collect_garbage()
+        assert freed == 1
+        assert not store.is_stored(drop_oid)
+
+    def test_reachable_objects_survive(self, store, people):
+        store.stabilize()
+        assert store.collect_garbage() == 0
+        assert store.verify_referential_integrity() == []
+
+    def test_cycle_of_garbage_collected(self, store):
+        a, b = Person("a"), Person("b")
+        Person.marry(a, b)  # a <-> b cycle
+        holder = [a]
+        store.set_root("holder", holder)
+        store.stabilize()
+        holder.pop()
+        assert store.collect_garbage() == 2
+
+    def test_collection_is_stabilize_first(self, store):
+        """GC must observe in-memory mutations, not the stale disk image."""
+        a, b = Person("a"), Person("b")
+        holder = [a]
+        store.set_root("holder", holder)
+        store.stabilize()
+        holder.append(b)  # new object, only in memory
+        freed = store.collect_garbage()
+        assert freed == 0
+        assert store.is_stored(store.oid_of(b))
+
+    def test_integrity_after_collection(self, store):
+        people = [Person(f"p{i}") for i in range(20)]
+        for i in range(19):
+            people[i].spouse = people[i + 1]
+        holder = list(people)
+        store.set_root("holder", holder)
+        store.stabilize()
+        del holder[5:]  # the chain keeps 5..19 alive through spouse links
+        holder[4].spouse = None  # now 5..19 are garbage
+        freed = store.collect_garbage()
+        assert freed == 15
+        assert store.verify_referential_integrity() == []
+
+
+class TestWeakSemantics:
+    def test_weak_edge_does_not_keep_alive(self, store):
+        target = Person("weakly held")
+        ref = PersistentWeakRef(target)
+        store.set_root("ref", ref)
+        store.set_root("strong", [target])
+        store.stabilize()
+        store.delete_root("strong")
+        freed = store.collect_garbage()
+        assert freed >= 1
+        assert ref.is_cleared
+
+    def test_weak_edge_to_strongly_held_target_survives(self, store):
+        target = Person("held")
+        ref = PersistentWeakRef(target)
+        store.set_root("ref", ref)
+        store.set_root("strong", [target])
+        store.stabilize()
+        store.collect_garbage()
+        assert ref.get() is target
+
+    def test_cleared_weakref_persists_cleared(self, tmp_path, registry,
+                                              store):
+        target = Person("gone")
+        ref = PersistentWeakRef(target)
+        store.set_root("ref", ref)
+        store.set_root("strong", [target])
+        store.stabilize()
+        store.delete_root("strong")
+        store.collect_garbage()
+        from repro.store.objectstore import ObjectStore
+        directory = store.directory
+        store.close()
+        with ObjectStore.open(directory, registry=registry) as reopened:
+            assert reopened.get_root("ref").is_cleared
+
+    def test_weak_target_never_persisted_if_only_weakly_reachable(self,
+                                                                  store):
+        target = Person("never stored")
+        ref = PersistentWeakRef(target)
+        store.set_root("ref", ref)
+        store.stabilize()
+        # The target had no strong path, so it was stored as a cleared ref.
+        assert store.get_root("ref") is ref
+        stored = store.stored_record(store.oid_of(ref))
+        assert stored.payload is None
+
+
+class TestReachabilityAnalysis:
+    def test_reachable_matches_stored_when_clean(self, store, people):
+        store.stabilize()
+        assert reachable_oids(store) == set(store.stored_oids())
+        assert unreachable_oids(store) == set()
+
+    def test_weakly_only_reachable_identified(self, store):
+        target = Person("limbo")
+        ref = PersistentWeakRef(target)
+        store.set_root("ref", ref)
+        store.set_root("strong", [target])
+        store.stabilize()
+        store.delete_root("strong")
+        store.stabilize()
+        target_oid = store.oid_of(target)
+        assert target_oid in weakly_only_reachable(store)
+        assert target_oid in unreachable_oids(store)

@@ -1,0 +1,238 @@
+"""Slotted-page heap: insert/read/delete, tombstones, compaction,
+overflow chains, durability."""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CorruptHeapError
+from repro.store.heap import (
+    HeapFile,
+    MAX_INLINE_RECORD,
+    PAGE_SIZE,
+    RecordId,
+)
+
+
+@pytest.fixture
+def heap(tmp_path):
+    with HeapFile(str(tmp_path / "test.heap")) as hf:
+        yield hf
+
+
+class TestBasicOperations:
+    def test_insert_then_read(self, heap):
+        rid = heap.insert(b"hello")
+        assert heap.read(rid) == b"hello"
+
+    def test_empty_record(self, heap):
+        rid = heap.insert(b"")
+        assert heap.read(rid) == b""
+
+    def test_multiple_records_distinct(self, heap):
+        rids = [heap.insert(f"record-{i}".encode()) for i in range(100)]
+        assert len(set(rids)) == 100
+        for i, rid in enumerate(rids):
+            assert heap.read(rid) == f"record-{i}".encode()
+
+    def test_delete_then_read_raises(self, heap):
+        rid = heap.insert(b"gone")
+        heap.delete(rid)
+        with pytest.raises(CorruptHeapError):
+            heap.read(rid)
+
+    def test_deleted_slot_is_reused(self, heap):
+        rid = heap.insert(b"first")
+        heap.insert(b"second")
+        heap.delete(rid)
+        replacement = heap.insert(b"third")
+        assert replacement.page_no == rid.page_no
+        assert replacement.slot == rid.slot
+
+    def test_records_fill_multiple_pages(self, heap):
+        big = b"x" * 1000
+        rids = [heap.insert(big) for _ in range(20)]
+        assert heap.page_count > 1
+        for rid in rids:
+            assert heap.read(rid) == big
+
+    def test_read_beyond_end_raises(self, heap):
+        with pytest.raises(CorruptHeapError):
+            heap.read(RecordId(99, 0))
+
+
+class TestOverflow:
+    def test_record_larger_than_page(self, heap):
+        big = bytes(range(256)) * 64  # 16 KiB
+        assert len(big) > MAX_INLINE_RECORD
+        rid = heap.insert(big)
+        assert heap.read(rid) == big
+
+    def test_overflow_exact_multiple_of_capacity(self, heap):
+        from repro.store.heap import _OVERFLOW_CAPACITY
+        big = b"y" * (_OVERFLOW_CAPACITY * 2)
+        assert heap.read(heap.insert(big)) == big
+
+    def test_overflow_pages_reclaimed_on_delete(self, heap):
+        big = b"z" * (PAGE_SIZE * 3)
+        rid = heap.insert(big)
+        pages_before = heap.page_count
+        heap.delete(rid)
+        # Freed pages are reused by subsequent inserts, not leaked.
+        small_rids = [heap.insert(b"small") for _ in range(5)]
+        assert heap.page_count == pages_before
+        for small in small_rids:
+            assert heap.read(small) == b"small"
+
+    def test_reading_continuation_page_directly_raises(self, heap):
+        big = b"w" * (PAGE_SIZE * 2)
+        rid = heap.insert(big)
+        with pytest.raises(CorruptHeapError):
+            heap.read(RecordId(rid.page_no + 1, 0))
+
+
+class TestCompaction:
+    def test_compact_reclaims_dead_space(self, heap):
+        rids = [heap.insert(b"a" * 500) for _ in range(6)]
+        for rid in rids[:5]:
+            heap.delete(rid)
+        heap.compact_page(rids[0].page_no)
+        # After compaction the survivor is still readable.
+        assert heap.read(rids[5]) == b"a" * 500
+        # And the page accepts a large record again.
+        new_rid = heap.insert(b"b" * 2000)
+        assert heap.read(new_rid) == b"b" * 2000
+
+    def test_compact_preserves_slot_numbers(self, heap):
+        keep1 = heap.insert(b"keep-one")
+        victim = heap.insert(b"victim")
+        keep2 = heap.insert(b"keep-two")
+        heap.delete(victim)
+        heap.compact_page(keep1.page_no)
+        assert heap.read(keep1) == b"keep-one"
+        assert heap.read(keep2) == b"keep-two"
+
+
+class TestFragmentation:
+    def test_dead_bytes_counted(self, heap):
+        rid = heap.insert(b"x" * 500)
+        keep = heap.insert(b"y" * 100)
+        assert heap.dead_bytes_on(rid.page_no) == 0
+        heap.delete(rid)
+        assert heap.dead_bytes_on(rid.page_no) == 500
+        assert heap.read(keep) == b"y" * 100
+
+    def test_fragmentation_totals(self, heap):
+        rids = [heap.insert(b"z" * 400) for __ in range(4)]
+        heap.delete(rids[0])
+        heap.delete(rids[2])
+        dead, total = heap.fragmentation()
+        assert dead == 800
+        assert total >= 4096
+
+    def test_compact_fragmented_reclaims(self, heap):
+        rids = [heap.insert(b"w" * 600) for __ in range(5)]
+        survivors = rids[3:]
+        for rid in rids[:3]:
+            heap.delete(rid)
+        compacted = heap.compact_fragmented(threshold=0.25)
+        assert compacted == 1
+        dead, __ = heap.fragmentation()
+        assert dead == 0
+        for rid in survivors:
+            assert heap.read(rid) == b"w" * 600  # record ids survive
+
+    def test_compact_fragmented_respects_threshold(self, heap):
+        keep = heap.insert(b"a" * 3000)
+        victim = heap.insert(b"b" * 100)
+        heap.delete(victim)  # only ~2.5% of the page is dead
+        assert heap.compact_fragmented(threshold=0.25) == 0
+        assert heap.read(keep) == b"a" * 3000
+
+    def test_gc_compacts_store_pages(self, tmp_path):
+        """End to end: collection triggers compaction, so freed space is
+        reused without growing the heap file."""
+        from repro.store.objectstore import ObjectStore
+        from repro.store.registry import ClassRegistry
+        registry = ClassRegistry()
+        with ObjectStore.open(str(tmp_path / "s"),
+                              registry=registry) as store:
+            payload = [[f"blob-{i}" * 50] for i in range(30)]
+            holder = list(payload)
+            store.set_root("holder", holder)
+            store.stabilize()
+            pages_before = store.statistics().heap_pages
+            del holder[5:]
+            store.collect_garbage()
+            # No page remains above the compaction threshold.
+            from repro.store.heap import PAGE_SIZE
+            for page_no in range(store._heap.page_count):
+                assert store._heap.dead_bytes_on(page_no) <= \
+                    PAGE_SIZE * 0.25
+            # Re-adding similar data reuses the reclaimed space.
+            holder.extend([[f"blob2-{i}" * 50] for i in range(20)])
+            store.stabilize()
+            assert store.statistics().heap_pages <= pages_before + 1
+
+
+class TestDurability:
+    def test_flush_and_reopen(self, tmp_path):
+        path = str(tmp_path / "durable.heap")
+        with HeapFile(path) as heap:
+            rid = heap.insert(b"persisted")
+        with HeapFile(path) as heap:
+            assert heap.read(rid) == b"persisted"
+
+    def test_file_size_is_page_aligned(self, tmp_path):
+        path = str(tmp_path / "aligned.heap")
+        with HeapFile(path) as heap:
+            heap.insert(b"data")
+        assert os.path.getsize(path) % PAGE_SIZE == 0
+
+    def test_unaligned_file_rejected(self, tmp_path):
+        path = str(tmp_path / "broken.heap")
+        with open(path, "wb") as fh:
+            fh.write(b"x" * 100)
+        with pytest.raises(CorruptHeapError):
+            HeapFile(path)
+
+    def test_overflow_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "big.heap")
+        big = bytes(i % 251 for i in range(PAGE_SIZE * 4))
+        with HeapFile(path) as heap:
+            rid = heap.insert(big)
+        with HeapFile(path) as heap:
+            assert heap.read(rid) == big
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.binary(min_size=0, max_size=2000), min_size=1,
+                    max_size=40))
+    def test_many_inserts_all_readable(self, tmp_path_factory, records):
+        path = str(tmp_path_factory.mktemp("heap") / "prop.heap")
+        with HeapFile(path) as heap:
+            rids = [heap.insert(record) for record in records]
+            for rid, record in zip(rids, records):
+                assert heap.read(rid) == record
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_interleaved_insert_delete(self, tmp_path_factory, data):
+        path = str(tmp_path_factory.mktemp("heap") / "mix.heap")
+        live: dict = {}
+        counter = 0
+        with HeapFile(path) as heap:
+            for __ in range(data.draw(st.integers(1, 60))):
+                if live and data.draw(st.booleans()):
+                    key = data.draw(st.sampled_from(sorted(live)))
+                    heap.delete(live.pop(key))
+                else:
+                    payload = f"payload-{counter}".encode() * \
+                        data.draw(st.integers(1, 50))
+                    live[counter] = heap.insert(payload)
+                    counter += 1
+            for key, rid in live.items():
+                expected_prefix = f"payload-{key}".encode()
+                assert heap.read(rid).startswith(expected_prefix)

@@ -1,0 +1,52 @@
+"""OID allocation: monotonic, never reused, recovery-safe."""
+
+import pytest
+
+from repro.store.oids import FIRST_OID, NULL_OID, OidAllocator
+
+
+class TestAllocation:
+    def test_first_oid_is_one(self):
+        assert OidAllocator().allocate() == FIRST_OID == 1
+
+    def test_null_oid_is_zero_and_never_allocated(self):
+        allocator = OidAllocator()
+        issued = {allocator.allocate() for _ in range(100)}
+        assert NULL_OID == 0
+        assert NULL_OID not in issued
+
+    def test_allocation_is_strictly_monotonic(self):
+        allocator = OidAllocator()
+        issued = [allocator.allocate() for _ in range(50)]
+        assert issued == sorted(issued)
+        assert len(set(issued)) == 50
+
+    def test_next_oid_previews_without_consuming(self):
+        allocator = OidAllocator()
+        preview = allocator.next_oid
+        assert allocator.allocate() == preview
+
+    def test_can_start_from_recovered_cursor(self):
+        allocator = OidAllocator(next_oid=42)
+        assert allocator.allocate() == 42
+
+    def test_rejects_cursor_below_first(self):
+        with pytest.raises(ValueError):
+            OidAllocator(next_oid=0)
+
+
+class TestAdvanceTo:
+    def test_advance_moves_forward(self):
+        allocator = OidAllocator()
+        allocator.advance_to(100)
+        assert allocator.allocate() == 100
+
+    def test_advance_never_moves_backwards(self):
+        allocator = OidAllocator(next_oid=100)
+        allocator.advance_to(10)
+        assert allocator.allocate() == 100
+
+    def test_advance_to_current_is_noop(self):
+        allocator = OidAllocator(next_oid=7)
+        allocator.advance_to(7)
+        assert allocator.allocate() == 7

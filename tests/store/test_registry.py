@@ -1,0 +1,186 @@
+"""Class registry: qualified names, declared fields, schema fingerprints,
+converters — the typed-fidelity backbone."""
+
+import pytest
+
+from repro.errors import ClassNotRegisteredError, SchemaMismatchError
+from repro.store.registry import (
+    ClassRegistry,
+    declared_fields,
+    persistent,
+    qualified_name,
+    schema_fingerprint,
+)
+
+
+class Annotated:
+    name: str
+    value: int
+
+
+class Slotted:
+    __slots__ = ("a", "b")
+
+
+class SlottedChild(Slotted):
+    __slots__ = ("c",)
+
+
+class AnnotatedChild(Annotated):
+    extra: float
+
+
+class Bare:
+    pass
+
+
+class TestDeclaredFields:
+    def test_annotations_in_declaration_order(self):
+        assert declared_fields(Annotated) == ("name", "value")
+
+    def test_slots_win_over_annotations(self):
+        class Both:
+            __slots__ = ("x",)
+            y: int
+        assert declared_fields(Both) == ("x",)
+
+    def test_inherited_slots_base_first(self):
+        assert declared_fields(SlottedChild) == ("a", "b", "c")
+
+    def test_inherited_annotations_base_first(self):
+        assert declared_fields(AnnotatedChild) == ("name", "value", "extra")
+
+    def test_private_annotations_excluded(self):
+        class WithPrivate:
+            public: int
+            _private: int
+        assert declared_fields(WithPrivate) == ("public",)
+
+    def test_bare_class_declares_nothing(self):
+        assert declared_fields(Bare) == ()
+
+
+class TestFingerprint:
+    def test_same_class_same_fingerprint(self):
+        assert schema_fingerprint(Annotated) == schema_fingerprint(Annotated)
+
+    def test_fingerprint_covers_fields(self):
+        a = schema_fingerprint(Annotated, ("name", "value"))
+        b = schema_fingerprint(Annotated, ("name",))
+        assert a != b
+
+    def test_fingerprint_covers_class_name(self):
+        assert schema_fingerprint(Annotated) != schema_fingerprint(Slotted)
+
+    def test_fingerprint_is_short_hex(self):
+        fp = schema_fingerprint(Annotated)
+        assert len(fp) == 16
+        int(fp, 16)  # parses as hex
+
+
+class TestRegistration:
+    def test_register_and_lookup_by_class(self):
+        reg = ClassRegistry()
+        entry = reg.register(Annotated)
+        assert reg.entry_for_class(Annotated) is entry
+        assert reg.is_registered(Annotated)
+
+    def test_lookup_by_name(self):
+        reg = ClassRegistry()
+        entry = reg.register(Annotated)
+        assert reg.entry_for_name(qualified_name(Annotated)) is entry
+
+    def test_unregistered_class_raises(self):
+        reg = ClassRegistry()
+        with pytest.raises(ClassNotRegisteredError):
+            reg.entry_for_class(Bare)
+
+    def test_unregistered_name_raises(self):
+        reg = ClassRegistry()
+        with pytest.raises(ClassNotRegisteredError):
+            reg.entry_for_name("no.such.Class")
+
+    def test_register_is_idempotent(self):
+        reg = ClassRegistry()
+        reg.register(Annotated)
+        reg.register(Annotated)
+        assert reg.names().count(qualified_name(Annotated)) == 1
+
+    def test_reregistration_supersedes_old_class(self):
+        reg = ClassRegistry()
+        reg.register(Annotated)
+
+        class Replacement:
+            name: str
+            value: int
+        Replacement.__module__ = Annotated.__module__
+        Replacement.__qualname__ = Annotated.__qualname__
+        reg.register(Replacement)
+        assert reg.entry_for_name(qualified_name(Annotated)).cls \
+            is Replacement
+        assert not reg.is_registered(Annotated)
+
+    def test_names_sorted(self):
+        reg = ClassRegistry()
+        reg.register(Slotted)
+        reg.register(Annotated)
+        assert list(reg.names()) == sorted(reg.names())
+
+
+class TestFingerprintCheck:
+    def test_matching_fingerprint_passes(self):
+        reg = ClassRegistry()
+        entry = reg.register(Annotated)
+        assert reg.check_fingerprint(entry.name, entry.fingerprint) is entry
+
+    def test_mismatch_raises_schema_error(self):
+        reg = ClassRegistry()
+        entry = reg.register(Annotated)
+        with pytest.raises(SchemaMismatchError):
+            reg.check_fingerprint(entry.name, "0" * 16)
+
+    def test_converter_admits_old_fingerprint(self):
+        reg = ClassRegistry()
+        entry = reg.register(Annotated)
+        reg.register_converter(Annotated, "0" * 16, lambda old: old)
+        assert reg.check_fingerprint(entry.name, "0" * 16) is entry
+
+    def test_converters_survive_reregistration(self):
+        reg = ClassRegistry()
+        reg.register(Annotated)
+        reg.register_converter(Annotated, "0" * 16, lambda old: old)
+
+        class Replacement:
+            name: str
+            value: int
+        Replacement.__module__ = Annotated.__module__
+        Replacement.__qualname__ = Annotated.__qualname__
+        entry = reg.register(Replacement)
+        assert "0" * 16 in entry.converters
+
+
+class TestPersistentDecorator:
+    def test_bare_decorator_uses_default_registry(self):
+        from repro.store.registry import default_registry
+
+        @persistent
+        class Decorated:
+            x: int
+        assert default_registry.is_registered(Decorated)
+
+    def test_decorator_with_explicit_registry(self):
+        reg = ClassRegistry()
+
+        @persistent(registry=reg)
+        class Decorated:
+            x: int
+        assert reg.is_registered(Decorated)
+
+    def test_decorator_returns_class_unchanged(self):
+        reg = ClassRegistry()
+
+        @persistent(registry=reg)
+        class Decorated:
+            x: int
+        assert Decorated.__name__ == "Decorated"
+        assert isinstance(Decorated, type)

@@ -1,0 +1,275 @@
+"""Typed serialisation: value tags, varints, records, shells and fills."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeserializationError, SerializationError
+from repro.store.oids import Oid
+from repro.store.registry import ClassRegistry
+from repro.store.serializer import (
+    KIND_DICT,
+    KIND_INSTANCE,
+    KIND_LIST,
+    KIND_SET,
+    KIND_WEAKREF,
+    Record,
+    Ref,
+    Serializer,
+    decode_value,
+    encode_value,
+    is_inline,
+    read_svarint,
+    read_uvarint,
+    write_svarint,
+    write_uvarint,
+)
+from repro.store.weakrefs import PersistentWeakRef
+
+from tests.conftest import Person
+
+
+def roundtrip_value(value):
+    buf = bytearray()
+    encode_value(buf, value, lambda obj: Oid(999))
+    decoded, pos = decode_value(bytes(buf), 0)
+    assert pos == len(buf)
+    return decoded
+
+
+class TestVarints:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2 ** 40])
+    def test_uvarint_roundtrip(self, value):
+        buf = bytearray()
+        write_uvarint(buf, value)
+        decoded, pos = read_uvarint(bytes(buf), 0)
+        assert decoded == value and pos == len(buf)
+
+    def test_uvarint_rejects_negative(self):
+        with pytest.raises(SerializationError):
+            write_uvarint(bytearray(), -1)
+
+    def test_truncated_uvarint_raises(self):
+        buf = bytearray()
+        write_uvarint(buf, 2 ** 40)
+        with pytest.raises(DeserializationError):
+            read_uvarint(bytes(buf[:2]), 0)
+
+    @pytest.mark.parametrize("value", [0, -1, 1, -128, 127, -(2 ** 70),
+                                       2 ** 70])
+    def test_svarint_roundtrip(self, value):
+        buf = bytearray()
+        write_svarint(buf, value)
+        decoded, pos = read_svarint(bytes(buf), 0)
+        assert decoded == value and pos == len(buf)
+
+    @given(st.integers())
+    def test_svarint_roundtrip_property(self, value):
+        buf = bytearray()
+        write_svarint(buf, value)
+        assert read_svarint(bytes(buf), 0)[0] == value
+
+
+class TestValueEncoding:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -17, 2 ** 80, 3.5, float("inf"),
+        complex(1, -2), "", "héllo ⟦⟧", b"", b"\x00\xff",
+        (1, "two", (3,)), frozenset({1, 2}),
+    ])
+    def test_primitives_roundtrip_with_type(self, value):
+        decoded = roundtrip_value(value)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_nan_roundtrips(self):
+        import math
+        assert math.isnan(roundtrip_value(float("nan")))
+
+    def test_bool_is_not_int_after_roundtrip(self):
+        assert roundtrip_value(True) is True
+        assert type(roundtrip_value(1)) is int
+
+    def test_storable_nodes_become_refs(self):
+        decoded = roundtrip_value([1, 2])
+        assert decoded == Ref(Oid(999))
+
+    def test_refs_inside_tuples(self):
+        decoded = roundtrip_value((1, [2], 3))
+        assert decoded == (1, Ref(Oid(999)), 3)
+
+    def test_equal_frozensets_encode_identically(self):
+        def encode(value):
+            buf = bytearray()
+            encode_value(buf, value, lambda obj: Oid(1))
+            return bytes(buf)
+        assert encode(frozenset([1, 2, 3])) == encode(frozenset([3, 1, 2]))
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(DeserializationError):
+            decode_value(b"Q", 0)
+
+    def test_truncated_string_raises(self):
+        buf = bytearray()
+        encode_value(buf, "hello world", lambda obj: Oid(1))
+        with pytest.raises(DeserializationError):
+            decode_value(bytes(buf[:4]), 0)
+
+    @given(st.recursive(
+        st.none() | st.booleans() | st.integers() |
+        st.floats(allow_nan=False) | st.text() | st.binary(),
+        lambda children: st.tuples(children, children),
+        max_leaves=10,
+    ))
+    def test_inline_values_roundtrip_property(self, value):
+        assert roundtrip_value(value) == value
+
+
+class TestIsInline:
+    @pytest.mark.parametrize("value", [None, 1, 1.0, "s", b"b", (1,),
+                                       frozenset(), True, 1j])
+    def test_inline_types(self, value):
+        assert is_inline(value)
+
+    @pytest.mark.parametrize("value", [[1], {"a": 1}, {1}, bytearray(b"x"),
+                                       object()])
+    def test_node_types(self, value):
+        assert not is_inline(value)
+
+
+@pytest.fixture
+def serializer():
+    reg = ClassRegistry()
+    reg.register(Person)
+    return reg, Serializer(reg)
+
+
+class TestRecords:
+    def test_record_roundtrip_bytes(self, serializer):
+        __, ser = serializer
+        person = Person("ada")
+        record = ser.encode_object(Oid(5), person, lambda obj: Oid(9))
+        back = Record.from_bytes(record.to_bytes())
+        assert back.oid == 5
+        assert back.kind == KIND_INSTANCE
+        assert back.class_name == record.class_name
+        assert back.payload == {"name": "ada", "spouse": None}
+
+    def test_list_record(self, serializer):
+        __, ser = serializer
+        record = ser.encode_object(Oid(1), [1, "x"], lambda obj: Oid(2))
+        assert record.kind == KIND_LIST
+        assert Record.from_bytes(record.to_bytes()).payload == [1, "x"]
+
+    def test_dict_record_preserves_order(self, serializer):
+        __, ser = serializer
+        record = ser.encode_object(Oid(1), {"b": 1, "a": 2},
+                                   lambda obj: Oid(2))
+        assert record.kind == KIND_DICT
+        back = Record.from_bytes(record.to_bytes())
+        assert back.payload == [("b", 1), ("a", 2)]
+
+    def test_set_record(self, serializer):
+        __, ser = serializer
+        record = ser.encode_object(Oid(1), {3, 1}, lambda obj: Oid(2))
+        assert record.kind == KIND_SET
+        assert sorted(Record.from_bytes(record.to_bytes()).payload) == [1, 3]
+
+    def test_nested_node_encoded_as_ref(self, serializer):
+        __, ser = serializer
+        inner = [1]
+        oids = {id(inner): Oid(7)}
+        record = ser.encode_object(Oid(1), [inner],
+                                   lambda obj: oids[id(obj)])
+        assert record.payload == [Ref(Oid(7))]
+
+    def test_weakref_record(self, serializer):
+        __, ser = serializer
+        target = Person("t")
+        record = ser.encode_object(Oid(1), PersistentWeakRef(target),
+                                   lambda obj: Oid(3))
+        assert record.kind == KIND_WEAKREF
+        assert record.payload == Ref(Oid(3))
+
+    def test_empty_weakref_record(self, serializer):
+        __, ser = serializer
+        record = ser.encode_object(Oid(1), PersistentWeakRef(None),
+                                   lambda obj: Oid(3))
+        assert record.payload is None
+
+    def test_unregistered_instance_raises(self, serializer):
+        __, ser = serializer
+
+        class NotRegistered:
+            pass
+        from repro.errors import ClassNotRegisteredError
+        with pytest.raises(ClassNotRegisteredError):
+            ser.encode_object(Oid(1), NotRegistered(), lambda obj: Oid(2))
+
+
+class TestReferencesOf:
+    def test_instance_references(self, serializer):
+        __, ser = serializer
+        a, b = Person("a"), Person("b")
+        a.spouse = b
+        assert ser.references_of(a) == [b]
+
+    def test_weakref_has_no_references(self, serializer):
+        __, ser = serializer
+        assert ser.references_of(PersistentWeakRef(Person("x"))) == []
+
+    def test_tuple_contents_traversed(self, serializer):
+        __, ser = serializer
+        inner = [1]
+        assert ser.references_of([(1, (inner,))]) == [inner]
+
+    def test_dict_keys_and_values_traversed(self, serializer):
+        __, ser = serializer
+        key, value = (Person("k"),), Person("v")
+        refs = ser.references_of({key: value})
+        assert refs == [key[0], value]
+
+
+class TestShellAndFill:
+    def test_instance_shell_skips_init(self, serializer):
+        reg, ser = serializer
+        person = Person("eve")
+        record = ser.encode_object(Oid(1), person, lambda obj: Oid(2))
+        shell = ser.make_shell(record)
+        assert isinstance(shell, Person)
+        assert not hasattr(shell, "name")  # __init__ not called
+
+    def test_fill_restores_fields(self, serializer):
+        __, ser = serializer
+        person = Person("eve")
+        record = ser.encode_object(Oid(1), person, lambda obj: Oid(2))
+        shell = ser.make_shell(record)
+        ser.fill_shell(shell, record, lambda oid: None)
+        assert shell.name == "eve" and shell.spouse is None
+
+    def test_fill_resolves_refs(self, serializer):
+        __, ser = serializer
+        a, b = Person("a"), Person("b")
+        a.spouse = b
+        record = ser.encode_object(Oid(1), a, lambda obj: Oid(2))
+        shell = ser.make_shell(record)
+        ser.fill_shell(shell, record, lambda oid: b)
+        assert shell.spouse is b
+
+    def test_fill_hydrates_refs_inside_tuples(self, serializer):
+        __, ser = serializer
+        inner = [42]
+        oids = {id(inner): Oid(7)}
+        record = ser.encode_object(Oid(1), [(1, inner)],
+                                   lambda obj: oids[id(obj)])
+        shell = ser.make_shell(record)
+        ser.fill_shell(shell, record, lambda oid: inner)
+        assert shell == [(1, inner)]
+        assert shell[0][1] is inner
+
+    def test_schema_mismatch_on_fill(self, serializer):
+        reg, ser = serializer
+        person = Person("eve")
+        record = ser.encode_object(Oid(1), person, lambda obj: Oid(2))
+        record.fingerprint = "f" * 16
+        from repro.errors import SchemaMismatchError
+        with pytest.raises(SchemaMismatchError):
+            ser.make_shell(record)

@@ -1,0 +1,124 @@
+"""Property-based tests on the store's core invariants: arbitrary object
+graphs survive a stabilise/reopen round trip with structure, values,
+types, sharing and identity intact."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.store.objectstore import ObjectStore
+from repro.store.registry import ClassRegistry
+
+from tests.conftest import Person
+
+# Inline (immutable) leaf values.
+leaves = (st.none() | st.booleans() |
+          st.integers(min_value=-2 ** 63, max_value=2 ** 63) |
+          st.floats(allow_nan=False) | st.text(max_size=30) |
+          st.binary(max_size=30))
+
+# Storable container trees (no aliasing; aliasing tested separately).
+trees = st.recursive(
+    leaves,
+    lambda children: (
+        st.lists(children, max_size=5) |
+        st.dictionaries(st.text(max_size=8), children, max_size=5) |
+        st.tuples(children, children)
+    ),
+    max_leaves=25,
+)
+
+
+def assert_same_structure(a, b):
+    assert type(a) is type(b)
+    if isinstance(a, list):
+        assert len(a) == len(b)
+        for item_a, item_b in zip(a, b):
+            assert_same_structure(item_a, item_b)
+    elif isinstance(a, dict):
+        assert list(a.keys()) == list(b.keys())
+        for key in a:
+            assert_same_structure(a[key], b[key])
+    elif isinstance(a, tuple):
+        assert len(a) == len(b)
+        for item_a, item_b in zip(a, b):
+            assert_same_structure(item_a, item_b)
+    else:
+        assert a == b
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(value=trees)
+def test_arbitrary_trees_roundtrip(tmp_path_factory, value):
+    directory = str(tmp_path_factory.mktemp("prop") / "store")
+    registry = ClassRegistry()
+    with ObjectStore.open(directory, registry=registry) as store:
+        store.set_root("value", [value])
+        store.stabilize()
+    with ObjectStore.open(directory, registry=registry) as store:
+        assert_same_structure(store.get_root("value")[0], value)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(names=st.lists(st.text(min_size=1, max_size=10), min_size=1,
+                      max_size=8, unique=True),
+       marriages=st.data())
+def test_arbitrary_person_graphs_roundtrip(tmp_path_factory, names,
+                                           marriages):
+    """Random spouse graphs (including cycles and sharing) survive."""
+    directory = str(tmp_path_factory.mktemp("prop") / "store")
+    registry = ClassRegistry()
+    registry.register(Person)
+    people = [Person(name) for name in names]
+    for person in people:
+        if marriages.draw(st.booleans()):
+            person.spouse = marriages.draw(st.sampled_from(people))
+    spouse_index = [people.index(p.spouse) if p.spouse is not None else None
+                    for p in people]
+    with ObjectStore.open(directory, registry=registry) as store:
+        store.set_root("people", people)
+        store.stabilize()
+        assert store.verify_referential_integrity() == []
+    with ObjectStore.open(directory, registry=registry) as store:
+        fetched = store.get_root("people")
+        assert [p.name for p in fetched] == names
+        for person, index in zip(fetched, spouse_index):
+            if index is None:
+                assert person.spouse is None
+            else:
+                assert person.spouse is fetched[index]  # identity preserved
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.data())
+def test_stabilize_is_idempotent(tmp_path_factory, data):
+    """After one stabilise, a second writes nothing."""
+    directory = str(tmp_path_factory.mktemp("prop") / "store")
+    registry = ClassRegistry()
+    value = data.draw(trees)
+    with ObjectStore.open(directory, registry=registry) as store:
+        store.set_root("v", [value])
+        store.stabilize()
+        assert store.stabilize() == 0
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.lists(st.integers(0, 4), min_size=1, max_size=12))
+def test_gc_never_breaks_integrity(tmp_path_factory, drops):
+    """Randomly dropping list elements and collecting keeps the store
+    sound."""
+    directory = str(tmp_path_factory.mktemp("prop") / "store")
+    registry = ClassRegistry()
+    registry.register(Person)
+    with ObjectStore.open(directory, registry=registry) as store:
+        holder = [[Person(f"p{i}") for i in range(3)] for __ in range(5)]
+        store.set_root("holder", holder)
+        store.stabilize()
+        for index in drops:
+            if holder and index < len(holder):
+                holder.pop(index)
+            store.collect_garbage()
+            assert store.verify_referential_integrity() == []

@@ -1,0 +1,100 @@
+"""Transactions: commit stabilises, abort reverts to the last stabilised
+state (paper Section 7's transactional evolution substrate)."""
+
+import pytest
+
+from repro.errors import NoTransactionError, TransactionError
+
+from tests.conftest import Person
+
+
+class TestCommit:
+    def test_context_manager_commits_on_success(self, store):
+        with store.transaction():
+            store.set_root("p", Person("committed"))
+        # The root is durable: visible after an identity-map flush.
+        store.evict_all()
+        assert store.get_root("p").name == "committed"
+
+    def test_explicit_commit_returns_record_count(self, store):
+        txn = store.transaction().begin()
+        store.set_root("p", Person("x"))
+        written = txn.commit()
+        assert written >= 1
+
+    def test_commit_makes_mutations_durable(self, store, people):
+        store.stabilize()
+        with store.transaction():
+            people[0].name = "renamed"
+        store.evict_all()
+        assert store.get_root("people")[0].name == "renamed"
+
+
+class TestAbort:
+    def test_exception_aborts(self, store):
+        store.set_root("p", Person("before"))
+        store.stabilize()
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.get_root("p").name = "after"
+                raise RuntimeError("boom")
+        assert store.get_root("p").name == "before"
+
+    def test_abort_reverts_new_roots(self, store):
+        store.stabilize()
+        with pytest.raises(ValueError):
+            with store.transaction():
+                store.set_root("new", [1])
+                raise ValueError
+        assert not store.has_root("new")
+
+    def test_abort_reverts_root_deletion(self, store, people):
+        store.stabilize()
+        with pytest.raises(ValueError):
+            with store.transaction():
+                store.delete_root("people")
+                raise ValueError
+        assert store.has_root("people")
+
+    def test_explicit_abort(self, store):
+        store.set_root("p", Person("before"))
+        store.stabilize()
+        txn = store.transaction().begin()
+        store.get_root("p").name = "after"
+        txn.abort()
+        assert store.get_root("p").name == "before"
+
+
+class TestDiscipline:
+    def test_no_nested_transactions(self, store):
+        with store.transaction():
+            with pytest.raises(TransactionError):
+                store.transaction().begin()
+
+    def test_commit_without_begin_raises(self, store):
+        with pytest.raises(NoTransactionError):
+            store.transaction().commit()
+
+    def test_abort_without_begin_raises(self, store):
+        with pytest.raises(NoTransactionError):
+            store.transaction().abort()
+
+    def test_transaction_objects_single_use(self, store):
+        txn = store.transaction().begin()
+        txn.commit()
+        with pytest.raises(TransactionError):
+            txn.begin()
+
+    def test_explicit_commit_inside_context_is_respected(self, store):
+        with store.transaction() as txn:
+            store.set_root("r", [1])
+            txn.commit()
+        # Exiting after an explicit commit must not double-commit or abort.
+        assert store.has_root("r")
+
+    def test_sequential_transactions_allowed(self, store):
+        with store.transaction():
+            store.set_root("a", [1])
+        with store.transaction():
+            store.set_root("b", [2])
+        assert store.has_root("a") and store.has_root("b")

@@ -1,0 +1,133 @@
+"""Write-ahead log: framing, commit atomicity, torn-tail tolerance."""
+
+import os
+
+import pytest
+
+from repro.store.oids import Oid
+from repro.store.wal import (
+    ENTRY_BEGIN,
+    ENTRY_COMMIT,
+    ENTRY_DELETE,
+    ENTRY_NEXT_OID,
+    ENTRY_ROOT,
+    ENTRY_UNROOT,
+    ENTRY_WRITE,
+    LogEntry,
+    WriteAheadLog,
+)
+
+
+@pytest.fixture
+def wal(tmp_path):
+    with WriteAheadLog(str(tmp_path / "test.wal")) as log:
+        yield log
+
+
+class TestEntryCodec:
+    def test_write_entry_roundtrip(self):
+        entry = LogEntry(ENTRY_WRITE, 7, Oid(3), b"payload")
+        back = LogEntry.decode(entry.encode())
+        assert (back.kind, back.txn_id, back.oid, back.data) == \
+            (ENTRY_WRITE, 7, 3, b"payload")
+
+    def test_root_entry_roundtrip(self):
+        entry = LogEntry(ENTRY_ROOT, 1, Oid(9), b"", "my root ⟦")
+        back = LogEntry.decode(entry.encode())
+        assert back.name == "my root ⟦" and back.oid == 9
+
+    def test_unroot_entry_roundtrip(self):
+        entry = LogEntry(ENTRY_UNROOT, 2, Oid(0), b"", "gone")
+        back = LogEntry.decode(entry.encode())
+        assert back.kind == ENTRY_UNROOT and back.name == "gone"
+
+    def test_bare_entries(self):
+        for kind in (ENTRY_BEGIN, ENTRY_COMMIT):
+            back = LogEntry.decode(LogEntry(kind, 5).encode())
+            assert back.kind == kind and back.txn_id == 5
+
+
+class TestCommitAtomicity:
+    def test_committed_batch_returned(self, wal):
+        wal.append(LogEntry(ENTRY_BEGIN, 1))
+        wal.append(LogEntry(ENTRY_WRITE, 1, Oid(1), b"a"))
+        wal.commit(1)
+        batches = wal.committed_batches()
+        assert len(batches) == 1
+        assert batches[0][0].data == b"a"
+
+    def test_uncommitted_batch_discarded(self, wal):
+        wal.append(LogEntry(ENTRY_BEGIN, 1))
+        wal.append(LogEntry(ENTRY_WRITE, 1, Oid(1), b"a"))
+        wal.sync()
+        assert wal.committed_batches() == []
+
+    def test_batches_in_commit_order(self, wal):
+        wal.append(LogEntry(ENTRY_BEGIN, 1))
+        wal.append(LogEntry(ENTRY_WRITE, 1, Oid(1), b"first"))
+        wal.append(LogEntry(ENTRY_BEGIN, 2))
+        wal.append(LogEntry(ENTRY_WRITE, 2, Oid(2), b"second"))
+        wal.commit(2)
+        wal.commit(1)
+        batches = wal.committed_batches()
+        assert [batch[0].data for batch in batches] == [b"second", b"first"]
+
+    def test_truncate_clears_log(self, wal):
+        wal.append(LogEntry(ENTRY_BEGIN, 1))
+        wal.commit(1)
+        wal.truncate()
+        assert wal.committed_batches() == []
+        assert wal.size() == 0
+
+    def test_mixed_entry_kinds_in_batch(self, wal):
+        wal.append(LogEntry(ENTRY_BEGIN, 3))
+        wal.append(LogEntry(ENTRY_WRITE, 3, Oid(1), b"w"))
+        wal.append(LogEntry(ENTRY_DELETE, 3, Oid(2)))
+        wal.append(LogEntry(ENTRY_ROOT, 3, Oid(1), b"", "r"))
+        wal.append(LogEntry(ENTRY_NEXT_OID, 3, Oid(50)))
+        wal.commit(3)
+        kinds = [entry.kind for entry in wal.committed_batches()[0]]
+        assert kinds == [ENTRY_WRITE, ENTRY_DELETE, ENTRY_ROOT,
+                         ENTRY_NEXT_OID]
+
+
+class TestTornTail:
+    def _write_committed(self, path: str) -> None:
+        with WriteAheadLog(path) as log:
+            log.append(LogEntry(ENTRY_BEGIN, 1))
+            log.append(LogEntry(ENTRY_WRITE, 1, Oid(1), b"safe"))
+            log.commit(1)
+
+    def test_truncated_tail_keeps_committed_prefix(self, tmp_path):
+        path = str(tmp_path / "torn.wal")
+        self._write_committed(path)
+        with open(path, "ab") as fh:
+            fh.write(b"\x50\x00\x00\x00")  # frame header promising 80 bytes
+        with WriteAheadLog(path) as log:
+            batches = log.committed_batches()
+        assert len(batches) == 1
+        assert batches[0][0].data == b"safe"
+
+    def test_corrupt_crc_ends_replay(self, tmp_path):
+        path = str(tmp_path / "crc.wal")
+        self._write_committed(path)
+        size = os.path.getsize(path)
+        self._write_committed_second(path)
+        # Flip a byte inside the second batch's frames.
+        with open(path, "r+b") as fh:
+            fh.seek(size + 12)
+            byte = fh.read(1)
+            fh.seek(size + 12)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        with WriteAheadLog(path) as log:
+            batches = log.committed_batches()
+        assert len(batches) == 1  # only the first batch survives
+
+    def _write_committed_second(self, path: str) -> None:
+        with WriteAheadLog(path) as log:
+            log.append(LogEntry(ENTRY_BEGIN, 2))
+            log.append(LogEntry(ENTRY_WRITE, 2, Oid(2), b"doomed"))
+            log.commit(2)
+
+    def test_empty_log_has_no_batches(self, wal):
+        assert wal.committed_batches() == []

@@ -1,0 +1,153 @@
+"""Schema evolution through linguistic reflection (Section 7)."""
+
+import pytest
+
+from repro.core.compiler import DynamicCompiler
+from repro.core.hyperprogram import HyperProgram
+from repro.errors import EvolutionError
+from repro.evolve.evolution import (
+    EvolutionEngine,
+    EvolutionStep,
+    SOURCE_ARCHIVE_ROOT,
+)
+
+ACCOUNT_SOURCE = (
+    "class Account:\n"
+    "    owner: str\n"
+    "    balance: int\n"
+    "    def __init__(self, owner, balance):\n"
+    "        self.owner = owner\n"
+    "        self.balance = balance\n"
+)
+
+
+@pytest.fixture
+def banked(store, link_store):
+    """A store holding Account instances created from archived source."""
+    program = HyperProgram(ACCOUNT_SOURCE, [], "Account")
+    account_cls = DynamicCompiler.compile_hyper_program(program)
+    account_cls.__module__ = "bank"
+    account_cls.__qualname__ = "Account"
+    store.registry.register(account_cls)
+    engine = EvolutionEngine(store)
+    engine.archive_source("bank.Account", program)
+    accounts = [account_cls("zoe", 100), account_cls("sam", 250)]
+    store.set_root("accounts", accounts)
+    store.stabilize()
+    return engine, account_cls
+
+
+def cents_step():
+    return EvolutionStep(
+        class_name="bank.Account",
+        rewrite=lambda src: src
+            .replace("balance: int", "balance_cents: int")
+            .replace("self.balance = balance",
+                     "self.balance_cents = balance * 100"),
+        convert=lambda old: {"owner": old["owner"],
+                             "balance_cents": old["balance"] * 100},
+    )
+
+
+class TestSourceArchive:
+    def test_archive_and_fetch(self, store, link_store):
+        engine = EvolutionEngine(store)
+        program = HyperProgram("class X:\n    pass\n", [], "X")
+        engine.archive_source("m.X", program)
+        assert engine.source_of("m.X") is program
+        assert "m.X" in engine.archived_classes()
+
+    def test_unarchived_class_cannot_evolve(self, store, link_store):
+        engine = EvolutionEngine(store)
+        with pytest.raises(EvolutionError) as excinfo:
+            engine.source_of("outside.Class")
+        assert "footnote 2" in str(excinfo.value)
+
+    def test_archive_root_created(self, store, link_store):
+        EvolutionEngine(store)
+        assert store.has_root(SOURCE_ARCHIVE_ROOT)
+
+
+class TestEvolutionRun:
+    def test_instances_reconstructed(self, store, banked):
+        engine, __ = banked
+        evolved = engine.run(cents_step())
+        accounts = store.get_root("accounts")
+        assert all(type(account) is evolved for account in accounts)
+        assert [account.balance_cents for account in accounts] == \
+            [10_000, 25_000]
+        assert engine.last_reconstructed == 2
+
+    def test_old_field_gone_after_evolution(self, store, banked):
+        engine, __ = banked
+        engine.run(cents_step())
+        account = store.get_root("accounts")[0]
+        assert not hasattr(account, "balance")
+
+    def test_evolved_state_is_durable(self, store, banked, registry,
+                                      tmp_path):
+        engine, __ = banked
+        engine.run(cents_step())
+        store.stabilize()
+        store.evict_all()
+        assert store.get_root("accounts")[0].balance_cents == 10_000
+
+    def test_new_instances_use_new_schema(self, store, banked):
+        engine, __ = banked
+        evolved = engine.run(cents_step())
+        fresh = evolved("new", 5)
+        assert fresh.balance_cents == 500
+
+    def test_archived_source_updated(self, store, banked):
+        engine, __ = banked
+        engine.run(cents_step())
+        assert "balance_cents" in engine.source_of("bank.Account").the_text
+
+    def test_registry_binding_superseded(self, store, banked):
+        engine, old_cls = banked
+        evolved = engine.run(cents_step())
+        assert store.registry.entry_for_name("bank.Account").cls is evolved
+        assert not store.registry.is_registered(old_cls)
+
+
+class TestEvolutionFailure:
+    def test_broken_rewrite_rolls_back(self, store, banked):
+        engine, __ = banked
+        bad_step = EvolutionStep(
+            class_name="bank.Account",
+            rewrite=lambda src: "class Account(:\n    broken\n",
+            convert=lambda old: old,
+        )
+        with pytest.raises(EvolutionError):
+            engine.run(bad_step)
+        # The store still serves the old state.
+        accounts = store.get_root("accounts")
+        assert accounts[0].balance == 100
+
+    def test_broken_converter_rolls_back(self, store, banked):
+        engine, __ = banked
+        bad_step = EvolutionStep(
+            class_name="bank.Account",
+            rewrite=cents_step().rewrite,
+            convert=lambda old: (_ for _ in ()).throw(KeyError("nope")),
+        )
+        with pytest.raises(EvolutionError):
+            engine.run(bad_step)
+
+    def test_sequential_evolutions(self, store, banked):
+        """Two evolution steps in a row, each converting the previous
+        schema."""
+        engine, __ = banked
+        engine.run(cents_step())
+        rename_step = EvolutionStep(
+            class_name="bank.Account",
+            rewrite=lambda src: src.replace("owner: str", "holder: str")
+                                    .replace("self.owner = owner",
+                                             "self.holder = owner"),
+            convert=lambda old: {"holder": old["owner"],
+                                 "balance_cents": old["balance_cents"]},
+        )
+        engine.run(rename_step)
+        account = store.get_root("accounts")[0]
+        assert account.holder == "zoe"
+        assert account.balance_cents == 10_000

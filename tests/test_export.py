@@ -1,0 +1,94 @@
+"""HTML export of hyper-programs (Section 6): links become URLs."""
+
+import pytest
+
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.export.html import export_html, export_program_set, link_url
+from repro.reflect.introspect import for_class
+
+from tests.conftest import Person
+
+
+@pytest.fixture
+def program_with_links(store, people):
+    vangelis, __ = people
+    text = "Person.marry(, )\n"
+    program = HyperProgram(text, class_name="MarryExample")
+    marry = for_class(Person).get_method("marry")
+    program.add_link(HyperLinkHP.to_static_method(marry, "Person.marry", 0))
+    program.add_link(HyperLinkHP.to_object(vangelis, "vangelis", 13))
+    program.add_link(HyperLinkHP.to_primitive(42, "42", 15))
+    store.stabilize()
+    return program
+
+
+class TestLinkUrls:
+    def test_method_url(self, program_with_links):
+        url = link_url(program_with_links.the_links[0])
+        assert url.startswith("entity://method/")
+        assert url.endswith("/marry")
+
+    def test_stored_object_url_uses_oid(self, store, program_with_links,
+                                        people):
+        url = link_url(program_with_links.the_links[1], store)
+        assert url == f"store://{int(store.oid_of(people[0]))}"
+
+    def test_unstored_object_url_falls_back(self, people):
+        link = HyperLinkHP.to_object(Person("loose"), "l", 0)
+        assert link_url(link, None).startswith("object://Person/")
+
+    def test_literal_url(self, program_with_links):
+        assert link_url(program_with_links.the_links[2]) == \
+            "entity://literal/42"
+
+    def test_location_urls(self, store, people):
+        store.stabilize()
+        field = HyperLinkHP.to_field_location(people[0], "name", "n", 0)
+        url = link_url(field, store)
+        assert url.endswith("/name") and url.startswith("store://")
+        element = HyperLinkHP.to_array_element([1, 2], 1, "e", 0)
+        assert link_url(element).endswith("/1")
+
+    def test_class_and_constructor_urls(self):
+        cls_link = HyperLinkHP.to_class(Person, "P", 0)
+        ctor_link = HyperLinkHP.to_constructor(Person, "new", 0)
+        assert link_url(cls_link).startswith("entity://class/")
+        assert link_url(ctor_link).startswith("entity://constructor/")
+
+
+class TestExportHtml:
+    def test_page_structure(self, store, program_with_links):
+        page = export_html(program_with_links, store)
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<title>MarryExample</title>" in page
+        assert page.count('class="hyperlink') == 3
+
+    def test_text_escaped(self, store):
+        program = HyperProgram("x = '<script>' \n", class_name="E")
+        page = export_html(program, store)
+        assert "<script>" not in page.split("<pre>")[1].split("</pre>")[0]
+        assert "&lt;script&gt;" in page
+
+    def test_special_links_styled(self, store, program_with_links):
+        page = export_html(program_with_links, store)
+        assert 'class="hyperlink special"' in page
+        assert 'class="hyperlink primitive"' in page
+
+    def test_labels_are_anchor_text(self, store, program_with_links):
+        page = export_html(program_with_links, store)
+        assert ">Person.marry</a>" in page
+        assert ">vangelis</a>" in page
+
+
+class TestExportProgramSet:
+    def test_index_links_every_page(self, store, program_with_links):
+        pages = export_program_set(
+            {"Marry": program_with_links,
+             "Other": HyperProgram("pass\n", class_name="Other")},
+            store)
+        assert set(pages) == {"Marry.html", "Other.html", "index.html"}
+        index = pages["index.html"]
+        assert 'href="Marry.html"' in index
+        assert 'href="Other.html"' in index
+        assert "(3 links)" in index

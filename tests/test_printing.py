@@ -1,0 +1,69 @@
+"""The printable form of hyper-programs (Section 6)."""
+
+import pytest
+
+from repro.core.hyperlink import HyperLinkHP
+from repro.core.hyperprogram import HyperProgram
+from repro.export.printing import describe_link, print_form
+from repro.reflect.introspect import for_class
+
+from tests.conftest import Person
+
+
+class TestDescribeLink:
+    def test_method_description(self):
+        marry = for_class(Person).get_method("marry")
+        link = HyperLinkHP.to_static_method(marry, "m", 0)
+        assert describe_link(link).startswith("static method ")
+        assert describe_link(link).endswith(".marry")
+
+    def test_object_description_with_oid(self, store):
+        person = Person("p")
+        store.set_root("p", person)
+        link = HyperLinkHP.to_object(person, "p", 0)
+        description = describe_link(link, store)
+        assert description.startswith("Person instance (oid ")
+
+    def test_object_description_without_store(self):
+        link = HyperLinkHP.to_object(Person("p"), "p", 0)
+        assert describe_link(link) == "Person instance"
+
+    def test_literal_description(self):
+        link = HyperLinkHP.to_primitive(42, "42", 0)
+        assert describe_link(link) == "literal 42"
+
+    def test_location_descriptions(self):
+        field = HyperLinkHP.to_field_location(Person("p"), "name", "n", 0)
+        assert describe_link(field) == "location Person.name"
+        element = HyperLinkHP.to_array_element([1, 2, 3], 1, "e", 0)
+        assert describe_link(element) == "location [1] of an array of 3"
+
+    def test_class_and_constructor_descriptions(self):
+        cls_link = HyperLinkHP.to_class(Person, "P", 0)
+        ctor_link = HyperLinkHP.to_constructor(Person, "new", 0)
+        assert describe_link(cls_link).startswith("class ")
+        assert describe_link(ctor_link).startswith("constructor of ")
+
+
+class TestPrintForm:
+    def test_buttons_numbered_in_position_order(self):
+        text = "f(, )\n"
+        program = HyperProgram(text, class_name="P")
+        program.add_link(HyperLinkHP.to_primitive(2, "two", 4))
+        program.add_link(HyperLinkHP.to_primitive(1, "one", 2))
+        printed = print_form(program)
+        assert "[1:one]" in printed and "[2:two]" in printed
+        assert printed.index("[1:one]") < printed.index("[2:two]")
+
+    def test_footnotes_describe_entities(self):
+        text = "x = \n"
+        program = HyperProgram(text, class_name="P")
+        program.add_link(HyperLinkHP.to_object(Person("ada"), "ada", 4))
+        printed = print_form(program)
+        assert "linked entities:" in printed
+        assert "[1] Person instance" in printed
+
+    def test_linkless_program_has_no_footnotes(self):
+        printed = print_form(HyperProgram("pass\n", class_name="P"))
+        assert "linked entities" not in printed
+        assert "pass" in printed

@@ -1,0 +1,192 @@
+"""The integrated UI (Figure 12): window stacking and the Section 5.4
+gestures."""
+
+import pytest
+
+from repro.errors import NoFrontWindowError, UIError
+from repro.ui.app import HyperProgrammingUI
+from repro.ui.buttons import Button
+from repro.ui.events import ButtonPress, LinkPress, RightClick
+from repro.ui.windows import (
+    BrowserWindow,
+    EditorWindow,
+    Window,
+    WindowManager,
+)
+
+from tests.conftest import Person
+
+
+class TestWindowManager:
+    def test_front_is_most_recently_opened(self):
+        manager = WindowManager()
+        manager.open(Window("first"))
+        second = manager.open(Window("second"))
+        assert manager.front is second
+
+    def test_raise_window(self):
+        manager = WindowManager()
+        first = manager.open(Window("first"))
+        manager.open(Window("second"))
+        manager.raise_window(first)
+        assert manager.front is first
+
+    def test_raise_unopened_window_rejected(self):
+        manager = WindowManager()
+        with pytest.raises(UIError):
+            manager.raise_window(Window("ghost"))
+
+    def test_front_of_kind(self, store):
+        from repro.browser.ocb import OCB
+        from repro.editor.hyper import HyperProgramEditor
+        manager = WindowManager()
+        editor_window = manager.open(EditorWindow(HyperProgramEditor()))
+        browser_window = manager.open(BrowserWindow(OCB(store)))
+        assert manager.front_of_kind(EditorWindow) is editor_window
+        assert manager.front_of_kind(BrowserWindow) is browser_window
+
+    def test_front_of_kind_missing_raises(self):
+        with pytest.raises(NoFrontWindowError):
+            WindowManager().front_of_kind(EditorWindow)
+
+    def test_close_removes(self):
+        manager = WindowManager()
+        window = manager.open(Window("w"))
+        manager.close(window)
+        assert manager.front is None
+
+    def test_window_lookup_by_id(self):
+        manager = WindowManager()
+        window = manager.open(Window("w"))
+        assert manager.window(window.id) is window
+        with pytest.raises(UIError):
+            manager.window(999999)
+
+
+class TestButtons:
+    def test_press_counts_and_returns(self):
+        button = Button("Go", lambda: "ran")
+        assert button.press() == "ran"
+        assert button.press_count == 1
+
+    def test_disabled_button(self):
+        button = Button("Off", lambda: None, enabled=False)
+        with pytest.raises(RuntimeError):
+            button.press()
+
+    def test_unknown_button_on_window(self):
+        window = Window("w")
+        with pytest.raises(UIError):
+            window.press("Nothing")
+
+
+@pytest.fixture
+def ui_session(store, link_store, people):
+    ui = HyperProgrammingUI(store)
+    browser_window = ui.open_browser()
+    editor_window = ui.open_editor("MarryExample")
+    return ui, browser_window, editor_window
+
+
+class TestGestures:
+    def test_right_click_inserts_into_front_editor(self, ui_session,
+                                                   people):
+        ui, browser_window, editor_window = ui_session
+        editor_window.editor.type_text("x = ")
+        panel = browser_window.browser.open_object(people[0])
+        link = ui.right_click(RightClick(browser_window.id, panel.id,
+                                         panel.entities()[0].label))
+        assert link.hyper_link_object is people[0]
+        assert editor_window.editor.basic.form.link_count() == 1
+
+    def test_right_click_left_half_makes_location_link(self, ui_session,
+                                                       people):
+        ui, browser_window, editor_window = ui_session
+        panel = browser_window.browser.open_object(people[0])
+        link = ui.right_click(RightClick(browser_window.id, panel.id,
+                                         ".spouse", half="left"))
+        from repro.core.hyperlink import FieldLocation
+        assert isinstance(link.hyper_link_object, FieldLocation)
+
+    def test_right_click_needs_browser_window(self, ui_session, people):
+        ui, __, editor_window = ui_session
+        with pytest.raises(UIError):
+            ui.right_click(RightClick(editor_window.id, 1, "x"))
+
+    def test_insert_link_button_uses_front_browser(self, ui_session,
+                                                   people):
+        ui, browser_window, editor_window = ui_session
+        browser_window.browser.open_object(people[1])
+        ui.press_button(ButtonPress(editor_window.id, "Insert Link"))
+        links = list(editor_window.editor.basic.form.all_links())
+        assert links[0][1].hyper_link_object is people[1]
+
+    def test_insert_link_without_panel_raises(self, ui_session):
+        ui, __, editor_window = ui_session
+        with pytest.raises(NoFrontWindowError):
+            ui.press_button(ButtonPress(editor_window.id, "Insert Link"))
+
+    def test_press_link_opens_browser_panel(self, ui_session, people):
+        ui, browser_window, editor_window = ui_session
+        panel = browser_window.browser.open_object(people[0])
+        ui.right_click(RightClick(browser_window.id, panel.id,
+                                  panel.entities()[0].label))
+        before = len(browser_window.browser.panels())
+        entity = ui.press_link(LinkPress(editor_window.id, 0, 0))
+        assert entity is people[0]
+        assert len(browser_window.browser.panels()) == before + 1
+
+    def test_press_link_bad_index(self, ui_session):
+        ui, __, editor_window = ui_session
+        with pytest.raises(UIError):
+            ui.press_link(LinkPress(editor_window.id, 0, 5))
+
+    def test_event_log_records_gestures(self, ui_session, people):
+        ui, browser_window, editor_window = ui_session
+        panel = browser_window.browser.open_object(people[0])
+        ui.right_click(RightClick(browser_window.id, panel.id,
+                                  panel.entities()[0].label))
+        assert len(ui.event_log) == 1
+
+
+class TestActions:
+    def _compose_marry(self, ui, browser_window, editor_window, people):
+        editor = editor_window.editor
+        editor.type_text("class MarryExample:\n"
+                         "    @staticmethod\n"
+                         "    def main(args):\n"
+                         "        ")
+        class_panel = browser_window.browser.open_class(Person)
+        ui.right_click(RightClick(browser_window.id, class_panel.id,
+                                  "Person.marry"))
+        editor.type_text("(")
+        panel_a = browser_window.browser.open_object(people[0])
+        ui.right_click(RightClick(browser_window.id, panel_a.id,
+                                  panel_a.entities()[0].label))
+        editor.type_text(", ")
+        panel_b = browser_window.browser.open_object(people[1])
+        ui.right_click(RightClick(browser_window.id, panel_b.id,
+                                  panel_b.entities()[0].label))
+        editor.type_text(")\n")
+
+    def test_go_button_runs_program(self, ui_session, people):
+        ui, browser_window, editor_window = ui_session
+        self._compose_marry(ui, browser_window, editor_window, people)
+        ui.press_button(ButtonPress(editor_window.id, "Go"))
+        assert people[0].spouse is people[1]
+
+    def test_display_class_opens_class_panel(self, ui_session, people):
+        ui, browser_window, editor_window = ui_session
+        self._compose_marry(ui, browser_window, editor_window, people)
+        ui.press_button(ButtonPress(editor_window.id, "Display Class"))
+        front = browser_window.browser.front_panel
+        assert front.subject_kind == "class"
+        assert front.subject.__name__ == "MarryExample"
+
+    def test_render_shows_all_windows(self, ui_session, people):
+        ui, browser_window, editor_window = ui_session
+        browser_window.browser.open_object(people[0])
+        rendered = ui.render()
+        assert "Hyper-Program Editor" in rendered
+        assert "Object/Class Browser" in rendered
+        assert "(Go)" in rendered
