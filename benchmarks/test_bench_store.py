@@ -44,7 +44,9 @@ class TestStabilization:
 
     @pytest.mark.parametrize("count", [100, 1000])
     def test_incremental_stabilize(self, benchmark, store, count):
-        """After one mutation, stabilize writes only the changed record."""
+        """After one mutation, stabilize re-serialises and writes only the
+        changed record — dirty-object tracking keeps the cost proportional
+        to the mutation count, not the population size."""
         people = build_population(store, count)
         store.stabilize()
 
@@ -57,6 +59,15 @@ class TestStabilization:
 
         written = benchmark(mutate_and_stabilize)
         assert written == 1
+        # Verify incrementality through the counters: one more mutation
+        # costs exactly one record write at the engine and one
+        # re-serialisation at the store, regardless of population size.
+        writes_before = store.engine.record_writes
+        encodes_before = store.encode_count
+        people[0].name = "final-rename"
+        assert store.stabilize() == 1
+        assert store.engine.record_writes == writes_before + 1
+        assert store.encode_count == encodes_before + 1
 
 
 class TestFetch:

@@ -10,13 +10,21 @@ editor, an object/class browser, and the integrating user interface.
 
 Quickstart::
 
-    from repro import (ObjectStore, LinkStore, DynamicCompiler,
-                       HyperProgram, HyperLinkHP, persistent)
+    from repro import (ClassRegistry, ObjectStore, LinkStore,
+                       DynamicCompiler, HyperProgram, HyperLinkHP,
+                       persistent)
 
-    store = ObjectStore.open("/tmp/demo-store")
-    links = LinkStore(store)
+    registry = ClassRegistry()          # one registry threads all layers
+    store = ObjectStore.open("/tmp/demo-store", registry=registry)
+    links = LinkStore(store)            # resolves through store.registry
     DynamicCompiler.install(links)
     ...
+
+The persistent store runs over a pluggable storage engine —
+``ObjectStore.open(directory)`` uses the durable
+:class:`~repro.store.engine.FileEngine`, ``ObjectStore.in_memory()`` an
+ephemeral :class:`~repro.store.engine.MemoryEngine` (see
+``docs/architecture.md``).
 
 See ``examples/quickstart.py`` for the paper's MarryExample end to end.
 """
@@ -24,8 +32,11 @@ See ``examples/quickstart.py`` for the paper's MarryExample end to end.
 from repro.errors import ReproError
 from repro.store import (
     ClassRegistry,
+    FileEngine,
+    MemoryEngine,
     ObjectStore,
     PersistentWeakRef,
+    StorageEngine,
     persistent,
 )
 from repro.reflect import (
@@ -65,6 +76,9 @@ __version__ = "1.0.0"
 __all__ = [
     "ReproError",
     "ObjectStore",
+    "StorageEngine",
+    "FileEngine",
+    "MemoryEngine",
     "ClassRegistry",
     "PersistentWeakRef",
     "persistent",

@@ -11,9 +11,12 @@ provides that substrate for Python:
 * :class:`~repro.store.registry.ClassRegistry` — typed-object fidelity: every
   stored instance is re-bound to its registered class and checked against a
   schema fingerprint on fetch, which plain pickle does not guarantee.
-* :mod:`~repro.store.heap` / :mod:`~repro.store.wal` — a slotted-page heap
-  file plus a write-ahead log, giving stabilisation (checkpoint) and crash
-  recovery.
+* :mod:`~repro.store.engine` — pluggable storage engines behind one
+  atomic-batch interface: :class:`~repro.store.engine.FileEngine` (a
+  slotted-page heap file plus a write-ahead log, giving stabilisation
+  (checkpoint) and crash recovery) and
+  :class:`~repro.store.engine.MemoryEngine` (ephemeral, for scratch
+  stores and tests).
 * :mod:`~repro.store.gc` — a reachability collector over the stored graph
   with persistent *weak references*, as required by the paper's Figure 7 for
   collectable hyper-programs.
@@ -24,6 +27,12 @@ provides that substrate for Python:
 from repro.store.oids import Oid, OidAllocator
 from repro.store.registry import ClassRegistry, persistent
 from repro.store.serializer import Serializer, Record
+from repro.store.engine import (
+    FileEngine,
+    MemoryEngine,
+    StorageEngine,
+    WriteBatch,
+)
 from repro.store.objectstore import ObjectStore
 from repro.store.weakrefs import PersistentWeakRef
 from repro.store.transactions import Transaction
@@ -35,6 +44,10 @@ __all__ = [
     "persistent",
     "Serializer",
     "Record",
+    "StorageEngine",
+    "WriteBatch",
+    "FileEngine",
+    "MemoryEngine",
     "ObjectStore",
     "PersistentWeakRef",
     "Transaction",

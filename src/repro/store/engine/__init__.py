@@ -1,0 +1,35 @@
+"""Pluggable storage engines for the persistent store.
+
+The :class:`~repro.store.objectstore.ObjectStore` implements the paper's
+*logical* model — roots, persistence by reachability, referential
+integrity, typed fidelity — while everything *physical* (where record
+bytes live, how a batch of writes becomes durable atomically) is behind
+the :class:`StorageEngine` interface:
+
+* :class:`FileEngine` — the durable backend: a slotted-page heap file plus
+  a write-ahead log and an atomically-replaced metadata snapshot, giving
+  crash-safe checkpoints (this is the layout the seed welded into the
+  store itself);
+* :class:`MemoryEngine` — an ephemeral in-process backend for scratch
+  stores and fast test runs; nothing survives :meth:`StorageEngine.close`.
+
+Engines exchange work with the store through :class:`WriteBatch`: one
+batch carries record writes, record deletes, the new root table and the
+OID-allocator high-water mark, and :meth:`StorageEngine.apply` makes the
+whole batch durable atomically (all of it or none of it).
+
+Routing one logical store API over interchangeable physical backends is
+the broker pattern (ZBroker); see ``docs/architecture.md`` for how to add
+another backend.
+"""
+
+from repro.store.engine.base import StorageEngine, WriteBatch
+from repro.store.engine.filesystem import FileEngine
+from repro.store.engine.memory import MemoryEngine
+
+__all__ = [
+    "StorageEngine",
+    "WriteBatch",
+    "FileEngine",
+    "MemoryEngine",
+]

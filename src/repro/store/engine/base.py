@@ -1,0 +1,167 @@
+"""The abstract storage-engine interface.
+
+A storage engine owns the *durable* half of the store's state:
+
+* the **object table** — record bytes addressed by OID;
+* the **root table** — the name -> OID bindings as of the last batch;
+* the **allocator cursor** — the next OID a fresh allocator may issue.
+
+The :class:`~repro.store.objectstore.ObjectStore` owns everything live
+(identity map, dirty tracking, graph traversal) and talks to the engine
+only through reads and :meth:`StorageEngine.apply`, which commits one
+:class:`WriteBatch` atomically.  Engines never interpret record bytes —
+serialisation stays above this layer.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, Optional
+
+from repro.errors import StoreClosedError
+from repro.store.oids import Oid
+
+
+class WriteBatch:
+    """One atomic unit of durable work.
+
+    A batch carries record writes and deletes, optionally a full
+    replacement root table (``None`` leaves the engine's roots untouched)
+    and a new allocator high-water mark.  :meth:`StorageEngine.apply`
+    guarantees all-or-nothing semantics for the whole batch.
+    """
+
+    __slots__ = ("writes", "deletes", "roots", "next_oid")
+
+    def __init__(self) -> None:
+        self.writes: list[tuple[Oid, bytes]] = []
+        self.deletes: list[Oid] = []
+        self.roots: Optional[dict[str, Oid]] = None
+        self.next_oid: Optional[int] = None
+
+    def write(self, oid: Oid, record_bytes: bytes) -> "WriteBatch":
+        self.writes.append((oid, record_bytes))
+        return self
+
+    def delete(self, oid: Oid) -> "WriteBatch":
+        self.deletes.append(oid)
+        return self
+
+    def set_roots(self, roots: dict[str, Oid]) -> "WriteBatch":
+        """Replace the engine's root table with ``roots`` on apply."""
+        self.roots = dict(roots)
+        return self
+
+    def advance_next_oid(self, next_oid: int) -> "WriteBatch":
+        self.next_oid = int(next_oid)
+        return self
+
+    @property
+    def is_empty(self) -> bool:
+        return (not self.writes and not self.deletes
+                and self.roots is None and self.next_oid is None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        roots = "unchanged" if self.roots is None else len(self.roots)
+        return (f"WriteBatch(writes={len(self.writes)}, "
+                f"deletes={len(self.deletes)}, roots={roots}, "
+                f"next_oid={self.next_oid})")
+
+
+class StorageEngine(ABC):
+    """Atomic batch write, read-by-OID, root table and allocator metadata.
+
+    Subclasses implement the physical layout; the contract tests in
+    ``tests/store/test_engines.py`` pin the behaviour every backend must
+    share.
+    """
+
+    #: Short backend identifier ("file", "memory", ...).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._closed = False
+        #: Records written to backing storage since this engine was
+        #: opened.  The store's incremental stabilisation is *verified*
+        #: through this counter: an unchanged object graph must not move
+        #: it.
+        self.record_writes = 0
+        #: Batches durably applied since open.
+        self.batches_applied = 0
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush and release resources; the engine is unusable after."""
+        self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StoreClosedError("the storage engine has been closed")
+
+    def __enter__(self) -> "StorageEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reads ----------------------------------------------------------
+
+    @abstractmethod
+    def read(self, oid: Oid) -> bytes:
+        """The stored record bytes for ``oid``.
+
+        Raises :class:`~repro.errors.UnknownOidError` when no record is
+        stored under that OID.
+        """
+
+    @abstractmethod
+    def contains(self, oid: Oid) -> bool:
+        """Whether a record is stored under ``oid``."""
+
+    @abstractmethod
+    def oids(self) -> Iterable[Oid]:
+        """Every stored OID (no particular order)."""
+
+    @property
+    @abstractmethod
+    def object_count(self) -> int:
+        """Number of stored records."""
+
+    # -- metadata -------------------------------------------------------
+
+    @abstractmethod
+    def roots(self) -> dict[str, Oid]:
+        """The durable root table as of the last applied batch."""
+
+    @property
+    @abstractmethod
+    def next_oid(self) -> int:
+        """The durable OID-allocator cursor."""
+
+    @property
+    @abstractmethod
+    def page_count(self) -> int:
+        """Physical storage units in use (pages for the file engine,
+        records for the memory engine); feeds store statistics."""
+
+    # -- writes ---------------------------------------------------------
+
+    @abstractmethod
+    def apply(self, batch: WriteBatch) -> None:
+        """Make ``batch`` durable atomically.
+
+        After ``apply`` returns, every write, delete, root change and
+        allocator advance in the batch is visible and survives whatever
+        "durable" means for the backend; if it raises before the commit
+        point, none of them are.
+        """
+
+    def compact(self) -> int:
+        """Reclaim space left behind by deletes; returns the number of
+        storage units compacted.  Optional — defaults to a no-op."""
+        return 0

@@ -1,0 +1,89 @@
+"""The ephemeral in-process backend.
+
+``MemoryEngine`` keeps the object table, root table and allocator cursor
+in plain dictionaries.  It exists for scratch stores (a browser session
+over objects that were never meant to outlive the process) and for test
+runs, where it removes all file I/O from the store contract tests.
+
+Durability semantics are honest rather than faked: a batch is "durable"
+for exactly as long as the engine object lives, and *nothing* survives
+:meth:`MemoryEngine.close` — the engine-specific tests pin that a fresh
+engine over the same (nonexistent) location starts empty.  Atomicity
+still holds: :meth:`apply` stages the whole batch before publishing it,
+so a failing write leaves prior state untouched.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnknownOidError
+from repro.store.engine.base import StorageEngine, WriteBatch
+from repro.store.oids import FIRST_OID, Oid
+
+
+class MemoryEngine(StorageEngine):
+    """Ephemeral dict-backed storage; fast, atomic, gone on close."""
+
+    name = "memory"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._records: dict[Oid, bytes] = {}
+        self._roots: dict[str, Oid] = {}
+        self._next_oid = int(FIRST_OID)
+
+    # -- reads ----------------------------------------------------------
+
+    def read(self, oid: Oid) -> bytes:
+        self._check_open()
+        try:
+            return self._records[oid]
+        except KeyError:
+            raise UnknownOidError(int(oid)) from None
+
+    def contains(self, oid: Oid) -> bool:
+        return oid in self._records
+
+    def oids(self) -> tuple[Oid, ...]:
+        return tuple(self._records)
+
+    @property
+    def object_count(self) -> int:
+        return len(self._records)
+
+    def roots(self) -> dict[str, Oid]:
+        return dict(self._roots)
+
+    @property
+    def next_oid(self) -> int:
+        return self._next_oid
+
+    @property
+    def page_count(self) -> int:
+        # No pages; report one "unit" per stored record for statistics.
+        return len(self._records)
+
+    # -- writes ---------------------------------------------------------
+
+    def apply(self, batch: WriteBatch) -> None:
+        self._check_open()
+        # Stage first so a bad write (non-bytes payload) cannot publish a
+        # half-applied batch.
+        staged = [(oid, bytes(raw)) for oid, raw in batch.writes]
+        for oid, raw in staged:
+            self._records[oid] = raw
+            self.record_writes += 1
+        for oid in batch.deletes:
+            self._records.pop(oid, None)
+        if batch.roots is not None:
+            self._roots = dict(batch.roots)
+        if batch.next_oid is not None:
+            self._next_oid = max(self._next_oid, batch.next_oid)
+        self.batches_applied += 1
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        # Nothing persists: dropping the dictionaries is the whole point.
+        self._records.clear()
+        self._roots.clear()
+        super().close()

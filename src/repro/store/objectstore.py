@@ -17,19 +17,24 @@ and referential integrity" (paper, Section 1).  Key behaviours:
 * **Weak references** — :class:`~repro.store.weakrefs.PersistentWeakRef`
   edges do not make their target reachable; the collector clears dead ones
   (paper Figure 7).
-* **Crash safety** — stabilisation is atomic through the write-ahead log
-  (:mod:`repro.store.wal`).
+* **Crash safety and layout** — delegated to a pluggable
+  :class:`~repro.store.engine.base.StorageEngine`.  The default
+  :class:`~repro.store.engine.filesystem.FileEngine` stabilises atomically
+  through a write-ahead log in a directory of ``store.heap``, ``store.wal``
+  and ``store.meta`` files; a
+  :class:`~repro.store.engine.memory.MemoryEngine` serves ephemeral stores.
 
-The store lives in a directory holding ``store.heap``, ``store.wal`` and
-``store.meta``.
+Stabilisation is **incremental**: the store keeps a shallow snapshot of
+every clean live object (see :meth:`~repro.store.serializer.Serializer.
+snapshot`) and re-serialises only objects that were mutated or newly
+reached since the last stabilise.  The engine's ``record_writes`` counter
+makes that observable.
 """
 
 from __future__ import annotations
 
-import json
-import os
 import zlib
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Optional
 
 from repro.errors import (
     StoreClosedError,
@@ -37,30 +42,19 @@ from repro.errors import (
     UnknownRootError,
 )
 from repro.store.cache import IdentityMap
-from repro.store.heap import HeapFile, RecordId
-from repro.store.oids import NULL_OID, Oid, OidAllocator
-from repro.store.registry import ClassRegistry, default_registry
+from repro.store.engine.base import StorageEngine, WriteBatch
+from repro.store.engine.filesystem import FileEngine
+from repro.store.engine.memory import MemoryEngine
+from repro.store.oids import Oid, OidAllocator
+from repro.store.registry import ClassRegistry
 from repro.store.serializer import (
     KIND_WEAKREF,
     Record,
     Ref,
     Serializer,
-)
-from repro.store.wal import (
-    ENTRY_BEGIN,
-    ENTRY_DELETE,
-    ENTRY_NEXT_OID,
-    ENTRY_ROOT,
-    ENTRY_UNROOT,
-    ENTRY_WRITE,
-    LogEntry,
-    WriteAheadLog,
+    snapshots_equal,
 )
 from repro.store.weakrefs import PersistentWeakRef
-
-_HEAP_NAME = "store.heap"
-_WAL_NAME = "store.wal"
-_META_NAME = "store.meta"
 
 
 def record_refs(record: Record, include_weak: bool = True) -> list[Oid]:
@@ -108,26 +102,43 @@ class StoreStatistics:
 
 
 class ObjectStore:
-    """An orthogonally persistent object store over a directory."""
+    """An orthogonally persistent object store over a storage engine."""
 
-    def __init__(self, directory: str,
-                 registry: ClassRegistry | None = None):
-        self._directory = directory
-        os.makedirs(directory, exist_ok=True)
-        self.registry = registry if registry is not None else default_registry
+    def __init__(self, directory: str | None = None,
+                 registry: ClassRegistry | None = None, *,
+                 engine: StorageEngine | None = None):
+        if engine is None:
+            if directory is None:
+                raise ValueError(
+                    "ObjectStore needs a directory (file engine) or an "
+                    "explicit engine"
+                )
+            engine = FileEngine(directory)
+        elif directory is not None:
+            raise ValueError(
+                "pass either a directory or an engine, not both — an "
+                "explicit engine decides where (and whether) data lives"
+            )
+        self._engine = engine
+        # One registry instance is threaded through every layer that
+        # resolves classes (serializer, link store, compiler, evolution).
+        # A store that is not handed a registry gets its own private one
+        # rather than a process-wide global, so two stores can never
+        # accidentally share schema state.
+        self.registry = registry if registry is not None else ClassRegistry()
         self._serializer = Serializer(self.registry)
-        self._heap = HeapFile(os.path.join(directory, _HEAP_NAME))
-        self._wal = WriteAheadLog(os.path.join(directory, _WAL_NAME))
         self._identity = IdentityMap()
-        self._allocator = OidAllocator()
-        self._roots: dict[str, Oid] = {}
-        self._table: dict[Oid, RecordId] = {}
-        self._stored_sig: dict[Oid, tuple[int, int]] = {}  # oid -> (len, crc)
-        self._txn_counter = 0
+        self._allocator = OidAllocator(max(int(engine.next_oid), 1))
+        self._roots: dict[str, Oid] = engine.roots()
+        #: oid -> (len, crc) of the stored record bytes; rebuilt lazily.
+        self._stored_sig: dict[Oid, tuple[int, int]] = {}
+        #: oid -> shallow state snapshot of the clean live object.
+        self._shadow: dict[Oid, Any] = {}
+        #: Objects serialised since open (observability for benchmarks:
+        #: incremental stabilisation keeps this close to the dirty count).
+        self.encode_count = 0
         self._active_txn = None
         self._closed = False
-        self._load_metadata()
-        self._recover()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -136,15 +147,23 @@ class ObjectStore:
     @classmethod
     def open(cls, directory: str,
              registry: ClassRegistry | None = None) -> "ObjectStore":
-        """Open (creating if necessary) the store in ``directory``."""
+        """Open (creating if necessary) a file-backed store in
+        ``directory``."""
         return cls(directory, registry)
+
+    @classmethod
+    def in_memory(cls,
+                  registry: ClassRegistry | None = None) -> "ObjectStore":
+        """An ephemeral store over a fresh
+        :class:`~repro.store.engine.memory.MemoryEngine`; nothing survives
+        :meth:`close`."""
+        return cls(registry=registry, engine=MemoryEngine())
 
     def close(self) -> None:
         """Flush and close; the store object is unusable afterwards."""
         if self._closed:
             return
-        self._heap.close()
-        self._wal.close()
+        self._engine.close()
         self._closed = True
 
     def __enter__(self) -> "ObjectStore":
@@ -154,8 +173,14 @@ class ObjectStore:
         self.close()
 
     @property
-    def directory(self) -> str:
-        return self._directory
+    def engine(self) -> StorageEngine:
+        """The storage engine this store runs over."""
+        return self._engine
+
+    @property
+    def directory(self) -> Optional[str]:
+        """The backing directory, or ``None`` for non-file engines."""
+        return getattr(self._engine, "directory", None)
 
     @property
     def is_closed(self) -> bool:
@@ -164,83 +189,6 @@ class ObjectStore:
     def _check_open(self) -> None:
         if self._closed:
             raise StoreClosedError("the store has been closed")
-
-    # ------------------------------------------------------------------
-    # metadata snapshot
-    # ------------------------------------------------------------------
-
-    def _meta_path(self) -> str:
-        return os.path.join(self._directory, _META_NAME)
-
-    def _load_metadata(self) -> None:
-        path = self._meta_path()
-        if not os.path.exists(path):
-            return
-        with open(path, "r", encoding="utf-8") as fh:
-            meta = json.load(fh)
-        self._allocator.advance_to(meta["next_oid"])
-        self._roots = {name: Oid(oid) for name, oid in meta["roots"].items()}
-        self._table = {Oid(int(oid)): RecordId(rid[0], rid[1])
-                       for oid, rid in meta["objects"].items()}
-        self._stored_sig = {Oid(int(oid)): (sig[0], sig[1])
-                            for oid, sig in meta.get("signatures", {}).items()}
-
-    def _write_metadata(self) -> None:
-        meta = {
-            "format": 1,
-            "next_oid": int(self._allocator.next_oid),
-            "roots": {name: int(oid) for name, oid in self._roots.items()},
-            "objects": {str(int(oid)): [rid.page_no, rid.slot]
-                        for oid, rid in self._table.items()},
-            "signatures": {str(int(oid)): [sig[0], sig[1]]
-                           for oid, sig in self._stored_sig.items()},
-        }
-        path = self._meta_path()
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(meta, fh)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-
-    # ------------------------------------------------------------------
-    # recovery
-    # ------------------------------------------------------------------
-
-    def _recover(self) -> None:
-        """Replay committed WAL batches over the metadata snapshot."""
-        batches = self._wal.committed_batches()
-        if not batches:
-            self._wal.truncate()
-            return
-        for batch in batches:
-            for entry in batch:
-                if entry.kind == ENTRY_WRITE:
-                    self._apply_write(entry.oid, entry.data)
-                elif entry.kind == ENTRY_DELETE:
-                    self._apply_delete(entry.oid)
-                elif entry.kind == ENTRY_ROOT:
-                    self._roots[entry.name] = entry.oid
-                elif entry.kind == ENTRY_UNROOT:
-                    self._roots.pop(entry.name, None)
-                elif entry.kind == ENTRY_NEXT_OID:
-                    self._allocator.advance_to(int(entry.oid))
-        self._heap.flush()
-        self._write_metadata()
-        self._wal.truncate()
-
-    def _apply_write(self, oid: Oid, record_bytes: bytes) -> None:
-        old = self._table.pop(oid, None)
-        if old is not None:
-            self._heap.delete(old)
-        self._table[oid] = self._heap.insert(record_bytes)
-        self._stored_sig[oid] = (len(record_bytes), zlib.crc32(record_bytes))
-
-    def _apply_delete(self, oid: Oid) -> None:
-        rid = self._table.pop(oid, None)
-        if rid is not None:
-            self._heap.delete(rid)
-        self._stored_sig.pop(oid, None)
 
     # ------------------------------------------------------------------
     # roots
@@ -284,6 +232,16 @@ class ObjectStore:
         except KeyError:
             raise UnknownRootError(name) from None
 
+    def root_bindings(self) -> dict[str, Oid]:
+        """A copy of the current name -> OID root table (transactions use
+        this to snapshot and restore bindings without reaching into store
+        internals)."""
+        return dict(self._roots)
+
+    def restore_root_bindings(self, bindings: dict[str, Oid]) -> None:
+        """Replace the live root table (transaction abort)."""
+        self._roots = dict(bindings)
+
     # ------------------------------------------------------------------
     # identity / oids
     # ------------------------------------------------------------------
@@ -304,10 +262,10 @@ class ObjectStore:
         return oid
 
     def is_stored(self, oid: Oid) -> bool:
-        return oid in self._table
+        return self._engine.contains(oid)
 
     def stored_oids(self) -> tuple[Oid, ...]:
-        return tuple(sorted(self._table))
+        return tuple(sorted(self._engine.oids()))
 
     # ------------------------------------------------------------------
     # fetch
@@ -324,7 +282,7 @@ class ObjectStore:
         live = self._identity.object_for(oid)
         if live is not None:
             return live
-        if oid not in self._table:
+        if not self._engine.contains(oid):
             raise UnknownOidError(int(oid))
         # Phase 0: find every record needed that is not already live.
         needed: dict[Oid, Record] = {}
@@ -337,7 +295,7 @@ class ObjectStore:
             needed[current] = record
             for ref in record_refs(record, include_weak=True):
                 if ref not in needed and ref not in self._identity:
-                    if ref not in self._table:
+                    if not self._engine.contains(ref):
                         raise UnknownOidError(
                             f"stored object {int(current)} references "
                             f"missing oid {int(ref)}"
@@ -351,7 +309,27 @@ class ObjectStore:
         for record_oid, record in needed.items():
             shell = self._identity.object_for(record_oid)
             self._serializer.fill_shell(shell, record, self._resolve)
+        # Phase 3: freshly materialised objects are clean by construction
+        # (their live state *is* the stored state), so seed the dirty
+        # tracker — unless an evolution converter ran, in which case the
+        # next stabilise must rewrite the record under the new schema.
+        for record_oid, record in needed.items():
+            obj = self._identity.object_for(record_oid)
+            snap = self._snapshot_if_clean(obj, record)
+            if snap is not None:
+                self._shadow[record_oid] = snap
         return self._identity.object_for(oid)
+
+    def _snapshot_if_clean(self, obj: Any, record: Record) -> Any:
+        """A snapshot for a just-fetched object, or ``None`` when the live
+        state already differs from the stored record (schema conversion)."""
+        if record.kind == KIND_WEAKREF:
+            return None
+        snap = self._serializer.snapshot(obj)
+        if snap is not None and snap[0] == "instance" \
+                and snap[1] != record.fingerprint:
+            return None
+        return snap
 
     def _resolve(self, oid: Oid) -> Any:
         obj = self._identity.object_for(oid)
@@ -360,16 +338,18 @@ class ObjectStore:
         return obj
 
     def _read_record(self, oid: Oid) -> Record:
-        rid = self._table[oid]
-        return Record.from_bytes(self._heap.read(rid))
+        raw = self._engine.read(oid)
+        self._stored_sig[oid] = (len(raw), zlib.crc32(raw))
+        return Record.from_bytes(raw)
 
     def refresh(self, obj: Any) -> Any:
         """Discard in-memory state of ``obj``'s OID and re-fetch from disk."""
         self._check_open()
         oid = self._identity.oid_for(obj)
-        if oid is None or oid not in self._table:
+        if oid is None or not self._engine.contains(oid):
             raise UnknownOidError("object is not stored")
         self._identity.evict(oid)
+        self._shadow.pop(oid, None)
         return self.object_for(oid)
 
     def evict_all(self) -> None:
@@ -380,6 +360,7 @@ class ObjectStore:
         observe the last stabilised state.
         """
         self._identity.clear()
+        self._shadow.clear()
 
     # ------------------------------------------------------------------
     # stabilisation (checkpoint)
@@ -390,43 +371,46 @@ class ObjectStore:
         number of records written.
 
         This is PJama's ``stabilizeAll``: persistence by reachability.  The
-        live graph is walked from the root objects along strong edges; new
-        and modified nodes are written through the WAL, then checkpointed
-        into the heap and metadata snapshot.
+        live graph is walked from the root objects along strong edges, but
+        only *dirty* nodes — mutated or newly reached since the last
+        stabilise, per the snapshot tracker — are re-serialised.  Changed
+        records go to the engine as one atomic batch.
         """
         self._check_open()
-        reachable, records = self._flatten_from_roots()
-        changed: list[tuple[Oid, bytes]] = []
+        reachable, records, fresh_shadows = self._flatten_from_roots()
+        batch = WriteBatch()
+        written_sigs: dict[Oid, tuple[int, int]] = {}
         for oid, record in records.items():
             raw = record.to_bytes()
             sig = (len(raw), zlib.crc32(raw))
             if self._stored_sig.get(oid) != sig:
-                changed.append((oid, raw))
-        self._txn_counter += 1
-        txn = self._txn_counter
-        self._wal.append(LogEntry(ENTRY_BEGIN, txn))
-        for oid, raw in changed:
-            self._wal.append(LogEntry(ENTRY_WRITE, txn, oid, raw))
-        for name, oid in self._roots.items():
-            self._wal.append(LogEntry(ENTRY_ROOT, txn, oid, b"", name))
-        self._wal.append(LogEntry(ENTRY_NEXT_OID, txn,
-                                  Oid(int(self._allocator.next_oid))))
-        self._wal.commit(txn)
-        for oid, raw in changed:
-            self._apply_write(oid, raw)
-        self._heap.flush()
-        self._write_metadata()
-        self._wal.truncate()
-        return len(changed)
+                batch.write(oid, raw)
+                written_sigs[oid] = sig
+        if self._roots != self._engine.roots():
+            batch.set_roots(self._roots)
+        if int(self._allocator.next_oid) != self._engine.next_oid:
+            batch.advance_next_oid(int(self._allocator.next_oid))
+        # A fully-clean checkpoint (no writes, roots and allocator cursor
+        # already durable) skips the engine entirely — no fsyncs, no
+        # metadata rewrite.
+        if not batch.is_empty:
+            self._engine.apply(batch)
+        self._stored_sig.update(written_sigs)
+        self._shadow.update(fresh_shadows)
+        return len(batch.writes)
 
-    def _flatten_from_roots(self) -> tuple[set[Oid], dict[Oid, Record]]:
+    def _flatten_from_roots(self) -> tuple[set[Oid], dict[Oid, Record],
+                                           dict[Oid, Any]]:
         """Walk the live graph from the roots; returns (reachable-oids,
-        records-for-live-reachable-nodes).
+        records-for-dirty-live-nodes, snapshots-to-commit-on-success).
 
-        Roots that are not live (never fetched this session) contribute
-        their *stored* subgraph to the reachable set without being decoded.
+        Clean nodes (snapshot matches the state stored at the last
+        stabilise) are traversed but not re-serialised.  Roots that are
+        not live (never fetched this session) contribute their *stored*
+        subgraph to the reachable set without being decoded.
         """
         records: dict[Oid, Record] = {}
+        fresh_shadows: dict[Oid, Any] = {}
         reachable: set[Oid] = set()
         live_worklist: list[Any] = []
         stored_worklist: list[Oid] = []
@@ -454,26 +438,21 @@ class ObjectStore:
                     weakrefs.append((oid, obj))
                     continue
                 pending.extend(self._serializer.references_of(obj))
+                old = self._shadow.get(oid)
+                if old is not None:
+                    snap = self._serializer.snapshot(obj)
+                    if snapshots_equal(old, snap):
+                        continue  # clean: stored record still current
+                    fresh_shadows[oid] = snap
+                else:
+                    fresh_shadows[oid] = self._serializer.snapshot(obj)
+                self.encode_count += 1
                 records[oid] = self._serializer.encode_object(
                     oid, obj, self._ensure_oid
                 )
 
         while live_worklist:
             walk_live(live_worklist.pop())
-
-        # Weak references never pull their target into persistence: the
-        # stored edge points at the target only if it is independently
-        # persistent (already stored or strongly reachable this round).
-        for oid, weakref in weakrefs:
-            target = weakref.get()
-            target_oid = None
-            if target is not None:
-                candidate = self._identity.oid_for(target)
-                if candidate is not None and (candidate in reachable
-                                              or candidate in self._table):
-                    target_oid = candidate
-            payload = Ref(target_oid) if target_oid is not None else None
-            records[oid] = Record(oid, KIND_WEAKREF, "", "", payload)
 
         # Stored-only roots: mark their stored closure reachable.  If the
         # walk reaches an OID whose object *is* live (fetched and possibly
@@ -491,11 +470,31 @@ class ObjectStore:
                 continue
             seen_stored.add(oid)
             reachable.add(oid)
-            if oid in self._table:
+            if self._engine.contains(oid):
                 for ref in record_refs(self._read_record(oid),
                                        include_weak=False):
                     stored_worklist.append(ref)
-        return reachable, records
+
+        # Weak references never pull their target into persistence: the
+        # stored edge points at the target only if it is independently
+        # persistent (already stored or strongly reachable this round).
+        # This runs *after* both walks — the stored-root walk can switch
+        # back into the live walk and surface more weakrefs, and every
+        # one of them needs a record or its parent would reference a
+        # missing OID.  Weak records are context-dependent and tiny, so
+        # they are always rebuilt; the byte-signature filter drops
+        # unchanged ones.
+        for oid, weakref in weakrefs:
+            target = weakref.get()
+            target_oid = None
+            if target is not None:
+                candidate = self._identity.oid_for(target)
+                if candidate is not None and (candidate in reachable
+                                              or self._engine.contains(candidate)):
+                    target_oid = candidate
+            payload = Ref(target_oid) if target_oid is not None else None
+            records[oid] = Record(oid, KIND_WEAKREF, "", "", payload)
+        return reachable, records, fresh_shadows
 
     # ------------------------------------------------------------------
     # garbage collection
@@ -521,38 +520,52 @@ class ObjectStore:
             if oid in marked:
                 continue
             marked.add(oid)
-            if oid in self._table:
+            if self._engine.contains(oid):
                 for ref in record_refs(self._read_record(oid),
                                        include_weak=False):
                     if ref not in marked:
                         worklist.append(ref)
 
-        victims = [oid for oid in self._table if oid not in marked]
-        for oid in victims:
-            self._apply_delete(oid)
-            self._identity.evict(oid)
-        # Reclaim page space the deletions left behind.
-        self._heap.compact_fragmented()
-        # Clear stored weak references whose targets were freed.
+        victims = [oid for oid in self._engine.oids() if oid not in marked]
+        batch = WriteBatch()
         freed = set(victims)
-        for oid in list(self._table):
+        for oid in victims:
+            batch.delete(oid)
+        # Clear stored weak references whose targets are being freed (or
+        # were already missing).
+        for oid in self._engine.oids():
+            if oid in freed:
+                continue
             record = self._read_record(oid)
             if record.kind == KIND_WEAKREF and isinstance(record.payload, Ref):
-                if record.payload.oid in freed or \
-                        record.payload.oid not in self._table:
+                target = record.payload.oid
+                if target in freed or not self._engine.contains(target):
                     cleared = Record(oid, KIND_WEAKREF, "", "", None)
-                    self._apply_write(oid, cleared.to_bytes())
+                    batch.write(oid, cleared.to_bytes())
                     live = self._identity.object_for(oid)
                     if isinstance(live, PersistentWeakRef):
                         live.clear()
-        # Clear live weak references pointing at freed objects.
+        # One atomic batch: deletions and weak-reference clears commit (and
+        # recover) together, so a crash cannot leave a cleared weakref
+        # without its deletion or vice versa.
+        if not batch.is_empty:
+            self._engine.apply(batch)
+        for oid, raw in batch.writes:
+            self._stored_sig[oid] = (len(raw), zlib.crc32(raw))
+        # Clear live weak references pointing at freed objects — before
+        # the victims leave the identity map, while their targets still
+        # resolve to OIDs.
         for oid, obj in self._identity.items():
             if isinstance(obj, PersistentWeakRef) and obj.get() is not None:
                 target_oid = self._identity.oid_for(obj.get())
                 if target_oid is not None and target_oid in freed:
                     obj.clear()
-        self._heap.flush()
-        self._write_metadata()
+        for oid in victims:
+            self._identity.evict(oid)
+            self._shadow.pop(oid, None)
+            self._stored_sig.pop(oid, None)
+        # Reclaim space the deletions left behind.
+        self._engine.compact()
         return len(victims)
 
     # ------------------------------------------------------------------
@@ -567,23 +580,38 @@ class ObjectStore:
         from repro.store.transactions import Transaction
         return Transaction(self)
 
+    @property
+    def active_transaction(self):
+        """The currently open transaction, or ``None``."""
+        return self._active_txn
+
+    def _begin_transaction(self, txn: Any) -> None:
+        from repro.errors import TransactionError
+        if self._active_txn is not None:
+            raise TransactionError("store already has an active transaction")
+        self._active_txn = txn
+
+    def _end_transaction(self, txn: Any) -> None:
+        if self._active_txn is txn:
+            self._active_txn = None
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
 
     def statistics(self) -> StoreStatistics:
         return StoreStatistics(
-            object_count=len(self._table),
+            object_count=self._engine.object_count,
             root_count=len(self._roots),
             live_count=len(self._identity),
-            heap_pages=self._heap.page_count,
+            heap_pages=self._engine.page_count,
             next_oid=int(self._allocator.next_oid),
         )
 
     def stored_record(self, oid: Oid) -> Record:
         """The stored record for an OID (browser / debugging use)."""
         self._check_open()
-        if oid not in self._table:
+        if not self._engine.contains(oid):
             raise UnknownOidError(int(oid))
         return self._read_record(oid)
 
@@ -591,15 +619,15 @@ class ObjectStore:
         """Check that every stored reference resolves; returns problems found
         (empty list means the store is sound)."""
         problems: list[str] = []
-        for oid in self._table:
+        for oid in self._engine.oids():
             record = self._read_record(oid)
             for ref in record_refs(record, include_weak=True):
-                if ref not in self._table:
+                if not self._engine.contains(ref):
                     problems.append(
                         f"oid {int(oid)} references missing oid {int(ref)}"
                     )
         for name, oid in self._roots.items():
-            if oid not in self._table and \
+            if not self._engine.contains(oid) and \
                     self._identity.object_for(oid) is None:
                 problems.append(f"root {name!r} names missing oid {int(oid)}")
         return problems

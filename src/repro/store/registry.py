@@ -130,8 +130,11 @@ class ClassRegistry:
             return self._by_class[cls]
         except KeyError:
             raise ClassNotRegisteredError(
-                f"class {qualified_name(cls)} is not registered; decorate it "
-                f"with @persistent or call registry.register()"
+                f"class {qualified_name(cls)} is not registered with this "
+                f"store's registry; call store.registry.register(cls) or "
+                f"decorate it with @persistent(registry=store.registry) — "
+                f"note that each ObjectStore has its own registry unless "
+                f"one is passed in explicitly"
             ) from None
 
     def entry_for_name(self, name: str) -> RegisteredClass:
@@ -139,8 +142,9 @@ class ClassRegistry:
             return self._by_name[name]
         except KeyError:
             raise ClassNotRegisteredError(
-                f"no class registered under {name!r}; register it before "
-                f"fetching objects stored as that class"
+                f"no class registered under {name!r} with this store's "
+                f"registry; register it before fetching objects stored as "
+                f"that class"
             ) from None
 
     def names(self) -> tuple[str, ...]:
@@ -167,7 +171,11 @@ class ClassRegistry:
         )
 
 
-#: The default registry used by stores that are not handed an explicit one.
+#: The module-level registry targeted by the bare ``@persistent`` form.
+#: Stores no longer consult it implicitly — every :class:`ObjectStore`
+#: either receives a registry or creates a private one — so classes
+#: registered here must be shared deliberately:
+#: ``ObjectStore.open(dir, registry=default_registry)``.
 default_registry = ClassRegistry()
 
 
@@ -175,17 +183,17 @@ def persistent(cls: type | None = None, *,
                registry: ClassRegistry | None = None):
     """Class decorator marking a class as persistent.
 
-    Usage::
+    Usage, with the registry the store was built on::
 
-        @persistent
+        @persistent(registry=store.registry)
         class Person:
             name: str
             spouse: "Person | None"
 
-    or with an explicit registry::
-
-        @persistent(registry=my_registry)
-        class Person: ...
+    The bare form ``@persistent`` registers into the module-level
+    :data:`default_registry`; pass that registry to the store explicitly
+    (``ObjectStore.open(dir, registry=default_registry)``) for the store
+    to see those classes.
     """
     target = registry if registry is not None else default_registry
 

@@ -23,6 +23,7 @@ references resolved through the store's identity map.
 
 from __future__ import annotations
 
+import math
 import struct
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -380,6 +381,64 @@ def is_inline(value: Any) -> bool:
                            tuple, frozenset)
 
 
+# ---------------------------------------------------------------------------
+# Dirty tracking: shallow state snapshots
+# ---------------------------------------------------------------------------
+#
+# Incremental stabilisation needs to know whether a live object has changed
+# since it was last written, *without* re-encoding it.  A snapshot is a
+# shallow capture of the object's immediate persistent state: container
+# elements and instance-field values held by reference, nothing deep-copied.
+# Two snapshots are compared with an identity-aware equality: storable
+# nodes match only if they are the *same* object (their own mutations are
+# caught by their own records), inline immutables match by type and exact
+# value.  The comparison errs on the side of "changed" — a false positive
+# merely costs one re-encode, which the byte-signature filter then drops.
+
+def _values_equal(a: Any, b: Any) -> bool:
+    """Identity-aware equality over snapshot values (conservative)."""
+    if a is b:
+        return True  # covers None, bools, interned values and storables
+    ta = type(a)
+    if ta is not type(b):
+        return False  # 1 vs True vs 1.0 encode differently
+    if ta in (int, str, bytes, complex):
+        return a == b
+    if ta is float:
+        # 0.0 == -0.0 but they encode differently; NaN handled by `a is b`
+        # above or conservatively re-encoded.
+        return a == b and math.copysign(1.0, a) == math.copysign(1.0, b)
+    if ta is tuple:
+        return len(a) == len(b) and all(map(_values_equal, a, b))
+    # frozensets that are not the same object, and distinct storable
+    # nodes: treat as changed.
+    return False
+
+
+def snapshots_equal(old: Any, new: Any) -> bool:
+    """Whether two :meth:`Serializer.snapshot` captures denote the same
+    stored state (``False`` is always safe)."""
+    if old is None or new is None or old[0] != new[0]:
+        return False
+    kind = old[0]
+    if kind == "bytearray":
+        return old[1] == new[1]
+    if kind == "instance":
+        if old[1] != new[1]:
+            return False  # schema fingerprint moved (evolution)
+        a, b = old[2], new[2]
+        if a.keys() != b.keys():
+            return False
+        return all(_values_equal(a[name], b[name]) for name in a)
+    a, b = old[1], new[1]
+    if len(a) != len(b):
+        return False
+    if kind == "dict":
+        return all(_values_equal(ka, kb) and _values_equal(va, vb)
+                   for (ka, va), (kb, vb) in zip(a, b))
+    return all(map(_values_equal, a, b))
+
+
 class Serializer:
     """Flattens storable nodes to :class:`Record` and rebuilds them.
 
@@ -441,6 +500,29 @@ class Serializer:
             )
         return {name: instance_dict[name] for name in sorted(instance_dict)
                 if not name.startswith("_")}
+
+    def snapshot(self, obj: Any) -> Any:
+        """A shallow dirty-tracking capture of ``obj``'s persistent state.
+
+        Returns ``None`` for :class:`~repro.store.weakrefs.PersistentWeakRef`
+        (weak records are cheap and context-dependent, so the store always
+        re-encodes them).  Compare captures with :func:`snapshots_equal`.
+        """
+        from repro.store.weakrefs import PersistentWeakRef
+
+        if isinstance(obj, PersistentWeakRef):
+            return None
+        if type(obj) is list:
+            return ("list", list(obj))
+        if type(obj) is set:
+            return ("set", list(obj))
+        if type(obj) is dict:
+            return ("dict", list(obj.items()))
+        if type(obj) is bytearray:
+            return ("bytearray", bytes(obj))
+        entry = self._registry.entry_for_class(type(obj))
+        return ("instance", entry.fingerprint,
+                self._instance_fields(obj, entry))
 
     def references_of(self, obj: Any) -> list[Any]:
         """Every storable node directly referenced by ``obj`` (for traversal).

@@ -7,7 +7,10 @@ stabilisation and whose abort reverts the store to the last stabilised
 state:
 
 * ``commit`` — stabilise: everything reachable from the roots becomes
-  durable atomically (via the WAL).
+  durable atomically (the store submits one
+  :class:`~repro.store.engine.base.WriteBatch` to its engine, and the
+  engine's :meth:`~repro.store.engine.base.StorageEngine.apply` is
+  all-or-nothing — the transaction layer never touches WAL internals).
 * ``abort`` — root bindings made inside the transaction are undone and the
   identity map is flushed, so subsequent fetches observe the last
   stabilised state.  Live references the application still holds to
@@ -49,10 +52,11 @@ class Transaction:
             raise TransactionError("transaction already begun")
         if self._finished:
             raise TransactionError("transaction objects are single-use")
-        if getattr(self._store, "_active_txn", None) is not None:
-            raise TransactionError("store already has an active transaction")
-        self._roots_snapshot = dict(self._store._roots)
-        self._store._active_txn = self
+        # Registers this transaction as the store's active one (raises if
+        # another is already open), then snapshots the root table so abort
+        # can restore it.
+        self._store._begin_transaction(self)
+        self._roots_snapshot = self._store.root_bindings()
         return self
 
     def commit(self) -> int:
@@ -66,7 +70,7 @@ class Transaction:
         """Revert root bindings and flush live objects."""
         self._require_active()
         assert self._roots_snapshot is not None
-        self._store._roots = dict(self._roots_snapshot)
+        self._store.restore_root_bindings(self._roots_snapshot)
         self._store.evict_all()
         self._finish()
 
@@ -76,7 +80,7 @@ class Transaction:
 
     def _finish(self) -> None:
         self._finished = True
-        self._store._active_txn = None
+        self._store._end_transaction(self)
 
     def __enter__(self) -> "Transaction":
         return self.begin()

@@ -1,0 +1,2 @@
+"""Test package (imported as ``tests.reflect`` everywhere, so fixtures and test
+modules share one module instance — and one set of registered classes)."""

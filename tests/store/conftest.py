@@ -1,0 +1,36 @@
+"""Store-suite fixtures: the ``store`` fixture is parametrized over both
+storage engines here, so every store contract test runs against
+``FileEngine`` and ``MemoryEngine`` alike.
+
+Tests that exercise reopen/recovery construct file stores explicitly from
+``tmp_path`` — those stay file-specific by nature.  Engine-only behaviour
+(crash replay, no-persistence-across-close) lives in ``test_engines.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.engine import FileEngine, MemoryEngine
+from repro.store.objectstore import ObjectStore
+
+ENGINE_PARAMS = ("file", "memory")
+
+
+def make_engine(kind: str, tmp_path):
+    if kind == "file":
+        return FileEngine(str(tmp_path / "store"))
+    if kind == "memory":
+        return MemoryEngine()
+    raise ValueError(f"unknown engine kind {kind!r}")
+
+
+@pytest.fixture(params=ENGINE_PARAMS)
+def store_engine(request, tmp_path):
+    return make_engine(request.param, tmp_path)
+
+
+@pytest.fixture
+def store(store_engine, registry) -> ObjectStore:
+    with ObjectStore(registry=registry, engine=store_engine) as st:
+        yield st

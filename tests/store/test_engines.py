@@ -1,0 +1,262 @@
+"""Storage-engine contract tests, run identically against every backend,
+plus engine-specific behaviour: crash replay for ``FileEngine``,
+no-persistence-across-close for ``MemoryEngine``, and the dirty-tracking
+counters that make incremental stabilisation observable."""
+
+import pytest
+
+from repro.errors import StoreClosedError, UnknownOidError
+from repro.store.engine import FileEngine, MemoryEngine, WriteBatch
+from repro.store.objectstore import ObjectStore
+from repro.store.oids import Oid
+
+from tests.conftest import Person
+from tests.store.conftest import make_engine
+
+
+@pytest.fixture(params=["file", "memory"])
+def engine(request, tmp_path):
+    eng = make_engine(request.param, tmp_path)
+    yield eng
+    eng.close()
+
+
+class TestEngineContract:
+    """Behaviour every backend must share (the broker guarantee: the
+    store's logical semantics cannot depend on which engine is under it)."""
+
+    def test_write_then_read_roundtrip(self, engine):
+        batch = WriteBatch().write(Oid(1), b"alpha").write(Oid(2), b"beta")
+        engine.apply(batch)
+        assert engine.read(Oid(1)) == b"alpha"
+        assert engine.read(Oid(2)) == b"beta"
+        assert engine.contains(Oid(1))
+        assert sorted(engine.oids()) == [1, 2]
+        assert engine.object_count == 2
+
+    def test_missing_oid_raises(self, engine):
+        with pytest.raises(UnknownOidError):
+            engine.read(Oid(404))
+        assert not engine.contains(Oid(404))
+
+    def test_overwrite_replaces(self, engine):
+        engine.apply(WriteBatch().write(Oid(1), b"old"))
+        engine.apply(WriteBatch().write(Oid(1), b"new"))
+        assert engine.read(Oid(1)) == b"new"
+        assert engine.object_count == 1
+
+    def test_delete_removes(self, engine):
+        engine.apply(WriteBatch().write(Oid(1), b"x").write(Oid(2), b"y"))
+        engine.apply(WriteBatch().delete(Oid(1)))
+        assert not engine.contains(Oid(1))
+        assert engine.read(Oid(2)) == b"y"
+
+    def test_mixed_batch_applies_together(self, engine):
+        engine.apply(WriteBatch().write(Oid(1), b"x"))
+        batch = (WriteBatch()
+                 .write(Oid(2), b"y")
+                 .delete(Oid(1))
+                 .set_roots({"r": Oid(2)})
+                 .advance_next_oid(10))
+        engine.apply(batch)
+        assert not engine.contains(Oid(1))
+        assert engine.read(Oid(2)) == b"y"
+        assert engine.roots() == {"r": Oid(2)}
+        assert engine.next_oid == 10
+
+    def test_roots_replaced_not_merged(self, engine):
+        engine.apply(WriteBatch().write(Oid(1), b"x")
+                     .set_roots({"a": Oid(1), "b": Oid(1)}))
+        engine.apply(WriteBatch().set_roots({"a": Oid(1)}))
+        assert engine.roots() == {"a": Oid(1)}
+
+    def test_none_roots_leaves_table_untouched(self, engine):
+        engine.apply(WriteBatch().write(Oid(1), b"x")
+                     .set_roots({"a": Oid(1)}))
+        engine.apply(WriteBatch().write(Oid(2), b"y"))  # roots is None
+        assert engine.roots() == {"a": Oid(1)}
+
+    def test_next_oid_never_regresses(self, engine):
+        engine.apply(WriteBatch().advance_next_oid(50))
+        engine.apply(WriteBatch().advance_next_oid(7))
+        assert engine.next_oid == 50
+
+    def test_record_write_counter(self, engine):
+        before = engine.record_writes
+        engine.apply(WriteBatch().write(Oid(1), b"x").write(Oid(2), b"y"))
+        assert engine.record_writes == before + 2
+        engine.apply(WriteBatch().delete(Oid(1)))
+        assert engine.record_writes == before + 2  # deletes are not writes
+        assert engine.batches_applied == 2
+
+    def test_closed_engine_rejects_work(self, engine):
+        engine.apply(WriteBatch().write(Oid(1), b"x"))
+        engine.close()
+        with pytest.raises(StoreClosedError):
+            engine.apply(WriteBatch().write(Oid(2), b"y"))
+        with pytest.raises(StoreClosedError):
+            engine.read(Oid(1))
+        engine.close()  # idempotent
+        assert engine.closed
+
+
+class TestFileEngineCrashReplay:
+    """File-engine specifics: the WAL/checkpoint discipline."""
+
+    def test_logged_but_uncheckpointed_batch_recovers(self, tmp_path):
+        directory = str(tmp_path / "e")
+        engine = FileEngine(directory)
+        batch = (WriteBatch().write(Oid(1), b"payload")
+                 .set_roots({"r": Oid(1)}).advance_next_oid(2))
+        engine.log_batch(batch)
+        # Crash before the checkpoint: close the files directly, so the
+        # heap and metadata snapshot never see the batch.
+        engine.wal.close()
+        engine.heap.close()
+        recovered = FileEngine(directory)
+        assert recovered.read(Oid(1)) == b"payload"
+        assert recovered.roots() == {"r": Oid(1)}
+        assert recovered.next_oid == 2
+        recovered.close()
+
+    def test_uncommitted_batch_is_discarded(self, tmp_path):
+        from repro.store.wal import ENTRY_BEGIN, ENTRY_WRITE, LogEntry
+        directory = str(tmp_path / "e")
+        engine = FileEngine(directory)
+        engine.apply(WriteBatch().write(Oid(1), b"committed"))
+        # A batch that never reaches its commit marker must not replay.
+        engine.wal.append(LogEntry(ENTRY_BEGIN, 99))
+        engine.wal.append(LogEntry(ENTRY_WRITE, 99, Oid(1), b"torn"))
+        engine.wal.sync()
+        engine.wal.close()
+        engine.heap.close()
+        recovered = FileEngine(directory)
+        assert recovered.read(Oid(1)) == b"committed"
+        recovered.close()
+
+    def test_state_survives_clean_reopen(self, tmp_path):
+        directory = str(tmp_path / "e")
+        with FileEngine(directory) as engine:
+            engine.apply(WriteBatch().write(Oid(3), b"keep")
+                         .set_roots({"k": Oid(3)}).advance_next_oid(4))
+        with FileEngine(directory) as reopened:
+            assert reopened.read(Oid(3)) == b"keep"
+            assert reopened.roots() == {"k": Oid(3)}
+            assert reopened.next_oid == 4
+
+
+class TestMemoryEngineEphemerality:
+    """Memory-engine specifics: atomicity without durability."""
+
+    def test_nothing_survives_close(self):
+        engine = MemoryEngine()
+        engine.apply(WriteBatch().write(Oid(1), b"gone")
+                     .set_roots({"r": Oid(1)}))
+        engine.close()
+        fresh = MemoryEngine()
+        assert fresh.object_count == 0
+        assert fresh.roots() == {}
+
+    def test_store_over_memory_engine_does_not_persist(self, registry):
+        store = ObjectStore(registry=registry, engine=MemoryEngine())
+        store.set_root("p", Person("ephemeral"))
+        store.stabilize()
+        store.close()
+        fresh = ObjectStore.in_memory(registry=registry)
+        assert not fresh.has_root("p")
+        assert fresh.statistics().object_count == 0
+        fresh.close()
+
+    def test_bad_write_does_not_corrupt_prior_state(self):
+        engine = MemoryEngine()
+        engine.apply(WriteBatch().write(Oid(1), b"good"))
+        bad = WriteBatch()
+        bad.writes.append((Oid(2), object()))  # not bytes-convertible
+        with pytest.raises(TypeError):
+            engine.apply(bad)
+        assert engine.read(Oid(1)) == b"good"
+        assert not engine.contains(Oid(2))
+
+
+class TestConstruction:
+    def test_directory_and_engine_conflict_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ObjectStore(str(tmp_path / "s"), engine=MemoryEngine())
+
+    def test_neither_directory_nor_engine_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectStore()
+
+
+class TestIncrementalStabilize:
+    """Dirty-object tracking: an unmutated graph costs neither record
+    writes nor re-serialisation; a single mutation costs exactly one."""
+
+    def test_clean_restabilize_writes_nothing(self, store):
+        people = [Person(f"p{i}") for i in range(20)]
+        store.set_root("people", people)
+        store.stabilize()
+        writes_before = store.engine.record_writes
+        encodes_before = store.encode_count
+        batches_before = store.engine.batches_applied
+        assert store.stabilize() == 0
+        assert store.engine.record_writes == writes_before
+        assert store.encode_count == encodes_before
+        # A fully-clean checkpoint never reaches the engine at all (no
+        # fsyncs, no metadata rewrite).
+        assert store.engine.batches_applied == batches_before
+
+    def test_single_mutation_reencodes_one_record(self, store):
+        people = [Person(f"p{i}") for i in range(20)]
+        store.set_root("people", people)
+        store.stabilize()
+        writes_before = store.engine.record_writes
+        encodes_before = store.encode_count
+        people[7].name = "renamed"
+        assert store.stabilize() == 1
+        assert store.engine.record_writes == writes_before + 1
+        assert store.encode_count == encodes_before + 1
+
+    def test_new_object_encoded_once(self, store):
+        holder = [Person("a")]
+        store.set_root("h", holder)
+        store.stabilize()
+        encodes_before = store.encode_count
+        holder.append(Person("b"))
+        # The holder list changed and the new person is newly reached:
+        # exactly two records are re-serialised and written.
+        assert store.stabilize() == 2
+        assert store.encode_count == encodes_before + 2
+
+    def test_fetched_but_unmutated_objects_stay_clean(self, tmp_path,
+                                                      registry):
+        directory = str(tmp_path / "inc")
+        with ObjectStore.open(directory, registry=registry) as store:
+            store.set_root("people", [Person(f"p{i}") for i in range(10)])
+            store.stabilize()
+        with ObjectStore.open(directory, registry=registry) as store:
+            people = store.get_root("people")
+            encodes_before = store.encode_count
+            people[3].name = "changed"
+            assert store.stabilize() == 1
+            assert store.encode_count == encodes_before + 1
+
+    def test_mutation_of_container_detected(self, store):
+        data = {"key": [1, 2]}
+        store.set_root("d", data)
+        store.stabilize()
+        data["key"].append(3)
+        assert store.stabilize() == 1
+        store.evict_all()
+        assert store.get_root("d")["key"] == [1, 2, 3]
+
+    def test_field_rebound_to_equal_but_distinct_object_is_dirty(self, store):
+        a, b = Person("same-name"), Person("same-name")
+        holder = [a]
+        store.set_root("h", holder)
+        store.stabilize()
+        holder[0] = b  # equal-looking but a different identity
+        assert store.stabilize() >= 1
+        assert store.oid_of(b) is not None
+        assert store.oid_of(b) != store.oid_of(a)
+        assert store.is_stored(store.oid_of(b))

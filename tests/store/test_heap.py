@@ -167,9 +167,9 @@ class TestFragmentation:
             store.collect_garbage()
             # No page remains above the compaction threshold.
             from repro.store.heap import PAGE_SIZE
-            for page_no in range(store._heap.page_count):
-                assert store._heap.dead_bytes_on(page_no) <= \
-                    PAGE_SIZE * 0.25
+            heap = store.engine.heap
+            for page_no in range(heap.page_count):
+                assert heap.dead_bytes_on(page_no) <= PAGE_SIZE * 0.25
             # Re-adding similar data reuses the reclaimed space.
             holder.extend([[f"blob2-{i}" * 50] for i in range(20)])
             store.stabilize()

@@ -194,22 +194,19 @@ class TestRecovery:
         store = ObjectStore.open(directory, registry=registry)
         store.set_root("p", Person("durable"))
         # Simulate a crash after WAL commit but before checkpoint: run the
-        # WAL half of stabilize only.
-        reachable, records = store._flatten_from_roots()
-        from repro.store.wal import (ENTRY_BEGIN, ENTRY_NEXT_OID, ENTRY_ROOT,
-                                     ENTRY_WRITE, LogEntry)
-        from repro.store.oids import Oid
-        store._wal.append(LogEntry(ENTRY_BEGIN, 99))
+        # WAL half of stabilize only (the engine's log_batch), then drop
+        # the file handles without checkpointing.
+        from repro.store.engine import WriteBatch
+        __, records, __ = store._flatten_from_roots()
+        batch = WriteBatch()
         for oid, record in records.items():
-            store._wal.append(LogEntry(ENTRY_WRITE, 99, oid,
-                                       record.to_bytes()))
-        for name, oid in store._roots.items():
-            store._wal.append(LogEntry(ENTRY_ROOT, 99, oid, b"", name))
-        store._wal.append(LogEntry(ENTRY_NEXT_OID, 99,
-                                   Oid(int(store._allocator.next_oid))))
-        store._wal.commit(99)
-        store._wal.close()
-        store._heap.close()  # crash: metadata never written
+            batch.write(oid, record.to_bytes())
+        batch.set_roots(store.root_bindings())
+        batch.advance_next_oid(int(store._allocator.next_oid))
+        engine = store.engine
+        engine.log_batch(batch)
+        engine.wal.close()
+        engine.heap.close()  # crash: metadata never written
         with ObjectStore.open(directory, registry=registry) as recovered:
             assert recovered.get_root("p").name == "durable"
 
