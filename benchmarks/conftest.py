@@ -18,6 +18,14 @@ from repro.store.objectstore import ObjectStore
 from repro.store.registry import ClassRegistry
 
 
+def pytest_collection_modifyitems(items):
+    # Everything under benchmarks/ carries the `benchmark` marker, so CI
+    # can smoke-collect the suite (`-m benchmark --collect-only`) and
+    # catch import/fixture bit-rot without paying for a full run.
+    for item in items:
+        item.add_marker(pytest.mark.benchmark)
+
+
 class Person:
     """The paper's example class (Figure 3)."""
 

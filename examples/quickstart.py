@@ -18,8 +18,8 @@ from repro import (
     HyperLinkHP,
     HyperProgram,
     LinkStore,
-    ObjectStore,
     for_class,
+    open_store,
     persistent,
 )
 
@@ -62,10 +62,14 @@ def compose_marry_example(vangelis, mary):
 
 def main():
     directory = tempfile.mkdtemp(prefix="hyper-quickstart-")
-    print(f"persistent store: {directory}\n")
+    # Backends are picked by URL: "file:<dir>" here, but "sqlite:<path>",
+    # "memory:" or "sharded:4:sqlite:<dir>" open the same store API over
+    # a different engine.
+    store_url = f"file:{directory}"
+    print(f"persistent store: {store_url}\n")
 
     # --- Session 1: compose, compile, run --------------------------------
-    store = ObjectStore.open(directory, registry=registry)
+    store = open_store(store_url, registry=registry)
     DynamicCompiler.install(LinkStore(store))
 
     vangelis, mary = Person("vangelis"), Person("mary")
@@ -89,7 +93,7 @@ def main():
     store.close()
 
     # --- Session 2: reopen, the links still resolve ----------------------
-    store = ObjectStore.open(directory, registry=registry)
+    store = open_store(store_url, registry=registry)
     DynamicCompiler.install(LinkStore(store))
     program = store.get_root("programs")["marry"]
     vangelis, mary = store.get_root("people")

@@ -23,8 +23,10 @@ Quickstart::
 The persistent store runs over a pluggable storage engine —
 ``ObjectStore.open(directory)`` uses the durable
 :class:`~repro.store.engine.FileEngine`, ``ObjectStore.in_memory()`` an
-ephemeral :class:`~repro.store.engine.MemoryEngine` (see
-``docs/architecture.md``).
+ephemeral :class:`~repro.store.engine.MemoryEngine`, and
+:func:`~repro.store.open_store` picks any backend by URL
+(``"file:/path"``, ``"sqlite:/path"``, ``"memory:"``,
+``"sharded:4:sqlite:/path"`` — see ``docs/architecture.md``).
 
 See ``examples/quickstart.py`` for the paper's MarryExample end to end.
 """
@@ -36,7 +38,10 @@ from repro.store import (
     MemoryEngine,
     ObjectStore,
     PersistentWeakRef,
+    ShardedEngine,
+    SqliteEngine,
     StorageEngine,
+    open_store,
     persistent,
 )
 from repro.reflect import (
@@ -71,14 +76,23 @@ from repro.core import (
     storage_to_editing,
 )
 
-__version__ = "1.0.0"
+# Single-sourced from pyproject.toml via package metadata; the literal
+# fallback only serves PYTHONPATH-based runs where repro isn't installed.
+try:
+    from importlib.metadata import PackageNotFoundError, version
+    __version__ = version("repro")
+except PackageNotFoundError:
+    __version__ = "1.2.0"
 
 __all__ = [
     "ReproError",
     "ObjectStore",
+    "open_store",
     "StorageEngine",
     "FileEngine",
     "MemoryEngine",
+    "SqliteEngine",
+    "ShardedEngine",
     "ClassRegistry",
     "PersistentWeakRef",
     "persistent",

@@ -14,9 +14,13 @@ provides that substrate for Python:
 * :mod:`~repro.store.engine` — pluggable storage engines behind one
   atomic-batch interface: :class:`~repro.store.engine.FileEngine` (a
   slotted-page heap file plus a write-ahead log, giving stabilisation
-  (checkpoint) and crash recovery) and
+  (checkpoint) and crash recovery),
   :class:`~repro.store.engine.MemoryEngine` (ephemeral, for scratch
-  stores and tests).
+  stores and tests), :class:`~repro.store.engine.SqliteEngine` (one
+  transactional SQLite file) and
+  :class:`~repro.store.engine.ShardedEngine` (the OID space partitioned
+  over N child engines with a two-phase cross-shard commit).  The
+  :func:`open_store` factory picks a backend by URL.
 * :mod:`~repro.store.gc` — a reachability collector over the stored graph
   with persistent *weak references*, as required by the paper's Figure 7 for
   collectable hyper-programs.
@@ -30,12 +34,30 @@ from repro.store.serializer import Serializer, Record
 from repro.store.engine import (
     FileEngine,
     MemoryEngine,
+    ShardedEngine,
+    SqliteEngine,
     StorageEngine,
     WriteBatch,
+    engine_from_url,
 )
 from repro.store.objectstore import ObjectStore
 from repro.store.weakrefs import PersistentWeakRef
 from repro.store.transactions import Transaction
+
+
+def open_store(url: str, registry=None) -> ObjectStore:
+    """Open a store over the backend named by a storage URL.
+
+    Understood URLs (see :mod:`repro.store.engine.factory`):
+
+    * ``"file:/path"`` (or a bare path) — the heap + WAL file backend;
+    * ``"sqlite:/path"`` — one transactional SQLite file;
+    * ``"memory:"`` — ephemeral, nothing survives close;
+    * ``"sharded:N:CHILD-URL"`` — N shards of the child backend, e.g.
+      ``"sharded:4:sqlite:/path"``.
+    """
+    return ObjectStore.from_url(url, registry=registry)
+
 
 __all__ = [
     "Oid",
@@ -48,7 +70,11 @@ __all__ = [
     "WriteBatch",
     "FileEngine",
     "MemoryEngine",
+    "SqliteEngine",
+    "ShardedEngine",
+    "engine_from_url",
     "ObjectStore",
+    "open_store",
     "PersistentWeakRef",
     "Transaction",
 ]

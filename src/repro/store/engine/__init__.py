@@ -11,12 +11,22 @@ the :class:`StorageEngine` interface:
   crash-safe checkpoints (this is the layout the seed welded into the
   store itself);
 * :class:`MemoryEngine` — an ephemeral in-process backend for scratch
-  stores and fast test runs; nothing survives :meth:`StorageEngine.close`.
+  stores and fast test runs; nothing survives :meth:`StorageEngine.close`;
+* :class:`SqliteEngine` — one transactional SQLite file (WAL mode,
+  concurrent readers); a batch is one SQL transaction;
+* :class:`ShardedEngine` — the scale-out backend: the OID space
+  partitioned over N child engines (any backends, including mixed), with
+  parallel fan-out and a two-phase cross-shard commit.
 
 Engines exchange work with the store through :class:`WriteBatch`: one
 batch carries record writes, record deletes, the new root table and the
 OID-allocator high-water mark, and :meth:`StorageEngine.apply` makes the
 whole batch durable atomically (all of it or none of it).
+
+Engines are normally constructed from a storage URL via
+:func:`engine_from_url` (``"file:/path"``, ``"sqlite:/path"``,
+``"memory:"``, ``"sharded:4:sqlite:/path"``) — see
+:func:`repro.store.open_store` for the store-level entry point.
 
 Routing one logical store API over interchangeable physical backends is
 the broker pattern (ZBroker); see ``docs/architecture.md`` for how to add
@@ -24,12 +34,18 @@ another backend.
 """
 
 from repro.store.engine.base import StorageEngine, WriteBatch
+from repro.store.engine.factory import engine_from_url
 from repro.store.engine.filesystem import FileEngine
 from repro.store.engine.memory import MemoryEngine
+from repro.store.engine.sharded import ShardedEngine
+from repro.store.engine.sqlite import SqliteEngine
 
 __all__ = [
     "StorageEngine",
     "WriteBatch",
     "FileEngine",
     "MemoryEngine",
+    "SqliteEngine",
+    "ShardedEngine",
+    "engine_from_url",
 ]

@@ -29,6 +29,12 @@ class WriteBatch:
     replacement root table (``None`` leaves the engine's roots untouched)
     and a new allocator high-water mark.  :meth:`StorageEngine.apply`
     guarantees all-or-nothing semantics for the whole batch.
+
+    Within one batch, every backend applies the same order: all writes
+    first (in call order, so the *last* write to an OID wins), then all
+    deletes — an OID that is both written and deleted in the same batch
+    ends up absent, regardless of the order the calls were made in.  The
+    contract tests pin both rules.
     """
 
     __slots__ = ("writes", "deletes", "roots", "next_oid")
@@ -165,3 +171,16 @@ class StorageEngine(ABC):
         """Reclaim space left behind by deletes; returns the number of
         storage units compacted.  Optional — defaults to a no-op."""
         return 0
+
+    def sync(self) -> None:
+        """Force every batch applied so far onto stable storage.
+
+        A durability *barrier* for backends whose ``apply`` commits
+        without an fsync (``SqliteEngine`` at the default
+        ``synchronous=NORMAL``): after ``sync`` returns, those batches
+        survive power loss, not just process death.  Backends that
+        already fsync per batch (``FileEngine``) or have no durability
+        to force (``MemoryEngine``) inherit this no-op.  The sharded
+        engine uses it to order its two-phase commit across shards.
+        """
+        self._check_open()

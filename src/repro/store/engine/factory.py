@@ -1,0 +1,99 @@
+"""Engine construction from storage URLs.
+
+Callers pick a backend by URL instead of wiring engine objects by hand:
+
+* ``memory:`` — an ephemeral :class:`MemoryEngine`;
+* ``file:/path/to/dir`` — a :class:`FileEngine` over that directory;
+* ``sqlite:/path/to/db`` — a :class:`SqliteEngine` over that file;
+* ``sharded:N:CHILD-URL`` — a :class:`ShardedEngine` over N children of
+  the child scheme; the child URL's location is treated as a *base
+  directory* and each shard gets its own location inside it
+  (``shard0``, ``shard1``, … for ``file:``; ``shard0.sqlite``, … for
+  ``sqlite:``).  ``sharded:4:memory:`` composes four memory shards.
+
+A string with no (known) scheme is taken as a plain filesystem path and
+opened with the file engine, so existing ``ObjectStore.open(path)``
+habits carry over: ``open_store("/tmp/s")`` == ``open_store("file:/tmp/s")``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.store.engine.base import StorageEngine
+from repro.store.engine.filesystem import FileEngine
+from repro.store.engine.memory import MemoryEngine
+from repro.store.engine.sharded import ShardedEngine
+from repro.store.engine.sqlite import SqliteEngine
+
+SCHEMES = ("memory", "file", "sqlite", "sharded")
+
+
+def _split_scheme(url: str) -> tuple[str | None, str]:
+    scheme, sep, rest = url.partition(":")
+    if sep and scheme in SCHEMES:
+        return scheme, rest
+    if sep and len(scheme) > 1 and scheme.isalpha():
+        raise ValueError(
+            f"unknown storage scheme {scheme!r} in {url!r}; "
+            f"known schemes: {', '.join(SCHEMES)}"
+        )
+    # No colon, or something path-like (a single-letter drive prefix, a
+    # path with a colon in it): a bare filesystem path for the default
+    # file backend.
+    return None, url
+
+
+def _sharded_children(rest: str) -> list[StorageEngine]:
+    count_text, sep, child_url = rest.partition(":")
+    if not sep:
+        raise ValueError(
+            "sharded URLs look like 'sharded:N:CHILD-URL', "
+            f"got 'sharded:{rest}'"
+        )
+    try:
+        count = int(count_text)
+    except ValueError:
+        raise ValueError(
+            f"shard count must be an integer, got {count_text!r}"
+        ) from None
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    child_scheme, location = _split_scheme(child_url)
+    if child_scheme == "sharded":
+        raise ValueError("sharded children cannot themselves be sharded")
+    if child_scheme is None and location in SCHEMES:
+        raise ValueError(
+            f"child URL {child_url!r} looks like a scheme missing its "
+            f"colon — did you mean '{location}:'?"
+        )
+    if child_scheme == "memory":
+        return [MemoryEngine() for _ in range(count)]
+    if child_scheme == "sqlite":
+        os.makedirs(location, exist_ok=True)
+        return [SqliteEngine(os.path.join(location, f"shard{index}.sqlite"))
+                for index in range(count)]
+    # file scheme or a bare path: one subdirectory per shard.
+    os.makedirs(location, exist_ok=True)
+    return [FileEngine(os.path.join(location, f"shard{index}"))
+            for index in range(count)]
+
+
+def engine_from_url(url: str) -> StorageEngine:
+    """Construct (opening or creating) the storage engine ``url`` names."""
+    if not url:
+        raise ValueError("empty storage URL")
+    scheme, rest = _split_scheme(url)
+    if scheme == "memory":
+        if rest:
+            raise ValueError(f"memory: takes no location, got {rest!r}")
+        return MemoryEngine()
+    if scheme == "sqlite":
+        if not rest:
+            raise ValueError("sqlite: needs a database path")
+        return SqliteEngine(rest)
+    if scheme == "sharded":
+        return ShardedEngine(_sharded_children(rest))
+    if not rest:
+        raise ValueError("file: needs a directory path")
+    return FileEngine(rest)

@@ -1,0 +1,435 @@
+"""The scale-out backend: the OID space partitioned over child engines.
+
+``ShardedEngine`` composes N child :class:`StorageEngine` instances —
+any backends, including a mixture — into one engine.  Record ``oid``
+lives on shard ``oid % N``; the root table and the allocator cursor live
+on shard 0, the **meta shard**.  Reads and per-shard writes fan out in
+parallel on a small thread pool (one worker per shard), which is where
+the horizontal win comes from: a wide batch becomes N narrower batches
+whose I/O overlaps.
+
+Atomicity across shards cannot be delegated to the children (each child
+is only atomic for *its* slice), so :meth:`ShardedEngine.apply` runs a
+two-phase protocol built entirely out of the children's own atomic
+``apply``:
+
+1. **Prepare** — each involved shard durably stages its encoded
+   sub-batch under the reserved staging OID (one atomic child batch per
+   shard, in parallel), tagged with a fresh per-batch token; then a
+   :meth:`StorageEngine.sync` barrier on those shards.
+2. **Commit marker** — shard 0 durably writes the reserved marker
+   record carrying the same token, followed by a ``sync`` barrier.
+   This is the commit point for the whole batch.
+3. **Apply** — each involved shard applies its sub-batch and deletes its
+   staging record *in one atomic child batch* (parallel again), then the
+   marker is cleared.
+
+Opening the engine recovers: a marker on shard 0 means the batch
+committed, so any shard still holding a staging record *with the
+marker's token* redoes it (idempotent — record writes are put-by-OID,
+deletes tolerate absence, the allocator cursor is monotonic); staging
+records with any other token, or any staging found with no marker,
+belong to a batch that never committed and are discarded.  A crash at
+any point therefore yields the old state or the new state across *all*
+shards, never a mixture.
+
+The ``sync`` barriers and the token make this hold even against
+power-loss reordering between shard files: stagings are on stable
+storage before the marker, the marker before any phase-3 effect, and a
+stale marker whose lazy clear was lost can never adopt a later batch's
+stagings (token mismatch).  The cross-shard guarantee is still only as
+strong as each child's own durability — a ``MemoryEngine`` shard keeps
+nothing across close, honestly.
+
+Reserved OIDs sit at ``2**62`` and above, far outside anything the
+allocator will ever issue; they are filtered out of every aggregate view
+(``oids``, ``object_count``, ``contains``), so the staging machinery —
+and the shard-topology record on shard 0 (the shard count is persisted
+on first open and validated on every reopen, so a store can never be
+silently opened with the wrong ``N`` and misroute every OID) — is
+invisible above the engine layer.
+
+Like every other backend, the engine assumes a single writer at a time;
+the parallelism is per-batch fan-out, not concurrent ``apply`` calls.
+This is the broker arrangement (ZBroker, PAPERS.md): one logical store
+API routed over many physical stores.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Optional, Sequence
+
+from repro.errors import UnknownOidError
+from repro.store.engine.base import StorageEngine, WriteBatch
+from repro.store.oids import Oid
+
+#: OIDs at or above this value are reserved for the sharding protocol.
+RESERVED_OID_BASE = 1 << 62
+
+#: Per-shard staging record holding the encoded prepared sub-batch.
+STAGE_OID = Oid(RESERVED_OID_BASE)
+
+#: Shard-0 commit marker: present iff a prepared batch has committed.
+MARKER_OID = Oid(RESERVED_OID_BASE + 1)
+
+#: Shard-0 topology record: the shard count the store was created with.
+TOPOLOGY_OID = Oid(RESERVED_OID_BASE + 2)
+
+#: Bytes of per-batch token prefixed to staging and marker records.
+_TOKEN_LEN = 16
+
+
+def encode_batch(batch: WriteBatch) -> bytes:
+    """Serialise a :class:`WriteBatch` for staging (little-endian framed)."""
+    parts = [struct.pack("<I", len(batch.writes))]
+    for oid, raw in batch.writes:
+        raw = bytes(raw)
+        parts.append(struct.pack("<QI", int(oid), len(raw)))
+        parts.append(raw)
+    parts.append(struct.pack("<I", len(batch.deletes)))
+    for oid in batch.deletes:
+        parts.append(struct.pack("<Q", int(oid)))
+    if batch.roots is None:
+        parts.append(b"\x00")
+    else:
+        parts.append(b"\x01")
+        parts.append(struct.pack("<I", len(batch.roots)))
+        for name, oid in batch.roots.items():
+            encoded = name.encode("utf-8")
+            parts.append(struct.pack("<HQ", len(encoded), int(oid)))
+            parts.append(encoded)
+    if batch.next_oid is None:
+        parts.append(b"\x00")
+    else:
+        parts.append(b"\x01")
+        parts.append(struct.pack("<Q", batch.next_oid))
+    return b"".join(parts)
+
+
+def decode_batch(blob: bytes) -> WriteBatch:
+    """Inverse of :func:`encode_batch`."""
+    batch = WriteBatch()
+    view = memoryview(blob)
+    offset = 0
+
+    def take(fmt: str) -> tuple:
+        nonlocal offset
+        size = struct.calcsize(fmt)
+        values = struct.unpack_from(fmt, view, offset)
+        offset += size
+        return values
+
+    (write_count,) = take("<I")
+    for _ in range(write_count):
+        oid, length = take("<QI")
+        batch.write(Oid(oid), bytes(view[offset:offset + length]))
+        offset += length
+    (delete_count,) = take("<I")
+    for _ in range(delete_count):
+        (oid,) = take("<Q")
+        batch.delete(Oid(oid))
+    (has_roots,) = take("<B")
+    if has_roots:
+        roots: dict[str, Oid] = {}
+        (root_count,) = take("<I")
+        for _ in range(root_count):
+            name_len, oid = take("<HQ")
+            name = bytes(view[offset:offset + name_len]).decode("utf-8")
+            offset += name_len
+            roots[name] = Oid(oid)
+        batch.set_roots(roots)
+    (has_next,) = take("<B")
+    if has_next:
+        (next_oid,) = take("<Q")
+        batch.advance_next_oid(next_oid)
+    return batch
+
+
+class ShardedEngine(StorageEngine):
+    """N child engines behind one engine; two-phase atomic batches."""
+
+    name = "sharded"
+
+    def __init__(self, children: Sequence[StorageEngine]):
+        super().__init__()
+        children = tuple(children)
+        if not children:
+            raise ValueError("ShardedEngine needs at least one child engine")
+        if len({id(child) for child in children}) != len(children):
+            raise ValueError("each shard needs its own engine instance")
+        for child in children:
+            if child.closed:
+                raise ValueError("child engines must be open")
+        self._children = children
+        self._pool = ThreadPoolExecutor(max_workers=len(children),
+                                        thread_name_prefix="shard")
+        #: Token of the batch currently between prepare and commit (also
+        #: lets the fault-injection tests drive the phases separately).
+        self._batch_token: Optional[bytes] = None
+        try:
+            self._check_topology()
+            self._recover()
+        except BaseException:
+            # A failed open must not leak the children (or the pool):
+            # the engine took ownership of them above.
+            self._pool.shutdown(wait=True)
+            for child in children:
+                child.close()
+            raise
+
+    def _check_topology(self) -> None:
+        """Pin the shard count: ``oid % N`` routing silently scatters
+        records if a store is ever reopened with a different ``N``."""
+        meta = self._children[0]
+        blob = struct.pack("<I", len(self._children))
+        if meta.contains(TOPOLOGY_OID):
+            (stored,) = struct.unpack("<I", meta.read(TOPOLOGY_OID))
+            if stored != len(self._children):
+                raise ValueError(
+                    f"store was created with {stored} shards, cannot open "
+                    f"it with {len(self._children)}"
+                )
+        else:
+            meta.apply(WriteBatch().write(TOPOLOGY_OID, blob))
+
+    # -- topology -------------------------------------------------------
+
+    @property
+    def children(self) -> tuple[StorageEngine, ...]:
+        """The child engines, by shard index (tests, fault injection)."""
+        return self._children
+
+    @property
+    def shard_count(self) -> int:
+        return len(self._children)
+
+    def shard_of(self, oid: Oid) -> int:
+        """The index of the shard that owns ``oid``."""
+        return int(oid) % len(self._children)
+
+    def _fan(self, fn, items: Iterable) -> list:
+        """Run ``fn`` over ``items`` on the shard pool; propagate errors."""
+        return list(self._pool.map(fn, items))
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._pool.shutdown(wait=True)
+        for child in self._children:
+            child.close()
+        super().close()
+
+    # -- reads ----------------------------------------------------------
+
+    def read(self, oid: Oid) -> bytes:
+        self._check_open()
+        if int(oid) >= RESERVED_OID_BASE:
+            raise UnknownOidError(int(oid))
+        return self._children[self.shard_of(oid)].read(oid)
+
+    def contains(self, oid: Oid) -> bool:
+        self._check_open()
+        if int(oid) >= RESERVED_OID_BASE:
+            return False
+        return self._children[self.shard_of(oid)].contains(oid)
+
+    def oids(self) -> tuple[Oid, ...]:
+        self._check_open()
+        per_shard = self._fan(
+            lambda child: [oid for oid in child.oids()
+                           if int(oid) < RESERVED_OID_BASE],
+            self._children,
+        )
+        return tuple(oid for shard_oids in per_shard for oid in shard_oids)
+
+    @property
+    def object_count(self) -> int:
+        self._check_open()
+        count = 0
+        for child in self._children:
+            count += child.object_count
+            if child.contains(STAGE_OID):
+                count -= 1
+        for reserved in (MARKER_OID, TOPOLOGY_OID):
+            if self._children[0].contains(reserved):
+                count -= 1
+        return count
+
+    def roots(self) -> dict[str, Oid]:
+        self._check_open()
+        return self._children[0].roots()
+
+    @property
+    def next_oid(self) -> int:
+        self._check_open()
+        return self._children[0].next_oid
+
+    @property
+    def page_count(self) -> int:
+        self._check_open()
+        return sum(child.page_count for child in self._children)
+
+    # -- writes: the two-phase protocol ---------------------------------
+
+    def partition(self, batch: WriteBatch) -> dict[int, WriteBatch]:
+        """Split ``batch`` into per-shard sub-batches.
+
+        Roots and the allocator cursor always land on the meta shard
+        (shard 0).  Payloads are coerced to bytes here, so a bad write
+        raises before any shard has seen I/O.
+        """
+        subs: dict[int, WriteBatch] = {}
+
+        def sub_for(shard: int) -> WriteBatch:
+            if shard not in subs:
+                subs[shard] = WriteBatch()
+            return subs[shard]
+
+        for oid, raw in batch.writes:
+            if int(oid) >= RESERVED_OID_BASE:
+                raise ValueError(f"oid {int(oid)} is reserved for the "
+                                 "sharding protocol")
+            sub_for(self.shard_of(oid)).write(oid, bytes(raw))
+        for oid in batch.deletes:
+            if int(oid) >= RESERVED_OID_BASE:
+                raise ValueError(f"oid {int(oid)} is reserved for the "
+                                 "sharding protocol")
+            sub_for(self.shard_of(oid)).delete(oid)
+        if batch.roots is not None:
+            sub_for(0).set_roots(batch.roots)
+        if batch.next_oid is not None:
+            sub_for(0).advance_next_oid(batch.next_oid)
+        return subs
+
+    def prepare(self, subs: dict[int, WriteBatch],
+                token: Optional[bytes] = None) -> bytes:
+        """Phase 1: durably stage each shard's sub-batch on that shard,
+        tagged with the batch token, then a durability barrier.
+
+        Public (like ``FileEngine.log_batch``) so crash recovery is
+        testable: a process dying after a partial or complete prepare,
+        with no commit marker, must expose none of the batch on reopen.
+        Returns the token (freshly generated when not supplied).
+        """
+        self._check_open()
+        if token is None:
+            token = os.urandom(_TOKEN_LEN)
+        self._batch_token = token
+
+        def stage(item: tuple[int, WriteBatch]) -> None:
+            shard, sub = item
+            child = self._children[shard]
+            child.apply(
+                WriteBatch().write(STAGE_OID, token + encode_batch(sub))
+            )
+            child.sync()
+
+        self._fan(stage, subs.items())
+        return token
+
+    def write_commit_marker(self, token: Optional[bytes] = None) -> None:
+        """Phase 2: the commit point — one atomic write on the meta
+        shard carrying the batch token, then a durability barrier.
+
+        Public for fault injection: a marker present on reopen means the
+        batch committed and any shard still staged under the marker's
+        token is redone.
+        """
+        self._check_open()
+        if token is None:
+            token = self._batch_token
+        if token is None:
+            raise ValueError("no prepared batch to commit")
+        meta = self._children[0]
+        meta.apply(WriteBatch().write(MARKER_OID, token))
+        meta.sync()
+
+    def _apply_staged(self, subs: dict[int, WriteBatch]) -> None:
+        """Phase 3: apply each sub-batch and drop its staging record in
+        one atomic child batch per shard."""
+
+        def apply_one(item: tuple[int, WriteBatch]) -> None:
+            shard, sub = item
+            combined = WriteBatch()
+            combined.writes = list(sub.writes)
+            combined.deletes = list(sub.deletes) + [STAGE_OID]
+            combined.roots = sub.roots
+            combined.next_oid = sub.next_oid
+            self._children[shard].apply(combined)
+
+        self._fan(apply_one, subs.items())
+
+    def _clear_commit_marker(self) -> None:
+        self._children[0].apply(WriteBatch().delete(MARKER_OID))
+        self._batch_token = None
+
+    def apply(self, batch: WriteBatch) -> None:
+        self._check_open()
+        # A leftover marker means an earlier apply died (or raised) after
+        # its commit point: settle that batch first, or this batch could
+        # overwrite the marker and orphan a committed-but-unapplied
+        # staging — and replay ordering would break for the fast path.
+        if self._children[0].contains(MARKER_OID):
+            self._recover()
+        subs = self.partition(batch)
+        if not subs:
+            self.batches_applied += 1
+            return
+        if len(subs) == 1:
+            # One shard involved: that child's own apply is already
+            # all-or-nothing, so the cross-shard protocol would only add
+            # three extra durable writes.
+            shard, sub = next(iter(subs.items()))
+            self._children[shard].apply(sub)
+        else:
+            token = self.prepare(subs)
+            self.write_commit_marker(token)
+            self._apply_staged(subs)
+            self._clear_commit_marker()
+        self.record_writes += len(batch.writes)
+        self.batches_applied += 1
+
+    # -- recovery -------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Finish or roll back a batch interrupted mid-protocol."""
+        meta = self._children[0]
+        committed_token: Optional[bytes] = None
+        if meta.contains(MARKER_OID):
+            committed_token = bytes(meta.read(MARKER_OID))[:_TOKEN_LEN]
+
+        def settle(child: StorageEngine) -> None:
+            if not child.contains(STAGE_OID):
+                return
+            staged = bytes(child.read(STAGE_OID))
+            if committed_token is not None \
+                    and staged[:_TOKEN_LEN] == committed_token:
+                sub = decode_batch(staged[_TOKEN_LEN:])
+                sub.delete(STAGE_OID)
+                child.apply(sub)
+            else:
+                # Never committed (no marker), or staged by a *later*
+                # batch than a stale marker whose clear was lost: abort.
+                child.apply(WriteBatch().delete(STAGE_OID))
+
+        self._fan(settle, self._children)
+        if committed_token is not None:
+            self._clear_commit_marker()
+
+    # -- maintenance ----------------------------------------------------
+
+    def compact(self) -> int:
+        self._check_open()
+        return sum(self._fan(lambda child: child.compact(), self._children))
+
+    def sync(self) -> None:
+        """Durability barrier across every shard (the single-shard apply
+        fast path commits with the child's own durability level, so a
+        caller needing power-loss durability syncs explicitly)."""
+        self._check_open()
+        self._fan(lambda child: child.sync(), self._children)

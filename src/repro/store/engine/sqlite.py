@@ -1,0 +1,227 @@
+"""The SQLite backend: one transactional database file per store.
+
+``SqliteEngine`` keeps all three pieces of durable state in a single
+SQLite file:
+
+* ``objects(oid, record)`` — the object table (record bytes are opaque
+  BLOBs; serialisation stays above the engine layer);
+* ``roots(name, oid)`` — the root table;
+* ``meta(key, value)`` — the allocator cursor under ``next_oid``.
+
+:meth:`SqliteEngine.apply` maps one :class:`WriteBatch` onto one SQL
+transaction (``BEGIN IMMEDIATE`` … ``COMMIT``), so atomicity and crash
+recovery are inherited from SQLite's journal rather than re-implemented.
+The database runs in WAL mode: once open, readers (other connections,
+including other ``SqliteEngine`` instances over the same file) are not
+blocked by the writer.  *Opening* an engine does a brief schema
+check/create that may wait (up to the 30 s busy timeout) for an
+in-flight write transaction on the same file.
+
+``synchronous`` defaults to ``NORMAL``, the standard WAL setting —
+commits survive process crashes; an OS/power crash may lose the last
+few commits but can never corrupt or tear a batch.  Pass
+``synchronous="FULL"`` for an fsync per commit, or call
+:meth:`SqliteEngine.sync` as an explicit durability barrier (the
+sharded engine does this at its two-phase commit points).
+
+The object-relational mapping is deliberately thin — OID-keyed BLOBs,
+not one column per field — following the "store the object model in
+relational tables, keep the semantics above" approach of the
+object-relational text-indexing work in PAPERS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+
+from repro.errors import UnknownOidError
+from repro.store.engine.base import StorageEngine, WriteBatch
+from repro.store.oids import FIRST_OID, Oid
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS objects (
+    oid    INTEGER PRIMARY KEY,
+    record BLOB NOT NULL
+);
+CREATE TABLE IF NOT EXISTS roots (
+    name TEXT PRIMARY KEY,
+    oid  INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value INTEGER NOT NULL
+);
+"""
+
+_SYNCHRONOUS_LEVELS = ("OFF", "NORMAL", "FULL", "EXTRA")
+
+
+class SqliteEngine(StorageEngine):
+    """Transactional single-file storage over the stdlib ``sqlite3``."""
+
+    name = "sqlite"
+
+    def __init__(self, path: str, *, synchronous: str = "NORMAL"):
+        super().__init__()
+        if synchronous.upper() not in _SYNCHRONOUS_LEVELS:
+            raise ValueError(f"unknown synchronous level {synchronous!r}")
+        self._path = path
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        # check_same_thread=False: the sharded engine drives child engines
+        # from worker threads (one shard per worker, never concurrently on
+        # the same connection); the stdlib module serialises access anyway.
+        # timeout: opening performs schema writes, which must wait out an
+        # in-flight transaction held by another engine over the same file.
+        self._conn: sqlite3.Connection | None = sqlite3.connect(
+            path, check_same_thread=False, isolation_level=None,
+            timeout=30.0,
+        )
+        conn = self._conn
+        conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute(f"PRAGMA synchronous={synchronous.upper()}")
+        # Incremental vacuum lets compact() hand freed pages back without
+        # a full VACUUM rewrite; only effective when set before the first
+        # table is created, i.e. on a fresh database.
+        conn.execute("PRAGMA auto_vacuum=INCREMENTAL")
+        conn.executescript(_SCHEMA)
+        conn.execute(
+            "INSERT OR IGNORE INTO meta(key, value) VALUES('next_oid', ?)",
+            (int(FIRST_OID),),
+        )
+        # Mirror the small metadata in memory so reads stay dict-cheap,
+        # like the other backends; the database remains the truth on open.
+        self._roots = {
+            name: Oid(oid)
+            for name, oid in conn.execute("SELECT name, oid FROM roots")
+        }
+        self._next_oid = int(conn.execute(
+            "SELECT value FROM meta WHERE key='next_oid'"
+        ).fetchone()[0])
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        super().close()
+
+    # -- reads ----------------------------------------------------------
+
+    def read(self, oid: Oid) -> bytes:
+        self._check_open()
+        row = self._conn.execute(
+            "SELECT record FROM objects WHERE oid=?", (int(oid),)
+        ).fetchone()
+        if row is None:
+            raise UnknownOidError(int(oid))
+        return bytes(row[0])
+
+    def contains(self, oid: Oid) -> bool:
+        self._check_open()
+        row = self._conn.execute(
+            "SELECT 1 FROM objects WHERE oid=?", (int(oid),)
+        ).fetchone()
+        return row is not None
+
+    def oids(self) -> tuple[Oid, ...]:
+        self._check_open()
+        return tuple(
+            Oid(row[0])
+            for row in self._conn.execute("SELECT oid FROM objects")
+        )
+
+    @property
+    def object_count(self) -> int:
+        self._check_open()
+        return self._conn.execute(
+            "SELECT COUNT(*) FROM objects"
+        ).fetchone()[0]
+
+    def roots(self) -> dict[str, Oid]:
+        return dict(self._roots)
+
+    @property
+    def next_oid(self) -> int:
+        return self._next_oid
+
+    @property
+    def page_count(self) -> int:
+        self._check_open()
+        return self._conn.execute("PRAGMA page_count").fetchone()[0]
+
+    # -- writes ---------------------------------------------------------
+
+    def apply(self, batch: WriteBatch) -> None:
+        self._check_open()
+        # Coerce payloads up front so a bad write raises before the
+        # transaction starts — atomicity by not beginning, not by rollback.
+        writes = [(int(oid), bytes(raw)) for oid, raw in batch.writes]
+        conn = self._conn
+        conn.execute("BEGIN IMMEDIATE")
+        try:
+            # Batch order contract: writes first (last write to an OID
+            # wins), then deletes — an OID both written and deleted in one
+            # batch ends up absent.
+            conn.executemany(
+                "INSERT OR REPLACE INTO objects(oid, record) VALUES(?, ?)",
+                writes,
+            )
+            conn.executemany(
+                "DELETE FROM objects WHERE oid=?",
+                [(int(oid),) for oid in batch.deletes],
+            )
+            if batch.roots is not None:
+                conn.execute("DELETE FROM roots")
+                conn.executemany(
+                    "INSERT INTO roots(name, oid) VALUES(?, ?)",
+                    [(name, int(oid))
+                     for name, oid in batch.roots.items()],
+                )
+            if batch.next_oid is not None:
+                conn.execute(
+                    "UPDATE meta SET value=MAX(value, ?) "
+                    "WHERE key='next_oid'",
+                    (int(batch.next_oid),),
+                )
+            conn.execute("COMMIT")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        # Only a committed transaction reaches the mirrors.
+        if batch.roots is not None:
+            self._roots = dict(batch.roots)
+        if batch.next_oid is not None:
+            self._next_oid = max(self._next_oid, int(batch.next_oid))
+        self.record_writes += len(writes)
+        self.batches_applied += 1
+
+    def compact(self) -> int:
+        self._check_open()
+        freed = self._conn.execute("PRAGMA freelist_count").fetchone()[0]
+        self._conn.execute("PRAGMA incremental_vacuum")
+        return freed
+
+    def sync(self) -> None:
+        """Durability barrier: fsync the WAL (and the database file), so
+        every committed batch survives power loss even at
+        ``synchronous=NORMAL``."""
+        self._check_open()
+        for path in (self._path + "-wal", self._path):
+            try:
+                fd = os.open(path, os.O_RDONLY)
+            except FileNotFoundError:
+                continue
+            try:
+                os.fsync(fd)
+            finally:
+                os.close(fd)

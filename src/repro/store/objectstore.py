@@ -159,6 +159,19 @@ class ObjectStore:
         :meth:`close`."""
         return cls(registry=registry, engine=MemoryEngine())
 
+    @classmethod
+    def from_url(cls, url: str,
+                 registry: ClassRegistry | None = None) -> "ObjectStore":
+        """Open a store over the backend a storage URL names.
+
+        ``"file:/path"``, ``"sqlite:/path"``, ``"memory:"`` and
+        ``"sharded:N:CHILD-URL"`` (plus bare paths, which mean the file
+        backend) are understood — see
+        :func:`repro.store.engine.factory.engine_from_url`.
+        """
+        from repro.store.engine.factory import engine_from_url
+        return cls(registry=registry, engine=engine_from_url(url))
+
     def close(self) -> None:
         """Flush and close; the store object is unusable afterwards."""
         if self._closed:

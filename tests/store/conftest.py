@@ -1,20 +1,28 @@
-"""Store-suite fixtures: the ``store`` fixture is parametrized over both
-storage engines here, so every store contract test runs against
-``FileEngine`` and ``MemoryEngine`` alike.
+"""Store-suite fixtures: the ``store`` fixture is parametrized over every
+storage backend here, so each store contract test runs against
+``FileEngine``, ``MemoryEngine``, ``SqliteEngine`` and ``ShardedEngine``
+(over both file and sqlite children) alike.
 
 Tests that exercise reopen/recovery construct file stores explicitly from
 ``tmp_path`` — those stay file-specific by nature.  Engine-only behaviour
-(crash replay, no-persistence-across-close) lives in ``test_engines.py``.
+(crash replay, no-persistence-across-close, the sharded two-phase
+protocol) lives in ``test_engines.py`` and ``test_failure_injection.py``.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.store.engine import FileEngine, MemoryEngine
+from repro.store.engine import (
+    FileEngine,
+    MemoryEngine,
+    SqliteEngine,
+    engine_from_url,
+)
 from repro.store.objectstore import ObjectStore
 
-ENGINE_PARAMS = ("file", "memory")
+ENGINE_PARAMS = ("file", "memory", "sqlite", "sharded-file",
+                 "sharded-sqlite")
 
 
 def make_engine(kind: str, tmp_path):
@@ -22,6 +30,12 @@ def make_engine(kind: str, tmp_path):
         return FileEngine(str(tmp_path / "store"))
     if kind == "memory":
         return MemoryEngine()
+    if kind == "sqlite":
+        return SqliteEngine(str(tmp_path / "store.sqlite"))
+    if kind == "sharded-file":
+        return engine_from_url(f"sharded:3:file:{tmp_path / 'shards'}")
+    if kind == "sharded-sqlite":
+        return engine_from_url(f"sharded:3:sqlite:{tmp_path / 'shards'}")
     raise ValueError(f"unknown engine kind {kind!r}")
 
 

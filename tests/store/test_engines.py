@@ -1,20 +1,28 @@
 """Storage-engine contract tests, run identically against every backend,
 plus engine-specific behaviour: crash replay for ``FileEngine``,
-no-persistence-across-close for ``MemoryEngine``, and the dirty-tracking
-counters that make incremental stabilisation observable."""
+no-persistence-across-close for ``MemoryEngine``, SQL-transaction
+semantics for ``SqliteEngine``, the two-phase cross-shard protocol for
+``ShardedEngine``, and the dirty-tracking counters that make incremental
+stabilisation observable."""
 
 import pytest
 
 from repro.errors import StoreClosedError, UnknownOidError
-from repro.store.engine import FileEngine, MemoryEngine, WriteBatch
+from repro.store.engine import (
+    FileEngine,
+    MemoryEngine,
+    ShardedEngine,
+    SqliteEngine,
+    WriteBatch,
+)
 from repro.store.objectstore import ObjectStore
 from repro.store.oids import Oid
 
 from tests.conftest import Person
-from tests.store.conftest import make_engine
+from tests.store.conftest import ENGINE_PARAMS, make_engine
 
 
-@pytest.fixture(params=["file", "memory"])
+@pytest.fixture(params=ENGINE_PARAMS)
 def engine(request, tmp_path):
     eng = make_engine(request.param, tmp_path)
     yield eng
@@ -99,6 +107,43 @@ class TestEngineContract:
         engine.close()  # idempotent
         assert engine.closed
 
+    def test_duplicate_oid_in_batch_last_write_wins(self, engine):
+        batch = (WriteBatch()
+                 .write(Oid(1), b"first")
+                 .write(Oid(2), b"other")
+                 .write(Oid(1), b"second")
+                 .write(Oid(1), b"third"))
+        engine.apply(batch)
+        assert engine.read(Oid(1)) == b"third"
+        assert engine.read(Oid(2)) == b"other"
+        assert engine.object_count == 2
+
+    def test_write_and_delete_same_oid_ends_absent(self, engine):
+        # Deletes apply after writes regardless of call order: an OID
+        # both written and deleted in one batch ends up absent.
+        engine.apply(WriteBatch().write(Oid(1), b"x").delete(Oid(1)))
+        assert not engine.contains(Oid(1))
+        engine.apply(WriteBatch().delete(Oid(2)).write(Oid(2), b"y"))
+        assert not engine.contains(Oid(2))
+        assert engine.object_count == 0
+
+    def test_delete_then_rewrite_across_batches(self, engine):
+        # Across batches the order is plain: the later batch wins.
+        engine.apply(WriteBatch().write(Oid(1), b"old"))
+        engine.apply(WriteBatch().delete(Oid(1)))
+        engine.apply(WriteBatch().write(Oid(1), b"new"))
+        assert engine.read(Oid(1)) == b"new"
+
+    @pytest.mark.parametrize("kind", ENGINE_PARAMS)
+    def test_context_manager_closes_and_is_idempotent(self, kind, tmp_path):
+        with make_engine(kind, tmp_path / "cm") as eng:
+            eng.apply(WriteBatch().write(Oid(1), b"x"))
+            assert not eng.closed
+        assert eng.closed
+        eng.close()  # close after __exit__ must stay a no-op
+        with pytest.raises(StoreClosedError):
+            eng.read(Oid(1))
+
 
 class TestFileEngineCrashReplay:
     """File-engine specifics: the WAL/checkpoint discipline."""
@@ -176,6 +221,202 @@ class TestMemoryEngineEphemerality:
             engine.apply(bad)
         assert engine.read(Oid(1)) == b"good"
         assert not engine.contains(Oid(2))
+
+
+class TestSqliteEngine:
+    """SQLite specifics: one file, one SQL transaction per batch, WAL
+    mode with concurrent readers."""
+
+    def test_state_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "db.sqlite")
+        with SqliteEngine(path) as engine:
+            engine.apply(WriteBatch().write(Oid(3), b"keep")
+                         .set_roots({"k": Oid(3)}).advance_next_oid(4))
+        with SqliteEngine(path) as reopened:
+            assert reopened.read(Oid(3)) == b"keep"
+            assert reopened.roots() == {"k": Oid(3)}
+            assert reopened.next_oid == 4
+
+    def test_wal_mode_and_concurrent_reader(self, tmp_path):
+        path = str(tmp_path / "db.sqlite")
+        writer = SqliteEngine(path)
+        mode = writer._conn.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode == "wal"
+        writer.apply(WriteBatch().write(Oid(1), b"visible"))
+        # A second engine over the same file reads committed state while
+        # the writer connection stays open.
+        with SqliteEngine(path) as reader:
+            assert reader.read(Oid(1)) == b"visible"
+            assert reader.object_count == 1
+        writer.apply(WriteBatch().write(Oid(2), b"more"))
+        writer.close()
+
+    def test_bad_write_rolls_back_whole_batch(self, tmp_path):
+        engine = SqliteEngine(str(tmp_path / "db.sqlite"))
+        engine.apply(WriteBatch().write(Oid(1), b"good"))
+        bad = WriteBatch().write(Oid(2), b"staged")
+        bad.writes.append((Oid(3), object()))  # not bytes-convertible
+        with pytest.raises(TypeError):
+            engine.apply(bad)
+        assert engine.read(Oid(1)) == b"good"
+        assert not engine.contains(Oid(2))
+        assert not engine.contains(Oid(3))
+        engine.close()
+
+    def test_unknown_synchronous_level_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            SqliteEngine(str(tmp_path / "db.sqlite"), synchronous="MAYBE")
+
+    def test_compact_reclaims_freed_pages(self, tmp_path):
+        engine = SqliteEngine(str(tmp_path / "db.sqlite"))
+        batch = WriteBatch()
+        for index in range(1, 101):
+            batch.write(Oid(index), bytes(500))
+        engine.apply(batch)
+        wipe = WriteBatch()
+        for index in range(1, 101):
+            wipe.delete(Oid(index))
+        engine.apply(wipe)
+        assert engine.compact() > 0
+        assert engine.object_count == 0
+        engine.close()
+
+
+def make_sharded(tmp_path, kinds=("file", "sqlite", "memory")):
+    """A mixed-backend sharded engine rooted in ``tmp_path``; calling it
+    again with the same path reopens the same durable shards."""
+    children = []
+    for index, kind in enumerate(kinds):
+        if kind == "file":
+            children.append(FileEngine(str(tmp_path / f"shard{index}")))
+        elif kind == "sqlite":
+            children.append(
+                SqliteEngine(str(tmp_path / f"shard{index}.sqlite")))
+        else:
+            children.append(MemoryEngine())
+    return ShardedEngine(children)
+
+
+class TestShardedEngine:
+    """Sharded specifics: OID routing, the meta shard, reserved-OID
+    hygiene, and mixed child backends behind one engine."""
+
+    def test_records_routed_by_modulo(self, tmp_path):
+        engine = make_sharded(tmp_path, kinds=("memory",) * 3)
+        batch = WriteBatch()
+        for index in range(1, 10):
+            batch.write(Oid(index), f"r{index}".encode())
+        engine.apply(batch)
+        for index in range(1, 10):
+            owner = engine.children[index % 3]
+            assert owner.contains(Oid(index))
+            for other in engine.children:
+                if other is not owner:
+                    assert not other.contains(Oid(index))
+        assert engine.object_count == 9
+        engine.close()
+
+    def test_roots_and_cursor_live_on_meta_shard(self, tmp_path):
+        engine = make_sharded(tmp_path, kinds=("memory",) * 3)
+        engine.apply(WriteBatch().write(Oid(1), b"x")
+                     .set_roots({"r": Oid(1)}).advance_next_oid(9))
+        assert engine.children[0].roots() == {"r": Oid(1)}
+        assert engine.children[0].next_oid == 9
+        assert engine.children[1].roots() == {}
+        assert engine.roots() == {"r": Oid(1)}
+        assert engine.next_oid == 9
+        engine.close()
+
+    def test_mixed_backends_roundtrip_and_reopen(self, tmp_path):
+        engine = make_sharded(tmp_path)
+        batch = WriteBatch().set_roots({"r": Oid(1)}).advance_next_oid(20)
+        for index in range(1, 13):
+            batch.write(Oid(index), f"rec{index}".encode())
+        engine.apply(batch)
+        assert engine.object_count == 12
+        assert sorted(int(oid) for oid in engine.oids()) == list(range(1, 13))
+        engine.close()
+        # The memory shard forgets its slice; the durable shards keep
+        # theirs — honest per-child durability.
+        reopened = make_sharded(tmp_path)
+        survivors = sorted(int(oid) for oid in reopened.oids())
+        assert survivors == [oid for oid in range(1, 13) if oid % 3 != 2]
+        assert reopened.roots() == {"r": Oid(1)}
+        reopened.close()
+
+    def test_reserved_oids_are_invisible_and_rejected(self, tmp_path):
+        from repro.store.engine.sharded import RESERVED_OID_BASE, STAGE_OID
+        engine = make_sharded(tmp_path, kinds=("memory",) * 2)
+        with pytest.raises(ValueError):
+            engine.apply(WriteBatch().write(STAGE_OID, b"nope"))
+        with pytest.raises(ValueError):
+            engine.apply(WriteBatch().delete(Oid(RESERVED_OID_BASE + 5)))
+        assert not engine.contains(STAGE_OID)
+        with pytest.raises(UnknownOidError):
+            engine.read(STAGE_OID)
+        engine.close()
+
+    def test_bad_write_fails_before_any_shard_io(self, tmp_path):
+        from repro.store.engine.sharded import STAGE_OID
+        engine = make_sharded(tmp_path, kinds=("memory",) * 2)
+        engine.apply(WriteBatch().write(Oid(1), b"good"))
+        batches_before = engine.batches_applied
+        bad = WriteBatch().write(Oid(2), b"staged")
+        bad.writes.append((Oid(3), object()))
+        with pytest.raises(TypeError):
+            engine.apply(bad)
+        assert engine.read(Oid(1)) == b"good"
+        assert not engine.contains(Oid(2))
+        assert engine.batches_applied == batches_before
+        for child in engine.children:
+            assert not child.contains(STAGE_OID)  # nothing was staged
+        engine.close()
+
+    def test_needs_children_and_unique_instances(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedEngine([])
+        child = MemoryEngine()
+        with pytest.raises(ValueError):
+            ShardedEngine([child, child])
+        closed = MemoryEngine()
+        closed.close()
+        with pytest.raises(ValueError):
+            ShardedEngine([closed])
+
+    def test_reopen_with_wrong_shard_count_rejected(self, tmp_path):
+        engine = make_sharded(tmp_path, kinds=("sqlite",) * 4)
+        engine.apply(WriteBatch().write(Oid(1), b"x").write(Oid(2), b"y"))
+        engine.close()
+        with pytest.raises(ValueError, match="4 shards"):
+            make_sharded(tmp_path, kinds=("sqlite",) * 3)
+        # The right count still opens fine.
+        reopened = make_sharded(tmp_path, kinds=("sqlite",) * 4)
+        assert reopened.read(Oid(1)) == b"x"
+        reopened.close()
+
+    def test_sync_is_a_callable_barrier_on_every_backend(self, engine):
+        engine.apply(WriteBatch().write(Oid(1), b"x"))
+        engine.sync()  # no-op or fsync, but never an error while open
+        assert engine.read(Oid(1)) == b"x"
+        engine.close()
+        with pytest.raises(StoreClosedError):
+            engine.sync()
+
+    def test_subbatch_codec_roundtrip(self):
+        from repro.store.engine.sharded import decode_batch, encode_batch
+        batch = (WriteBatch()
+                 .write(Oid(1), b"\x00\xffbytes")
+                 .write(Oid(2), b"")
+                 .delete(Oid(3))
+                 .set_roots({"naïve": Oid(4), "": Oid(5)})
+                 .advance_next_oid(77))
+        decoded = decode_batch(encode_batch(batch))
+        assert decoded.writes == batch.writes
+        assert decoded.deletes == batch.deletes
+        assert decoded.roots == batch.roots
+        assert decoded.next_oid == batch.next_oid
+        empty = decode_batch(encode_batch(WriteBatch()))
+        assert empty.is_empty
 
 
 class TestConstruction:

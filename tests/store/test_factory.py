@@ -1,0 +1,130 @@
+"""The storage-URL factory: one string picks the backend.
+
+``open_store()`` / ``engine_from_url()`` are how examples, benchmarks
+and applications choose among the file, memory, sqlite and sharded
+backends without constructing engine objects by hand."""
+
+import os
+
+import pytest
+
+from repro.store import ObjectStore, open_store
+from repro.store.engine import (
+    FileEngine,
+    MemoryEngine,
+    ShardedEngine,
+    SqliteEngine,
+    WriteBatch,
+    engine_from_url,
+)
+from repro.store.oids import Oid
+
+from tests.conftest import Person
+
+
+class TestEngineFromUrl:
+    def test_memory_scheme(self):
+        with engine_from_url("memory:") as engine:
+            assert isinstance(engine, MemoryEngine)
+
+    def test_file_scheme_and_bare_path(self, tmp_path):
+        with engine_from_url(f"file:{tmp_path / 'a'}") as engine:
+            assert isinstance(engine, FileEngine)
+            assert engine.directory == str(tmp_path / "a")
+        with engine_from_url(str(tmp_path / "b")) as engine:
+            assert isinstance(engine, FileEngine)
+            assert engine.directory == str(tmp_path / "b")
+
+    def test_sqlite_scheme(self, tmp_path):
+        path = str(tmp_path / "db.sqlite")
+        with engine_from_url(f"sqlite:{path}") as engine:
+            assert isinstance(engine, SqliteEngine)
+            assert engine.path == path
+
+    def test_sharded_scheme_derives_child_locations(self, tmp_path):
+        base = str(tmp_path / "cluster")
+        with engine_from_url(f"sharded:4:sqlite:{base}") as engine:
+            assert isinstance(engine, ShardedEngine)
+            assert engine.shard_count == 4
+            assert all(isinstance(child, SqliteEngine)
+                       for child in engine.children)
+        assert sorted(os.listdir(base)) >= [f"shard{i}.sqlite"
+                                            for i in range(4)]
+        with engine_from_url(f"sharded:2:file:{base}-files") as engine:
+            assert [type(child) for child in engine.children] \
+                == [FileEngine, FileEngine]
+        with engine_from_url("sharded:3:memory:") as engine:
+            assert all(isinstance(child, MemoryEngine)
+                       for child in engine.children)
+
+    @pytest.mark.parametrize("bad_url", [
+        "",
+        "redis:/somewhere",
+        "memory:/no/location/allowed",
+        "sqlite:",
+        "file:",
+        "sharded:4",
+        "sharded:zero:memory:",
+        "sharded:0:memory:",
+        "sharded:2:sharded:2:memory:",
+        "sharded:3:memory",  # scheme missing its trailing colon
+    ])
+    def test_bad_urls_rejected(self, bad_url):
+        with pytest.raises(ValueError):
+            engine_from_url(bad_url)
+
+    def test_single_letter_prefix_is_a_path_not_a_scheme(self, tmp_path,
+                                                         monkeypatch):
+        # Windows drive letters ("C:\store") must fall through to the
+        # file backend, not die as an unknown scheme.
+        monkeypatch.chdir(tmp_path)
+        with engine_from_url("c:drive-style-path") as engine:
+            assert isinstance(engine, FileEngine)
+            assert engine.directory == "c:drive-style-path"
+
+    def test_reopening_sharded_url_with_other_count_rejected(self, tmp_path,
+                                                             registry):
+        base = tmp_path / "cluster"
+        with open_store(f"sharded:4:sqlite:{base}", registry=registry) as st:
+            st.set_root("n", [1, 2, 3])
+            st.stabilize()
+        with pytest.raises(ValueError, match="4 shards"):
+            open_store(f"sharded:3:sqlite:{base}", registry=registry)
+
+
+class TestOpenStore:
+    @pytest.mark.parametrize("scheme", ["file", "sqlite", "sharded"])
+    def test_roundtrip_through_url(self, scheme, tmp_path, registry):
+        url = {
+            "file": f"file:{tmp_path / 's'}",
+            "sqlite": f"sqlite:{tmp_path / 's.sqlite'}",
+            "sharded": f"sharded:3:sqlite:{tmp_path / 'shards'}",
+        }[scheme]
+        with open_store(url, registry=registry) as store:
+            store.set_root("people", [Person("ann"), Person("bo")])
+            store.stabilize()
+        with open_store(url, registry=registry) as store:
+            assert [p.name for p in store.get_root("people")] == ["ann", "bo"]
+            assert store.verify_referential_integrity() == []
+
+    def test_memory_store_is_ephemeral(self, registry):
+        with open_store("memory:", registry=registry) as store:
+            store.set_root("p", Person("gone"))
+            store.stabilize()
+        with open_store("memory:", registry=registry) as store:
+            assert not store.has_root("p")
+
+    def test_from_url_classmethod(self, tmp_path, registry):
+        with ObjectStore.from_url(f"sqlite:{tmp_path / 'db'}",
+                                  registry=registry) as store:
+            store.set_root("n", [1, 2, 3])
+            store.stabilize()
+            assert store.engine.name == "sqlite"
+
+    def test_bare_path_matches_objectstore_open(self, tmp_path, registry):
+        directory = str(tmp_path / "plain")
+        with open_store(directory, registry=registry) as store:
+            store.set_root("n", [4, 5])
+            store.stabilize()
+        with ObjectStore.open(directory, registry=registry) as store:
+            assert store.get_root("n") == [4, 5]
