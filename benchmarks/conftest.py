@@ -10,6 +10,10 @@ editing-form vs storage-form editing, hyper-links vs textual lookup).
 
 from __future__ import annotations
 
+import json
+import platform
+import time
+
 import pytest
 
 from repro.core.compiler import DynamicCompiler
@@ -18,12 +22,68 @@ from repro.store.objectstore import ObjectStore
 from repro.store.registry import ClassRegistry
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json",
+        action="store",
+        nargs="?",
+        const="BENCH_store.json",
+        default=None,
+        metavar="PATH",
+        help="write machine-readable benchmark results to PATH "
+             "(default BENCH_store.json when given bare); benchmarks "
+             "record rows through the bench_json fixture",
+    )
+
+
 def pytest_collection_modifyitems(items):
     # Everything under benchmarks/ carries the `benchmark` marker, so CI
     # can smoke-collect the suite (`-m benchmark --collect-only`) and
     # catch import/fixture bit-rot without paying for a full run.
     for item in items:
         item.add_marker(pytest.mark.benchmark)
+
+
+class BenchRecorder:
+    """Collects one flat dict per measured series; the session writes
+    them to ``--bench-json`` so the perf trajectory is trackable by
+    machines, not just in captured stdout tables."""
+
+    def __init__(self):
+        self.rows: list[dict] = []
+
+    def record(self, name: str, **fields) -> None:
+        row = {"name": name}
+        row.update(fields)
+        self.rows.append(row)
+
+
+def pytest_configure(config):
+    config._bench_recorder = BenchRecorder()
+
+
+@pytest.fixture
+def bench_json(request) -> BenchRecorder:
+    """Recording hook for machine-readable results (rows end up in the
+    ``--bench-json`` file; without the flag they are simply dropped)."""
+    return request.config._bench_recorder
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--bench-json")
+    recorder = getattr(session.config, "_bench_recorder", None)
+    if not path or recorder is None:
+        return
+    payload = {
+        "schema": 1,
+        "created_unix": time.time(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "results": recorder.rows,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 class Person:

@@ -11,7 +11,6 @@ and shows the editing form wins, increasingly so with document size.
 import pytest
 
 from repro.core.editform import EditForm, HyperLine, HyperLink
-from repro.core.hyperlink import HyperLinkHP
 from repro.core.hyperprogram import HyperProgram
 from repro.core.linkkinds import LinkKind
 from repro.editor.basic import BasicEditor

@@ -9,7 +9,6 @@ Also benchmarks the getLink access path including password checking.
 
 import pytest
 
-from repro.core.compiler import DynamicCompiler
 from repro.core.hyperlink import HyperLinkHP
 from repro.core.hyperprogram import HyperProgram
 from repro.core.linkstore import DEFAULT_PASSWORD, LinkStore

@@ -7,7 +7,6 @@ checking — the operation the paper's planned parser-directed editor would
 run on every insertion.
 """
 
-import pytest
 
 from repro.core.legality import format_legality_matrix, legality_matrix
 from repro.core.linkkinds import LinkKind, PRODUCTION_FOR_KIND

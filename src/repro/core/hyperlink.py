@@ -31,13 +31,9 @@ delayed binding through locations (Sections 2, 5.4.1 and 7).
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
-from repro.core.linkkinds import (
-    LOCATION_CAPABLE_KINDS,
-    LinkKind,
-    SPECIAL_KINDS,
-)
+from repro.core.linkkinds import LinkKind
 from repro.errors import LinkKindError, NoSuchMemberError
 from repro.reflect.metaobjects import JClass, JConstructor, JField, JMethod
 from repro.store.registry import ClassRegistry, qualified_name

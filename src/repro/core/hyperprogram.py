@@ -11,7 +11,7 @@ form splices each link's retrieval expression at that point.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional
+from typing import Iterable, Optional
 
 from repro.core.hyperlink import HyperLinkHP
 from repro.errors import LinkPositionError

@@ -11,12 +11,11 @@ clipboard that carries links with text, and undo/redo.
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Optional
 
 from repro.core.editform import EditForm, HyperLink
 from repro.editor.clipboard import Clipboard, Fragment
 from repro.editor.undo import UndoStack
-from repro.errors import EditPositionError
 
 Position = tuple[int, int]
 

@@ -25,7 +25,6 @@ from repro.core.convert import editing_to_storage, storage_to_editing
 from repro.core.editform import HyperLink
 from repro.core.hyperprogram import HyperProgram
 from repro.core.legality import is_legal_insertion
-from repro.core.linkkinds import LinkKind
 from repro.editor.basic import BasicEditor
 from repro.editor.window import WindowEditor
 from repro.errors import CompilationError, IllegalLinkInsertionError

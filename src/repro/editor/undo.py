@@ -7,7 +7,7 @@ Bounded so that long sessions do not grow without limit.
 
 from __future__ import annotations
 
-from typing import Generic, Optional, TypeVar
+from typing import Generic, TypeVar
 
 from repro.errors import NothingToUndoError
 

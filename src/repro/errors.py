@@ -64,6 +64,11 @@ class CorruptHeapError(StoreError):
     """The on-disk heap or log failed an integrity check."""
 
 
+class CommitPipelineError(StoreError):
+    """A group/async commit pipeline failed; pending commits were
+    aborted and the pipeline accepts no further work."""
+
+
 # ---------------------------------------------------------------------------
 # Hyper-program core
 # ---------------------------------------------------------------------------

@@ -29,7 +29,6 @@ from repro.core.compiler import DynamicCompiler
 from repro.core.hyperprogram import HyperProgram
 from repro.errors import EvolutionError
 from repro.store.objectstore import ObjectStore
-from repro.store.registry import schema_fingerprint
 from repro.store.serializer import KIND_INSTANCE
 
 SourceRewrite = Callable[[str], str]

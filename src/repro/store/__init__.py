@@ -40,6 +40,15 @@ from repro.store.engine import (
     WriteBatch,
     engine_from_url,
 )
+from repro.store.commit import (
+    AsyncPolicy,
+    CommitPipeline,
+    CommitTicket,
+    DurabilityPolicy,
+    GroupPolicy,
+    PipelinedEngine,
+    SyncPolicy,
+)
 from repro.store.objectstore import ObjectStore
 from repro.store.weakrefs import PersistentWeakRef
 from repro.store.transactions import Transaction
@@ -72,6 +81,13 @@ __all__ = [
     "MemoryEngine",
     "SqliteEngine",
     "ShardedEngine",
+    "PipelinedEngine",
+    "CommitPipeline",
+    "CommitTicket",
+    "DurabilityPolicy",
+    "SyncPolicy",
+    "GroupPolicy",
+    "AsyncPolicy",
     "engine_from_url",
     "ObjectStore",
     "open_store",

@@ -7,16 +7,20 @@ bytes live, how a batch of writes becomes durable atomically) is behind
 the :class:`StorageEngine` interface:
 
 * :class:`FileEngine` — the durable backend: a slotted-page heap file plus
-  a write-ahead log and an atomically-replaced metadata snapshot, giving
-  crash-safe checkpoints (this is the layout the seed welded into the
-  store itself);
+  a write-ahead log and an append-only manifest delta log, giving
+  single-fsync crash-safe commits (the seed welded an earlier version of
+  this layout into the store itself);
 * :class:`MemoryEngine` — an ephemeral in-process backend for scratch
   stores and fast test runs; nothing survives :meth:`StorageEngine.close`;
 * :class:`SqliteEngine` — one transactional SQLite file (WAL mode,
   concurrent readers); a batch is one SQL transaction;
 * :class:`ShardedEngine` — the scale-out backend: the OID space
   partitioned over N child engines (any backends, including mixed), with
-  parallel fan-out and a two-phase cross-shard commit.
+  parallel fan-out and a two-phase cross-shard commit;
+* :class:`~repro.store.commit.pipeline.PipelinedEngine` — any engine
+  wrapped in a commit pipeline (:mod:`repro.store.commit`): group
+  commit and async durability behind the same ``apply`` interface,
+  selected by ``?durability=`` URL parameters.
 
 Engines exchange work with the store through :class:`WriteBatch`: one
 batch carries record writes, record deletes, the new root table and the
@@ -39,6 +43,10 @@ from repro.store.engine.filesystem import FileEngine
 from repro.store.engine.memory import MemoryEngine
 from repro.store.engine.sharded import ShardedEngine
 from repro.store.engine.sqlite import SqliteEngine
+
+# PipelinedEngine lives in repro.store.commit (which imports this
+# package's base module, so re-exporting it here would be circular);
+# repro.store re-exports it next to the engines.
 
 __all__ = [
     "StorageEngine",

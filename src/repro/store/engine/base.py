@@ -16,10 +16,13 @@ serialisation stays above this layer.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.errors import StoreClosedError
 from repro.store.oids import Oid
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.commit.pipeline import CommitTicket
 
 
 class WriteBatch:
@@ -84,6 +87,13 @@ class StorageEngine(ABC):
 
     #: Short backend identifier ("file", "memory", ...).
     name: str = "abstract"
+
+    #: Whether ``apply`` may return before the batch is durable.  Only
+    #: the pipelined wrapper under an ``async`` durability policy sets
+    #: this; callers that must not outrun durability (the store's
+    #: stabilise, the transaction layer) check it before deciding
+    #: whether to wait on the commit ticket.
+    asynchronous: bool = False
 
     def __init__(self) -> None:
         self._closed = False
@@ -166,6 +176,41 @@ class StorageEngine(ABC):
         "durable" means for the backend; if it raises before the commit
         point, none of them are.
         """
+
+    def apply_many(self, batches: Iterable[WriteBatch]) -> None:
+        """Apply several batches, in order, each one atomically.
+
+        The default is a sequential loop; backends with a shared commit
+        cost override it so a whole group pays that cost once — the
+        file engine appends every batch to the WAL and fsyncs a single
+        time, the SQLite engine wraps the group in one SQL transaction.
+        This is the hook the commit pipeline's group commit drives.
+        """
+        self._check_open()
+        for batch in batches:
+            self.apply(batch)
+
+    def apply_async(self, batch: WriteBatch) -> "CommitTicket":
+        """Submit ``batch`` and return its durability future.
+
+        Direct engines commit inline and return an already-settled
+        ticket, so callers can treat every engine uniformly; the
+        pipelined wrapper returns a live ticket that resolves when the
+        committer thread has made the batch durable.
+        """
+        from repro.store.commit.pipeline import completed_ticket
+        self.apply(batch)
+        return completed_ticket(batch)
+
+    def flush(self) -> None:
+        """Block until every submitted batch has been committed.
+
+        A no-op for direct engines, whose ``apply`` already returns
+        post-commit; the pipelined wrapper drains its queue and
+        re-raises any commit failure, and the sharded engine fans the
+        barrier out to its children.
+        """
+        self._check_open()
 
     def compact(self) -> int:
         """Reclaim space left behind by deletes; returns the number of

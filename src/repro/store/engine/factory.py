@@ -14,12 +14,41 @@ Callers pick a backend by URL instead of wiring engine objects by hand:
 A string with no (known) scheme is taken as a plain filesystem path and
 opened with the file engine, so existing ``ObjectStore.open(path)``
 habits carry over: ``open_store("/tmp/s")`` == ``open_store("file:/tmp/s")``.
+
+A trailing query string tunes the engine, ``?key=value&key=value``:
+
+===========================  ============================================
+key                          meaning
+===========================  ============================================
+``durability``               wrap the engine in a commit pipeline with
+                             this policy: ``sync`` (inline, serialised),
+                             ``group`` (coalesced group commits) or
+                             ``async`` (acknowledge before durable)
+``group_window_ms``          group-commit linger window (float ms,
+                             default 0: natural batching only)
+``group_max_batches``        most batches per group commit (default 64)
+``async_max_pending``        submission backpressure bound (default 256)
+``checkpoint_wal_bytes``     [file] WAL size that triggers a checkpoint
+``manifest_compact_deltas``  [file] manifest deltas before compaction
+``synchronous``              [sqlite] PRAGMA synchronous level
+``shard_durability``         [sharded] wrap every *child* in a pipeline
+                             with this policy (the ``group_*`` /
+                             ``async_*`` knobs apply to those pipelines
+                             too)
+===========================  ============================================
+
+``file:/p?durability=group&group_window_ms=2`` is the canonical example;
+unknown keys, malformed pairs and out-of-range values raise
+``ValueError`` naming the offending key.
 """
 
 from __future__ import annotations
 
 import os
+from typing import Optional
 
+from repro.store.commit.pipeline import PipelinedEngine
+from repro.store.commit.policy import DurabilityPolicy, make_policy
 from repro.store.engine.base import StorageEngine
 from repro.store.engine.filesystem import FileEngine
 from repro.store.engine.memory import MemoryEngine
@@ -27,6 +56,18 @@ from repro.store.engine.sharded import ShardedEngine
 from repro.store.engine.sqlite import SqliteEngine
 
 SCHEMES = ("memory", "file", "sqlite", "sharded")
+
+#: Pipeline keys, honoured for every scheme.
+_PIPELINE_KEYS = ("durability", "group_window_ms", "group_max_batches",
+                  "async_max_pending")
+
+#: Engine-specific keys per scheme.
+_SCHEME_KEYS = {
+    "memory": (),
+    "file": ("checkpoint_wal_bytes", "manifest_compact_deltas"),
+    "sqlite": ("synchronous",),
+    "sharded": ("shard_durability",),
+}
 
 
 def _split_scheme(url: str) -> tuple[str | None, str]:
@@ -44,7 +85,74 @@ def _split_scheme(url: str) -> tuple[str | None, str]:
     return None, url
 
 
-def _sharded_children(rest: str) -> list[StorageEngine]:
+def _parse_query(query: str, url: str) -> dict[str, str]:
+    params: dict[str, str] = {}
+    for pair in query.split("&"):
+        if not pair:
+            continue
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(
+                f"malformed query parameter {pair!r} in {url!r}; "
+                "expected key=value"
+            )
+        if key in params:
+            raise ValueError(f"duplicate query parameter {key!r} in {url!r}")
+        params[key] = value
+    return params
+
+
+def _check_keys(params: dict[str, str], scheme: str, url: str) -> None:
+    known = set(_PIPELINE_KEYS) | set(_SCHEME_KEYS[scheme])
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown query parameter(s) {', '.join(map(repr, unknown))} "
+            f"for {scheme}: URLs in {url!r}; known keys: "
+            f"{', '.join(sorted(known))}"
+        )
+
+
+def _int_param(params: dict[str, str], key: str) -> Optional[int]:
+    if key not in params:
+        return None
+    try:
+        return int(params[key])
+    except ValueError:
+        raise ValueError(
+            f"query parameter {key} must be an integer, "
+            f"got {params[key]!r}"
+        ) from None
+
+
+def _float_param(params: dict[str, str], key: str) -> Optional[float]:
+    if key not in params:
+        return None
+    try:
+        return float(params[key])
+    except ValueError:
+        raise ValueError(
+            f"query parameter {key} must be a number, got {params[key]!r}"
+        ) from None
+
+
+def _policy_from_params(kind: Optional[str],
+                        params: dict[str, str]) -> Optional[DurabilityPolicy]:
+    if kind is None:
+        return None
+    window_ms = _float_param(params, "group_window_ms")
+    max_batches = _int_param(params, "group_max_batches")
+    max_pending = _int_param(params, "async_max_pending")
+    return make_policy(
+        kind,
+        window_ms=0.0 if window_ms is None else window_ms,
+        max_batches=64 if max_batches is None else max_batches,
+        max_pending=256 if max_pending is None else max_pending,
+    )
+
+
+def _sharded_children(rest: str,
+                      params: dict[str, str]) -> list[StorageEngine]:
     count_text, sep, child_url = rest.partition(":")
     if not sep:
         raise ValueError(
@@ -67,33 +175,79 @@ def _sharded_children(rest: str) -> list[StorageEngine]:
             f"child URL {child_url!r} looks like a scheme missing its "
             f"colon — did you mean '{location}:'?"
         )
+    # Build the shard policy before any child is opened, so a bad
+    # parameter cannot leak N opened engines.  One shared instance is
+    # enough — a policy is a stateless parameter bag; only the wrapper
+    # (and its pipeline) is per-child.
+    shard_policy = _policy_from_params(params.get("shard_durability"),
+                                       params)
     if child_scheme == "memory":
-        return [MemoryEngine() for _ in range(count)]
-    if child_scheme == "sqlite":
+        children: list[StorageEngine] = [MemoryEngine()
+                                         for _ in range(count)]
+    elif child_scheme == "sqlite":
         os.makedirs(location, exist_ok=True)
-        return [SqliteEngine(os.path.join(location, f"shard{index}.sqlite"))
-                for index in range(count)]
-    # file scheme or a bare path: one subdirectory per shard.
-    os.makedirs(location, exist_ok=True)
-    return [FileEngine(os.path.join(location, f"shard{index}"))
-            for index in range(count)]
+        children = [SqliteEngine(os.path.join(location,
+                                              f"shard{index}.sqlite"))
+                    for index in range(count)]
+    else:
+        # file scheme or a bare path: one subdirectory per shard.
+        os.makedirs(location, exist_ok=True)
+        children = [FileEngine(os.path.join(location, f"shard{index}"))
+                    for index in range(count)]
+    if shard_policy is not None:
+        children = [PipelinedEngine(child, shard_policy)
+                    for child in children]
+    return children
 
 
 def engine_from_url(url: str) -> StorageEngine:
     """Construct (opening or creating) the storage engine ``url`` names."""
     if not url:
         raise ValueError("empty storage URL")
-    scheme, rest = _split_scheme(url)
+    base, has_query, query = url.partition("?")
+    params = _parse_query(query, url) if has_query else {}
+    if not base:
+        raise ValueError(f"storage URL {url!r} has no location before '?'")
+    scheme, rest = _split_scheme(base)
+    _check_keys(params, scheme if scheme is not None else "file", url)
+    kinds = {params.get("durability"), params.get("shard_durability")}
+    if not kinds & {"group", "async"}:
+        # The tuning knobs configure the committer thread; a sync-only
+        # (or policy-less) URL carrying them is a likely typo for
+        # durability=group — reject it rather than silently ignore.
+        for key in ("group_window_ms", "group_max_batches",
+                    "async_max_pending"):
+            if key in params:
+                raise ValueError(
+                    f"query parameter {key} needs durability=group or "
+                    f"durability=async (or shard_durability=) alongside "
+                    f"it in {url!r}"
+                )
+    # Validate policy parameters before constructing anything, so a bad
+    # value cannot leak an opened engine (file handles, on-disk files).
+    policy = _policy_from_params(params.get("durability"), params)
     if scheme == "memory":
         if rest:
             raise ValueError(f"memory: takes no location, got {rest!r}")
-        return MemoryEngine()
-    if scheme == "sqlite":
+        engine: StorageEngine = MemoryEngine()
+    elif scheme == "sqlite":
         if not rest:
             raise ValueError("sqlite: needs a database path")
-        return SqliteEngine(rest)
-    if scheme == "sharded":
-        return ShardedEngine(_sharded_children(rest))
-    if not rest:
-        raise ValueError("file: needs a directory path")
-    return FileEngine(rest)
+        engine = SqliteEngine(rest,
+                              synchronous=params.get("synchronous", "NORMAL"))
+    elif scheme == "sharded":
+        engine = ShardedEngine(_sharded_children(rest, params))
+    else:
+        if not rest:
+            raise ValueError("file: needs a directory path")
+        file_kwargs = {}
+        wal_bytes = _int_param(params, "checkpoint_wal_bytes")
+        if wal_bytes is not None:
+            file_kwargs["checkpoint_wal_bytes"] = wal_bytes
+        compact_deltas = _int_param(params, "manifest_compact_deltas")
+        if compact_deltas is not None:
+            file_kwargs["manifest_compact_deltas"] = compact_deltas
+        engine = FileEngine(rest, **file_kwargs)
+    if policy is not None:
+        engine = PipelinedEngine(engine, policy)
+    return engine

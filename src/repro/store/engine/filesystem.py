@@ -1,4 +1,4 @@
-"""The durable file backend: slotted-page heap + write-ahead log + snapshot.
+"""The durable file backend: slotted-page heap + WAL + manifest log.
 
 This is the layout the seed built directly into ``ObjectStore``, extracted
 behind :class:`~repro.store.engine.base.StorageEngine`.  A store directory
@@ -8,23 +8,45 @@ holds three files:
   (:class:`~repro.store.heap.HeapFile`);
 * ``store.wal`` — the write-ahead log
   (:class:`~repro.store.wal.WriteAheadLog`);
-* ``store.meta`` — an atomically-replaced JSON snapshot of the object
-  table, root table and allocator cursor.
+* ``store.manifest`` — an append-only **manifest log** of metadata: one
+  optional *base* entry (a full snapshot of the object table, root
+  table and allocator cursor) followed by one *delta* entry per applied
+  batch.  Replacing the seed's atomically-rewritten full JSON snapshot,
+  a delta costs O(batch) bytes instead of O(stored objects) per commit.
 
-:meth:`FileEngine.apply` follows the classic checkpoint + log discipline:
-append the batch to the WAL and commit it (fsync), then apply it to the
-heap, atomically replace the metadata snapshot, and truncate the log.
-Opening the engine replays committed WAL batches over the snapshot, so a
-crash at any point yields either the old state or the new state, never a
-mixture.
+:meth:`FileEngine.apply` commits with a **single fsync**: append the
+batch to the WAL and commit it (the fsync — this is the durability
+point), apply it to the heap's buffered pages, and append a manifest
+delta *without* syncing.  A **checkpoint** — flush+fsync the heap,
+fsync the manifest, truncate the WAL — runs only when the WAL outgrows
+``checkpoint_wal_bytes`` (and on ``close``), amortising the remaining
+fsyncs over many batches.  Once the manifest accumulates
+``manifest_compact_deltas`` deltas it is compacted: atomically rewritten
+as one fresh base entry.
+
+Opening the engine replays the manifest (base, then deltas; a torn tail
+is discarded) and then replays committed WAL batches over it, so a crash
+at any point yields either the old state or the new state, never a
+mixture: every delta past the last checkpoint has its batch still in the
+WAL, and replay rebuilds heap records whose pages never reached disk.
+
+:meth:`FileEngine.apply_many` is the group-commit hook: it appends every
+batch in the group to the WAL and fsyncs *once*, which is what the
+commit pipeline (``durability=group``) uses to make N concurrent commits
+cost one fsync.
+
+Format-1/2 snapshots (``store.meta``) from earlier versions are
+migrated on open: loaded, written out as a manifest base entry, and the
+legacy file removed.
 """
 
 from __future__ import annotations
 
 import json
 import os
+from typing import Iterable, Optional
 
-from repro.errors import UnknownOidError
+from repro.errors import CorruptHeapError, UnknownOidError
 from repro.store.engine.base import StorageEngine, WriteBatch
 from repro.store.heap import HeapFile, RecordId
 from repro.store.oids import FIRST_OID, NULL_OID, Oid
@@ -37,33 +59,133 @@ from repro.store.wal import (
     ENTRY_WRITE,
     LogEntry,
     WriteAheadLog,
+    frame_payload,
+    iter_frames,
 )
 
 _HEAP_NAME = "store.heap"
 _WAL_NAME = "store.wal"
+_MANIFEST_NAME = "store.manifest"
+#: Legacy full-snapshot file (formats 1 and 2), migrated on open.
 _META_NAME = "store.meta"
 
-#: Snapshot format written by this engine.  Format 1 (the seed) carried a
-#: per-record signature table; signatures are now rebuilt lazily by the
-#: store layer, so format 2 drops them.  Both formats are readable.
-_META_FORMAT = 2
+#: Manifest format written by this engine.  Format 1 (the seed) was a
+#: full JSON snapshot with a per-record signature table; format 2
+#: dropped the signatures; format 3 is the append-only manifest log.
+_MANIFEST_FORMAT = 3
+
+#: Checkpoint (heap+manifest fsync, WAL truncate) once the WAL holds
+#: this many bytes of committed-but-uncheckpointed batches.
+DEFAULT_CHECKPOINT_WAL_BYTES = 256 * 1024
+
+#: Compact the manifest back to a single base entry after this many
+#: delta entries (bounds replay work on open).
+DEFAULT_MANIFEST_COMPACT_DELTAS = 1024
+
+
+def _encode_entry(entry: dict) -> bytes:
+    payload = json.dumps(entry, separators=(",", ":")).encode("utf-8")
+    return frame_payload(payload)
+
+
+class ManifestLog:
+    """Append-only, CRC-framed JSON log of metadata entries.
+
+    Each entry is framed ``u32 length | u32 crc32 | payload`` (the same
+    framing as the WAL, via :func:`repro.store.wal.frame_payload`); the
+    payload is one JSON object with a ``"kind"`` of ``"base"`` (full
+    snapshot) or ``"delta"`` (one batch's metadata changes).  A torn
+    tail (bad length or CRC) ends — and :meth:`load` truncates away —
+    whatever a crash left half-written, so later appends start on a
+    clean frame boundary.
+    """
+
+    def __init__(self, path: str):
+        self._path = path
+        self._file = open(path, "ab+")
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def append(self, entry: dict) -> None:
+        self._file.write(_encode_entry(entry))
+
+    def sync(self) -> None:
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    def load(self) -> list[dict]:
+        """Decode every complete entry; truncate a torn tail."""
+        self._file.seek(0)
+        data = self._file.read()
+        entries: list[dict] = []
+        pos = 0
+        for end, payload in iter_frames(data):
+            try:
+                entry = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                break
+            entries.append(entry)
+            pos = end
+        if pos != len(data):
+            self._file.seek(pos)
+            self._file.truncate()
+            self._file.flush()
+        return entries
+
+    def rewrite(self, entry: dict) -> None:
+        """Atomically replace the whole log with one (base) entry."""
+        tmp = self._path + ".tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(_encode_entry(entry))
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._file.close()
+        os.replace(tmp, self._path)
+        self._file = open(self._path, "ab+")
+
+    def __enter__(self) -> "ManifestLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 class FileEngine(StorageEngine):
-    """Crash-safe storage in a directory of heap + WAL + snapshot files."""
+    """Crash-safe storage in a directory of heap + WAL + manifest files."""
 
     name = "file"
 
-    def __init__(self, directory: str):
+    def __init__(self, directory: str, *,
+                 checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
+                 manifest_compact_deltas: int =
+                 DEFAULT_MANIFEST_COMPACT_DELTAS):
         super().__init__()
+        if checkpoint_wal_bytes < 1:
+            raise ValueError("checkpoint_wal_bytes must be >= 1, got "
+                             f"{checkpoint_wal_bytes}")
+        if manifest_compact_deltas < 1:
+            raise ValueError("manifest_compact_deltas must be >= 1, got "
+                             f"{manifest_compact_deltas}")
         self._directory = directory
+        self._checkpoint_wal_bytes = checkpoint_wal_bytes
+        self._manifest_compact_deltas = manifest_compact_deltas
         os.makedirs(directory, exist_ok=True)
         self._heap = HeapFile(os.path.join(directory, _HEAP_NAME))
         self._wal = WriteAheadLog(os.path.join(directory, _WAL_NAME))
+        self._manifest = ManifestLog(os.path.join(directory, _MANIFEST_NAME))
         self._table: dict[Oid, RecordId] = {}
         self._roots: dict[str, Oid] = {}
         self._next_oid = int(FIRST_OID)
         self._txn_counter = 0
+        self._delta_count = 0
+        self._dirty = False
+        self._recovering = False
         self._load_metadata()
         self._recover()
 
@@ -83,22 +205,92 @@ class FileEngine(StorageEngine):
         """The underlying write-ahead log (tests, fault injection)."""
         return self._wal
 
+    @property
+    def manifest(self) -> ManifestLog:
+        """The underlying manifest log (tests, fault injection)."""
+        return self._manifest
+
     def close(self) -> None:
         if self._closed:
             return
+        self._checkpoint()
+        self._manifest.close()
         self._heap.close()
         self._wal.close()
         super().close()
 
-    # -- metadata snapshot --------------------------------------------------
+    # -- manifest log -------------------------------------------------------
 
-    def _meta_path(self) -> str:
-        return os.path.join(self._directory, _META_NAME)
+    def _base_entry(self) -> dict:
+        return {
+            "kind": "base",
+            "format": _MANIFEST_FORMAT,
+            "next_oid": self._next_oid,
+            "roots": {name: int(oid) for name, oid in self._roots.items()},
+            "objects": {str(int(oid)): [rid.page_no, rid.slot]
+                        for oid, rid in self._table.items()},
+        }
+
+    def _append_delta(self, batch: WriteBatch) -> None:
+        delta_set: dict[str, list[int]] = {}
+        for oid, _ in batch.writes:
+            rid = self._table.get(oid)
+            if rid is not None:  # absent: also deleted in this batch
+                delta_set[str(int(oid))] = [rid.page_no, rid.slot]
+        entry = {
+            "kind": "delta",
+            "set": delta_set,
+            "del": sorted({int(oid) for oid in batch.deletes}),
+            "roots": None if batch.roots is None else
+            {name: int(oid) for name, oid in batch.roots.items()},
+            "next_oid": batch.next_oid,
+        }
+        self._manifest.append(entry)
+        self._delta_count += 1
+
+    def _load_base(self, entry: dict) -> None:
+        self._next_oid = max(int(FIRST_OID), int(entry["next_oid"]))
+        self._roots = {name: Oid(oid)
+                       for name, oid in entry["roots"].items()}
+        self._table = {Oid(int(oid)): RecordId(rid[0], rid[1])
+                       for oid, rid in entry["objects"].items()}
+
+    def _load_delta(self, entry: dict) -> None:
+        for oid, rid in entry["set"].items():
+            self._table[Oid(int(oid))] = RecordId(rid[0], rid[1])
+        for oid in entry["del"]:
+            self._table.pop(Oid(int(oid)), None)
+        if entry["roots"] is not None:
+            self._roots = {name: Oid(oid)
+                           for name, oid in entry["roots"].items()}
+        if entry["next_oid"] is not None:
+            self._next_oid = max(self._next_oid, int(entry["next_oid"]))
 
     def _load_metadata(self) -> None:
-        path = self._meta_path()
-        if not os.path.exists(path):
+        entries = self._manifest.load()
+        legacy = os.path.join(self._directory, _META_NAME)
+        if not entries:
+            if os.path.exists(legacy):
+                self._migrate_legacy_snapshot(legacy)
             return
+        if os.path.exists(legacy):
+            # A crash between the migration's manifest sync and this
+            # remove left the (now stale) snapshot behind; the manifest
+            # is authoritative from here on.
+            os.remove(legacy)
+        for entry in entries:
+            if entry.get("kind") == "base":
+                self._load_base(entry)
+                self._delta_count = 0
+            else:
+                self._load_delta(entry)
+                self._delta_count += 1
+
+    def _migrate_legacy_snapshot(self, path: str) -> None:
+        """Read a format-1/2 ``store.meta`` snapshot and re-home it as
+        the manifest's base entry (the legacy file is then removed; a
+        crash in between leaves both, and the manifest — same content —
+        wins on the next open)."""
         with open(path, "r", encoding="utf-8") as fh:
             meta = json.load(fh)
         self._next_oid = max(self._next_oid, int(meta["next_oid"]))
@@ -107,44 +299,47 @@ class FileEngine(StorageEngine):
                        for oid, rid in meta["objects"].items()}
         # Format-1 snapshots also carried "signatures"; the store layer
         # rebuilds those lazily now, so the key is simply ignored.
-
-    def _write_metadata(self) -> None:
-        meta = {
-            "format": _META_FORMAT,
-            "next_oid": self._next_oid,
-            "roots": {name: int(oid) for name, oid in self._roots.items()},
-            "objects": {str(int(oid)): [rid.page_no, rid.slot]
-                        for oid, rid in self._table.items()},
-        }
-        path = self._meta_path()
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(meta, fh)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        self._manifest.append(self._base_entry())
+        self._manifest.sync()
+        os.remove(path)
 
     # -- recovery -----------------------------------------------------------
 
     def _recover(self) -> None:
-        """Replay committed WAL batches over the metadata snapshot."""
+        """Replay committed WAL batches over the manifest state."""
         batches = self._wal.committed_batches()
         if not batches:
             self._wal.truncate()
             return
-        for batch in batches:
-            for entry in batch:
-                if entry.kind == ENTRY_WRITE:
-                    self._apply_write(entry.oid, entry.data)
-                elif entry.kind == ENTRY_DELETE:
-                    self._apply_delete(entry.oid)
-                elif entry.kind == ENTRY_ROOT:
-                    self._roots[entry.name] = entry.oid
-                elif entry.kind == ENTRY_UNROOT:
-                    self._roots.pop(entry.name, None)
-                elif entry.kind == ENTRY_NEXT_OID:
-                    self._next_oid = max(self._next_oid, int(entry.oid))
+        self._recovering = True
+        try:
+            for entries in batches:
+                self._apply_committed(self._batch_from_entries(entries))
+        finally:
+            self._recovering = False
         self._checkpoint()
+
+    def _batch_from_entries(self, entries: list[LogEntry]) -> WriteBatch:
+        batch = WriteBatch()
+        roots: Optional[dict[str, Oid]] = None
+        for entry in entries:
+            if entry.kind == ENTRY_WRITE:
+                batch.write(entry.oid, entry.data)
+            elif entry.kind == ENTRY_DELETE:
+                batch.delete(entry.oid)
+            elif entry.kind == ENTRY_ROOT:
+                if roots is None:
+                    roots = dict(self._roots)
+                roots[entry.name] = entry.oid
+            elif entry.kind == ENTRY_UNROOT:
+                if roots is None:
+                    roots = dict(self._roots)
+                roots.pop(entry.name, None)
+            elif entry.kind == ENTRY_NEXT_OID:
+                batch.advance_next_oid(int(entry.oid))
+        if roots is not None:
+            batch.set_roots(roots)
+        return batch
 
     # -- reads ----------------------------------------------------------
 
@@ -181,19 +376,49 @@ class FileEngine(StorageEngine):
 
     def apply(self, batch: WriteBatch) -> None:
         self._check_open()
-        self.log_batch(batch)
+        self._log_batch(batch, sync=True)
         self._apply_committed(batch)
-        self._checkpoint()
         self.batches_applied += 1
+        self._maybe_checkpoint()
+
+    def apply_many(self, batches: Iterable[WriteBatch]) -> None:
+        """The group-commit path: every batch is WAL-logged, then one
+        fsync commits the whole group, then each batch is applied.
+
+        Each batch keeps its own transaction frame in the log, so
+        atomicity is still per batch — a crash mid-group replays the
+        committed prefix."""
+        self._check_open()
+        batches = list(batches)
+        if not batches:
+            return
+        try:
+            for batch in batches:
+                self._log_batch(batch, sync=False)
+            self._wal.sync()
+        except BaseException:
+            # Half-logged group: checkpoint now, so the WAL keeps no
+            # committed-but-never-applied frames for a crash replay to
+            # resurrect (their submitters are getting an error, not an
+            # acknowledgement).
+            self._checkpoint()
+            raise
+        for batch in batches:
+            self._apply_committed(batch)
+            self.batches_applied += 1
+        self._maybe_checkpoint()
 
     def log_batch(self, batch: WriteBatch) -> int:
         """The WAL half of :meth:`apply`: append the batch and commit it
-        (fsync), *without* applying it to the heap or snapshot.
+        (fsync), *without* applying it to the heap or manifest.
 
         Exposed separately so crash recovery can be exercised: a process
-        dying after ``log_batch`` but before the checkpoint must find the
+        dying after ``log_batch`` but before the apply must find the
         batch replayed on the next open.  Returns the transaction id.
         """
+        return self._log_batch(batch, sync=True)
+
+    def _log_batch(self, batch: WriteBatch, sync: bool) -> int:
         self._check_open()
         self._txn_counter += 1
         txn = self._txn_counter
@@ -212,7 +437,7 @@ class FileEngine(StorageEngine):
         if batch.next_oid is not None:
             self._wal.append(LogEntry(ENTRY_NEXT_OID, txn,
                                       Oid(batch.next_oid)))
-        self._wal.commit(txn)
+        self._wal.commit(txn, sync=sync)
         return txn
 
     def _apply_committed(self, batch: WriteBatch) -> None:
@@ -224,23 +449,55 @@ class FileEngine(StorageEngine):
             self._roots = dict(batch.roots)
         if batch.next_oid is not None:
             self._next_oid = max(self._next_oid, batch.next_oid)
+        self._append_delta(batch)
+        self._dirty = True
+
+    def _maybe_checkpoint(self) -> None:
+        if self._wal.size() >= self._checkpoint_wal_bytes:
+            self._checkpoint()
 
     def _checkpoint(self) -> None:
+        """Make the heap and manifest independently durable, then drop
+        the WAL: heap pages first, then the metadata that points into
+        them, then the log whose replay would rebuild both."""
+        if not self._dirty and self._wal.size() == 0:
+            return
         self._heap.flush()
-        self._write_metadata()
+        self._manifest.sync()
         self._wal.truncate()
+        self._dirty = False
+        if self._delta_count >= self._manifest_compact_deltas:
+            self.compact_manifest()
+
+    def compact_manifest(self) -> None:
+        """Rewrite the manifest as a single base entry (atomic replace);
+        bounds the metadata replayed on the next open."""
+        self._check_open()
+        self._manifest.rewrite(self._base_entry())
+        self._delta_count = 0
 
     def _apply_write(self, oid: Oid, record_bytes: bytes) -> None:
         old = self._table.pop(oid, None)
         if old is not None:
-            self._heap.delete(old)
+            self._drop_record(old)
         self._table[oid] = self._heap.insert(record_bytes)
         self.record_writes += 1
 
     def _apply_delete(self, oid: Oid) -> None:
         rid = self._table.pop(oid, None)
         if rid is not None:
+            self._drop_record(rid)
+
+    def _drop_record(self, rid: RecordId) -> None:
+        try:
             self._heap.delete(rid)
+        except CorruptHeapError:
+            if not self._recovering:
+                raise
+            # WAL replay after a crash: the manifest delta that named
+            # this record id was durable, but the heap pages it points
+            # into never reached disk.  The record is being rebuilt
+            # from the WAL right now, so the dangling id is expected.
 
     def compact(self) -> int:
         self._check_open()

@@ -53,6 +53,23 @@ Like every other backend, the engine assumes a single writer at a time;
 the parallelism is per-batch fan-out, not concurrent ``apply`` calls.
 This is the broker arrangement (ZBroker, PAPERS.md): one logical store
 API routed over many physical stores.
+
+Children may themselves be
+:class:`~repro.store.commit.pipeline.PipelinedEngine` wrappers (the URL
+factory builds them from ``sharded:N:CHILD?shard_durability=async``):
+the prepare and commit-marker phases still order durability through the
+children's ``sync`` barriers (a pipelined ``sync`` drains the shard's
+queue first), while the phase-3 applies ride the pipelines *off the
+caller's critical path*: ``apply`` returns after the commit marker is
+durable, and a background settle task flushes the involved shards
+before submitting the marker deletion (a marker deletion durable ahead
+of a shard's staged apply would make recovery discard that shard's
+committed sub-batch; on the meta shard the deletion queues behind its
+own phase-3 apply, so FIFO order covers it).  Crash recovery covers
+every window (marker + staging redo, token-guarded discard), and the
+next ``apply``/``sync``/``flush``/``close`` awaits the settle.  The net
+effect is that the two-phase protocol stops multiplying the per-batch
+fsync count.
 """
 
 from __future__ import annotations
@@ -164,11 +181,20 @@ class ShardedEngine(StorageEngine):
             if child.closed:
                 raise ValueError("child engines must be open")
         self._children = children
+        # An async child acknowledges before durability, so the engine
+        # as a whole does too (the single-shard fast path is exactly
+        # one child apply); durability-sensitive callers (transaction
+        # commit, the store's stabilise wait) check this flag.
+        self.asynchronous = any(child.asynchronous for child in children)
         self._pool = ThreadPoolExecutor(max_workers=len(children),
                                         thread_name_prefix="shard")
         #: Token of the batch currently between prepare and commit (also
         #: lets the fault-injection tests drive the phases separately).
         self._batch_token: Optional[bytes] = None
+        #: The in-flight background settle (marker clear) of the last
+        #: cross-shard apply, if any; awaited before the next protocol
+        #: action (single writer at a time).
+        self._settle_future = None
         try:
             self._check_topology()
             self._recover()
@@ -219,10 +245,24 @@ class ShardedEngine(StorageEngine):
     def close(self) -> None:
         if self._closed:
             return
+        error: Optional[BaseException] = None
+        try:
+            self._await_settle()
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            error = exc
         self._pool.shutdown(wait=True)
+        # Close every child even if one raises (a pipelined child's
+        # close surfaces its commit failures); re-raise the first error
+        # once the rest are released.
         for child in self._children:
-            child.close()
+            try:
+                child.close()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                if error is None:
+                    error = exc
         super().close()
+        if error is not None:
+            raise error
 
     # -- reads ----------------------------------------------------------
 
@@ -249,16 +289,11 @@ class ShardedEngine(StorageEngine):
 
     @property
     def object_count(self) -> int:
-        self._check_open()
-        count = 0
-        for child in self._children:
-            count += child.object_count
-            if child.contains(STAGE_OID):
-                count -= 1
-        for reserved in (MARKER_OID, TOPOLOGY_OID):
-            if self._children[0].contains(reserved):
-                count -= 1
-        return count
+        # One reserved-OID-filtered snapshot per shard (oids() already
+        # does exactly that): counting and filtering in a single read
+        # per child keeps the background marker clear — which may land
+        # between two reads of the meta shard — from skewing the count.
+        return len(self.oids())
 
     def roots(self) -> dict[str, Oid]:
         self._check_open()
@@ -368,8 +403,48 @@ class ShardedEngine(StorageEngine):
         self._children[0].apply(WriteBatch().delete(MARKER_OID))
         self._batch_token = None
 
+    def _settle_in_background(self, subs: dict[int, WriteBatch]) -> None:
+        """Clear the commit marker off the caller's critical path, with
+        the durability order recovery depends on.
+
+        The marker may only disappear after every involved shard's
+        phase-3 apply is durable — were the deletion to land first, a
+        crash would leave a committed-but-staged shard with no marker,
+        and recovery would discard its sub-batch.  The settle task
+        flushes the non-meta shards (a no-op for direct children, a
+        pipeline drain for ``shard_durability`` children) and then
+        submits the marker deletion; on the meta shard the deletion
+        queues *behind* its own phase-3 apply, so FIFO order covers
+        shard 0.  The next ``apply`` (and ``sync``/``flush``/``close``)
+        awaits the task, preserving the single-writer protocol.
+        """
+        involved = [shard for shard in subs if shard != 0]
+
+        def settle() -> None:
+            for shard in involved:
+                self._children[shard].flush()
+            self._clear_commit_marker()
+
+        if hasattr(self._children[0], "pipeline"):
+            # Pipelined meta shard: its commit lock serialises the
+            # background marker deletion against concurrent readers.
+            self._settle_future = self._pool.submit(settle)
+        else:
+            # Direct meta shard: clear synchronously (the pre-pipeline
+            # behaviour) rather than race readers through the child's
+            # unsynchronised state.
+            settle()
+
+    def _await_settle(self) -> None:
+        future, self._settle_future = self._settle_future, None
+        if future is not None:
+            future.result()
+
     def apply(self, batch: WriteBatch) -> None:
         self._check_open()
+        # Wait out the previous apply's background marker clear (it is
+        # the tail of that batch's protocol; the engine is single-writer).
+        self._await_settle()
         # A leftover marker means an earlier apply died (or raised) after
         # its commit point: settle that batch first, or this batch could
         # overwrite the marker and orphan a committed-but-unapplied
@@ -390,7 +465,7 @@ class ShardedEngine(StorageEngine):
             token = self.prepare(subs)
             self.write_commit_marker(token)
             self._apply_staged(subs)
-            self._clear_commit_marker()
+            self._settle_in_background(subs)
         self.record_writes += len(batch.writes)
         self.batches_applied += 1
 
@@ -419,17 +494,30 @@ class ShardedEngine(StorageEngine):
 
         self._fan(settle, self._children)
         if committed_token is not None:
+            # Same barrier as the apply path: every redone sub-batch
+            # must be durable before the marker deletion can be.
+            self._fan(lambda child: child.flush(), self._children)
             self._clear_commit_marker()
 
     # -- maintenance ----------------------------------------------------
 
     def compact(self) -> int:
         self._check_open()
+        self._await_settle()
         return sum(self._fan(lambda child: child.compact(), self._children))
+
+    def flush(self) -> None:
+        """Drain the background settle and every child's commit pipeline
+        (children opened with a ``shard_durability`` policy run one
+        pipeline per shard; plain children inherit the no-op)."""
+        self._check_open()
+        self._await_settle()
+        self._fan(lambda child: child.flush(), self._children)
 
     def sync(self) -> None:
         """Durability barrier across every shard (the single-shard apply
         fast path commits with the child's own durability level, so a
         caller needing power-loss durability syncs explicitly)."""
         self._check_open()
+        self._await_settle()
         self._fan(lambda child: child.sync(), self._children)

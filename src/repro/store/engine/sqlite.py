@@ -162,48 +162,64 @@ class SqliteEngine(StorageEngine):
     # -- writes ---------------------------------------------------------
 
     def apply(self, batch: WriteBatch) -> None:
+        self.apply_many([batch])
+
+    def apply_many(self, batches) -> None:
+        """One SQL transaction for the whole group — the group-commit
+        hook: SQLite pays its journal commit once however many batches
+        the pipeline coalesced (each batch stays atomic a fortiori)."""
         self._check_open()
+        batches = list(batches)
+        if not batches:
+            return
         # Coerce payloads up front so a bad write raises before the
         # transaction starts — atomicity by not beginning, not by rollback.
-        writes = [(int(oid), bytes(raw)) for oid, raw in batch.writes]
+        staged = [[(int(oid), bytes(raw)) for oid, raw in batch.writes]
+                  for batch in batches]
         conn = self._conn
         conn.execute("BEGIN IMMEDIATE")
         try:
-            # Batch order contract: writes first (last write to an OID
-            # wins), then deletes — an OID both written and deleted in one
-            # batch ends up absent.
-            conn.executemany(
-                "INSERT OR REPLACE INTO objects(oid, record) VALUES(?, ?)",
-                writes,
-            )
-            conn.executemany(
-                "DELETE FROM objects WHERE oid=?",
-                [(int(oid),) for oid in batch.deletes],
-            )
-            if batch.roots is not None:
-                conn.execute("DELETE FROM roots")
-                conn.executemany(
-                    "INSERT INTO roots(name, oid) VALUES(?, ?)",
-                    [(name, int(oid))
-                     for name, oid in batch.roots.items()],
-                )
-            if batch.next_oid is not None:
-                conn.execute(
-                    "UPDATE meta SET value=MAX(value, ?) "
-                    "WHERE key='next_oid'",
-                    (int(batch.next_oid),),
-                )
+            for batch, writes in zip(batches, staged):
+                self._execute_batch(conn, batch, writes)
             conn.execute("COMMIT")
         except BaseException:
             conn.execute("ROLLBACK")
             raise
         # Only a committed transaction reaches the mirrors.
+        for batch, writes in zip(batches, staged):
+            if batch.roots is not None:
+                self._roots = dict(batch.roots)
+            if batch.next_oid is not None:
+                self._next_oid = max(self._next_oid, int(batch.next_oid))
+            self.record_writes += len(writes)
+            self.batches_applied += 1
+
+    def _execute_batch(self, conn, batch: WriteBatch,
+                       writes: list[tuple[int, bytes]]) -> None:
+        # Batch order contract: writes first (last write to an OID
+        # wins), then deletes — an OID both written and deleted in one
+        # batch ends up absent.
+        conn.executemany(
+            "INSERT OR REPLACE INTO objects(oid, record) VALUES(?, ?)",
+            writes,
+        )
+        conn.executemany(
+            "DELETE FROM objects WHERE oid=?",
+            [(int(oid),) for oid in batch.deletes],
+        )
         if batch.roots is not None:
-            self._roots = dict(batch.roots)
+            conn.execute("DELETE FROM roots")
+            conn.executemany(
+                "INSERT INTO roots(name, oid) VALUES(?, ?)",
+                [(name, int(oid))
+                 for name, oid in batch.roots.items()],
+            )
         if batch.next_oid is not None:
-            self._next_oid = max(self._next_oid, int(batch.next_oid))
-        self.record_writes += len(writes)
-        self.batches_applied += 1
+            conn.execute(
+                "UPDATE meta SET value=MAX(value, ?) "
+                "WHERE key='next_oid'",
+                (int(batch.next_oid),),
+            )
 
     def compact(self) -> int:
         self._check_open()

@@ -21,8 +21,10 @@ and referential integrity" (paper, Section 1).  Key behaviours:
   :class:`~repro.store.engine.base.StorageEngine`.  The default
   :class:`~repro.store.engine.filesystem.FileEngine` stabilises atomically
   through a write-ahead log in a directory of ``store.heap``, ``store.wal``
-  and ``store.meta`` files; a
-  :class:`~repro.store.engine.memory.MemoryEngine` serves ephemeral stores.
+  and ``store.manifest`` files; a
+  :class:`~repro.store.engine.memory.MemoryEngine` serves ephemeral stores,
+  and any engine can sit behind a commit pipeline
+  (:mod:`repro.store.commit`) for group or asynchronous durability.
 
 Stabilisation is **incremental**: the store keeps a shallow snapshot of
 every clean live object (see :meth:`~repro.store.serializer.Serializer.
@@ -33,6 +35,7 @@ makes that observable.
 
 from __future__ import annotations
 
+import threading
 import zlib
 from typing import Any, Optional
 
@@ -139,6 +142,15 @@ class ObjectStore:
         self.encode_count = 0
         self._active_txn = None
         self._closed = False
+        # Serialises the stabilise walk and its bookkeeping, so several
+        # threads may call stabilize() concurrently — over a pipelined
+        # engine their batches then coalesce into group commits, since
+        # each thread waits for durability *outside* this lock.
+        # Re-entrant because collect_garbage() stabilises internally.
+        self._commit_lock = threading.RLock()
+        #: Ticket of the most recent engine commit this store submitted
+        #: (for awaiting an ``async``-policy engine's durability).
+        self.last_commit = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -173,11 +185,25 @@ class ObjectStore:
         return cls(registry=registry, engine=engine_from_url(url))
 
     def close(self) -> None:
-        """Flush and close; the store object is unusable afterwards."""
+        """Flush and close; the store object is unusable afterwards.
+
+        Closing an engine with a commit pipeline drains the pipeline
+        first: every in-flight ``async`` commit is either durable when
+        ``close`` returns or the pipeline's failure is raised — the
+        store is marked closed either way, never half-open.
+        """
         if self._closed:
             return
-        self._engine.close()
         self._closed = True
+        self._engine.close()
+
+    def flush(self) -> None:
+        """Durability barrier: block until every commit this store has
+        submitted is durable (a no-op over direct engines, whose
+        ``apply`` already returns post-commit).  Re-raises the commit
+        pipeline's failure if an ``async`` commit was lost."""
+        self._check_open()
+        self._engine.flush()
 
     def __enter__(self) -> "ObjectStore":
         return self
@@ -388,28 +414,63 @@ class ObjectStore:
         only *dirty* nodes — mutated or newly reached since the last
         stabilise, per the snapshot tracker — are re-serialised.  Changed
         records go to the engine as one atomic batch.
+
+        Thread-safe: the walk and its bookkeeping are serialised, but the
+        wait for durability happens outside the lock — over an engine
+        with a ``group`` commit pipeline, stabilises from several threads
+        coalesce into shared group commits.  Over an ``async`` pipeline
+        the call returns once the batch is submitted; ``self.last_commit``
+        is its durability ticket and :meth:`flush` the barrier.
         """
         self._check_open()
-        reachable, records, fresh_shadows = self._flatten_from_roots()
-        batch = WriteBatch()
-        written_sigs: dict[Oid, tuple[int, int]] = {}
-        for oid, record in records.items():
-            raw = record.to_bytes()
-            sig = (len(raw), zlib.crc32(raw))
-            if self._stored_sig.get(oid) != sig:
-                batch.write(oid, raw)
-                written_sigs[oid] = sig
-        if self._roots != self._engine.roots():
-            batch.set_roots(self._roots)
-        if int(self._allocator.next_oid) != self._engine.next_oid:
-            batch.advance_next_oid(int(self._allocator.next_oid))
-        # A fully-clean checkpoint (no writes, roots and allocator cursor
-        # already durable) skips the engine entirely — no fsyncs, no
-        # metadata rewrite.
-        if not batch.is_empty:
-            self._engine.apply(batch)
-        self._stored_sig.update(written_sigs)
-        self._shadow.update(fresh_shadows)
+        with self._commit_lock:
+            reachable, records, fresh_shadows = self._flatten_from_roots()
+            batch = WriteBatch()
+            written_sigs: dict[Oid, tuple[int, int]] = {}
+            for oid, record in records.items():
+                raw = record.to_bytes()
+                sig = (len(raw), zlib.crc32(raw))
+                if self._stored_sig.get(oid) != sig:
+                    batch.write(oid, raw)
+                    written_sigs[oid] = sig
+            if self._roots != self._engine.roots():
+                batch.set_roots(self._roots)
+            if int(self._allocator.next_oid) != self._engine.next_oid:
+                batch.advance_next_oid(int(self._allocator.next_oid))
+            # A fully-clean checkpoint (no writes, roots and allocator
+            # cursor already durable) skips the engine entirely — no
+            # fsyncs, no metadata rewrite.
+            if batch.is_empty:
+                self._shadow.update(fresh_shadows)
+                return 0
+            # Bookkeeping is committed optimistically under the lock (the
+            # engine's pending overlay already serves the new state to
+            # readers); the pre-commit values are kept so a failed commit
+            # re-dirties exactly what it covered.
+            prev_sigs = {oid: self._stored_sig.get(oid)
+                         for oid in written_sigs}
+            prev_shadows = {oid: self._shadow.get(oid)
+                            for oid in fresh_shadows}
+            ticket = self._engine.apply_async(batch)
+            self.last_commit = ticket
+            self._stored_sig.update(written_sigs)
+            self._shadow.update(fresh_shadows)
+        if not self._engine.asynchronous:
+            try:
+                ticket.result()
+            except BaseException:
+                with self._commit_lock:
+                    for oid, sig in prev_sigs.items():
+                        if sig is None:
+                            self._stored_sig.pop(oid, None)
+                        else:
+                            self._stored_sig[oid] = sig
+                    for oid, snap in prev_shadows.items():
+                        if snap is None:
+                            self._shadow.pop(oid, None)
+                        else:
+                            self._shadow[oid] = snap
+                raise
         return len(batch.writes)
 
     def _flatten_from_roots(self) -> tuple[set[Oid], dict[Oid, Record],
@@ -520,8 +581,16 @@ class ObjectStore:
         Returns the number of freed objects.  Mirrors the paper's Figure 7
         requirement: hyper-programs held only through weak references become
         collectable once no strong user references remain.
+
+        Holds the commit lock for the whole mark/sweep: a stabilise
+        committing fresh objects between the mark walk and the victim
+        sweep would get them deleted as garbage.
         """
         self._check_open()
+        with self._commit_lock:
+            return self._collect_garbage_locked()
+
+    def _collect_garbage_locked(self) -> int:
         # Bring the durable state up to date first, so the mark phase can
         # run purely over stored records: collecting against a stale disk
         # image could free objects the durable graph still references.

@@ -59,10 +59,21 @@ class Transaction:
         self._roots_snapshot = self._store.root_bindings()
         return self
 
-    def commit(self) -> int:
-        """Stabilise and finish; returns the number of records written."""
+    def commit(self, *, durable: bool = True) -> int:
+        """Stabilise and finish; returns the number of records written.
+
+        A commit is a durability point: over an engine with an ``async``
+        commit pipeline (where ``stabilize`` returns once the batch is
+        submitted), the default ``durable=True`` flushes the pipeline so
+        the transaction's effects are on stable storage when ``commit``
+        returns.  Pass ``durable=False`` to let the pipeline absorb the
+        commit in the background — the batch is visible immediately and
+        ``store.flush()`` is the explicit barrier.
+        """
         self._require_active()
         written = self._store.stabilize()
+        if durable and self._store.engine.asynchronous:
+            self._store.flush()
         self._finish()
         return written
 

@@ -39,6 +39,33 @@ ENTRY_COMMIT = b"C"
 _FRAME = struct.Struct("<II")
 
 
+def frame_payload(payload: bytes) -> bytes:
+    """One CRC frame: ``u32 length | u32 crc32 | payload``.
+
+    Shared by the WAL and the file engine's manifest log, so the two
+    append-only logs cannot drift apart in format handling.
+    """
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def iter_frames(data: bytes) -> Iterator[tuple[int, bytes]]:
+    """Yield ``(end_offset, payload)`` for every complete, CRC-valid
+    frame; a torn tail (short frame or bad CRC) ends iteration — the
+    caller's last ``end_offset`` is the clean truncation point."""
+    pos = 0
+    while pos + _FRAME.size <= len(data):
+        length, crc = _FRAME.unpack_from(data, pos)
+        start = pos + _FRAME.size
+        end = start + length
+        if end > len(data):
+            return
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            return
+        yield end, payload
+        pos = end
+
+
 @dataclass
 class LogEntry:
     """One decoded log entry."""
@@ -95,14 +122,18 @@ class WriteAheadLog:
     # -- writing ----------------------------------------------------------
 
     def append(self, entry: LogEntry) -> None:
-        payload = entry.encode()
-        frame = _FRAME.pack(len(payload), zlib.crc32(payload))
-        self._file.write(frame + payload)
+        self._file.write(frame_payload(entry.encode()))
 
-    def commit(self, txn_id: int) -> None:
-        """Append a commit marker and force everything to disk."""
+    def commit(self, txn_id: int, sync: bool = True) -> None:
+        """Append a commit marker and (by default) force it to disk.
+
+        Group commit passes ``sync=False`` for every batch but the
+        last, then issues one :meth:`sync` for the whole group — the
+        markers are only acknowledged once that fsync returns.
+        """
         self.append(LogEntry(ENTRY_COMMIT, txn_id))
-        self.sync()
+        if sync:
+            self.sync()
 
     def sync(self) -> None:
         self._file.flush()
@@ -124,15 +155,7 @@ class WriteAheadLog:
         self._file.seek(0)
         data = self._file.read()
         pos = 0
-        while pos + _FRAME.size <= len(data):
-            length, crc = _FRAME.unpack_from(data, pos)
-            start = pos + _FRAME.size
-            end = start + length
-            if end > len(data):
-                return  # torn tail
-            payload = data[start:end]
-            if zlib.crc32(payload) != crc:
-                return  # torn/corrupt tail ends replay
+        for end, payload in iter_frames(data):
             try:
                 yield LogEntry.decode(payload)
             except (struct.error, IndexError, UnicodeDecodeError) as exc:

@@ -22,7 +22,6 @@ from __future__ import annotations
 from typing import Any, Optional, Sequence, TYPE_CHECKING
 
 from repro.browser.ocb import OCB
-from repro.browser.panels import DenotableEntity
 from repro.core.editform import HyperLink
 from repro.editor.hyper import HyperProgramEditor
 from repro.errors import NoFrontWindowError, UIError
@@ -31,7 +30,6 @@ from repro.ui.events import ButtonPress, Event, LinkPress, RightClick
 from repro.ui.windows import (
     BrowserWindow,
     EditorWindow,
-    Window,
     WindowManager,
 )
 

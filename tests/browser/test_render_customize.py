@@ -1,6 +1,5 @@
 """Browser rendering and per-class display customisation (Section 5.3)."""
 
-import pytest
 
 from repro.browser.customize import DisplayCustomizer
 from repro.browser.render import (

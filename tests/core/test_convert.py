@@ -1,7 +1,6 @@
 """Editing form <-> storage form translation (Section 3), including the
 exact Figure 5 / Figure 11 correspondence and round-trip properties."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.convert import editing_to_storage, storage_to_editing

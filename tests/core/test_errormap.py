@@ -3,7 +3,6 @@ Section 5.4.2 "future version" of error display."""
 
 import pytest
 
-from repro.core.compiler import DynamicCompiler
 from repro.core.errormap import describe_syntax_error
 from repro.core.hyperlink import HyperLinkHP
 from repro.core.hyperprogram import HyperProgram

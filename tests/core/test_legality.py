@@ -1,7 +1,6 @@
 """Parser-directed legality of link insertions (Section 2's planned
 extension) over Python hyper-programs."""
 
-import pytest
 
 from repro.core.hyperlink import HyperLinkHP
 from repro.core.hyperprogram import HyperProgram

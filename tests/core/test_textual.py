@@ -11,7 +11,7 @@ from repro.core.textual import (
     generate_textual_form,
     textual_for_link,
 )
-from repro.errors import CompilationError, UnknownRootError
+from repro.errors import UnknownRootError
 from repro.reflect.introspect import for_class
 
 from tests.conftest import Person

@@ -5,7 +5,6 @@ prescribe."""
 
 import ast as python_ast
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.javagrammar.codegen import transpile

@@ -22,7 +22,7 @@ from repro.store.engine import (
 from repro.store.objectstore import ObjectStore
 
 ENGINE_PARAMS = ("file", "memory", "sqlite", "sharded-file",
-                 "sharded-sqlite")
+                 "sharded-sqlite", "file-group", "sharded-async")
 
 
 def make_engine(kind: str, tmp_path):
@@ -36,6 +36,17 @@ def make_engine(kind: str, tmp_path):
         return engine_from_url(f"sharded:3:file:{tmp_path / 'shards'}")
     if kind == "sharded-sqlite":
         return engine_from_url(f"sharded:3:sqlite:{tmp_path / 'shards'}")
+    if kind == "file-group":
+        # The commit pipeline at its strongest guarantee: every apply
+        # returns durable, but concurrent appliers share group commits.
+        return engine_from_url(f"file:{tmp_path / 'store'}"
+                               "?durability=group")
+    if kind == "sharded-async":
+        # Two-phase protocol over per-shard async pipelines: phase-3
+        # applies and the marker clear ride the pipelines off the
+        # critical path; barriers still order prepare/marker durability.
+        return engine_from_url(f"sharded:3:file:{tmp_path / 'shards'}"
+                               "?shard_durability=async")
     raise ValueError(f"unknown engine kind {kind!r}")
 
 

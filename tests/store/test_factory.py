@@ -14,10 +14,8 @@ from repro.store.engine import (
     MemoryEngine,
     ShardedEngine,
     SqliteEngine,
-    WriteBatch,
     engine_from_url,
 )
-from repro.store.oids import Oid
 
 from tests.conftest import Person
 
@@ -72,6 +70,116 @@ class TestEngineFromUrl:
     def test_bad_urls_rejected(self, bad_url):
         with pytest.raises(ValueError):
             engine_from_url(bad_url)
+
+
+class TestQueryParameters:
+    """``?key=value`` tuning: durability policies, engine knobs, and
+    loud rejection of anything unknown or malformed."""
+
+    def test_file_durability_group(self, tmp_path):
+        from repro.store.commit import GroupPolicy, PipelinedEngine
+        url = (f"file:{tmp_path / 's'}?durability=group"
+               "&group_window_ms=2&group_max_batches=16")
+        with engine_from_url(url) as engine:
+            assert isinstance(engine, PipelinedEngine)
+            assert isinstance(engine.child, FileEngine)
+            assert isinstance(engine.policy, GroupPolicy)
+            assert engine.policy.window_s == pytest.approx(0.002)
+            assert engine.policy.max_batches == 16
+
+    def test_async_policy_and_backpressure_bound(self, tmp_path):
+        from repro.store.commit import AsyncPolicy, PipelinedEngine
+        url = (f"sqlite:{tmp_path / 'db.sqlite'}?durability=async"
+               "&async_max_pending=7")
+        with engine_from_url(url) as engine:
+            assert isinstance(engine, PipelinedEngine)
+            assert isinstance(engine.child, SqliteEngine)
+            assert isinstance(engine.policy, AsyncPolicy)
+            assert engine.policy.max_pending == 7
+            assert engine.asynchronous
+
+    def test_memory_can_be_pipelined_too(self):
+        from repro.store.commit import PipelinedEngine
+        with engine_from_url("memory:?durability=sync") as engine:
+            assert isinstance(engine, PipelinedEngine)
+            assert isinstance(engine.child, MemoryEngine)
+
+    def test_file_engine_knobs(self, tmp_path):
+        url = (f"file:{tmp_path / 's'}?checkpoint_wal_bytes=128"
+               "&manifest_compact_deltas=9")
+        with engine_from_url(url) as engine:
+            assert engine._checkpoint_wal_bytes == 128
+            assert engine._manifest_compact_deltas == 9
+
+    def test_sqlite_synchronous_level(self, tmp_path):
+        url = f"sqlite:{tmp_path / 'db.sqlite'}?synchronous=FULL"
+        with engine_from_url(url) as engine:
+            level = engine._conn.execute(
+                "PRAGMA synchronous").fetchone()[0]
+            assert level == 2  # FULL
+
+    def test_sharded_shard_durability_wraps_children(self, tmp_path):
+        from repro.store.commit import AsyncPolicy, PipelinedEngine
+        url = (f"sharded:3:file:{tmp_path / 'cluster'}"
+               "?shard_durability=async")
+        with engine_from_url(url) as engine:
+            assert isinstance(engine, ShardedEngine)
+            for child in engine.children:
+                assert isinstance(child, PipelinedEngine)
+                assert isinstance(child.policy, AsyncPolicy)
+                assert isinstance(child.child, FileEngine)
+
+    def test_sharded_outer_and_inner_policies_compose(self, tmp_path):
+        from repro.store.commit import PipelinedEngine
+        url = (f"sharded:2:sqlite:{tmp_path / 'cluster'}"
+               "?durability=group&shard_durability=async")
+        with engine_from_url(url) as engine:
+            assert isinstance(engine, PipelinedEngine)
+            assert isinstance(engine.child, ShardedEngine)
+            assert all(isinstance(child, PipelinedEngine)
+                       for child in engine.child.children)
+
+    @pytest.mark.parametrize("bad_url, match", [
+        ("memory:?speed=fast", "unknown query parameter"),
+        ("memory:?synchronous=FULL", "unknown query parameter"),
+        ("memory:?durability", "malformed query parameter"),
+        ("memory:?durability=group&durability=sync", "duplicate"),
+        ("memory:?durability=never", "unknown durability policy"),
+        ("memory:?group_window_ms=2", "needs durability="),
+        ("memory:?durability=sync&group_max_batches=8",
+         "needs durability=group"),
+        ("memory:?durability=group&group_window_ms=fast",
+         "must be a number"),
+        ("memory:?durability=group&group_max_batches=0",
+         "group_max_batches"),
+        ("memory:?durability=async&async_max_pending=-1",
+         "async_max_pending"),
+        ("?durability=group", "no location"),
+    ])
+    def test_bad_query_parameters_rejected(self, bad_url, match):
+        with pytest.raises(ValueError, match=match):
+            engine_from_url(bad_url)
+
+    def test_file_knob_value_must_be_integer(self, tmp_path):
+        with pytest.raises(ValueError, match="checkpoint_wal_bytes"):
+            engine_from_url(f"file:{tmp_path}?checkpoint_wal_bytes=big")
+
+    def test_unknown_key_error_names_known_keys(self):
+        with pytest.raises(ValueError) as excinfo:
+            engine_from_url("memory:?bogus=1")
+        message = str(excinfo.value)
+        assert "durability" in message and "bogus" in message
+
+    def test_store_roundtrip_through_param_url(self, tmp_path, registry):
+        url = (f"sharded:2:file:{tmp_path / 'cluster'}"
+               "?shard_durability=async")
+        with open_store(url, registry=registry) as store:
+            store.set_root("people", [Person("ann"), Person("bo")])
+            store.stabilize()
+        with open_store(url, registry=registry) as store:
+            assert [p.name for p in store.get_root("people")] \
+                == ["ann", "bo"]
+            assert store.verify_referential_integrity() == []
 
     def test_single_letter_prefix_is_a_path_not_a_scheme(self, tmp_path,
                                                          monkeypatch):

@@ -2,7 +2,6 @@
 artefacts, crashes inside the sharded two-phase apply — the store must
 fail loudly or recover cleanly, never silently serve bad data."""
 
-import json
 import os
 import struct
 
@@ -22,7 +21,7 @@ from tests.store.conftest import ENGINE_PARAMS, make_engine
 def store_paths(directory):
     return (os.path.join(directory, "store.heap"),
             os.path.join(directory, "store.wal"),
-            os.path.join(directory, "store.meta"))
+            os.path.join(directory, "store.manifest"))
 
 
 class TestHeapCorruption:
@@ -58,15 +57,16 @@ class TestHeapCorruption:
 
 
 class TestInterruptedCheckpoint:
-    def test_leftover_meta_tmp_ignored(self, tmp_path, registry):
-        """A crash between writing store.meta.tmp and the rename leaves a
-        .tmp file; reopening must use the last complete snapshot."""
+    def test_leftover_manifest_tmp_ignored(self, tmp_path, registry):
+        """A crash between writing store.manifest.tmp (compaction) and
+        the rename leaves a .tmp file; reopening must use the last
+        complete manifest."""
         directory = str(tmp_path / "s")
         with ObjectStore.open(directory, registry=registry) as store:
             store.set_root("p", Person("good"))
             store.stabilize()
-        meta_path = store_paths(directory)[2]
-        with open(meta_path + ".tmp", "w", encoding="utf-8") as fh:
+        manifest_path = store_paths(directory)[2]
+        with open(manifest_path + ".tmp", "w", encoding="utf-8") as fh:
             fh.write("{ this is garbage")
         with ObjectStore.open(directory, registry=registry) as store:
             assert store.get_root("p").name == "good"
@@ -280,6 +280,56 @@ class TestShardedTwoPhaseCrash:
         recovered.close()
 
 
+class TestAsyncShardPipelineCrash:
+    """Per-shard async pipelines must not let the marker clear become
+    durable ahead of a slower shard's phase-3 apply: after apply()
+    returns, a hard crash must still expose the whole batch."""
+
+    def test_slow_shard_phase_three_cannot_be_orphaned(self, tmp_path):
+        import time
+
+        from repro.store.commit import AsyncPolicy, PipelinedEngine
+        from repro.store.engine import FileEngine
+
+        class SlowFileEngine(FileEngine):
+            """A shard whose group commits lag the others."""
+
+            def apply_many(self, batches):
+                time.sleep(0.05)
+                super().apply_many(batches)
+
+        def build(first_time: bool):
+            children = [
+                PipelinedEngine(FileEngine(str(tmp_path / "shard0")),
+                                AsyncPolicy()),
+                PipelinedEngine(
+                    (SlowFileEngine if first_time else FileEngine)(
+                        str(tmp_path / "shard1")),
+                    AsyncPolicy()),
+            ]
+            return ShardedEngine(children)
+
+        engine = build(first_time=True)
+        batch = wide_batch(first=100, count=8)  # spans both shards
+        batch.set_roots({"r": Oid(100)})
+        engine.apply(batch)
+        # Hard crash: drop every child's *raw* file handles immediately
+        # (no flush — the committer threads may still be mid-commit);
+        # whatever the pipelines had not made durable is gone.
+        for child in engine.children:
+            real = child.child
+            real.wal._file.close()
+            real.heap._file.close()
+            real.manifest._file.close()
+
+        recovered = build(first_time=False)
+        for oid, raw in batch.writes:
+            assert recovered.read(oid) == raw
+        assert recovered.roots() == {"r": Oid(100)}
+        assert recovered.object_count == len(batch.writes)
+        recovered.close()
+
+
 class TestCloseIdempotency:
     """Every backend and the store itself tolerate double close; a closed
     store refuses work loudly."""
@@ -313,31 +363,42 @@ class TestCloseIdempotency:
 
 
 class TestMetadataDamage:
-    def test_metadata_points_into_heap(self, tmp_path, registry):
-        """Sanity: the snapshot's record ids resolve in the heap."""
+    def test_manifest_points_into_heap(self, tmp_path, registry):
+        """Sanity: the record ids the manifest accumulates resolve in
+        the heap."""
+        from repro.store.engine.filesystem import FileEngine, ManifestLog
         directory = str(tmp_path / "s")
         with ObjectStore.open(directory, registry=registry) as store:
             store.set_root("p", [Person("a"), Person("b")])
             store.stabilize()
-        with open(store_paths(directory)[2], encoding="utf-8") as fh:
-            meta = json.load(fh)
+            store.engine.compact_manifest()  # fold deltas into a base
+        with ManifestLog(store_paths(directory)[2]) as manifest:
+            entries = manifest.load()
+        assert [entry["kind"] for entry in entries] == ["base"]
+        assert entries[0]["objects"]
         with ObjectStore.open(directory, registry=registry) as store:
-            for oid_text in meta["objects"]:
+            for oid_text in entries[0]["objects"]:
                 from repro.store.oids import Oid
                 record = store.stored_record(Oid(int(oid_text)))
                 assert record.oid == int(oid_text)
+        # The same ids are live in the reopened engine's table.
+        with FileEngine(directory) as engine:
+            assert {int(oid) for oid in engine.oids()} \
+                == {int(oid) for oid in entries[0]["objects"]}
 
     def test_dangling_root_detected_by_verifier(self, tmp_path, registry):
+        from repro.store.engine import FileEngine, WriteBatch as Batch
+        from repro.store.oids import Oid
         directory = str(tmp_path / "s")
         with ObjectStore.open(directory, registry=registry) as store:
             store.set_root("p", Person("x"))
             store.stabilize()
-        meta_path = store_paths(directory)[2]
-        with open(meta_path, encoding="utf-8") as fh:
-            meta = json.load(fh)
-        meta["roots"]["ghost"] = 424242
-        with open(meta_path, "w", encoding="utf-8") as fh:
-            json.dump(meta, fh)
+        # Damage the durable root table directly: a root naming an OID
+        # that was never stored.
+        with FileEngine(directory) as engine:
+            roots = engine.roots()
+            roots["ghost"] = Oid(424242)
+            engine.apply(Batch().set_roots(roots))
         with ObjectStore.open(directory, registry=registry) as store:
             problems = store.verify_referential_integrity()
             assert any("ghost" in problem for problem in problems)

@@ -1,7 +1,6 @@
 """Garbage collection and persistent weak references (paper Figure 7
 semantics: weak edges keep nothing alive; dead weak refs are cleared)."""
 
-import pytest
 
 from repro.store.gc import (
     reachable_oids,

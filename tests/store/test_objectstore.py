@@ -9,7 +9,6 @@ from repro.errors import (
     UnknownRootError,
 )
 from repro.store.objectstore import ObjectStore
-from repro.store.registry import ClassRegistry
 
 from tests.conftest import Employee, Person
 

@@ -2,7 +2,6 @@
 graphs survive a stabilise/reopen round trip with structure, values,
 types, sharing and identity intact."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.store.objectstore import ObjectStore

@@ -1,6 +1,5 @@
 """The printable form of hyper-programs (Section 6)."""
 
-import pytest
 
 from repro.core.hyperlink import HyperLinkHP
 from repro.core.hyperprogram import HyperProgram
