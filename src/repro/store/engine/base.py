@@ -18,7 +18,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Iterable, Optional
 
-from repro.errors import StoreClosedError
+from repro.errors import StoreClosedError, UnknownOidError
 from repro.store.oids import Oid
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -138,6 +138,34 @@ class StorageEngine(ABC):
     @abstractmethod
     def contains(self, oid: Oid) -> bool:
         """Whether a record is stored under ``oid``."""
+
+    def fetch_many(self, oids: Iterable[Oid]) -> dict[Oid, bytes]:
+        """Bulk read: the stored record bytes for every OID in ``oids``
+        that is present; absent OIDs are simply omitted from the result
+        (callers decide whether a miss is an integrity error).
+
+        The default is a sequential loop over :meth:`read`.  Backends
+        with a cheaper bulk shape override it — the sharded engine fans
+        the request out across its shards in parallel, the SQLite engine
+        issues one ``SELECT ... IN``, the pipelined wrapper serves
+        pending writes from its overlay — which is what makes the
+        store's wave-planned fetch (:mod:`repro.store.serve.prefetch`)
+        cost one round trip per closure *generation* instead of one per
+        OID.
+
+        Like :meth:`read`, ``fetch_many`` must be safe to call from
+        several reader threads concurrently, including concurrently with
+        one writer thread inside :meth:`apply` — readers then observe
+        each batch all-or-nothing, never half-applied.
+        """
+        self._check_open()
+        found: dict[Oid, bytes] = {}
+        for oid in oids:
+            try:
+                found[oid] = self.read(oid)
+            except UnknownOidError:
+                continue
+        return found
 
     @abstractmethod
     def oids(self) -> Iterable[Oid]:

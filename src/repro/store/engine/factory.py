@@ -30,6 +30,7 @@ key                          meaning
 ``async_max_pending``        submission backpressure bound (default 256)
 ``checkpoint_wal_bytes``     [file] WAL size that triggers a checkpoint
 ``manifest_compact_deltas``  [file] manifest deltas before compaction
+``heap_cache_pages``         [file] bound on cached heap page images
 ``synchronous``              [sqlite] PRAGMA synchronous level
 ``shard_durability``         [sharded] wrap every *child* in a pipeline
                              with this policy (the ``group_*`` /
@@ -40,6 +41,12 @@ key                          meaning
 ``file:/p?durability=group&group_window_ms=2`` is the canonical example;
 unknown keys, malformed pairs and out-of-range values raise
 ``ValueError`` naming the offending key.
+
+One query key belongs to the *store* layer rather than any engine:
+``cache_objects`` bounds the store's live-object cache.
+:func:`split_store_url` peels such keys off (``ObjectStore.from_url``
+and ``open_store`` call it); handing them straight to
+:func:`engine_from_url` raises a ``ValueError`` that says so.
 """
 
 from __future__ import annotations
@@ -64,10 +71,15 @@ _PIPELINE_KEYS = ("durability", "group_window_ms", "group_max_batches",
 #: Engine-specific keys per scheme.
 _SCHEME_KEYS = {
     "memory": (),
-    "file": ("checkpoint_wal_bytes", "manifest_compact_deltas"),
+    "file": ("checkpoint_wal_bytes", "manifest_compact_deltas",
+             "heap_cache_pages"),
     "sqlite": ("synchronous",),
     "sharded": ("shard_durability",),
 }
+
+#: Keys consumed by the ObjectStore layer, valid for every scheme; the
+#: engine factory never sees them (``split_store_url`` peels them off).
+STORE_KEYS = ("cache_objects",)
 
 
 def _split_scheme(url: str) -> tuple[str | None, str]:
@@ -102,8 +114,17 @@ def _parse_query(query: str, url: str) -> dict[str, str]:
     return params
 
 
-def _check_keys(params: dict[str, str], scheme: str, url: str) -> None:
-    known = set(_PIPELINE_KEYS) | set(_SCHEME_KEYS[scheme])
+def _check_keys(params: dict[str, str], scheme: str, url: str,
+                extra: tuple[str, ...] = ()) -> None:
+    store_level = sorted(set(params) & set(STORE_KEYS))
+    if store_level:
+        raise ValueError(
+            f"query parameter(s) {', '.join(map(repr, store_level))} in "
+            f"{url!r} configure the store, not the engine; open the URL "
+            f"with open_store()/ObjectStore.from_url (or split it with "
+            f"repro.store.engine.factory.split_store_url first)"
+        )
+    known = set(_PIPELINE_KEYS) | set(_SCHEME_KEYS[scheme]) | set(extra)
     unknown = sorted(set(params) - known)
     if unknown:
         raise ValueError(
@@ -187,17 +208,66 @@ def _sharded_children(rest: str,
     elif child_scheme == "sqlite":
         os.makedirs(location, exist_ok=True)
         children = [SqliteEngine(os.path.join(location,
-                                              f"shard{index}.sqlite"))
+                                              f"shard{index}.sqlite"),
+                                 synchronous=params.get("synchronous",
+                                                        "NORMAL"))
                     for index in range(count)]
     else:
         # file scheme or a bare path: one subdirectory per shard.
+        file_kwargs = _file_kwargs(params)
         os.makedirs(location, exist_ok=True)
-        children = [FileEngine(os.path.join(location, f"shard{index}"))
+        children = [FileEngine(os.path.join(location, f"shard{index}"),
+                               **file_kwargs)
                     for index in range(count)]
     if shard_policy is not None:
         children = [PipelinedEngine(child, shard_policy)
                     for child in children]
     return children
+
+
+def _file_kwargs(params: dict[str, str]) -> dict:
+    """FileEngine keyword arguments named in a URL's query parameters."""
+    file_kwargs: dict = {}
+    wal_bytes = _int_param(params, "checkpoint_wal_bytes")
+    if wal_bytes is not None:
+        file_kwargs["checkpoint_wal_bytes"] = wal_bytes
+    compact_deltas = _int_param(params, "manifest_compact_deltas")
+    if compact_deltas is not None:
+        file_kwargs["manifest_compact_deltas"] = compact_deltas
+    cache_pages = _int_param(params, "heap_cache_pages")
+    if cache_pages is not None:
+        file_kwargs["heap_cache_pages"] = cache_pages
+    return file_kwargs
+
+
+def split_store_url(url: str) -> tuple[str, dict]:
+    """Split store-level query parameters off a storage URL.
+
+    Returns ``(engine_url, store_options)`` where ``engine_url`` keeps
+    every engine-level parameter and ``store_options`` is ready to pass
+    to ``ObjectStore(**store_options)`` — currently just
+    ``cache_objects`` (the bounded object-cache capacity, an integer
+    >= 1).  Values are validated here so a bad store parameter fails
+    before any engine is opened.
+    """
+    base, has_query, query = url.partition("?")
+    if not has_query:
+        return url, {}
+    params = _parse_query(query, url)
+    store_options: dict = {}
+    if "cache_objects" in params:
+        capacity = _int_param(params, "cache_objects")
+        if capacity is not None and capacity < 1:
+            raise ValueError(
+                f"query parameter cache_objects must be >= 1, "
+                f"got {capacity}"
+            )
+        store_options["cache_objects"] = capacity
+        del params["cache_objects"]
+    if params:
+        rest = "&".join(f"{key}={value}" for key, value in params.items())
+        return f"{base}?{rest}", store_options
+    return base, store_options
 
 
 def engine_from_url(url: str) -> StorageEngine:
@@ -209,7 +279,17 @@ def engine_from_url(url: str) -> StorageEngine:
     if not base:
         raise ValueError(f"storage URL {url!r} has no location before '?'")
     scheme, rest = _split_scheme(base)
-    _check_keys(params, scheme if scheme is not None else "file", url)
+    extra_keys: tuple[str, ...] = ()
+    if scheme == "sharded":
+        # Child-scheme keys ride along on sharded URLs and configure
+        # every shard: 'sharded:4:file:/p?heap_cache_pages=64'.
+        child_part = rest.partition(":")[2]
+        if child_part:
+            child_scheme = _split_scheme(child_part)[0]
+            extra_keys = _SCHEME_KEYS.get(
+                child_scheme if child_scheme is not None else "file", ())
+    _check_keys(params, scheme if scheme is not None else "file", url,
+                extra_keys)
     kinds = {params.get("durability"), params.get("shard_durability")}
     if not kinds & {"group", "async"}:
         # The tuning knobs configure the committer thread; a sync-only
@@ -240,14 +320,7 @@ def engine_from_url(url: str) -> StorageEngine:
     else:
         if not rest:
             raise ValueError("file: needs a directory path")
-        file_kwargs = {}
-        wal_bytes = _int_param(params, "checkpoint_wal_bytes")
-        if wal_bytes is not None:
-            file_kwargs["checkpoint_wal_bytes"] = wal_bytes
-        compact_deltas = _int_param(params, "manifest_compact_deltas")
-        if compact_deltas is not None:
-            file_kwargs["manifest_compact_deltas"] = compact_deltas
-        engine = FileEngine(rest, **file_kwargs)
+        engine = FileEngine(rest, **_file_kwargs(params))
     if policy is not None:
         engine = PipelinedEngine(engine, policy)
     return engine

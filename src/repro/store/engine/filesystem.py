@@ -48,8 +48,9 @@ from typing import Iterable, Optional
 
 from repro.errors import CorruptHeapError, UnknownOidError
 from repro.store.engine.base import StorageEngine, WriteBatch
-from repro.store.heap import HeapFile, RecordId
+from repro.store.heap import DEFAULT_CACHE_PAGES, HeapFile, RecordId
 from repro.store.oids import FIRST_OID, NULL_OID, Oid
+from repro.store.serve.locks import ReadWriteLock
 from repro.store.wal import (
     ENTRY_BEGIN,
     ENTRY_DELETE,
@@ -164,7 +165,8 @@ class FileEngine(StorageEngine):
     def __init__(self, directory: str, *,
                  checkpoint_wal_bytes: int = DEFAULT_CHECKPOINT_WAL_BYTES,
                  manifest_compact_deltas: int =
-                 DEFAULT_MANIFEST_COMPACT_DELTAS):
+                 DEFAULT_MANIFEST_COMPACT_DELTAS,
+                 heap_cache_pages: int = DEFAULT_CACHE_PAGES):
         super().__init__()
         if checkpoint_wal_bytes < 1:
             raise ValueError("checkpoint_wal_bytes must be >= 1, got "
@@ -175,8 +177,14 @@ class FileEngine(StorageEngine):
         self._directory = directory
         self._checkpoint_wal_bytes = checkpoint_wal_bytes
         self._manifest_compact_deltas = manifest_compact_deltas
+        # Readers share this lock; applying a batch's in-memory effects
+        # (object table + heap) takes the write side, so a concurrent
+        # read observes a batch all-or-nothing and can never follow a
+        # record id into a slot the same batch just tombstoned.
+        self._state_lock = ReadWriteLock()
         os.makedirs(directory, exist_ok=True)
-        self._heap = HeapFile(os.path.join(directory, _HEAP_NAME))
+        self._heap = HeapFile(os.path.join(directory, _HEAP_NAME),
+                              cache_pages=heap_cache_pages)
         self._wal = WriteAheadLog(os.path.join(directory, _WAL_NAME))
         self._manifest = ManifestLog(os.path.join(directory, _MANIFEST_NAME))
         self._table: dict[Oid, RecordId] = {}
@@ -345,17 +353,29 @@ class FileEngine(StorageEngine):
 
     def read(self, oid: Oid) -> bytes:
         self._check_open()
-        try:
-            rid = self._table[oid]
-        except KeyError:
-            raise UnknownOidError(int(oid)) from None
-        return self._heap.read(rid)
+        with self._state_lock.read_locked():
+            try:
+                rid = self._table[oid]
+            except KeyError:
+                raise UnknownOidError(int(oid)) from None
+            return self._heap.read(rid)
+
+    def fetch_many(self, oids: Iterable[Oid]) -> dict[Oid, bytes]:
+        self._check_open()
+        found: dict[Oid, bytes] = {}
+        with self._state_lock.read_locked():
+            for oid in oids:
+                rid = self._table.get(oid)
+                if rid is not None:
+                    found[oid] = self._heap.read(rid)
+        return found
 
     def contains(self, oid: Oid) -> bool:
         return oid in self._table
 
     def oids(self) -> tuple[Oid, ...]:
-        return tuple(self._table)
+        with self._state_lock.read_locked():
+            return tuple(self._table)
 
     @property
     def object_count(self) -> int:
@@ -441,14 +461,18 @@ class FileEngine(StorageEngine):
         return txn
 
     def _apply_committed(self, batch: WriteBatch) -> None:
-        for oid, raw in batch.writes:
-            self._apply_write(oid, raw)
-        for oid in batch.deletes:
-            self._apply_delete(oid)
-        if batch.roots is not None:
-            self._roots = dict(batch.roots)
-        if batch.next_oid is not None:
-            self._next_oid = max(self._next_oid, batch.next_oid)
+        # In-memory effects land atomically with respect to readers; the
+        # manifest delta (writer-only state) is appended outside the
+        # exclusive section so readers are not blocked on its file I/O.
+        with self._state_lock.write_locked():
+            for oid, raw in batch.writes:
+                self._apply_write(oid, raw)
+            for oid in batch.deletes:
+                self._apply_delete(oid)
+            if batch.roots is not None:
+                self._roots = dict(batch.roots)
+            if batch.next_oid is not None:
+                self._next_oid = max(self._next_oid, batch.next_oid)
         self._append_delta(batch)
         self._dirty = True
 

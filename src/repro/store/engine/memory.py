@@ -15,9 +15,12 @@ so a failing write leaves prior state untouched.
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.errors import UnknownOidError
 from repro.store.engine.base import StorageEngine, WriteBatch
 from repro.store.oids import FIRST_OID, Oid
+from repro.store.serve.locks import ReadWriteLock
 
 
 class MemoryEngine(StorageEngine):
@@ -30,21 +33,34 @@ class MemoryEngine(StorageEngine):
         self._records: dict[Oid, bytes] = {}
         self._roots: dict[str, Oid] = {}
         self._next_oid = int(FIRST_OID)
+        # Readers share; apply publishes exclusively, so a concurrent
+        # reader sees each batch all-or-nothing (a half-published batch
+        # could otherwise expose a parent whose child write is still
+        # pending in the same batch).
+        self._state_lock = ReadWriteLock()
 
     # -- reads ----------------------------------------------------------
 
     def read(self, oid: Oid) -> bytes:
         self._check_open()
-        try:
-            return self._records[oid]
-        except KeyError:
-            raise UnknownOidError(int(oid)) from None
+        with self._state_lock.read_locked():
+            try:
+                return self._records[oid]
+            except KeyError:
+                raise UnknownOidError(int(oid)) from None
+
+    def fetch_many(self, oids: Iterable[Oid]) -> dict[Oid, bytes]:
+        self._check_open()
+        with self._state_lock.read_locked():
+            records = self._records
+            return {oid: records[oid] for oid in oids if oid in records}
 
     def contains(self, oid: Oid) -> bool:
         return oid in self._records
 
     def oids(self) -> tuple[Oid, ...]:
-        return tuple(self._records)
+        with self._state_lock.read_locked():
+            return tuple(self._records)
 
     @property
     def object_count(self) -> int:
@@ -69,15 +85,16 @@ class MemoryEngine(StorageEngine):
         # Stage first so a bad write (non-bytes payload) cannot publish a
         # half-applied batch.
         staged = [(oid, bytes(raw)) for oid, raw in batch.writes]
-        for oid, raw in staged:
-            self._records[oid] = raw
-            self.record_writes += 1
-        for oid in batch.deletes:
-            self._records.pop(oid, None)
-        if batch.roots is not None:
-            self._roots = dict(batch.roots)
-        if batch.next_oid is not None:
-            self._next_oid = max(self._next_oid, batch.next_oid)
+        with self._state_lock.write_locked():
+            for oid, raw in staged:
+                self._records[oid] = raw
+                self.record_writes += 1
+            for oid in batch.deletes:
+                self._records.pop(oid, None)
+            if batch.roots is not None:
+                self._roots = dict(batch.roots)
+            if batch.next_oid is not None:
+                self._next_oid = max(self._next_oid, batch.next_oid)
         self.batches_applied += 1
 
     def close(self) -> None:

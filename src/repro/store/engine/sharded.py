@@ -278,6 +278,31 @@ class ShardedEngine(StorageEngine):
             return False
         return self._children[self.shard_of(oid)].contains(oid)
 
+    def fetch_many(self, oids: Iterable[Oid]) -> dict[Oid, bytes]:
+        """Bulk read, fanned out per shard on the shard pool: the
+        closure planner's wave of N OIDs becomes at most ``shard_count``
+        concurrent child bulk reads whose I/O overlaps — this is the
+        read-path twin of the write fan-out."""
+        self._check_open()
+        per_shard: dict[int, list[Oid]] = {}
+        for oid in oids:
+            if int(oid) >= RESERVED_OID_BASE:
+                continue
+            per_shard.setdefault(self.shard_of(oid), []).append(oid)
+        if not per_shard:
+            return {}
+        if len(per_shard) == 1:
+            shard, wanted = next(iter(per_shard.items()))
+            return self._children[shard].fetch_many(wanted)
+        futures = [
+            self._pool.submit(self._children[shard].fetch_many, wanted)
+            for shard, wanted in per_shard.items()
+        ]
+        found: dict[Oid, bytes] = {}
+        for future in futures:
+            found.update(future.result())
+        return found
+
     def oids(self) -> tuple[Oid, ...]:
         self._check_open()
         per_shard = self._fan(

@@ -34,10 +34,16 @@ from __future__ import annotations
 
 import os
 import sqlite3
+import threading
+from typing import Iterable
 
-from repro.errors import UnknownOidError
+from repro.errors import StoreClosedError, UnknownOidError
 from repro.store.engine.base import StorageEngine, WriteBatch
 from repro.store.oids import FIRST_OID, Oid
+
+#: Most OIDs per ``SELECT ... IN`` chunk (SQLite's default bound on host
+#: parameters is 999; stay comfortably under it).
+_FETCH_CHUNK = 500
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS objects (
@@ -100,6 +106,14 @@ class SqliteEngine(StorageEngine):
         self._next_oid = int(conn.execute(
             "SELECT value FROM meta WHERE key='next_oid'"
         ).fetchone()[0])
+        # Reads run on one connection *per reader thread*: WAL mode gives
+        # each read its own committed snapshot, so N serving threads read
+        # concurrently (and never observe the writer connection's
+        # half-executed transaction).  Connections are created lazily and
+        # all closed with the engine.
+        self._read_local = threading.local()
+        self._read_conns: list[sqlite3.Connection] = []
+        self._read_conns_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -110,25 +124,68 @@ class SqliteEngine(StorageEngine):
     def close(self) -> None:
         if self._closed:
             return
+        # Mark closed before reaping, so a reader racing this cannot
+        # register (and leak) a fresh connection afterwards — it either
+        # made the list in time and is closed here, or it observes the
+        # flag and backs out.
+        self._closed = True
         if self._conn is not None:
             self._conn.close()
             self._conn = None
+        with self._read_conns_lock:
+            conns, self._read_conns = self._read_conns, []
+        for conn in conns:
+            conn.close()
         super().close()
 
     # -- reads ----------------------------------------------------------
 
+    def _read_conn(self) -> sqlite3.Connection:
+        """This thread's read connection (created on first use)."""
+        conn = getattr(self._read_local, "conn", None)
+        if conn is None:
+            # check_same_thread=False so close() may reap the connection
+            # from whichever thread closes the engine.
+            conn = sqlite3.connect(self._path, check_same_thread=False,
+                                   isolation_level=None, timeout=30.0)
+            with self._read_conns_lock:
+                if self._closed:
+                    conn.close()
+                    raise StoreClosedError(
+                        "the storage engine has been closed")
+                self._read_conns.append(conn)
+            self._read_local.conn = conn
+        return conn
+
     def read(self, oid: Oid) -> bytes:
         self._check_open()
-        row = self._conn.execute(
+        row = self._read_conn().execute(
             "SELECT record FROM objects WHERE oid=?", (int(oid),)
         ).fetchone()
         if row is None:
             raise UnknownOidError(int(oid))
         return bytes(row[0])
 
+    def fetch_many(self, oids: Iterable[Oid]) -> dict[Oid, bytes]:
+        """One ``SELECT ... IN`` per chunk — the closure planner's waves
+        cost a handful of statements instead of a round trip per OID."""
+        self._check_open()
+        wanted = [int(oid) for oid in oids]
+        conn = self._read_conn()
+        found: dict[Oid, bytes] = {}
+        for start in range(0, len(wanted), _FETCH_CHUNK):
+            chunk = wanted[start:start + _FETCH_CHUNK]
+            marks = ",".join("?" * len(chunk))
+            for oid, record in conn.execute(
+                f"SELECT oid, record FROM objects WHERE oid IN ({marks})",
+                chunk,
+            ):
+                found[Oid(oid)] = bytes(record)
+        return found
+
     def contains(self, oid: Oid) -> bool:
         self._check_open()
-        row = self._conn.execute(
+        row = self._read_conn().execute(
             "SELECT 1 FROM objects WHERE oid=?", (int(oid),)
         ).fetchone()
         return row is not None
@@ -137,13 +194,13 @@ class SqliteEngine(StorageEngine):
         self._check_open()
         return tuple(
             Oid(row[0])
-            for row in self._conn.execute("SELECT oid FROM objects")
+            for row in self._read_conn().execute("SELECT oid FROM objects")
         )
 
     @property
     def object_count(self) -> int:
         self._check_open()
-        return self._conn.execute(
+        return self._read_conn().execute(
             "SELECT COUNT(*) FROM objects"
         ).fetchone()[0]
 
@@ -157,7 +214,7 @@ class SqliteEngine(StorageEngine):
     @property
     def page_count(self) -> int:
         self._check_open()
-        return self._conn.execute("PRAGMA page_count").fetchone()[0]
+        return self._read_conn().execute("PRAGMA page_count").fetchone()[0]
 
     # -- writes ---------------------------------------------------------
 

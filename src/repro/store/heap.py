@@ -23,11 +23,20 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import CorruptHeapError
 
 PAGE_SIZE = 4096
+
+#: Default bound on cached page images (4096 pages = 16 MiB).  A long
+#: read session touches every page of a large store; before the cap the
+#: page cache simply kept all of them forever.  Dirty pages are never
+#: evicted — they are the write buffer — so the cache can exceed the cap
+#: transiently between flushes.
+DEFAULT_CACHE_PAGES = 4096
 _HEADER_SIZE = 8
 _SLOT_SIZE = 4
 _TOMBSTONE = 0xFFFF
@@ -180,7 +189,10 @@ class _Page:
 class HeapFile:
     """A file of pages with insert/read/delete of variable-length records."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str, *,
+                 cache_pages: int = DEFAULT_CACHE_PAGES):
+        if cache_pages < 1:
+            raise ValueError(f"cache_pages must be >= 1, got {cache_pages}")
         self._path = path
         exists = os.path.exists(path)
         self._file = open(path, "r+b" if exists else "w+b")
@@ -192,10 +204,20 @@ class HeapFile:
                 f"page size {PAGE_SIZE}"
             )
         self._page_count = size // PAGE_SIZE
-        self._cache: dict[int, _Page] = {}
+        self._cache_pages = cache_pages
+        #: LRU of in-memory page images; clean pages past the cap are
+        #: evicted and re-read on demand.
+        self._cache: OrderedDict[int, _Page] = OrderedDict()
         self._dirty: set[int] = set()
         # Pages that may still have room; validated lazily on insert.
         self._spacious: set[int] = set(range(self._page_count))
+        # One mutex over cache, dirty set and the shared file handle:
+        # several store reader threads fault pages concurrently (and race
+        # the single writer's inserts and flushes); page operations are
+        # short and memory-bound, so a plain mutex beats torn seek/read
+        # interleavings without measurable cost.  Re-entrant because
+        # compaction helpers call each other through public entry points.
+        self._lock = threading.RLock()
 
     # -- page plumbing ----------------------------------------------------
 
@@ -208,8 +230,10 @@ class HeapFile:
         return self._path
 
     def _load_page(self, page_no: int) -> _Page:
-        if page_no in self._cache:
-            return self._cache[page_no]
+        page = self._cache.get(page_no)
+        if page is not None:
+            self._cache.move_to_end(page_no)
+            return page
         if page_no >= self._page_count:
             raise CorruptHeapError(f"page {page_no} beyond end of heap")
         self._file.seek(page_no * PAGE_SIZE)
@@ -218,7 +242,19 @@ class HeapFile:
             raise CorruptHeapError(f"short read on page {page_no}")
         page = _Page(bytearray(raw))
         self._cache[page_no] = page
+        self._evict_clean()
         return page
+
+    def _evict_clean(self) -> None:
+        """Drop least-recently-used *clean* page images past the cap.
+        Dirty pages are the write buffer and must stay until flushed."""
+        if len(self._cache) <= self._cache_pages:
+            return
+        for page_no in list(self._cache):
+            if len(self._cache) <= self._cache_pages:
+                return
+            if page_no not in self._dirty:
+                del self._cache[page_no]
 
     def _new_page(self, kind: int = PAGE_SLOTTED) -> tuple[int, _Page]:
         page = _Page()
@@ -227,6 +263,7 @@ class HeapFile:
         self._page_count += 1
         self._cache[page_no] = page
         self._dirty.add(page_no)
+        self._evict_clean()
         return page_no, page
 
     def _mark_dirty(self, page_no: int) -> None:
@@ -236,6 +273,10 @@ class HeapFile:
 
     def insert(self, record: bytes) -> RecordId:
         """Store ``record`` and return its address."""
+        with self._lock:
+            return self._insert_locked(record)
+
+    def _insert_locked(self, record: bytes) -> RecordId:
         if len(record) > MAX_INLINE_RECORD:
             return self._insert_overflow(record)
         exhausted = []
@@ -279,14 +320,15 @@ class HeapFile:
         return RecordId(page_nos[0], 0)
 
     def read(self, rid: RecordId) -> bytes:
-        page = self._load_page(rid.page_no)
-        if page.kind == PAGE_SLOTTED:
-            return page.read(rid.slot)
-        if page.kind == PAGE_OVERFLOW_HEAD:
-            return self._read_overflow(rid.page_no)
-        raise CorruptHeapError(
-            f"record id {rid} addresses an overflow continuation page"
-        )
+        with self._lock:
+            page = self._load_page(rid.page_no)
+            if page.kind == PAGE_SLOTTED:
+                return page.read(rid.slot)
+            if page.kind == PAGE_OVERFLOW_HEAD:
+                return self._read_overflow(rid.page_no)
+            raise CorruptHeapError(
+                f"record id {rid} addresses an overflow continuation page"
+            )
 
     def _read_overflow(self, head_page_no: int) -> bytes:
         page = self._load_page(head_page_no)
@@ -312,25 +354,27 @@ class HeapFile:
         return bytes(out[:total])
 
     def delete(self, rid: RecordId) -> None:
-        page = self._load_page(rid.page_no)
-        if page.kind == PAGE_SLOTTED:
-            page.delete(rid.slot)
-            self._mark_dirty(rid.page_no)
-            self._spacious.add(rid.page_no)
-            return
-        if page.kind != PAGE_OVERFLOW_HEAD:
-            raise CorruptHeapError(
-                f"record id {rid} addresses an overflow continuation page"
-            )
-        # Turn the whole chain into empty slotted pages, reusable for
-        # future inserts.
-        next_page = struct.unpack_from("<I", page.data, 12)[0]
-        self._reset_page(rid.page_no)
-        while next_page:
-            cont = self._load_page(next_page)
-            link = struct.unpack_from("<I", cont.data, 12)[0]
-            self._reset_page(next_page)
-            next_page = link
+        with self._lock:
+            page = self._load_page(rid.page_no)
+            if page.kind == PAGE_SLOTTED:
+                page.delete(rid.slot)
+                self._mark_dirty(rid.page_no)
+                self._spacious.add(rid.page_no)
+                return
+            if page.kind != PAGE_OVERFLOW_HEAD:
+                raise CorruptHeapError(
+                    f"record id {rid} addresses an overflow continuation "
+                    f"page"
+                )
+            # Turn the whole chain into empty slotted pages, reusable for
+            # future inserts.
+            next_page = struct.unpack_from("<I", page.data, 12)[0]
+            self._reset_page(rid.page_no)
+            while next_page:
+                cont = self._load_page(next_page)
+                link = struct.unpack_from("<I", cont.data, 12)[0]
+                self._reset_page(next_page)
+                next_page = link
 
     def _reset_page(self, page_no: int) -> None:
         page = _Page()
@@ -340,33 +384,36 @@ class HeapFile:
 
     def compact_page(self, page_no: int) -> None:
         """Reclaim dead bytes on one slotted page."""
-        page = self._load_page(page_no)
-        if page.kind == PAGE_SLOTTED:
-            page.compact()
-            self._mark_dirty(page_no)
-            self._spacious.add(page_no)
+        with self._lock:
+            page = self._load_page(page_no)
+            if page.kind == PAGE_SLOTTED:
+                page.compact()
+                self._mark_dirty(page_no)
+                self._spacious.add(page_no)
 
     # -- fragmentation ------------------------------------------------------
 
     def dead_bytes_on(self, page_no: int) -> int:
         """Bytes held by tombstoned records on one slotted page."""
-        page = self._load_page(page_no)
-        if page.kind != PAGE_SLOTTED:
-            return 0
-        live = sum(len(record) for __, record in page.live_records())
-        used = PAGE_SIZE - page.free_offset
-        return max(0, used - live)
+        with self._lock:
+            page = self._load_page(page_no)
+            if page.kind != PAGE_SLOTTED:
+                return 0
+            live = sum(len(record) for __, record in page.live_records())
+            used = PAGE_SIZE - page.free_offset
+            return max(0, used - live)
 
     def fragmentation(self) -> tuple[int, int]:
         """``(dead_bytes, total_bytes)`` across all slotted pages."""
-        dead = 0
-        total = 0
-        for page_no in range(self._page_count):
-            page = self._load_page(page_no)
-            if page.kind == PAGE_SLOTTED:
-                dead += self.dead_bytes_on(page_no)
-                total += PAGE_SIZE
-        return dead, total
+        with self._lock:
+            dead = 0
+            total = 0
+            for page_no in range(self._page_count):
+                page = self._load_page(page_no)
+                if page.kind == PAGE_SLOTTED:
+                    dead += self.dead_bytes_on(page_no)
+                    total += PAGE_SIZE
+            return dead, total
 
     def compact_fragmented(self, threshold: float = 0.25) -> int:
         """Compact every slotted page whose dead fraction exceeds
@@ -375,28 +422,39 @@ class HeapFile:
         Called by the store after garbage collection, so space freed by
         collected records becomes reusable without growing the file.
         """
-        compacted = 0
-        for page_no in range(self._page_count):
-            if self.dead_bytes_on(page_no) > PAGE_SIZE * threshold:
-                self.compact_page(page_no)
-                compacted += 1
-        return compacted
+        with self._lock:
+            compacted = 0
+            for page_no in range(self._page_count):
+                if self.dead_bytes_on(page_no) > PAGE_SIZE * threshold:
+                    self.compact_page(page_no)
+                    compacted += 1
+            return compacted
 
     # -- durability -------------------------------------------------------
 
+    @property
+    def cached_pages(self) -> int:
+        """In-memory page images right now (tests, statistics)."""
+        with self._lock:
+            return len(self._cache)
+
     def flush(self) -> None:
         """Write all dirty pages and fsync the file."""
-        for page_no in sorted(self._dirty):
-            self._file.seek(page_no * PAGE_SIZE)
-            self._file.write(self._cache[page_no].data)
-        self._dirty.clear()
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        with self._lock:
+            for page_no in sorted(self._dirty):
+                self._file.seek(page_no * PAGE_SIZE)
+                self._file.write(self._cache[page_no].data)
+            self._dirty.clear()
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            # Newly-clean pages may put the cache over its bound.
+            self._evict_clean()
 
     def close(self) -> None:
-        if not self._file.closed:
-            self.flush()
-            self._file.close()
+        with self._lock:
+            if not self._file.closed:
+                self.flush()
+                self._file.close()
 
     def __enter__(self) -> "HeapFile":
         return self

@@ -31,11 +31,25 @@ every clean live object (see :meth:`~repro.store.serializer.Serializer.
 snapshot`) and re-serialises only objects that were mutated or newly
 reached since the last stabilise.  The engine's ``record_writes`` counter
 makes that observable.
+
+The **read path is concurrent** (:mod:`repro.store.serve`): lookups take
+the read side of a writer-preferring read-write lock, so N serving
+threads resolve OIDs in parallel; faulting a missing subgraph plans its
+reference closure in engine-parallel waves *outside* the lock
+(:class:`~repro.store.serve.prefetch.FetchPlanner` over
+:meth:`~repro.store.engine.base.StorageEngine.fetch_many`) and installs
+the planned records under the write side, re-validating against whatever
+faults, refreshes or collections won the race.  With ``cache_objects``
+set, the identity map is a bounded
+:class:`~repro.store.serve.cache.ObjectCache` — at most that many clean
+objects stay strongly pinned; the tail is demoted to weak references and
+re-faulted on demand.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 import zlib
 from typing import Any, Optional
 
@@ -44,7 +58,6 @@ from repro.errors import (
     UnknownOidError,
     UnknownRootError,
 )
-from repro.store.cache import IdentityMap
 from repro.store.engine.base import StorageEngine, WriteBatch
 from repro.store.engine.filesystem import FileEngine
 from repro.store.engine.memory import MemoryEngine
@@ -55,36 +68,24 @@ from repro.store.serializer import (
     Record,
     Ref,
     Serializer,
+    record_refs,
     snapshots_equal,
 )
+from repro.store.serve.cache import ObjectCache
+from repro.store.serve.locks import ReadWriteLock
+from repro.store.serve.prefetch import FetchPlan, FetchPlanner
 from repro.store.weakrefs import PersistentWeakRef
 
+__all__ = ["ObjectStore", "StoreStatistics", "record_refs"]
 
-def record_refs(record: Record, include_weak: bool = True) -> list[Oid]:
-    """All OIDs referenced by a record (optionally excluding weak edges)."""
-    if record.kind == KIND_WEAKREF:
-        if include_weak and isinstance(record.payload, Ref):
-            return [record.payload.oid]
-        return []
-    refs: list[Oid] = []
-
-    def visit(value: Any) -> None:
-        if isinstance(value, Ref):
-            refs.append(value.oid)
-        elif type(value) is tuple or type(value) is frozenset:
-            for item in value:
-                visit(item)
-
-    payload = record.payload
-    if isinstance(payload, dict):
-        for value in payload.values():
-            visit(value)
-    elif isinstance(payload, list):
-        # List/set records hold values; dict records hold (key, value)
-        # tuples — visit() recurses into tuples either way.
-        for item in payload:
-            visit(item)
-    return refs
+#: Times a fault re-plans after losing a race (a concurrent eviction
+#: invalidated its plan, or a sharded engine was read mid-commit) before
+#: falling back to planning under the exclusive lock.  The exponential
+#: backoff (1 ms doubling per retry, ~30 ms total) must outlast a
+#: sharded two-phase commit's phase-3 window, which includes per-shard
+#: fsyncs on slower disks; genuine corruption pays the same delay once
+#: and then surfaces unchanged.
+_FAULT_RETRIES = 5
 
 
 class StoreStatistics:
@@ -109,7 +110,8 @@ class ObjectStore:
 
     def __init__(self, directory: str | None = None,
                  registry: ClassRegistry | None = None, *,
-                 engine: StorageEngine | None = None):
+                 engine: StorageEngine | None = None,
+                 cache_objects: int | None = None):
         if engine is None:
             if directory is None:
                 raise ValueError(
@@ -130,8 +132,30 @@ class ObjectStore:
         # accidentally share schema state.
         self.registry = registry if registry is not None else ClassRegistry()
         self._serializer = Serializer(self.registry)
-        self._identity = IdentityMap()
+        # The identity map is a bounded object cache: with a capacity it
+        # keeps an LRU hot set strongly and demotes the clean tail to
+        # weak references; unbounded (the default) it pins everything,
+        # like the seed behaviour.  The guard keeps dirty objects
+        # strongly held until stabilised; the hook drops the demoted
+        # object's clean-state snapshot, which would otherwise pin its
+        # children through the bookkeeping.
+        self._identity = ObjectCache(capacity=cache_objects)
+        self._identity.set_demotion_guard(self._may_demote)
+        self._identity.set_demotion_hook(self._on_demoted)
         self._allocator = OidAllocator(max(int(engine.next_oid), 1))
+        self._planner = FetchPlanner(engine)
+        # The read-serving lock (writer-preferring): lookups share the
+        # read side; installing a faulted subgraph, refresh's
+        # evict-and-refault, transaction aborts and GC evictions take
+        # the write side.  Ordering: threads that hold the commit lock
+        # may take this lock, never the reverse.
+        self._serve_lock = ReadWriteLock()
+        #: Bumped under the write lock by every bulk invalidation
+        #: (garbage collection, evict_all); a fault whose plan started
+        #: under an older epoch discards the plan and re-plans, so a
+        #: freed or aborted subgraph can never be resurrected from
+        #: stale reads.
+        self._epoch = 0
         self._roots: dict[str, Oid] = engine.roots()
         #: oid -> (len, crc) of the stored record bytes; rebuilt lazily.
         self._stored_sig: dict[Oid, tuple[int, int]] = {}
@@ -179,10 +203,17 @@ class ObjectStore:
         ``"file:/path"``, ``"sqlite:/path"``, ``"memory:"`` and
         ``"sharded:N:CHILD-URL"`` (plus bare paths, which mean the file
         backend) are understood — see
-        :func:`repro.store.engine.factory.engine_from_url`.
+        :func:`repro.store.engine.factory.engine_from_url`.  Store-level
+        query parameters (``?cache_objects=50000`` bounds the object
+        cache) are split off here; everything else tunes the engine.
         """
-        from repro.store.engine.factory import engine_from_url
-        return cls(registry=registry, engine=engine_from_url(url))
+        from repro.store.engine.factory import (
+            engine_from_url,
+            split_store_url,
+        )
+        engine_url, store_options = split_store_url(url)
+        return cls(registry=registry, engine=engine_from_url(engine_url),
+                   **store_options)
 
     def close(self) -> None:
         """Flush and close; the store object is unusable afterwards.
@@ -296,8 +327,15 @@ class ObjectStore:
                 # Validate up front that the object is storable at all, so
                 # errors surface at set_root time rather than at stabilise.
                 self._serializer.references_of(obj)
-            oid = self._allocator.allocate()
-            self._identity.add(oid, obj)
+            with self._serve_lock.write_locked():
+                oid = self._identity.oid_for(obj)
+                if oid is None:
+                    oid = self._allocator.allocate()
+                    # No capacity enforcement here: a stabilise walk
+                    # registering thousands of new (dirty, pinned)
+                    # objects must not demote the clean tail one victim
+                    # at a time mid-walk; the next fetch trims.
+                    self._identity.add(oid, obj, enforce=False)
         return oid
 
     def is_stored(self, oid: Oid) -> bool:
@@ -316,48 +354,131 @@ class ObjectStore:
         Fetch is closure-based: the whole subgraph below ``oid`` that is
         not yet live is decoded in two phases (shells, then fills), so
         shared structure and cycles come back exactly as stored.
+
+        Thread-safe: the hot path (the object is live) shares the read
+        lock with every other serving thread; a fault plans its closure
+        in engine-parallel waves *without* holding the lock — so N
+        threads faulting disjoint subgraphs overlap their engine I/O —
+        and installs the result under the write lock, re-validating
+        against concurrent faults and evictions (losing a race costs a
+        re-plan, never a torn object or a duplicate identity).
         """
         self._check_open()
-        live = self._identity.object_for(oid)
+        with self._serve_lock.read_locked():
+            live = self._identity.object_for(oid)
         if live is not None:
             return live
+        return self._fault(oid)
+
+    def _is_live(self, oid: Oid) -> bool:
+        """Planner liveness callback (no LRU side effects)."""
+        return self._identity.peek(oid) is not None
+
+    def _fault(self, oid: Oid) -> Any:
         if not self._engine.contains(oid):
             raise UnknownOidError(int(oid))
-        # Phase 0: find every record needed that is not already live.
-        needed: dict[Oid, Record] = {}
-        worklist = [oid]
-        while worklist:
-            current = worklist.pop()
-            if current in needed or current in self._identity:
+        delay = 0.001
+        for attempt in range(_FAULT_RETRIES):
+            epoch = self._epoch
+            try:
+                plan = self._planner.closure([oid], self._is_live)
+            except UnknownOidError:
+                if attempt == _FAULT_RETRIES - 1:
+                    raise
+                # A reference did not resolve: either genuine corruption
+                # (the retries re-raise it unchanged) or a transient torn
+                # window — a sharded engine read mid-two-phase-commit, or
+                # a GC sweep racing this plan.  Back off briefly and
+                # re-plan.
+                time.sleep(delay)
+                delay *= 2
                 continue
-            record = self._read_record(current)
-            needed[current] = record
+            with self._serve_lock.write_locked():
+                obj = self._install_plan(oid, plan, epoch)
+            if obj is not None:
+                return obj
+            # The plan went stale (a concurrent refresh/eviction removed
+            # an object the plan assumed live, or the epoch moved).
+        # Final attempt: plan *and* install under the write lock, where
+        # nothing can shift underneath the plan.
+        with self._serve_lock.write_locked():
+            plan = self._planner.closure([oid], self._is_live)
+            obj = self._install_plan(oid, plan, self._epoch)
+            if obj is None:  # pragma: no cover - exclusive plan is stable
+                raise UnknownOidError(int(oid))
+            return obj
+
+    def _install_plan(self, target: Oid, plan: FetchPlan,
+                      epoch: int) -> Optional[Any]:
+        """Install a planned closure into the identity map; returns the
+        target object, or ``None`` when the plan is stale and the caller
+        must re-plan.  Caller holds the write lock.
+        """
+        if epoch != self._epoch:
+            return None
+        live = self._identity.peek(target)
+        if live is not None:
+            return live  # another thread faulted it first
+        # Skip records that went live since planning; what remains must
+        # resolve every reference within itself or the live map, or the
+        # plan raced an eviction and is stale.  Live dependencies are
+        # *pinned* (a strong reference held for the rest of the install)
+        # — a weak-tier dependency judged alive here could otherwise be
+        # collected before phase 2 resolves it, since object death needs
+        # no lock.
+        needed: dict[Oid, tuple[bytes, Record]] = {}
+        for record_oid, entry in plan.records.items():
+            if self._identity.peek(record_oid) is None:
+                needed[record_oid] = entry
+        if target not in needed:
+            return None
+        pinned: dict[Oid, Any] = {}
+        for record_oid, (_, record) in needed.items():
             for ref in record_refs(record, include_weak=True):
-                if ref not in needed and ref not in self._identity:
-                    if not self._engine.contains(ref):
-                        raise UnknownOidError(
-                            f"stored object {int(current)} references "
-                            f"missing oid {int(ref)}"
-                        )
-                    worklist.append(ref)
-        # Phase 1: shells.
-        for record_oid, record in needed.items():
-            shell = self._serializer.make_shell(record)
-            self._identity.add(record_oid, shell)
-        # Phase 2: fill.
-        for record_oid, record in needed.items():
-            shell = self._identity.object_for(record_oid)
-            self._serializer.fill_shell(shell, record, self._resolve)
+                if ref in needed or ref in pinned:
+                    continue
+                live_ref = self._identity.peek(ref)
+                if live_ref is None:
+                    return None
+                pinned[ref] = live_ref
+        installed: list[Oid] = []
+        try:
+            # Phase 1: shells.  Capacity enforcement is deferred to the
+            # end of the install: demoting an LRU victim mid-install
+            # could kill an object a later fill still resolves.
+            for record_oid, (_, record) in needed.items():
+                self._identity.add(record_oid,
+                                   self._serializer.make_shell(record),
+                                   enforce=False)
+                installed.append(record_oid)
+            # Phase 2: fill.
+            for record_oid, (_, record) in needed.items():
+                shell = self._identity.peek(record_oid)
+                self._serializer.fill_shell(shell, record, self._resolve)
+        except BaseException:
+            # A failed install (schema mismatch, converter error) must
+            # not leave half-filled shells behind: a later fetch would
+            # find them "live" and serve torn objects forever.
+            for record_oid in installed:
+                self._identity.evict(record_oid)
+                self._shadow.pop(record_oid, None)
+            raise
         # Phase 3: freshly materialised objects are clean by construction
         # (their live state *is* the stored state), so seed the dirty
         # tracker — unless an evolution converter ran, in which case the
         # next stabilise must rewrite the record under the new schema.
-        for record_oid, record in needed.items():
-            obj = self._identity.object_for(record_oid)
+        for record_oid, (raw, record) in needed.items():
+            self._stored_sig[record_oid] = (len(raw), zlib.crc32(raw))
+            obj = self._identity.peek(record_oid)
             snap = self._snapshot_if_clean(obj, record)
             if snap is not None:
                 self._shadow[record_oid] = snap
-        return self._identity.object_for(oid)
+        # Hold the target strongly before cache maintenance: were it
+        # demoted here, nothing else would pin it yet and the weak
+        # reference could die before the caller ever saw the object.
+        result = self._identity.peek(target)
+        self._identity.enforce_capacity()
+        return result
 
     def _snapshot_if_clean(self, obj: Any, record: Record) -> Any:
         """A snapshot for a just-fetched object, or ``None`` when the live
@@ -371,7 +492,7 @@ class ObjectStore:
         return snap
 
     def _resolve(self, oid: Oid) -> Any:
-        obj = self._identity.object_for(oid)
+        obj = self._identity.peek(oid)
         if obj is None:
             raise UnknownOidError(int(oid))
         return obj
@@ -382,14 +503,25 @@ class ObjectStore:
         return Record.from_bytes(raw)
 
     def refresh(self, obj: Any) -> Any:
-        """Discard in-memory state of ``obj``'s OID and re-fetch from disk."""
+        """Discard in-memory state of ``obj``'s OID and re-fetch from disk.
+
+        Evict-and-refault is one atomic step under the write lock: a
+        concurrent ``object_for`` either sees the old object (before) or
+        the re-fetched one (after) — it can no longer slip between the
+        eviction and the re-fetch and resurrect the stale shell.
+        """
         self._check_open()
-        oid = self._identity.oid_for(obj)
-        if oid is None or not self._engine.contains(oid):
-            raise UnknownOidError("object is not stored")
-        self._identity.evict(oid)
-        self._shadow.pop(oid, None)
-        return self.object_for(oid)
+        with self._serve_lock.write_locked():
+            oid = self._identity.oid_for(obj)
+            if oid is None or not self._engine.contains(oid):
+                raise UnknownOidError("object is not stored")
+            self._identity.evict(oid)
+            self._shadow.pop(oid, None)
+            plan = self._planner.closure([oid], self._is_live)
+            fresh = self._install_plan(oid, plan, self._epoch)
+            if fresh is None:  # pragma: no cover - exclusive plan is stable
+                raise UnknownOidError(int(oid))
+            return fresh
 
     def evict_all(self) -> None:
         """Drop every live object; subsequent fetches re-read from disk.
@@ -398,8 +530,52 @@ class ObjectStore:
         transaction become unreachable through the store, and fresh fetches
         observe the last stabilised state.
         """
-        self._identity.clear()
-        self._shadow.clear()
+        with self._serve_lock.write_locked():
+            self._identity.clear()
+            self._shadow.clear()
+            self._epoch += 1
+
+    # -- bounded-cache policy ------------------------------------------
+
+    def _may_demote(self, oid: Oid, obj: Any) -> bool:
+        """Whether an LRU victim may leave the strong set: only objects
+        whose current state still matches their last-stored state —
+        unstabilised mutations must never become collectable.
+
+        The cheap test is the clean-state snapshot; an object without
+        one (promoted back from the weak tier — demotion dropped its
+        snapshot — or registered by a walk) is re-encoded and its bytes
+        compared against the stored signature instead.  Either check
+        errs towards pinning.
+        """
+        shadow = self._shadow.get(oid)
+        if shadow is not None:
+            return snapshots_equal(shadow, self._serializer.snapshot(obj))
+        sig = self._stored_sig.get(oid)
+        if sig is None:
+            return False  # never stored (or sig not yet seen): pin it
+
+        def known_oid(child: Any) -> Oid:
+            child_oid = self._identity.oid_for(child)
+            if child_oid is None:
+                # References an object the store has never seen: the
+                # victim must be dirty (a new edge).
+                raise LookupError(int(oid))
+            return child_oid
+
+        try:
+            raw = self._serializer.encode_object(oid, obj, known_oid) \
+                .to_bytes()
+        except Exception:
+            return False
+        return (len(raw), zlib.crc32(raw)) == sig
+
+    def _on_demoted(self, oid: Oid) -> None:
+        """A demoted object's snapshot would pin its children (snapshots
+        hold plain references); drop it — if the object survives and is
+        walked again it is simply re-encoded, and the byte-signature
+        filter suppresses the redundant write."""
+        self._shadow.pop(oid, None)
 
     # ------------------------------------------------------------------
     # stabilisation (checkpoint)
@@ -489,8 +665,12 @@ class ObjectStore:
         live_worklist: list[Any] = []
         stored_worklist: list[Oid] = []
 
-        for oid in self._roots.values():
-            obj = self._identity.object_for(oid)
+        # Snapshot the root table: set_root from another thread must not
+        # resize the dict under this iteration.  peek() rather than
+        # object_for(): a full walk must not churn the bounded cache's
+        # recency order.
+        for oid in list(self._roots.values()):
+            obj = self._identity.peek(oid)
             if obj is not None:
                 live_worklist.append(obj)
             else:
@@ -538,7 +718,7 @@ class ObjectStore:
             oid = stored_worklist.pop()
             if oid in seen_stored or oid in reachable:
                 continue
-            live = self._identity.object_for(oid)
+            live = self._identity.peek(oid)
             if live is not None:
                 walk_live(live)
                 continue
@@ -624,7 +804,7 @@ class ObjectStore:
                 if target in freed or not self._engine.contains(target):
                     cleared = Record(oid, KIND_WEAKREF, "", "", None)
                     batch.write(oid, cleared.to_bytes())
-                    live = self._identity.object_for(oid)
+                    live = self._identity.peek(oid)
                     if isinstance(live, PersistentWeakRef):
                         live.clear()
         # One atomic batch: deletions and weak-reference clears commit (and
@@ -634,18 +814,24 @@ class ObjectStore:
             self._engine.apply(batch)
         for oid, raw in batch.writes:
             self._stored_sig[oid] = (len(raw), zlib.crc32(raw))
-        # Clear live weak references pointing at freed objects — before
-        # the victims leave the identity map, while their targets still
-        # resolve to OIDs.
-        for oid, obj in self._identity.items():
-            if isinstance(obj, PersistentWeakRef) and obj.get() is not None:
-                target_oid = self._identity.oid_for(obj.get())
-                if target_oid is not None and target_oid in freed:
-                    obj.clear()
-        for oid in victims:
-            self._identity.evict(oid)
-            self._shadow.pop(oid, None)
-            self._stored_sig.pop(oid, None)
+        # Evictions happen exclusively against the serving threads, and
+        # the epoch moves: a fault whose plan predates this sweep could
+        # otherwise install freed records from its stale reads.
+        with self._serve_lock.write_locked():
+            # Clear live weak references pointing at freed objects —
+            # before the victims leave the identity map, while their
+            # targets still resolve to OIDs.
+            for oid, obj in self._identity.items():
+                if isinstance(obj, PersistentWeakRef) \
+                        and obj.get() is not None:
+                    target_oid = self._identity.oid_for(obj.get())
+                    if target_oid is not None and target_oid in freed:
+                        obj.clear()
+            for oid in victims:
+                self._identity.evict(oid)
+                self._shadow.pop(oid, None)
+                self._stored_sig.pop(oid, None)
+            self._epoch += 1
         # Reclaim space the deletions left behind.
         self._engine.compact()
         return len(victims)
@@ -710,6 +896,6 @@ class ObjectStore:
                     )
         for name, oid in self._roots.items():
             if not self._engine.contains(oid) and \
-                    self._identity.object_for(oid) is None:
+                    self._identity.peek(oid) is None:
                 problems.append(f"root {name!r} names missing oid {int(oid)}")
         return problems

@@ -381,6 +381,33 @@ def is_inline(value: Any) -> bool:
                            tuple, frozenset)
 
 
+def record_refs(record: "Record", include_weak: bool = True) -> list[Oid]:
+    """All OIDs referenced by a record (optionally excluding weak edges)."""
+    if record.kind == KIND_WEAKREF:
+        if include_weak and isinstance(record.payload, Ref):
+            return [record.payload.oid]
+        return []
+    refs: list[Oid] = []
+
+    def visit(value: Any) -> None:
+        if isinstance(value, Ref):
+            refs.append(value.oid)
+        elif type(value) is tuple or type(value) is frozenset:
+            for item in value:
+                visit(item)
+
+    payload = record.payload
+    if isinstance(payload, dict):
+        for value in payload.values():
+            visit(value)
+    elif isinstance(payload, list):
+        # List/set records hold values; dict records hold (key, value)
+        # tuples — visit() recurses into tuples either way.
+        for item in payload:
+            visit(item)
+    return refs
+
+
 # ---------------------------------------------------------------------------
 # Dirty tracking: shallow state snapshots
 # ---------------------------------------------------------------------------

@@ -1,0 +1,29 @@
+"""The read-serving subsystem: concurrent fetch over a bounded cache.
+
+The store's write path went concurrent in the commit-pipeline cycle
+(``stabilize()`` is thread-safe and group-commits coalesce); this package
+supplies the matching read path, so N serving threads can resolve OID
+graphs against a live store:
+
+* :class:`~repro.store.serve.locks.ReadWriteLock` — a writer-preferring
+  read-write lock.  The store holds the read side for identity-map
+  lookups (many threads at once) and the write side for the compound
+  operations that must be atomic against them: installing a faulted
+  subgraph, ``refresh``'s evict-and-refault, garbage-collection
+  evictions.
+* :class:`~repro.store.serve.cache.ObjectCache` — the bounded identity
+  map: an LRU of strong references over a weak-reference tail, so a
+  store serving millions of objects keeps at most ``cache_objects``
+  clean objects pinned while identity is still preserved for every
+  object the application can reach.
+* :class:`~repro.store.serve.prefetch.FetchPlanner` — closure fetching
+  in shard-parallel waves over the
+  :meth:`~repro.store.engine.base.StorageEngine.fetch_many` bulk-read
+  contract, instead of one engine round-trip per OID.
+"""
+
+from repro.store.serve.cache import ObjectCache
+from repro.store.serve.locks import ReadWriteLock
+from repro.store.serve.prefetch import FetchPlan, FetchPlanner
+
+__all__ = ["ObjectCache", "ReadWriteLock", "FetchPlan", "FetchPlanner"]

@@ -47,6 +47,30 @@ class TestEngineContract:
             engine.read(Oid(404))
         assert not engine.contains(Oid(404))
 
+    def test_fetch_many_bulk_roundtrip(self, engine):
+        batch = WriteBatch()
+        expected = {}
+        for index in range(1, 25):
+            raw = f"record-{index}".encode()
+            batch.write(Oid(index), raw)
+            expected[Oid(index)] = raw
+        engine.apply(batch)
+        assert engine.fetch_many(list(expected)) == expected
+
+    def test_fetch_many_omits_missing(self, engine):
+        engine.apply(WriteBatch().write(Oid(1), b"a").write(Oid(3), b"c"))
+        got = engine.fetch_many([Oid(1), Oid(2), Oid(3), Oid(404)])
+        assert got == {Oid(1): b"a", Oid(3): b"c"}
+
+    def test_fetch_many_empty_request(self, engine):
+        engine.apply(WriteBatch().write(Oid(1), b"a"))
+        assert engine.fetch_many([]) == {}
+
+    def test_fetch_many_sees_latest_write(self, engine):
+        engine.apply(WriteBatch().write(Oid(1), b"old"))
+        engine.apply(WriteBatch().write(Oid(1), b"new").delete(Oid(9)))
+        assert engine.fetch_many([Oid(1)]) == {Oid(1): b"new"}
+
     def test_overwrite_replaces(self, engine):
         engine.apply(WriteBatch().write(Oid(1), b"old"))
         engine.apply(WriteBatch().write(Oid(1), b"new"))

@@ -164,6 +164,33 @@ class TestQueryParameters:
         with pytest.raises(ValueError, match="checkpoint_wal_bytes"):
             engine_from_url(f"file:{tmp_path}?checkpoint_wal_bytes=big")
 
+    def test_heap_cache_pages_knob(self, tmp_path):
+        with engine_from_url(f"file:{tmp_path / 's'}"
+                             "?heap_cache_pages=7") as engine:
+            assert engine.heap._cache_pages == 7
+
+    def test_heap_cache_pages_rejected_for_other_schemes(self):
+        with pytest.raises(ValueError, match="heap_cache_pages"):
+            engine_from_url("memory:?heap_cache_pages=7")
+
+    def test_sharded_forwards_file_child_keys(self, tmp_path):
+        url = f"sharded:2:file:{tmp_path / 'c'}?heap_cache_pages=9"
+        with engine_from_url(url) as engine:
+            for child in engine.children:
+                assert child.heap._cache_pages == 9
+
+    def test_sharded_forwards_sqlite_child_keys(self, tmp_path):
+        url = f"sharded:2:sqlite:{tmp_path / 'c'}?synchronous=FULL"
+        with engine_from_url(url) as engine:
+            for child in engine.children:
+                level = child._conn.execute(
+                    "PRAGMA synchronous").fetchone()[0]
+                assert level == 2  # FULL
+
+    def test_sharded_rejects_foreign_child_keys(self, tmp_path):
+        with pytest.raises(ValueError, match="synchronous"):
+            engine_from_url(f"sharded:2:file:{tmp_path}?synchronous=FULL")
+
     def test_unknown_key_error_names_known_keys(self):
         with pytest.raises(ValueError) as excinfo:
             engine_from_url("memory:?bogus=1")
@@ -198,6 +225,55 @@ class TestQueryParameters:
             st.stabilize()
         with pytest.raises(ValueError, match="4 shards"):
             open_store(f"sharded:3:sqlite:{base}", registry=registry)
+
+
+class TestStoreLevelParameters:
+    """``cache_objects`` configures the store, not the engine."""
+
+    def test_split_store_url_peels_cache_objects(self, tmp_path):
+        from repro.store.engine.factory import split_store_url
+        engine_url, options = split_store_url(
+            f"file:{tmp_path}?cache_objects=64&durability=group")
+        assert engine_url == f"file:{tmp_path}?durability=group"
+        assert options == {"cache_objects": 64}
+
+    def test_split_store_url_without_query_is_identity(self, tmp_path):
+        from repro.store.engine.factory import split_store_url
+        assert split_store_url(f"file:{tmp_path}") == (f"file:{tmp_path}", {})
+
+    def test_engine_factory_refuses_store_keys(self, tmp_path):
+        with pytest.raises(ValueError, match="configure the store"):
+            engine_from_url(f"file:{tmp_path}?cache_objects=64")
+
+    def test_open_store_bounds_the_object_cache(self, tmp_path, registry):
+        url = f"file:{tmp_path / 's'}?cache_objects=32"
+        with open_store(url, registry=registry) as store:
+            assert store._identity.capacity == 32
+            store.set_root("people", [Person("ann")])
+            store.stabilize()
+        with open_store(url, registry=registry) as store:
+            assert store.get_root("people")[0].name == "ann"
+
+    def test_open_store_default_cache_is_unbounded(self, tmp_path, registry):
+        with open_store(f"file:{tmp_path / 's'}", registry=registry) as store:
+            assert store._identity.capacity is None
+
+    @pytest.mark.parametrize("value", ["0", "-1", "many"])
+    def test_bad_cache_objects_rejected(self, tmp_path, value):
+        with pytest.raises(ValueError, match="cache_objects"):
+            open_store(f"memory:?cache_objects={value}")
+
+    def test_cache_objects_composes_with_engine_params(self, tmp_path,
+                                                       registry):
+        url = (f"sharded:2:file:{tmp_path / 'cluster'}"
+               "?shard_durability=async&cache_objects=16")
+        with open_store(url, registry=registry) as store:
+            assert store._identity.capacity == 16
+            store.set_root("people", [Person("ann"), Person("bo")])
+            store.stabilize()
+        with open_store(url, registry=registry) as store:
+            assert [p.name for p in store.get_root("people")] \
+                == ["ann", "bo"]
 
 
 class TestOpenStore:

@@ -206,6 +206,53 @@ class TestDurability:
             assert heap.read(rid) == big
 
 
+class TestPageCacheBound:
+    """The in-memory page cache is an LRU capped at ``cache_pages``;
+    dirty pages (the write buffer) are never evicted."""
+
+    def test_cache_pages_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            HeapFile(str(tmp_path / "h.heap"), cache_pages=0)
+
+    def test_dirty_pages_survive_the_cap(self, tmp_path):
+        with HeapFile(str(tmp_path / "h.heap"), cache_pages=4) as heap:
+            rids = [heap.insert(b"x" * 1500) for _ in range(40)]
+            # Every touched page is dirty, so the cache must hold them
+            # all until flush — losing one would lose writes.
+            assert heap.cached_pages > 4
+            heap.flush()
+            # Once clean, the LRU trims back under the cap.
+            assert heap.cached_pages <= 4
+            for rid in rids:
+                assert heap.read(rid) == b"x" * 1500
+            assert heap.cached_pages <= 4
+
+    def test_reads_reload_evicted_pages_correctly(self, tmp_path):
+        path = str(tmp_path / "h.heap")
+        with HeapFile(path, cache_pages=2) as heap:
+            payloads = {index: bytes([index]) * 900 for index in range(30)}
+            rids = {index: heap.insert(raw)
+                    for index, raw in payloads.items()}
+            heap.flush()
+            # Sweep forwards and backwards so every page is evicted and
+            # reloaded at least once.
+            for index in list(payloads) + list(reversed(list(payloads))):
+                assert heap.read(rids[index]) == payloads[index]
+            assert heap.cached_pages <= 2
+
+    def test_long_read_session_stays_bounded(self, tmp_path):
+        """Regression: the page cache used to grow without bound across
+        read sessions — one entry per page ever touched."""
+        path = str(tmp_path / "h.heap")
+        with HeapFile(path) as heap:
+            rids = [heap.insert(os.urandom(2000)) for _ in range(400)]
+            heap.flush()
+        with HeapFile(path, cache_pages=16) as heap:
+            for rid in rids:
+                heap.read(rid)
+            assert heap.cached_pages <= 16
+
+
 class TestPropertyBased:
     @settings(max_examples=25, deadline=None)
     @given(st.lists(st.binary(min_size=0, max_size=2000), min_size=1,
