@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Validate benchmark JSON artifacts: exist, parse, right schema,
+non-empty results.
+
+CI runs this after the benchmark steps so a silently-empty or
+malformed BENCH file fails the build instead of uploading garbage:
+
+    python scripts/check_bench_artifacts.py BENCH_store.json ...
+
+Each file must be the object ``benchmarks/conftest.py`` writes for
+``--bench-json``: ``schema`` == 1, a ``results`` list with at least one
+row, and every row a dict carrying a ``name``.  Exits non-zero naming
+every problem found.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+SCHEMA = 1
+
+
+def check(path: str) -> list[str]:
+    """Problems with one artifact (empty list: the file is sound)."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except FileNotFoundError:
+        return [f"{path}: missing (benchmark step did not write it)"]
+    except json.JSONDecodeError as exc:
+        return [f"{path}: not valid JSON ({exc})"]
+    problems = []
+    if not isinstance(payload, dict):
+        return [f"{path}: top level is {type(payload).__name__}, "
+                f"expected an object"]
+    if payload.get("schema") != SCHEMA:
+        problems.append(f"{path}: schema is {payload.get('schema')!r}, "
+                        f"expected {SCHEMA}")
+    results = payload.get("results")
+    if not isinstance(results, list) or not results:
+        problems.append(f"{path}: results is empty or not a list — the "
+                        f"benchmark recorded nothing")
+        return problems
+    for index, row in enumerate(results):
+        if not isinstance(row, dict) or not row.get("name"):
+            problems.append(f"{path}: results[{index}] lacks a name")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_bench_artifacts.py BENCH_FILE...",
+              file=sys.stderr)
+        return 2
+    problems = [problem for path in argv for problem in check(path)]
+    for problem in problems:
+        print(f"FAIL {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    for path in argv:
+        with open(path, encoding="utf-8") as fh:
+            rows = json.load(fh)["results"]
+        names = ", ".join(sorted(row["name"] for row in rows))
+        print(f"ok {path}: {len(rows)} result row(s) [{names}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -30,7 +30,7 @@ provides that substrate for Python:
 
 from repro.store.oids import Oid, OidAllocator
 from repro.store.registry import ClassRegistry, persistent
-from repro.store.serializer import Serializer, Record
+from repro.store.serializer import Record, RecordCodec, Serializer, parse_codec
 from repro.store.engine import (
     FileEngine,
     MemoryEngine,
@@ -67,9 +67,12 @@ def open_store(url: str, registry=None) -> ObjectStore:
       ``"sharded:4:sqlite:/path"``.
 
     A query string tunes the stack: engine keys are listed in the
-    factory module; the store-level ``?cache_objects=N`` bounds the
-    live-object cache (at most N clean objects pinned strongly, the
-    tail demoted to weak references).
+    factory module; store-level keys are ``?cache_objects=N`` (bound
+    the live-object cache — at most N clean objects pinned strongly,
+    the tail demoted to weak references), ``?compress=zlib:1`` (a
+    per-record codec for new writes; ``zlib`` / ``lzma``, optional
+    ``:level``) and ``?encode_workers=N`` (stabilise encoder pool
+    size, ``0`` = inline).
     """
     return ObjectStore.from_url(url, registry=registry)
 
@@ -81,6 +84,8 @@ __all__ = [
     "persistent",
     "Serializer",
     "Record",
+    "RecordCodec",
+    "parse_codec",
     "StorageEngine",
     "WriteBatch",
     "FileEngine",

@@ -61,6 +61,15 @@ class IdentityMap:
         with self._mutex:
             return self._by_oid.get(oid)
 
+    def hit(self, oid: Oid) -> Optional[Any]:
+        """Optimistic strong-tier probe for the store's lock-free read
+        fast path: a bare ``dict.get``, no mutex.  Safe because a single
+        ``dict`` operation is atomic under the GIL; the *caller*
+        validates against overlapping write sections with the serve
+        lock's seqlock epoch and retakes the locked path on any overlap.
+        """
+        return self._by_oid.get(oid)
+
     def peek(self, oid: Oid) -> Optional[Any]:
         """Like :meth:`object_for` but without recency side effects —
         internal walks (stabilise, GC) use this so a full traversal does

@@ -42,8 +42,11 @@ key                          meaning
 unknown keys, malformed pairs and out-of-range values raise
 ``ValueError`` naming the offending key.
 
-One query key belongs to the *store* layer rather than any engine:
-``cache_objects`` bounds the store's live-object cache.
+A few query keys belong to the *store* layer rather than any engine:
+``cache_objects`` bounds the store's live-object cache, ``compress``
+names a per-record codec for new writes (``zlib``, ``zlib:1`` …
+``zlib:9``, ``lzma``, ``lzma:0`` … ``lzma:9``, or ``none``) and
+``encode_workers`` sizes the stabilise encoder pool (``0`` = inline).
 :func:`split_store_url` peels such keys off (``ObjectStore.from_url``
 and ``open_store`` call it); handing them straight to
 :func:`engine_from_url` raises a ``ValueError`` that says so.
@@ -79,7 +82,7 @@ _SCHEME_KEYS = {
 
 #: Keys consumed by the ObjectStore layer, valid for every scheme; the
 #: engine factory never sees them (``split_store_url`` peels them off).
-STORE_KEYS = ("cache_objects",)
+STORE_KEYS = ("cache_objects", "compress", "encode_workers")
 
 
 def _split_scheme(url: str) -> tuple[str | None, str]:
@@ -245,10 +248,11 @@ def split_store_url(url: str) -> tuple[str, dict]:
 
     Returns ``(engine_url, store_options)`` where ``engine_url`` keeps
     every engine-level parameter and ``store_options`` is ready to pass
-    to ``ObjectStore(**store_options)`` — currently just
-    ``cache_objects`` (the bounded object-cache capacity, an integer
-    >= 1).  Values are validated here so a bad store parameter fails
-    before any engine is opened.
+    to ``ObjectStore(**store_options)``: ``cache_objects`` (the bounded
+    object-cache capacity, an integer >= 1), ``compress`` (a per-record
+    codec spec such as ``zlib:1``) and ``encode_workers`` (stabilise
+    encoder pool size, an integer >= 0).  Values are validated here so
+    a bad store parameter fails before any engine is opened.
     """
     base, has_query, query = url.partition("?")
     if not has_query:
@@ -264,6 +268,26 @@ def split_store_url(url: str) -> tuple[str, dict]:
             )
         store_options["cache_objects"] = capacity
         del params["cache_objects"]
+    if "compress" in params:
+        from repro.store.serializer import parse_codec
+
+        spec = params.pop("compress")
+        try:
+            parse_codec(spec)
+        except ValueError as exc:
+            raise ValueError(
+                f"query parameter compress is invalid: {exc}"
+            ) from None
+        store_options["compress"] = spec
+    if "encode_workers" in params:
+        workers = _int_param(params, "encode_workers")
+        if workers is not None and workers < 0:
+            raise ValueError(
+                f"query parameter encode_workers must be >= 0, "
+                f"got {workers}"
+            )
+        store_options["encode_workers"] = workers
+        del params["encode_workers"]
     if params:
         rest = "&".join(f"{key}={value}" for key, value in params.items())
         return f"{base}?{rest}", store_options

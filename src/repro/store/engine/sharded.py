@@ -98,6 +98,12 @@ TOPOLOGY_OID = Oid(RESERVED_OID_BASE + 2)
 #: Bytes of per-batch token prefixed to staging and marker records.
 _TOKEN_LEN = 16
 
+#: Batches with at most this many record operations run their staging
+#: and apply fans inline on the committing thread rather than on the
+#: shard pool — the pool's per-item GIL handoff costs more than the
+#: overlap buys for a handful of writes.
+_INLINE_FAN_OPS = 16
+
 
 def encode_batch(batch: WriteBatch) -> bytes:
     """Serialise a :class:`WriteBatch` for staging (little-endian framed)."""
@@ -236,9 +242,27 @@ class ShardedEngine(StorageEngine):
         """The index of the shard that owns ``oid``."""
         return int(oid) % len(self._children)
 
-    def _fan(self, fn, items: Iterable) -> list:
-        """Run ``fn`` over ``items`` on the shard pool; propagate errors."""
+    def _fan(self, fn, items: Iterable, inline: bool = False) -> list:
+        """Run ``fn`` over ``items`` on the shard pool; propagate errors.
+
+        ``inline=True`` runs the items sequentially on the calling
+        thread instead.  Write-side fans use it for small batches: a
+        pool dispatch is a GIL handoff per item, and when concurrent
+        reader threads are saturating the interpreter, every handoff
+        can cost many scheduler switch intervals — far more than the
+        few records of staging work it would overlap.
+        """
+        if inline:
+            return [fn(item) for item in items]
         return list(self._pool.map(fn, items))
+
+    @staticmethod
+    def _small(subs: dict[int, WriteBatch]) -> bool:
+        """Whether a partitioned batch is too small to be worth fanning
+        out (see :meth:`_fan`)."""
+        ops = sum(len(sub.writes) + len(sub.deletes)
+                  for sub in subs.values())
+        return ops <= _INLINE_FAN_OPS
 
     # -- lifecycle ------------------------------------------------------
 
@@ -371,6 +395,13 @@ class ShardedEngine(StorageEngine):
         """Phase 1: durably stage each shard's sub-batch on that shard,
         tagged with the batch token, then a durability barrier.
 
+        The per-shard staging blobs (``encode_batch`` of each
+        sub-batch) are built and written in parallel on the shard pool
+        via ``_fan`` — the write-side counterpart of ``fetch_many``'s
+        fan-out.  The store's stabilise encode phase aligns its chunks
+        with ``shard_of`` so each encoded chunk's records land in one
+        sub-batch here, keeping that fan-out balanced.
+
         Public (like ``FileEngine.log_batch``) so crash recovery is
         testable: a process dying after a partial or complete prepare,
         with no commit marker, must expose none of the batch on reopen.
@@ -389,7 +420,7 @@ class ShardedEngine(StorageEngine):
             )
             child.sync()
 
-        self._fan(stage, subs.items())
+        self._fan(stage, subs.items(), inline=self._small(subs))
         return token
 
     def write_commit_marker(self, token: Optional[bytes] = None) -> None:
@@ -422,7 +453,7 @@ class ShardedEngine(StorageEngine):
             combined.next_oid = sub.next_oid
             self._children[shard].apply(combined)
 
-        self._fan(apply_one, subs.items())
+        self._fan(apply_one, subs.items(), inline=self._small(subs))
 
     def _clear_commit_marker(self) -> None:
         self._children[0].apply(WriteBatch().delete(MARKER_OID))

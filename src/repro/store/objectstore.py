@@ -58,6 +58,7 @@ from repro.errors import (
     UnknownOidError,
     UnknownRootError,
 )
+from repro.store.commit.encode import EncoderPool
 from repro.store.engine.base import StorageEngine, WriteBatch
 from repro.store.engine.filesystem import FileEngine
 from repro.store.engine.memory import MemoryEngine
@@ -66,10 +67,13 @@ from repro.store.registry import ClassRegistry
 from repro.store.serializer import (
     KIND_WEAKREF,
     Record,
+    RecordCodec,
     Ref,
     Serializer,
+    parse_codec,
     record_refs,
     snapshots_equal,
+    unwrap_record,
 )
 from repro.store.serve.cache import ObjectCache
 from repro.store.serve.locks import ReadWriteLock
@@ -77,6 +81,11 @@ from repro.store.serve.prefetch import FetchPlan, FetchPlanner
 from repro.store.weakrefs import PersistentWeakRef
 
 __all__ = ["ObjectStore", "StoreStatistics", "record_refs"]
+
+#: Sentinel distinguishing "weakref never stored" from "stored with a
+#: cleared (None) target" in the ``_weak_stored`` cache — ``None`` is a
+#: legal cached value there.
+_WEAK_UNKNOWN = object()
 
 #: Times a fault re-plans after losing a race (a concurrent eviction
 #: invalidated its plan, or a sharded engine was read mid-commit) before
@@ -111,7 +120,9 @@ class ObjectStore:
     def __init__(self, directory: str | None = None,
                  registry: ClassRegistry | None = None, *,
                  engine: StorageEngine | None = None,
-                 cache_objects: int | None = None):
+                 cache_objects: int | None = None,
+                 compress: str | RecordCodec | None = None,
+                 encode_workers: int | None = None):
         if engine is None:
             if directory is None:
                 raise ValueError(
@@ -157,24 +168,71 @@ class ObjectStore:
         #: stale reads.
         self._epoch = 0
         self._roots: dict[str, Oid] = engine.roots()
-        #: oid -> (len, crc) of the stored record bytes; rebuilt lazily.
+        #: oid -> (len, crc) of the stored record bytes *before* codec
+        #: framing — signatures are always over raw record bytes, so a
+        #: store reopened under a different ``compress=`` setting keeps
+        #: its dirty filter intact.  Rebuilt lazily.
         self._stored_sig: dict[Oid, tuple[int, int]] = {}
         #: oid -> shallow state snapshot of the clean live object.
         self._shadow: dict[Oid, Any] = {}
+        #: oid -> target OID of the last *stored* weak-reference record.
+        #: Weak records used to be rebuilt and re-serialised on every
+        #: stabilise "just in case"; this cache (the weakref analogue of
+        #: the shadow snapshot — weakrefs have no snapshot by design)
+        #: skips the rebuild when the resolved target has not moved.
+        self._weak_stored: dict[Oid, Optional[Oid]] = {}
         #: Objects serialised since open (observability for benchmarks:
         #: incremental stabilisation keeps this close to the dirty count).
         self.encode_count = 0
+        #: Weak-reference records actually rebuilt (the `_weak_stored`
+        #: cache keeps this from growing on clean re-stabilises).
+        self.weak_rebuilds = 0
         self._active_txn = None
         self._closed = False
-        # Serialises the stabilise walk and its bookkeeping, so several
-        # threads may call stabilize() concurrently — over a pipelined
-        # engine their batches then coalesce into group commits, since
-        # each thread waits for durability *outside* this lock.
+        # Serialises the stabilise walk/commit phases and their
+        # bookkeeping, so several threads may call stabilize()
+        # concurrently — the encode phase and the wait for durability
+        # both run *outside* this lock, so over a pipelined engine their
+        # batches coalesce into group commits while other threads walk.
         # Re-entrant because collect_garbage() stabilises internally.
         self._commit_lock = threading.RLock()
+        #: Per-OID commit sequence: the walk number of the *latest*
+        #: stabilise that collected the OID as dirty.  With the encode
+        #: phase outside the lock, two concurrent stabilises can reach
+        #: their commit phase out of walk order; the later walk always
+        #: wins — the earlier one drops any OID stamped after it, so a
+        #: stale encoding can never overwrite a fresher committed one.
+        self._commit_seq: dict[Oid, int] = {}
+        self._stabilize_seq = 0
+        #: Bumped by every garbage collection; a stabilise whose walk
+        #: predates the sweep re-walks instead of committing records
+        #: that may reference freed OIDs.
+        self._gc_seq = 0
+        #: The per-record codec new writes go through (``None``: raw).
+        self._codec = parse_codec(compress)
+        #: The encode phase's worker pool (``encode_workers=0`` keeps
+        #: encoding inline on the stabilising thread).
+        self._encoder = EncoderPool(workers=encode_workers)
+        #: Cumulative stabilise-phase counters behind :meth:`stats`.
+        self._phase_stats = {
+            "stabilize_count": 0,
+            "walk_ns": 0,
+            "encode_ns": 0,
+            "commit_ns": 0,
+            "encoded_bytes": 0,
+            "compressed_bytes": 0,
+        }
         #: Ticket of the most recent engine commit this store submitted
         #: (for awaiting an ``async``-policy engine's durability).
         self.last_commit = None
+        #: Count of write-side operations (stabilise, garbage collection)
+        #: currently in flight.  Read *without* a lock by the serving
+        #: fast path (plain int loads are atomic under the GIL): while a
+        #: commit is running, readers route through the shared lock —
+        #: whose sleeping naturally throttles a reader stampede — so the
+        #: committing thread and the engine worker threads it waits on
+        #: are never starved of scheduler slots by spinning cache hits.
+        self._write_busy = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -204,8 +262,11 @@ class ObjectStore:
         ``"sharded:N:CHILD-URL"`` (plus bare paths, which mean the file
         backend) are understood — see
         :func:`repro.store.engine.factory.engine_from_url`.  Store-level
-        query parameters (``?cache_objects=50000`` bounds the object
-        cache) are split off here; everything else tunes the engine.
+        query parameters are split off here; everything else tunes the
+        engine.  ``?cache_objects=50000`` bounds the object cache,
+        ``?compress=zlib:1`` (or ``lzma:0``) compresses new record
+        writes per record, and ``?encode_workers=N`` sizes the stabilise
+        encode pool (``0`` keeps encoding inline).
         """
         from repro.store.engine.factory import (
             engine_from_url,
@@ -226,6 +287,7 @@ class ObjectStore:
         if self._closed:
             return
         self._closed = True
+        self._encoder.close()
         self._engine.close()
 
     def flush(self) -> None:
@@ -355,16 +417,46 @@ class ObjectStore:
         not yet live is decoded in two phases (shells, then fills), so
         shared structure and cycles come back exactly as stored.
 
-        Thread-safe: the hot path (the object is live) shares the read
-        lock with every other serving thread; a fault plans its closure
-        in engine-parallel waves *without* holding the lock — so N
-        threads faulting disjoint subgraphs overlap their engine I/O —
-        and installs the result under the write lock, re-validating
-        against concurrent faults and evictions (losing a race costs a
-        re-plan, never a torn object or a duplicate identity).
+        Thread-safe: the hot path (the object is live) is an optimistic
+        *lock-free* probe — it samples the serve lock's seqlock epoch,
+        reads the identity map (whose single operations are atomic),
+        and accepts the result only if no write-locked section
+        overlapped the probe.  A write section installs shells before
+        filling them, so only a probe provably free of such overlap may
+        trust what it saw; anything else falls back to the shared read
+        lock.  Besides being faster, the lock-free hit keeps a stampede
+        of cache-hit readers off the lock's condition mutex, whose
+        convoy on few-core hosts can starve a concurrent stabilise for
+        tens of seconds.  A fault plans its closure in engine-parallel
+        waves *without* holding the lock — so N threads faulting
+        disjoint subgraphs overlap their engine I/O — and installs the
+        result under the write lock, re-validating against concurrent
+        faults and evictions (losing a race costs a re-plan, never a
+        torn object or a duplicate identity).
         """
         self._check_open()
-        with self._serve_lock.read_locked():
+        lock = self._serve_lock
+        before = lock.seq
+        # Optimistic only in the quiescent state: no serve-side writer
+        # (odd seq) and no stabilise/GC in flight (`_write_busy`).  The
+        # second condition is purely about scheduling, not safety — a
+        # spinning cache-hit loop that never sleeps monopolises the
+        # interpreter on few-core hosts, starving the committing thread
+        # and the engine workers it hands off to; routing readers
+        # through the shared lock while a commit runs puts them to
+        # sleep on contention instead.
+        if not before & 1 and not self._write_busy:
+            live = self._identity.hit(oid)
+            if live is not None and lock.seq == before:
+                return live
+        else:
+            # A commit (or serve-side writer) is in flight.  Yield the
+            # GIL for half a millisecond before queueing on the shared
+            # lock: the throttle itself must *sleep*, not merely take a
+            # different lock — N readers cycling any mutex still starve
+            # the commit's cross-thread handoffs on few-core hosts.
+            time.sleep(0.0005)
+        with lock.read_locked():
             live = self._identity.object_for(oid)
         if live is not None:
             return live
@@ -498,7 +590,9 @@ class ObjectStore:
         return obj
 
     def _read_record(self, oid: Oid) -> Record:
-        raw = self._engine.read(oid)
+        # Unwrap any codec frame first: stored signatures are over the
+        # raw record bytes whatever codec wrote them.
+        raw = unwrap_record(self._engine.read(oid))
         self._stored_sig[oid] = (len(raw), zlib.crc32(raw))
         return Record.from_bytes(raw)
 
@@ -591,63 +685,234 @@ class ObjectStore:
         stabilise, per the snapshot tracker — are re-serialised.  Changed
         records go to the engine as one atomic batch.
 
-        Thread-safe: the walk and its bookkeeping are serialised, but the
-        wait for durability happens outside the lock — over an engine
-        with a ``group`` commit pipeline, stabilises from several threads
-        coalesce into shared group commits.  Over an ``async`` pipeline
-        the call returns once the batch is submitted; ``self.last_commit``
-        is its durability ticket and :meth:`flush` the barrier.
+        The work runs in **three phases** (the write-path twin of the
+        read path's plan-outside-the-lock shape):
+
+        1. *Walk* — under the commit lock: reachability, dirty detection
+           and flattening (OID assignment needs the identity map), which
+           yields the dirty ``(oid, record)`` set and fresh shadows.
+        2. *Encode* — no lock held: the dirty set is chunked onto the
+           encoder pool, where ``to_bytes()`` + crc signature + optional
+           per-record compression run; encoded chunks stream into the
+           write batch in completion order.  crc and compression release
+           the GIL, so encode work overlaps other threads' walks and
+           commit waits.
+        3. *Commit* — back under the lock: the batch is submitted and
+           the optimistic bookkeeping installed, with the pre-commit
+           values kept for rollback.  Per-OID commit sequence numbers
+           (stamped during the walk) resolve races between stabilises
+           that reach this phase out of walk order, and a garbage
+           collection between walk and commit forces a re-walk.
+
+        Thread-safe: over an engine with a ``group`` commit pipeline,
+        stabilises from several threads coalesce into shared group
+        commits because each thread waits for durability outside the
+        lock.  Over an ``async`` pipeline the call returns once the
+        batch is submitted; ``self.last_commit`` is its durability
+        ticket and :meth:`flush` the barrier.
         """
         self._check_open()
         with self._commit_lock:
+            self._write_busy += 1
+        try:
+            while True:
+                outcome = self._stabilize_once()
+                if outcome is None:
+                    # A garbage collection slipped between our walk and
+                    # commit phases: the encoded records could reference
+                    # freed OIDs.  Rare (collections take the commit lock
+                    # for their whole mark/sweep), so simply re-walk.
+                    continue
+                written, seq, ticket, rollback = outcome
+                if ticket is not None and not self._engine.asynchronous:
+                    # The durability wait happens with no lock held, so
+                    # stabilises from several threads coalesce into
+                    # shared group commits over a pipelined engine.
+                    wait_start = time.perf_counter_ns()
+                    try:
+                        ticket.result()
+                    except BaseException:
+                        with self._commit_lock:
+                            self._rollback_bookkeeping(seq, *rollback)
+                        raise
+                    with self._commit_lock:
+                        self._phase_stats["commit_ns"] += (
+                            time.perf_counter_ns() - wait_start)
+                return written
+        finally:
+            with self._commit_lock:
+                self._write_busy -= 1
+
+    def _stabilize_once(self):
+        """One walk/encode/commit attempt.
+
+        Returns ``None`` when a concurrent garbage collection
+        invalidated the walk (the caller must retry), else a
+        ``(written, seq, ticket, rollback)`` tuple — ``ticket`` is the
+        durability ticket of the submitted batch (``None`` when the
+        checkpoint was clean) and ``rollback`` the pre-commit
+        bookkeeping for a failed wait.
+
+        Small dirty sets (at most one encode chunk's worth) run all
+        three phases under one continuous hold of the commit lock:
+        there is no encode parallelism to win, and the continuous hold
+        keeps the incremental-commit profile identical to the
+        pre-pipeline write path.  Only dirty sets large enough to
+        chunk release the lock for the encode phase.
+        """
+        # ---- phase 1: walk (commit lock held, no engine I/O) ----------
+        walk_start = time.perf_counter_ns()
+        with self._commit_lock:
+            gc_seq = self._gc_seq
+            self._stabilize_seq += 1
+            seq = self._stabilize_seq
             reachable, records, fresh_shadows = self._flatten_from_roots()
-            batch = WriteBatch()
-            written_sigs: dict[Oid, tuple[int, int]] = {}
-            for oid, record in records.items():
-                raw = record.to_bytes()
-                sig = (len(raw), zlib.crc32(raw))
-                if self._stored_sig.get(oid) != sig:
-                    batch.write(oid, raw)
-                    written_sigs[oid] = sig
+            # Walk-time stored signatures drive the encode phase's
+            # unchanged-bytes filter; the stamps make this walk the
+            # current owner of its dirty OIDs.
+            prev_sigs = {oid: self._stored_sig.get(oid) for oid in records}
+            for oid in records:
+                self._commit_seq[oid] = seq
+            walk_ns = time.perf_counter_ns() - walk_start
+            if (self._encoder.workers == 0
+                    or len(records) <= self._encoder.chunk_records):
+                # Small dirty set: encode inline under the same lock hold
+                # — a lock bounce costs more than the encode itself.
+                return self._encode_and_commit(seq, gc_seq, records,
+                                               prev_sigs, fresh_shadows,
+                                               walk_ns)
+        return self._encode_and_commit(seq, gc_seq, records, prev_sigs,
+                                       fresh_shadows, walk_ns)
+
+    def _encode_and_commit(self, seq, gc_seq, records, prev_sigs,
+                           fresh_shadows, walk_ns):
+        """Phases 2 and 3 of one stabilise attempt.  Called either under
+        the commit lock (small dirty set — the phase-3 ``with`` is a
+        reentrant no-op) or without it (pipelined encode)."""
+        # ---- phase 2: encode (chunks stream in) -----------------------
+        encode_start = time.perf_counter_ns()
+        batch = WriteBatch()
+        written_sigs: dict[Oid, tuple[int, int]] = {}
+        encoded_bytes = 0
+        stored_bytes = 0
+        group_of = getattr(self._engine, "shard_of", None)
+        try:
+            for chunk in self._encoder.encode_stream(records.values(),
+                                                     self._codec,
+                                                     group_of=group_of):
+                for item in chunk:
+                    encoded_bytes += item.raw_len
+                    stored_bytes += len(item.stored)
+                    if prev_sigs[item.oid] == item.sig:
+                        # Bytes identical to the stored record (a
+                        # conservative snapshot fired): nothing to write.
+                        continue
+                    batch.write(item.oid, item.stored)
+                    written_sigs[item.oid] = item.sig
+        except BaseException:
+            # An aborted encode must leave no trace: signatures and
+            # shadows were never touched, so only our walk stamps need
+            # releasing (entries a later walk re-stamped are theirs).
+            with self._commit_lock:
+                for oid in records:
+                    if self._commit_seq.get(oid) == seq:
+                        del self._commit_seq[oid]
+            raise
+        encode_ns = time.perf_counter_ns() - encode_start
+
+        # ---- phase 3: commit (commit lock re-taken) -------------------
+        commit_start = time.perf_counter_ns()
+        with self._commit_lock:
+            if self._gc_seq != gc_seq:
+                for oid in records:
+                    if self._commit_seq.get(oid) == seq:
+                        del self._commit_seq[oid]
+                return None
+            # OIDs a later walk collected after ours: that stabilise
+            # observed fresher state, so our encoding must not land.
+            superseded = {oid for oid in records
+                          if self._commit_seq.get(oid, seq) > seq}
+            if superseded:
+                batch.writes = [(oid, raw) for oid, raw in batch.writes
+                                if oid not in superseded]
+                written_sigs = {oid: sig for oid, sig in written_sigs.items()
+                                if oid not in superseded}
+                fresh_shadows = {oid: snap
+                                 for oid, snap in fresh_shadows.items()
+                                 if oid not in superseded}
+            weak_targets = {
+                oid: (record.payload.oid
+                      if isinstance(record.payload, Ref) else None)
+                for oid, record in records.items()
+                if record.kind == KIND_WEAKREF and oid not in superseded
+            }
+            # Roots and the allocator cursor are compared against the
+            # engine *here*, not at walk time: a concurrent stabilise
+            # may have committed newer values since our walk.
             if self._roots != self._engine.roots():
                 batch.set_roots(self._roots)
             if int(self._allocator.next_oid) != self._engine.next_oid:
                 batch.advance_next_oid(int(self._allocator.next_oid))
+            stats = self._phase_stats
+            stats["stabilize_count"] += 1
+            stats["walk_ns"] += walk_ns
+            stats["encode_ns"] += encode_ns
+            stats["encoded_bytes"] += encoded_bytes
+            stats["compressed_bytes"] += stored_bytes
             # A fully-clean checkpoint (no writes, roots and allocator
             # cursor already durable) skips the engine entirely — no
             # fsyncs, no metadata rewrite.
             if batch.is_empty:
                 self._shadow.update(fresh_shadows)
-                return 0
+                self._weak_stored.update(weak_targets)
+                stats["commit_ns"] += time.perf_counter_ns() - commit_start
+                return 0, seq, None, None
             # Bookkeeping is committed optimistically under the lock (the
             # engine's pending overlay already serves the new state to
             # readers); the pre-commit values are kept so a failed commit
             # re-dirties exactly what it covered.
-            prev_sigs = {oid: self._stored_sig.get(oid)
-                         for oid in written_sigs}
+            rollback_sigs = {oid: prev_sigs[oid] for oid in written_sigs}
             prev_shadows = {oid: self._shadow.get(oid)
                             for oid in fresh_shadows}
+            prev_weak = {oid: self._weak_stored.get(oid, _WEAK_UNKNOWN)
+                         for oid in weak_targets}
             ticket = self._engine.apply_async(batch)
             self.last_commit = ticket
             self._stored_sig.update(written_sigs)
             self._shadow.update(fresh_shadows)
-        if not self._engine.asynchronous:
-            try:
-                ticket.result()
-            except BaseException:
-                with self._commit_lock:
-                    for oid, sig in prev_sigs.items():
-                        if sig is None:
-                            self._stored_sig.pop(oid, None)
-                        else:
-                            self._stored_sig[oid] = sig
-                    for oid, snap in prev_shadows.items():
-                        if snap is None:
-                            self._shadow.pop(oid, None)
-                        else:
-                            self._shadow[oid] = snap
-                raise
-        return len(batch.writes)
+            self._weak_stored.update(weak_targets)
+            stats["commit_ns"] += time.perf_counter_ns() - commit_start
+        rollback = (rollback_sigs, prev_shadows, prev_weak)
+        return len(batch.writes), seq, ticket, rollback
+
+    def _rollback_bookkeeping(self, seq: int,
+                              rollback_sigs: dict[Oid, Any],
+                              prev_shadows: dict[Oid, Any],
+                              prev_weak: dict[Oid, Any]) -> None:
+        """Undo one failed commit's optimistic bookkeeping (caller holds
+        the commit lock).  Sequence-guarded: an OID a later walk stamped
+        belongs to that stabilise now — its bookkeeping stands."""
+        for oid, sig in rollback_sigs.items():
+            if self._commit_seq.get(oid) != seq:
+                continue
+            if sig is None:
+                self._stored_sig.pop(oid, None)
+            else:
+                self._stored_sig[oid] = sig
+        for oid, snap in prev_shadows.items():
+            if self._commit_seq.get(oid) != seq:
+                continue
+            if snap is None:
+                self._shadow.pop(oid, None)
+            else:
+                self._shadow[oid] = snap
+        for oid, target in prev_weak.items():
+            if self._commit_seq.get(oid) != seq:
+                continue
+            if target is _WEAK_UNKNOWN:
+                self._weak_stored.pop(oid, None)
+            else:
+                self._weak_stored[oid] = target
 
     def _flatten_from_roots(self) -> tuple[set[Oid], dict[Oid, Record],
                                            dict[Oid, Any]]:
@@ -735,9 +1000,11 @@ class ObjectStore:
         # This runs *after* both walks — the stored-root walk can switch
         # back into the live walk and surface more weakrefs, and every
         # one of them needs a record or its parent would reference a
-        # missing OID.  Weak records are context-dependent and tiny, so
-        # they are always rebuilt; the byte-signature filter drops
-        # unchanged ones.
+        # missing OID.  A weakref whose stored target (per the
+        # ``_weak_stored`` cache) is unchanged since its last commit is
+        # skipped outright — previously every stabilise rebuilt and
+        # re-serialised every live weakref just for the byte-signature
+        # filter to discover it unchanged.
         for oid, weakref in weakrefs:
             target = weakref.get()
             target_oid = None
@@ -746,6 +1013,10 @@ class ObjectStore:
                 if candidate is not None and (candidate in reachable
                                               or self._engine.contains(candidate)):
                     target_oid = candidate
+            if (self._weak_stored.get(oid, _WEAK_UNKNOWN) == target_oid
+                    and oid in self._stored_sig):
+                continue  # stored weak record already points at target_oid
+            self.weak_rebuilds += 1
             payload = Ref(target_oid) if target_oid is not None else None
             records[oid] = Record(oid, KIND_WEAKREF, "", "", payload)
         return reachable, records, fresh_shadows
@@ -768,7 +1039,11 @@ class ObjectStore:
         """
         self._check_open()
         with self._commit_lock:
-            return self._collect_garbage_locked()
+            self._write_busy += 1
+            try:
+                return self._collect_garbage_locked()
+            finally:
+                self._write_busy -= 1
 
     def _collect_garbage_locked(self) -> int:
         # Bring the durable state up to date first, so the mark phase can
@@ -814,6 +1089,12 @@ class ObjectStore:
             self._engine.apply(batch)
         for oid, raw in batch.writes:
             self._stored_sig[oid] = (len(raw), zlib.crc32(raw))
+            # Every write here is a cleared weak record.
+            self._weak_stored[oid] = None
+        # Invalidate any stabilise caught between its walk and commit
+        # phases: its encoded records may reference OIDs this sweep just
+        # freed, so it must re-walk (see ``_stabilize_once``).
+        self._gc_seq += 1
         # Evictions happen exclusively against the serving threads, and
         # the epoch moves: a fault whose plan predates this sweep could
         # otherwise install freed records from its stale reads.
@@ -831,6 +1112,8 @@ class ObjectStore:
                 self._identity.evict(oid)
                 self._shadow.pop(oid, None)
                 self._stored_sig.pop(oid, None)
+                self._weak_stored.pop(oid, None)
+                self._commit_seq.pop(oid, None)
             self._epoch += 1
         # Reclaim space the deletions left behind.
         self._engine.compact()
@@ -875,6 +1158,24 @@ class ObjectStore:
             heap_pages=self._engine.page_count,
             next_oid=int(self._allocator.next_oid),
         )
+
+    def stats(self) -> dict[str, int]:
+        """Stabilise-phase counters, cumulative over the store's life.
+
+        ``walk_ns`` / ``encode_ns`` / ``commit_ns`` attribute each
+        stabilise's wall time to its three phases (commit includes the
+        durability wait on synchronous engines); ``encoded_bytes`` is
+        the raw serialised volume and ``compressed_bytes`` the volume
+        actually handed to the engine (equal when no codec is in force
+        or compression never won).  ``encode_count`` counts dirty
+        non-weak records serialised by walks; ``weak_rebuilds`` counts
+        weak records rebuilt because their stored target changed.
+        """
+        with self._commit_lock:
+            out = dict(self._phase_stats)
+        out["encode_count"] = self.encode_count
+        out["weak_rebuilds"] = self.weak_rebuilds
+        return out
 
     def stored_record(self, oid: Oid) -> Record:
         """The stored record for an OID (browser / debugging use)."""

@@ -25,12 +25,18 @@ from __future__ import annotations
 
 import math
 import struct
+import zlib
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
 from repro.errors import DeserializationError, SerializationError
 from repro.store.oids import Oid
 from repro.store.registry import ClassRegistry, RegisteredClass
+
+try:  # pragma: no cover - present in every standard CPython build
+    import lzma
+except ImportError:  # pragma: no cover - minimal builds without liblzma
+    lzma = None  # type: ignore[assignment]
 
 # ---------------------------------------------------------------------------
 # Record kinds
@@ -321,6 +327,11 @@ class Record:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "Record":
+        if data[:1] == b"\x00":
+            # Codec-framed bytes (raw records never start with 0x00 —
+            # the leading uvarint encodes an OID >= 1); decode stays
+            # transparent whatever codec wrote the store.
+            data = unwrap_record(data)
         oid, pos = read_uvarint(data, 0)
         if pos >= len(data):
             raise DeserializationError("truncated record header")
@@ -369,6 +380,179 @@ class Record:
             value, pos = decode_value(body, pos)
             return value
         raise DeserializationError(f"unknown record kind {kind}")
+
+
+# ---------------------------------------------------------------------------
+# Record codec: optional per-record compression framing
+# ---------------------------------------------------------------------------
+#
+# Legal record bytes start with ``uvarint(oid)`` and OID 0 is the null OID,
+# never allocated — so an unframed record can never begin with a 0x00 byte.
+# The codec claims that byte as a frame marker:
+#
+#     0x00 | codec id (1 byte) | uvarint(raw_len) | compressed body
+#
+# The codec id versions the frame (new compressors get new ids rather than
+# reinterpreting old bytes), and ``raw_len`` lets decoders validate the
+# expansion.  Framing is strictly optional and decode is always
+# transparent: :func:`unwrap_record` passes unframed bytes through
+# untouched, so a legacy uncompressed store opens under a
+# compression-enabled URL — and a compressed store under a plain URL —
+# without migration.  The codec choice only affects *new* writes.
+
+#: First byte of a framed record; never the first byte of a raw record.
+FRAME_MARKER = 0x00
+
+CODEC_ZLIB = 1
+CODEC_LZMA = 2
+
+_CODEC_NAMES = {CODEC_ZLIB: "zlib", CODEC_LZMA: "lzma"}
+
+#: Records shorter than this are never framed: the frame plus compressor
+#: header overhead exceeds any plausible saving.
+_MIN_COMPRESS_LEN = 64
+
+
+class RecordCodec:
+    """One per-record compression choice: a codec id and its level.
+
+    :meth:`wrap` frames raw record bytes *only when that makes them
+    smaller* — incompressible records are stored unframed, so readers
+    pay nothing for them and the worst case costs zero bytes.
+    """
+
+    __slots__ = ("codec_id", "level")
+
+    def __init__(self, codec_id: int, level: int):
+        if codec_id not in _CODEC_NAMES:
+            raise ValueError(f"unknown record codec id {codec_id}")
+        if codec_id == CODEC_LZMA and lzma is None:
+            raise ValueError(
+                "lzma compression is unavailable in this Python build"
+            )
+        if not 0 <= level <= 9:
+            raise ValueError(
+                f"{_CODEC_NAMES[codec_id]} level must be in 0..9, "
+                f"got {level}"
+            )
+        self.codec_id = codec_id
+        self.level = level
+
+    @property
+    def name(self) -> str:
+        return f"{_CODEC_NAMES[self.codec_id]}:{self.level}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecordCodec({self.name})"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, RecordCodec)
+                and other.codec_id == self.codec_id
+                and other.level == self.level)
+
+    def __hash__(self) -> int:
+        return hash((self.codec_id, self.level))
+
+    def wrap(self, raw: bytes) -> bytes:
+        """Frame ``raw`` if compression shrinks it, else return it as is.
+
+        ``zlib.compress``/``lzma.compress`` release the GIL while they
+        run, which is what lets encode workers overlap on bytes.
+        """
+        if len(raw) < _MIN_COMPRESS_LEN:
+            return raw
+        if self.codec_id == CODEC_ZLIB:
+            body = zlib.compress(raw, self.level)
+        else:
+            body = lzma.compress(raw, preset=self.level)
+        frame = bytearray((FRAME_MARKER, self.codec_id))
+        write_uvarint(frame, len(raw))
+        frame.extend(body)
+        if len(frame) >= len(raw):
+            return raw
+        return bytes(frame)
+
+
+def parse_codec(spec: "str | RecordCodec | None") -> Optional[RecordCodec]:
+    """A :class:`RecordCodec` from a ``?compress=`` specification.
+
+    Accepts ``"zlib"``/``"lzma"`` (default level 6), ``"zlib:LEVEL"`` /
+    ``"lzma:LEVEL"`` with a level in 0..9, ``"none"``/``""``/``None``
+    (no compression), or an already-built codec (returned unchanged).
+    Raises ``ValueError`` for anything else, naming the known codecs.
+    """
+    if spec is None or isinstance(spec, RecordCodec):
+        return spec
+    text = spec.strip()
+    if text in ("", "none"):
+        return None
+    name, sep, level_text = text.partition(":")
+    ids = {codec_name: codec_id
+           for codec_id, codec_name in _CODEC_NAMES.items()}
+    if name not in ids:
+        raise ValueError(
+            f"unknown compression codec {name!r} in {spec!r}; known codecs: "
+            f"{', '.join(sorted(ids))}, none"
+        )
+    if not sep:
+        return RecordCodec(ids[name], 6)
+    try:
+        level = int(level_text)
+    except ValueError:
+        raise ValueError(
+            f"compression level must be an integer, got {level_text!r} "
+            f"in {spec!r}"
+        ) from None
+    return RecordCodec(ids[name], level)
+
+
+def is_framed(data: bytes) -> bool:
+    """Whether stored bytes carry a codec frame."""
+    return bool(data) and data[0] == FRAME_MARKER
+
+
+def unwrap_record(data: bytes) -> bytes:
+    """The raw record bytes behind ``data``: framed bytes are
+    decompressed and validated, unframed bytes pass through unchanged.
+
+    Every read path funnels through this (or
+    :meth:`Record.from_bytes`), which is what makes the codec choice a
+    write-side-only concern.
+    """
+    if not data or data[0] != FRAME_MARKER:
+        return data
+    if len(data) < 3:
+        raise DeserializationError("truncated codec frame")
+    codec_id = data[1]
+    raw_len, pos = read_uvarint(data, 2)
+    body = data[pos:]
+    try:
+        if codec_id == CODEC_ZLIB:
+            raw = zlib.decompress(body)
+        elif codec_id == CODEC_LZMA:
+            if lzma is None:
+                raise DeserializationError(
+                    "record is lzma-compressed but lzma is unavailable in "
+                    "this Python build"
+                )
+            raw = lzma.decompress(body)
+        else:
+            raise DeserializationError(
+                f"unknown record codec id {codec_id}"
+            )
+    except DeserializationError:
+        raise
+    except Exception as exc:
+        raise DeserializationError(
+            f"corrupt {_CODEC_NAMES.get(codec_id, codec_id)} record "
+            f"frame: {exc}"
+        ) from exc
+    if len(raw) != raw_len:
+        raise DeserializationError(
+            f"codec frame declares {raw_len} raw bytes but decompressed "
+            f"to {len(raw)}"
+        )
+    return raw
 
 
 # ---------------------------------------------------------------------------

@@ -121,6 +121,23 @@ class ObjectCache(IdentityMap):
                 self._enforce()
             return obj
 
+    def hit(self, oid: Oid) -> Optional[Any]:
+        """Optimistic probe (see :meth:`IdentityMap.hit`).
+
+        Unbounded caches answer with a bare atomic ``dict.get`` — with
+        no capacity there is no LRU order to maintain and nothing is
+        ever demoted, so a strong-tier read needs no mutex (a miss
+        falls back to the caller's locked path, which also probes the
+        weak tail).  Bounded caches keep the mutex: a hit moves the
+        entry in the LRU order and may promote it out of the weak
+        tail, neither of which is a single atomic operation.  The
+        distinction matters under reader stampedes — see
+        :meth:`~repro.store.objectstore.ObjectStore.object_for`.
+        """
+        if self._capacity is None:
+            return self._by_oid.get(oid)
+        return self.object_for(oid)
+
     def peek(self, oid: Oid) -> Optional[Any]:
         with self._mutex:
             obj = self._by_oid.get(oid)

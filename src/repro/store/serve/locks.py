@@ -23,6 +23,7 @@ Re-entrancy rules (enforced, not advisory):
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Iterator
 
@@ -38,11 +39,35 @@ class ReadWriteLock:
         self._writer: int | None = None
         self._write_depth = 0
         self._writers_waiting = 0
+        #: Seqlock epoch for optimistic lock-free reads: odd while a
+        #: writer holds the lock, even otherwise.  A reader samples it
+        #: before and after an unlocked probe; an unchanged even value
+        #: proves no write section overlapped the probe.  Plain ``int``
+        #: loads and stores are atomic under the GIL, so sampling takes
+        #: no mutex — which is the whole point: under a stampede of
+        #: spinning readers, every mutex acquisition on this lock's
+        #: condition becomes a GIL-convoy starvation point on few-core
+        #: hosts, and the optimistic path keeps readers off it entirely.
+        self.seq = 0
 
     # -- read side -------------------------------------------------------
 
     def acquire_read(self) -> None:
         me = threading.get_ident()
+        if self._writer is not None or self._writers_waiting:
+            # Back off on plain attribute loads (GIL-atomic) *before*
+            # touching the condition's mutex.  A stampede of reader
+            # threads repeatedly acquiring and releasing that C-level
+            # mutex can starve a writer's own mutex acquire for an
+            # unbounded time on few-core hosts (mutex barging: the
+            # thread already running wins the grab every time).
+            # Sleeping also releases the GIL, so the writer's commit
+            # work proceeds instead of waiting out switch intervals.
+            # Nested acquisitions must not wait (the writer could be
+            # queued behind this thread's own read hold — deadlock).
+            if self._writer != me and me not in self._readers:
+                while self._writer is not None or self._writers_waiting:
+                    time.sleep(0.0005)
         with self._cond:
             if self._writer == me or me in self._readers:
                 # Nested read (or read under our own write lock): granted
@@ -88,6 +113,7 @@ class ReadWriteLock:
                 self._writers_waiting -= 1
             self._writer = me
             self._write_depth = 1
+            self.seq += 1  # now odd: write section open
 
     def release_write(self) -> None:
         me = threading.get_ident()
@@ -97,6 +123,7 @@ class ReadWriteLock:
             self._write_depth -= 1
             if self._write_depth == 0:
                 self._writer = None
+                self.seq += 1  # back to even: write section closed
                 self._cond.notify_all()
 
     # -- context managers ------------------------------------------------

@@ -26,7 +26,7 @@ from typing import Callable, Iterable, Optional
 from repro.errors import UnknownOidError
 from repro.store.engine.base import StorageEngine
 from repro.store.oids import Oid
-from repro.store.serializer import Record, record_refs
+from repro.store.serializer import Record, record_refs, unwrap_record
 
 
 @dataclass
@@ -86,6 +86,10 @@ class FetchPlanner:
                         f"stored object {int(parent)} references missing "
                         f"oid {int(oid)}"
                     )
+                # Codec-framed records are unwrapped here so the plan
+                # carries *raw* bytes: the store's stored-signature
+                # bookkeeping is defined over the uncompressed encoding.
+                raw = unwrap_record(raw)
                 record = Record.from_bytes(raw)
                 plan.records[oid] = (raw, record)
                 for ref in record_refs(record, include_weak=True):

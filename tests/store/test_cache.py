@@ -214,3 +214,34 @@ class TestObjectCache:
         self.fill(cache, 50)
         assert cache.strong_count == 50
         assert cache.demotions == 0
+
+
+class TestOptimisticHit:
+    """``hit()`` backs the store's lock-free read fast path: a bare
+    mutex-free probe on unbounded maps, the full locked path on bounded
+    caches (where a hit mutates LRU order)."""
+
+    def test_identity_map_hit_finds_mapped_objects(self):
+        mapping = IdentityMap()
+        person = Person("x")
+        mapping.add(Oid(1), person)
+        assert mapping.hit(Oid(1)) is person
+        assert mapping.hit(Oid(9)) is None
+
+    def test_unbounded_cache_hit_probes_strong_tier_only(self):
+        cache = ObjectCache()  # capacity=None: nothing is ever demoted
+        person = Person("y")
+        cache.add(Oid(1), person)
+        assert cache.hit(Oid(1)) is person
+        assert cache.hit(Oid(2)) is None
+
+    def test_bounded_cache_hit_takes_the_locked_path(self):
+        cache = ObjectCache(capacity=3)
+        people = [Person(f"p{i}") for i in range(6)]
+        for index, person in enumerate(people):
+            cache.add(Oid(index + 1), person)
+        # Oid(1) was demoted to the weak tier (pinned by the list);
+        # a bounded hit must still find it — and promote it, exactly
+        # like object_for.
+        assert cache.hit(Oid(1)) is people[0]
+        assert cache.peek(Oid(1)) is people[0]

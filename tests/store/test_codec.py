@@ -1,0 +1,131 @@
+"""The per-record codec frame: wrap/unwrap round trips, the
+smaller-only rule, transparent decode, and spec parsing.
+
+The frame is ``0x00 | codec_id | uvarint(raw_len) | body``.  ``0x00``
+is never the first byte of a raw record (record encodings start with a
+nonzero kind tag), so framed and unframed bytes coexist in one store
+and decode stays transparent — which is what lets a legacy store open
+under a ``?compress=`` URL without migration.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.errors import DeserializationError
+from repro.store.serializer import (
+    CODEC_LZMA,
+    CODEC_ZLIB,
+    FRAME_MARKER,
+    RecordCodec,
+    is_framed,
+    parse_codec,
+    unwrap_record,
+)
+
+#: Compresses extremely well and is comfortably over the 64-byte floor.
+COMPRESSIBLE = b"persistent object store " * 40
+
+
+class TestParseCodec:
+    def test_plain_names_default_to_level_six(self):
+        assert parse_codec("zlib") == RecordCodec(CODEC_ZLIB, 6)
+        assert parse_codec("lzma") == RecordCodec(CODEC_LZMA, 6)
+
+    def test_explicit_levels(self):
+        assert parse_codec("zlib:1") == RecordCodec(CODEC_ZLIB, 1)
+        assert parse_codec("lzma:0") == RecordCodec(CODEC_LZMA, 0)
+        assert parse_codec("zlib:9") == RecordCodec(CODEC_ZLIB, 9)
+
+    @pytest.mark.parametrize("spec", [None, "", "none"])
+    def test_no_codec_spellings(self, spec):
+        assert parse_codec(spec) is None
+
+    def test_codec_instance_passes_through(self):
+        codec = RecordCodec(CODEC_ZLIB, 3)
+        assert parse_codec(codec) is codec
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="known codecs"):
+            parse_codec("snappy")
+
+    @pytest.mark.parametrize("spec", ["zlib:10", "zlib:-1", "lzma:99"])
+    def test_out_of_range_level_rejected(self, spec):
+        with pytest.raises(ValueError, match="level"):
+            parse_codec(spec)
+
+    def test_non_integer_level_rejected(self):
+        with pytest.raises(ValueError, match="integer"):
+            parse_codec("zlib:fast")
+
+    def test_unknown_codec_id_rejected(self):
+        with pytest.raises(ValueError, match="codec id"):
+            RecordCodec(99, 6)
+
+
+class TestWrap:
+    def test_compressible_bytes_are_framed_and_smaller(self):
+        stored = RecordCodec(CODEC_ZLIB, 6).wrap(COMPRESSIBLE)
+        assert is_framed(stored)
+        assert len(stored) < len(COMPRESSIBLE)
+        assert unwrap_record(stored) == COMPRESSIBLE
+
+    def test_lzma_round_trip(self):
+        stored = RecordCodec(CODEC_LZMA, 0).wrap(COMPRESSIBLE)
+        assert is_framed(stored)
+        assert stored[1] == CODEC_LZMA
+        assert unwrap_record(stored) == COMPRESSIBLE
+
+    def test_short_records_never_framed(self):
+        raw = b"x" * 63  # below the 64-byte floor, however compressible
+        assert RecordCodec(CODEC_ZLIB, 9).wrap(raw) is raw
+
+    def test_incompressible_bytes_stay_raw(self):
+        # Already-compressed bytes cannot shrink again; the frame must
+        # not be paid for nothing.
+        raw = zlib.compress(COMPRESSIBLE * 8, 9)
+        assert len(raw) >= 64  # over the framing floor; genuinely dense
+        stored = RecordCodec(CODEC_ZLIB, 9).wrap(raw)
+        assert stored is raw
+        assert unwrap_record(stored) == raw
+
+    @pytest.mark.parametrize("level", [1, 6, 9])
+    def test_every_zlib_level_round_trips(self, level):
+        stored = RecordCodec(CODEC_ZLIB, level).wrap(COMPRESSIBLE)
+        assert unwrap_record(stored) == COMPRESSIBLE
+
+
+class TestUnwrap:
+    def test_unframed_bytes_pass_through_untouched(self):
+        raw = b"\x07plain record bytes"
+        assert unwrap_record(raw) is raw
+        assert not is_framed(raw)
+
+    def test_empty_bytes_pass_through(self):
+        assert unwrap_record(b"") == b""
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(DeserializationError, match="truncated"):
+            unwrap_record(bytes([FRAME_MARKER, CODEC_ZLIB]))
+
+    def test_unknown_codec_id_rejected(self):
+        frame = bytes([FRAME_MARKER, 42, 10]) + b"body"
+        with pytest.raises(DeserializationError, match="codec id"):
+            unwrap_record(frame)
+
+    def test_corrupt_body_rejected(self):
+        good = RecordCodec(CODEC_ZLIB, 6).wrap(COMPRESSIBLE)
+        bad = good[:4] + bytes(len(good) - 4)
+        with pytest.raises(DeserializationError):
+            unwrap_record(bad)
+
+    def test_wrong_raw_length_rejected(self):
+        # Rebuild the frame with a lying raw_len (raw_len < 128 keeps
+        # the uvarint a single byte, so we can splice it directly).
+        good = RecordCodec(CODEC_ZLIB, 6).wrap(b"a" * 100)
+        assert good[2] == 100
+        bad = good[:2] + bytes([99]) + good[3:]
+        with pytest.raises(DeserializationError):
+            unwrap_record(bad)

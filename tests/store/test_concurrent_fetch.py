@@ -289,6 +289,23 @@ class TestReadWriteLock:
         with pytest.raises(RuntimeError):
             lock.release_write()
 
+    def test_seqlock_epoch_tracks_write_sections(self):
+        # The lock-free read fast path samples ``seq`` without the
+        # mutex: it must be odd exactly while a writer holds the lock,
+        # and each write section must advance it by two.
+        lock = ReadWriteLock()
+        assert lock.seq == 0
+        with lock.write_locked():
+            assert lock.seq % 2 == 1
+            with lock.write_locked():  # re-entry: still one section
+                assert lock.seq % 2 == 1
+        assert lock.seq == 2
+        with lock.read_locked():
+            assert lock.seq == 2  # readers never touch the epoch
+        with lock.write_locked():
+            pass
+        assert lock.seq == 4
+
 
 class TestFetchPlanner:
     def test_waves_follow_graph_depth(self, store):

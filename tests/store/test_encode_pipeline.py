@@ -1,0 +1,304 @@
+"""The stabilise encode pipeline: chunk planning, the encoder pool,
+mid-stream failure atomicity, and codec round trips over every backend.
+
+The pipeline's contract is that parallel encode is *invisible* except
+in speed: a stabilise that fails mid-encode leaves no partial
+bookkeeping (signatures, shadows, engine state), and a store written
+with any worker count or codec reads back identically under any other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.store.commit.encode import (
+    DEFAULT_CHUNK_RECORDS,
+    EncodedRecord,
+    EncoderPool,
+    encode_record,
+    plan_chunks,
+)
+from repro.store.objectstore import ObjectStore
+from repro.store.serializer import (
+    CODEC_ZLIB,
+    Record,
+    RecordCodec,
+    is_framed,
+)
+
+from tests.conftest import Person
+from tests.store.conftest import ENGINE_PARAMS, make_engine
+
+#: Enough records to split into several chunks (> DEFAULT_CHUNK_RECORDS),
+#: so stabilise actually exercises the pooled path.
+BULK = DEFAULT_CHUNK_RECORDS * 3 + 5
+
+
+def bulk_people(store, count=BULK):
+    people = [Person("p%04d" % i) for i in range(count)]
+    store.set_root("people", people)
+    return people
+
+
+def value_records(count):
+    from repro.store.oids import Oid
+    from repro.store.serializer import KIND_LIST
+    return [Record(Oid(i + 1), KIND_LIST, "", "", ["v%d" % i])
+            for i in range(count)]
+
+
+class TestPlanChunks:
+    def test_walk_order_split(self):
+        records = value_records(10)
+        chunks = plan_chunks(records, 4)
+        assert [len(c) for c in chunks] == [4, 4, 2]
+        assert [r.oid for c in chunks for r in c] \
+            == [r.oid for r in records]
+
+    def test_empty_input(self):
+        assert plan_chunks([], 4) == []
+
+    def test_group_alignment(self):
+        # With a grouper (a sharded engine's shard_of), every chunk is
+        # single-group, so each encoded chunk's writes land on one shard.
+        records = value_records(20)
+        chunks = plan_chunks(records, 3, group_of=lambda oid: int(oid) % 4)
+        assert chunks  # grouped and split
+        for chunk in chunks:
+            groups = {int(r.oid) % 4 for r in chunk}
+            assert len(groups) == 1
+        flat = sorted(int(r.oid) for c in chunks for r in c)
+        assert flat == sorted(int(r.oid) for r in records)
+
+    def test_group_larger_than_chunk_splits(self):
+        records = value_records(10)
+        chunks = plan_chunks(records, 4, group_of=lambda oid: 0)
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+
+class TestEncodeRecord:
+    def test_signature_is_over_raw_bytes(self):
+        import zlib as _zlib
+        record = value_records(1)[0]
+        raw = record.to_bytes()
+        codec = RecordCodec(CODEC_ZLIB, 6)
+        plain = encode_record(record, None)
+        framed = encode_record(record, codec)
+        # The dirty filter compares signatures over *raw* bytes whatever
+        # codec is in force — that is what lets legacy and compressed
+        # stores interoperate without re-writing each other's records.
+        assert plain.sig == framed.sig == (len(raw), _zlib.crc32(raw))
+        assert plain.raw_len == framed.raw_len == len(raw)
+
+
+class TestEncoderPool:
+    def test_small_sets_encode_inline(self):
+        pool = EncoderPool(workers=4, chunk_records=8)
+        records = value_records(8)  # == one chunk: stays inline
+        chunks = list(pool.encode_stream(records, None))
+        assert not pool.started
+        assert sorted(int(e.oid) for c in chunks for e in c) \
+            == [int(r.oid) for r in records]
+
+    def test_workers_zero_never_starts_threads(self):
+        pool = EncoderPool(workers=0, chunk_records=4)
+        chunks = list(pool.encode_stream(value_records(50), None))
+        assert not pool.started
+        assert sum(len(c) for c in chunks) == 50
+
+    def test_large_sets_use_the_pool_and_cover_every_record(self):
+        pool = EncoderPool(workers=2, chunk_records=4)
+        try:
+            records = value_records(30)
+            chunks = list(pool.encode_stream(records, None))
+            assert pool.started
+            seen = sorted(int(e.oid) for c in chunks for e in c)
+            assert seen == [int(r.oid) for r in records]
+            for chunk in chunks:
+                assert all(isinstance(e, EncodedRecord) for e in chunk)
+        finally:
+            pool.close()
+
+    def test_pool_restarts_after_close(self):
+        pool = EncoderPool(workers=1, chunk_records=2)
+        list(pool.encode_stream(value_records(10), None))
+        assert pool.started
+        pool.close()
+        assert not pool.started
+        chunks = list(pool.encode_stream(value_records(10), None))
+        assert sum(len(c) for c in chunks) == 10
+        pool.close()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="encode_workers"):
+            EncoderPool(workers=-1)
+
+    def test_bad_chunk_records_rejected(self):
+        with pytest.raises(ValueError, match="chunk_records"):
+            EncoderPool(workers=1, chunk_records=0)
+
+
+class TestEncodeFailureAtomicity:
+    """A chunk that raises mid-stream must abort the whole stabilise
+    with no partial bookkeeping — and the next stabilise must succeed."""
+
+    @pytest.fixture
+    def failing_encode(self, monkeypatch):
+        """Make every second chunk raise, after the first succeeded."""
+        import repro.store.commit.encode as encode_mod
+        real = encode_mod.encode_chunk
+        calls = {"n": 0}
+
+        def flaky(chunk, codec):
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:
+                raise RuntimeError("injected encode failure")
+            return real(chunk, codec)
+
+        monkeypatch.setattr(encode_mod, "encode_chunk", flaky)
+        return calls
+
+    def test_failure_rolls_back_and_next_stabilize_succeeds(
+            self, tmp_path, registry, failing_encode, monkeypatch):
+        with ObjectStore(str(tmp_path / "s"), registry,
+                         encode_workers=2) as store:
+            people = bulk_people(store)
+            sigs_before = dict(store._stored_sig)
+            shadows_before = set(store._shadow)
+            with pytest.raises(RuntimeError, match="injected"):
+                store.stabilize()
+            # No signature or shadow from the aborted walk survived.
+            assert store._stored_sig == sigs_before
+            assert set(store._shadow) == shadows_before
+            # Heal the injection: the pool itself must not be poisoned.
+            monkeypatch.undo()
+            written = store.stabilize()
+            assert written >= BULK
+            assert store.verify_referential_integrity() == []
+        with ObjectStore.open(str(tmp_path / "s"),
+                              registry=registry) as store:
+            assert [p.name for p in store.get_root("people")[:3]] \
+                == [p.name for p in people[:3]]
+
+    def test_failed_stabilize_persists_nothing_new(
+            self, tmp_path, registry, failing_encode):
+        with ObjectStore(str(tmp_path / "s"), registry,
+                         encode_workers=2) as store:
+            stored_before = set(store.engine.oids())
+            bulk_people(store)
+            with pytest.raises(RuntimeError, match="injected"):
+                store.stabilize()
+        # Nothing from the aborted commit reached the engine durably.
+        with ObjectStore.open(str(tmp_path / "s"),
+                              registry=registry) as store:
+            assert set(store.engine.oids()) == stored_before
+            assert not store.has_root("people")
+
+
+class TestCodecAcrossBackends:
+    @pytest.mark.parametrize("kind", ENGINE_PARAMS)
+    def test_compressed_round_trip(self, kind, tmp_path, registry):
+        engine = make_engine(kind, tmp_path)
+        with ObjectStore(registry=registry, engine=engine,
+                         compress="zlib:1") as store:
+            people = bulk_people(store)
+            Person.marry(people[0], people[1])
+            store.stabilize()
+            stats = store.stats()
+            assert stats["compressed_bytes"] <= stats["encoded_bytes"]
+            # Close only the store; in-memory engines would lose data.
+            assert store.get_root("people")[0].spouse is people[1]
+            assert store.verify_referential_integrity() == []
+
+    @pytest.mark.parametrize("spec", ["zlib:1", "lzma:0"])
+    def test_reopen_plain_after_compressed(self, spec, tmp_path, registry):
+        url = str(tmp_path / "s")
+        with ObjectStore(url, registry, compress=spec) as store:
+            bulk_people(store)
+            store.stabilize()
+        # A plain (legacy) open decodes framed records transparently.
+        with ObjectStore.open(url, registry=registry) as store:
+            assert len(store.get_root("people")) == BULK
+            assert store.verify_referential_integrity() == []
+            # ... and re-stabilising under no codec doesn't rewrite
+            # unchanged records: the signature is over raw bytes.
+            assert store.stabilize() == 0
+
+    def test_reopen_compressed_after_plain(self, tmp_path, registry):
+        url = str(tmp_path / "s")
+        with ObjectStore.open(url, registry=registry) as store:
+            bulk_people(store)
+            store.stabilize()
+        with ObjectStore(url, registry, compress="zlib:6") as store:
+            assert len(store.get_root("people")) == BULK
+            # Unchanged records are not re-written just to compress them.
+            assert store.stabilize() == 0
+
+    def test_framed_records_actually_on_disk(self, tmp_path, registry):
+        with ObjectStore(str(tmp_path / "s"), registry,
+                         compress="zlib:1") as store:
+            # A long compressible string comfortably over the 64-byte
+            # framing floor.
+            store.set_root("text", ["persistence " * 50])
+            store.stabilize()
+            framed = [oid for oid in store.engine.oids()
+                      if is_framed(store.engine.read(oid))]
+            assert framed, "expected at least one framed record on disk"
+
+
+class TestStabilizePhaseStats:
+    def test_phase_counters_accumulate(self, tmp_path, registry):
+        with ObjectStore.open(str(tmp_path / "s"),
+                              registry=registry) as store:
+            bulk_people(store)
+            store.stabilize()
+            stats = store.stats()
+            assert stats["walk_ns"] > 0
+            assert stats["encode_ns"] > 0
+            assert stats["commit_ns"] > 0
+            assert stats["encoded_bytes"] > 0
+            # No codec: stored volume equals raw volume.
+            assert stats["compressed_bytes"] == stats["encoded_bytes"]
+
+    def test_compression_shrinks_stored_volume(self, tmp_path, registry):
+        with ObjectStore(str(tmp_path / "s"), registry,
+                         compress="zlib:1") as store:
+            store.set_root("text", ["compress me " * 100
+                                    for _ in range(8)])
+            store.stabilize()
+            stats = store.stats()
+            assert 0 < stats["compressed_bytes"] < stats["encoded_bytes"]
+
+    def test_clean_restabilize_adds_no_encode_volume(self, tmp_path,
+                                                     registry):
+        with ObjectStore.open(str(tmp_path / "s"),
+                              registry=registry) as store:
+            bulk_people(store)
+            store.stabilize()
+            encoded = store.stats()["encoded_bytes"]
+            rebuilds = store.stats()["weak_rebuilds"]
+            assert store.stabilize() == 0
+            assert store.stats()["encoded_bytes"] == encoded
+            assert store.stats()["weak_rebuilds"] == rebuilds
+
+
+class TestEncodeWorkersConfiguration:
+    def test_workers_zero_store_never_starts_threads(self, tmp_path,
+                                                     registry):
+        with ObjectStore(str(tmp_path / "s"), registry,
+                         encode_workers=0) as store:
+            bulk_people(store)
+            store.stabilize()
+            assert not store._encoder.started
+            assert store.verify_referential_integrity() == []
+
+    def test_parallel_and_serial_stores_read_identically(self, tmp_path,
+                                                         registry):
+        url = str(tmp_path / "s")
+        with ObjectStore(url, registry, encode_workers=4) as store:
+            bulk_people(store)
+            store.stabilize()
+            assert store._encoder.started  # bulk set went through the pool
+        with ObjectStore(url, registry, encode_workers=0) as store:
+            assert len(store.get_root("people")) == BULK
+            assert store.stabilize() == 0
