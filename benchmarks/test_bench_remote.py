@@ -1,0 +1,198 @@
+"""[B8] Network serving: client/server load past the GIL.
+
+The one claim the network subsystem must demonstrate: **processes
+scale where threads cannot**.  A single Python process fetching and
+decoding records is CPU-bound under the GIL no matter how many threads
+it spreads the work over; four client *processes* hammering two shard
+*server* processes own six GILs between them, so the same sweep —
+pipelined ``fetch_many`` over the wire plus per-record codec decode on
+the client — should beat the single-process in-proc rate on any
+multi-core host.
+
+The workload is honest (no modelled latency anywhere): records are
+zlib-framed so each fetched blob carries real client-side decompress
+CPU, the in-proc baseline runs the identical sweep (same blobs, same
+``unwrap_record`` decode, same chunking) against ``sharded:2:memory:``
+in one process, and the remote side runs real ``scripts/store_server``
+subprocesses with real sockets in between.  The >= 2x assertion only
+fires on hosts with >= 4 CPUs (CI runners qualify); the measured
+numbers are recorded to ``BENCH_remote.json`` either way.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.store.engine.base import WriteBatch
+from repro.store.engine.factory import engine_from_url
+from repro.store.serializer import parse_codec, unwrap_record
+
+CLIENT_PROCS = 4
+SERVER_PROCS = 2
+RECORDS = 1200
+#: Raw record body before framing: compressible prose, ~13 KiB, so the
+#: zlib decode on every fetch is the dominant per-record CPU cost.
+RECORD_BODY = "the persistent store serves record %07d over the wire "
+REPS = 8
+CHUNK = 256
+
+_ROOT = Path(__file__).resolve().parents[1]
+
+#: The client worker, run via ``python -c`` so each client is a real
+#: process with its own GIL.  It opens the routed engine, waits for a
+#: shared wall-clock deadline (the start barrier), sweeps all OIDs
+#: ``reps`` times in ``chunk``-sized pipelined fetches, decodes every
+#: record, and reports one JSON line.
+_WORKER = r"""
+import json, sys, time
+from repro.store.engine.factory import engine_from_url
+from repro.store.serializer import unwrap_record
+
+endpoints, deadline, reps, chunk = (
+    sys.argv[1], float(sys.argv[2]), int(sys.argv[3]), int(sys.argv[4]))
+engine = engine_from_url("routed:" + endpoints)
+oids = sorted(engine.oids())
+while time.time() < deadline:
+    time.sleep(0.001)
+start = time.time()
+fetched = decoded_bytes = 0
+for _ in range(reps):
+    for lo in range(0, len(oids), chunk):
+        for blob in engine.fetch_many(oids[lo:lo + chunk]).values():
+            decoded_bytes += len(unwrap_record(blob))
+            fetched += 1
+end = time.time()
+engine.close()
+print(json.dumps({"start": start, "end": end, "fetched": fetched,
+                  "decoded_bytes": decoded_bytes}))
+"""
+
+
+def _spawn_server(env: dict) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, str(_ROOT / "scripts" / "store_server.py"),
+         "memory:", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, text=True, env=env)
+    line = proc.stdout.readline()
+    if not line.startswith("LISTENING "):
+        proc.kill()
+        raise RuntimeError(f"store server failed to start: {line!r}")
+    return proc, line.split()[-1]
+
+
+def _seed_blobs() -> list[bytes]:
+    codec = parse_codec("zlib:6")
+    return [codec.wrap(((RECORD_BODY % oid) * 240).encode("ascii"))
+            for oid in range(1, RECORDS + 1)]
+
+
+def _seed_engine(engine, blobs: list[bytes]) -> None:
+    batch = WriteBatch()
+    for oid, blob in enumerate(blobs, start=1):
+        batch.write(oid, blob)
+    batch.advance_next_oid(len(blobs) + 1)
+    engine.apply(batch)
+
+
+def _sweep_inproc(engine, oids: list[int]) -> tuple[int, float]:
+    """The identical single-process workload: pipelin-chunked bulk
+    reads plus per-record decode, all under one GIL."""
+    start = time.perf_counter()
+    fetched = 0
+    for _ in range(REPS):
+        for lo in range(0, len(oids), CHUNK):
+            for blob in engine.fetch_many(oids[lo:lo + CHUNK]).values():
+                unwrap_record(blob)
+                fetched += 1
+    return fetched, time.perf_counter() - start
+
+
+class TestRemoteScaling:
+    def test_four_clients_two_servers_beat_one_process(self, bench_json):
+        blobs = _seed_blobs()
+
+        # -- baseline: one process, in-proc sharded engine ---------------
+        with engine_from_url(f"sharded:{SERVER_PROCS}:memory:") as engine:
+            _seed_engine(engine, blobs)
+            oids = sorted(engine.oids())
+            _sweep_inproc(engine, oids[:64])  # warm-up
+            fetched, elapsed = _sweep_inproc(engine, oids)
+        inproc_rate = fetched / elapsed
+
+        # -- measured: 4 client processes x 2 shard servers --------------
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(_ROOT / "src") + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        servers, endpoints = [], []
+        clients = []
+        try:
+            for _ in range(SERVER_PROCS):
+                proc, endpoint = _spawn_server(env)
+                servers.append(proc)
+                endpoints.append(endpoint)
+            endpoint_list = ",".join(endpoints)
+            with engine_from_url(f"routed:{endpoint_list}") as router:
+                _seed_engine(router, blobs)
+
+            # The deadline is the start barrier: interpreters boot and
+            # connect first, then every client begins the sweep together.
+            deadline = time.time() + 3.0
+            clients = [
+                subprocess.Popen(
+                    [sys.executable, "-c", _WORKER, endpoint_list,
+                     repr(deadline), str(REPS), str(CHUNK)],
+                    stdout=subprocess.PIPE, text=True, env=env)
+                for _ in range(CLIENT_PROCS)
+            ]
+            reports = []
+            for proc in clients:
+                out, _ = proc.communicate(timeout=300)
+                assert proc.returncode == 0
+                reports.append(json.loads(out))
+        finally:
+            for proc in clients:
+                if proc.poll() is None:
+                    proc.kill()
+            for proc in servers:
+                proc.terminate()
+            for proc in servers:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+
+        total = sum(report["fetched"] for report in reports)
+        assert total == CLIENT_PROCS * REPS * RECORDS
+        wall = (max(report["end"] for report in reports)
+                - min(report["start"] for report in reports))
+        remote_rate = total / wall
+        speedup = remote_rate / inproc_rate
+
+        cpu_count = os.cpu_count() or 1
+        asserted = cpu_count >= 4
+        bench_json.record(
+            "remote_fetch_scaling",
+            client_procs=CLIENT_PROCS,
+            servers=SERVER_PROCS,
+            records=RECORDS,
+            reps=REPS,
+            remote_records_per_s=round(remote_rate, 1),
+            inproc_records_per_s=round(inproc_rate, 1),
+            speedup=round(speedup, 2),
+            cpu_count=cpu_count,
+            asserted=asserted,
+        )
+        print(f"\nremote {remote_rate:,.0f} rec/s over {CLIENT_PROCS} "
+              f"clients x {SERVER_PROCS} servers; in-proc "
+              f"{inproc_rate:,.0f} rec/s; speedup {speedup:.2f}x "
+              f"({cpu_count} CPUs)")
+        if asserted:
+            assert speedup >= 2.0, (
+                f"4 client processes x 2 servers reached only "
+                f"{speedup:.2f}x the single-process rate"
+            )

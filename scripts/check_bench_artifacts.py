@@ -9,16 +9,31 @@ malformed BENCH file fails the build instead of uploading garbage:
 
 Each file must be the object ``benchmarks/conftest.py`` writes for
 ``--bench-json``: ``schema`` == 1, a ``results`` list with at least one
-row, and every row a dict carrying a ``name``.  Exits non-zero naming
-every problem found.
+row, and every row a dict carrying a ``name``.  Artifacts named in
+``REQUIRED_ROWS`` must additionally contain specific rows with specific
+fields (so a refactor that silently stops recording a series fails CI
+instead of shipping a hollow artifact).  Exits non-zero naming every
+problem found.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import sys
 
 SCHEMA = 1
+
+#: Per-artifact contracts, keyed by basename: every listed row name
+#: must appear in ``results``, carrying every listed field.
+REQUIRED_ROWS: dict[str, dict[str, tuple[str, ...]]] = {
+    "BENCH_remote.json": {
+        "remote_fetch_scaling": (
+            "client_procs", "servers", "remote_records_per_s",
+            "inproc_records_per_s", "speedup", "cpu_count", "asserted",
+        ),
+    },
+}
 
 
 def check(path: str) -> list[str]:
@@ -45,6 +60,18 @@ def check(path: str) -> list[str]:
     for index, row in enumerate(results):
         if not isinstance(row, dict) or not row.get("name"):
             problems.append(f"{path}: results[{index}] lacks a name")
+    rows = {row.get("name"): row for row in results
+            if isinstance(row, dict)}
+    for name, fields in REQUIRED_ROWS.get(os.path.basename(path),
+                                          {}).items():
+        row = rows.get(name)
+        if row is None:
+            problems.append(f"{path}: required row {name!r} is missing")
+            continue
+        for field in fields:
+            if field not in row:
+                problems.append(
+                    f"{path}: row {name!r} lacks field {field!r}")
     return problems
 
 

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Run one store server process over any engine URL.
+
+    python scripts/store_server.py ENGINE-URL [--listen HOST:PORT]
+    python scripts/store_server.py file:/var/store --listen 0.0.0.0:7901
+    python scripts/store_server.py memory: --listen unix:/tmp/repro.sock
+
+The server prints one line once it is accepting connections::
+
+    LISTENING <endpoint>
+
+(``HOST:PORT`` with the kernel-assigned port when ``--listen`` used
+port 0, or ``unix:PATH``) — spawners wait for that line, then point
+clients at ``remote:<endpoint>`` or include it in a ``routed:`` list.
+The process runs until SIGTERM/SIGINT or a ``shutdown`` protocol op.
+
+A typical two-shard deployment runs two of these (one per shard
+group's engine) and clients open
+``routed:host1:p1,host2:p2`` — see docs/architecture.md, "Network
+serving".
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+
+from repro.store.net.server import StoreServer
+from repro.store.net.protocol import MAX_FRAME_BYTES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serve a storage engine over the store wire protocol")
+    parser.add_argument("url", help="engine URL to serve "
+                        "(file:/p, sqlite:/p, memory:, sharded:N:..., "
+                        "including query parameters)")
+    parser.add_argument("--listen", default="127.0.0.1:0",
+                        metavar="HOST:PORT|unix:PATH",
+                        help="bind address (default 127.0.0.1:0 — "
+                        "an OS-assigned port, printed on stdout)")
+    parser.add_argument("--max-frame", type=int, default=MAX_FRAME_BYTES,
+                        metavar="BYTES",
+                        help="largest accepted wire frame (default 64 MiB)")
+    args = parser.parse_args(argv)
+
+    server = StoreServer(args.url, bind=args.listen,
+                         max_frame=args.max_frame)
+
+    def _stop(signum, frame):  # noqa: ARG001 - signal handler signature
+        server.stop()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+
+    print(f"LISTENING {server.endpoint}", flush=True)
+    server.serve_forever()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,28 @@ class CommitPipelineError(StoreError):
     aborted and the pipeline accepts no further work."""
 
 
+class RemoteStoreError(StoreError):
+    """A request to a remote store server failed.
+
+    Raised by the ``remote:`` engine when the server reports an error
+    that has no local exception type, and as the base class of every
+    network-layer failure, so callers can catch the whole family."""
+
+
+class WireProtocolError(RemoteStoreError):
+    """A wire frame violated the store network protocol (bad CRC,
+    oversized length, truncated frame, unknown opcode or a malformed
+    payload).  The connection it arrived on is no longer trustworthy
+    and is dropped."""
+
+
+class RemoteDisconnectedError(RemoteStoreError, ConnectionError):
+    """The server connection was lost (or timed out) before a reply
+    arrived.  Idempotent reads retry through a fresh connection up to
+    the engine's retry bound before surfacing this; writes surface it
+    immediately — the caller cannot know whether the batch applied."""
+
+
 # ---------------------------------------------------------------------------
 # Hyper-program core
 # ---------------------------------------------------------------------------

@@ -50,6 +50,7 @@ from repro.store.commit import (
     SyncPolicy,
 )
 from repro.store.serve import FetchPlanner, ObjectCache, ReadWriteLock
+from repro.store.net import RemoteEngine, RouterEngine, StoreServer
 from repro.store.objectstore import ObjectStore
 from repro.store.weakrefs import PersistentWeakRef
 from repro.store.transactions import Transaction
@@ -100,6 +101,9 @@ __all__ = [
     "GroupPolicy",
     "AsyncPolicy",
     "engine_from_url",
+    "RemoteEngine",
+    "RouterEngine",
+    "StoreServer",
     "ObjectStore",
     "ObjectCache",
     "ReadWriteLock",

@@ -138,7 +138,7 @@ class EncoderPool:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
                     max_workers=self.workers,
-                    thread_name_prefix="stabilize-encode")
+                    thread_name_prefix="repro-stabilize-encode")
             return self._executor
 
     def encode_stream(self, records: Iterable[Record],

@@ -124,7 +124,7 @@ class CommitPipeline:
         self._thread: Optional[threading.Thread] = None
         if policy.threaded:
             self._thread = threading.Thread(
-                target=self._run, name="commit-pipeline", daemon=True)
+                target=self._run, name="repro-commit-pipeline", daemon=True)
             self._thread.start()
 
     # -- submission ------------------------------------------------------

@@ -10,6 +10,19 @@ Callers pick a backend by URL instead of wiring engine objects by hand:
   directory* and each shard gets its own location inside it
   (``shard0``, ``shard1``, … for ``file:``; ``shard0.sqlite``, … for
   ``sqlite:``).  ``sharded:4:memory:`` composes four memory shards.
+* ``remote:HOST:PORT`` (or ``remote:unix:/path.sock``) — a
+  :class:`~repro.store.net.client.RemoteEngine` client of a store
+  server process (``scripts/store_server.py``);
+* ``routed:HOST1:P1,HOST2:P2,...`` — a
+  :class:`~repro.store.net.router.RouterEngine` front-end mapping OID
+  ranges over N backend store servers (``oid % N``), with the sharded
+  engine's two-phase commit running across the servers.
+
+Schemes live in a registry (:func:`register_scheme`): each entry names
+its legal query keys and a builder, so new backends — the network
+schemes above are plugged in exactly this way — extend the factory
+without touching its parsing; an unknown scheme's error names every
+registered scheme.
 
 A string with no (known) scheme is taken as a plain filesystem path and
 opened with the file engine, so existing ``ObjectStore.open(path)``
@@ -36,6 +49,13 @@ key                          meaning
                              with this policy (the ``group_*`` /
                              ``async_*`` knobs apply to those pipelines
                              too)
+``connect_timeout``          [remote/routed] seconds to establish each
+                             server connection (default 5)
+``op_timeout``               [remote/routed] seconds to wait for one
+                             reply (default 30; 0 waits forever)
+``read_retries``             [remote/routed] reconnect-retry bound for
+                             idempotent reads (default 2; writes are
+                             never retried)
 ===========================  ============================================
 
 ``file:/p?durability=group&group_window_ms=2`` is the canonical example;
@@ -55,7 +75,7 @@ and ``open_store`` call it); handing them straight to
 from __future__ import annotations
 
 import os
-from typing import Optional
+from typing import Callable, NamedTuple, Optional
 
 from repro.store.commit.pipeline import PipelinedEngine
 from repro.store.commit.policy import DurabilityPolicy, make_policy
@@ -65,34 +85,72 @@ from repro.store.engine.memory import MemoryEngine
 from repro.store.engine.sharded import ShardedEngine
 from repro.store.engine.sqlite import SqliteEngine
 
-SCHEMES = ("memory", "file", "sqlite", "sharded")
-
 #: Pipeline keys, honoured for every scheme.
 _PIPELINE_KEYS = ("durability", "group_window_ms", "group_max_batches",
                   "async_max_pending")
-
-#: Engine-specific keys per scheme.
-_SCHEME_KEYS = {
-    "memory": (),
-    "file": ("checkpoint_wal_bytes", "manifest_compact_deltas",
-             "heap_cache_pages"),
-    "sqlite": ("synchronous",),
-    "sharded": ("shard_durability",),
-}
 
 #: Keys consumed by the ObjectStore layer, valid for every scheme; the
 #: engine factory never sees them (``split_store_url`` peels them off).
 STORE_KEYS = ("cache_objects", "compress", "encode_workers")
 
 
+class SchemeSpec(NamedTuple):
+    """One row of the scheme registry.
+
+    ``keys`` are the scheme's own query-parameter names (the pipeline
+    keys are valid for every scheme and need not be listed); ``build``
+    turns the URL's location part plus its parsed query parameters into
+    an opened engine.
+    """
+
+    keys: tuple[str, ...]
+    build: Callable[[str, dict], StorageEngine]
+
+
+#: The scheme registry: every storage scheme the factory understands.
+#: The built-in backends register below; the network schemes
+#: (``remote:``, ``routed:``) plug in the same way with lazily-imported
+#: builders, and out-of-tree backends may call :func:`register_scheme`.
+_SCHEME_REGISTRY: dict[str, SchemeSpec] = {}
+
+#: Registered scheme names, kept in registration order for messages and
+#: backward compatibility (``factory.SCHEMES`` predates the registry).
+SCHEMES: tuple[str, ...] = ()
+
+
+def register_scheme(name: str, keys: tuple[str, ...],
+                    build: Callable[[str, dict], StorageEngine]) -> None:
+    """Add a storage scheme to the registry (idempotent per name).
+
+    ``build(rest, params)`` receives the URL after ``name:`` (query
+    string already stripped and parsed into ``params``) and must return
+    an opened engine.  ``keys`` become the scheme's legal query
+    parameters alongside the pipeline keys.
+    """
+    if not name or not name.isalpha() or len(name) < 2:
+        raise ValueError(
+            f"scheme name must be alphabetic and at least two "
+            f"characters, got {name!r}"
+        )
+    _SCHEME_REGISTRY[name] = SchemeSpec(tuple(keys), build)
+    global SCHEMES
+    if name not in SCHEMES:
+        SCHEMES = SCHEMES + (name,)
+
+
+def registered_schemes() -> tuple[str, ...]:
+    """Every scheme the factory currently understands."""
+    return SCHEMES
+
+
 def _split_scheme(url: str) -> tuple[str | None, str]:
     scheme, sep, rest = url.partition(":")
-    if sep and scheme in SCHEMES:
+    if sep and scheme in _SCHEME_REGISTRY:
         return scheme, rest
     if sep and len(scheme) > 1 and scheme.isalpha():
         raise ValueError(
             f"unknown storage scheme {scheme!r} in {url!r}; "
-            f"known schemes: {', '.join(SCHEMES)}"
+            f"known schemes: {', '.join(registered_schemes())}"
         )
     # No colon, or something path-like (a single-letter drive prefix, a
     # path with a colon in it): a bare filesystem path for the default
@@ -127,7 +185,8 @@ def _check_keys(params: dict[str, str], scheme: str, url: str,
             f"with open_store()/ObjectStore.from_url (or split it with "
             f"repro.store.engine.factory.split_store_url first)"
         )
-    known = set(_PIPELINE_KEYS) | set(_SCHEME_KEYS[scheme]) | set(extra)
+    known = (set(_PIPELINE_KEYS) | set(_SCHEME_REGISTRY[scheme].keys)
+             | set(extra))
     unknown = sorted(set(params) - known)
     if unknown:
         raise ValueError(
@@ -194,7 +253,12 @@ def _sharded_children(rest: str,
     child_scheme, location = _split_scheme(child_url)
     if child_scheme == "sharded":
         raise ValueError("sharded children cannot themselves be sharded")
-    if child_scheme is None and location in SCHEMES:
+    if child_scheme in ("remote", "routed"):
+        raise ValueError(
+            f"sharded children cannot be {child_scheme}: engines — "
+            f"compose remote servers with 'routed:' instead"
+        )
+    if child_scheme is None and location in _SCHEME_REGISTRY:
         raise ValueError(
             f"child URL {child_url!r} looks like a scheme missing its "
             f"colon — did you mean '{location}:'?"
@@ -294,6 +358,80 @@ def split_store_url(url: str) -> tuple[str, dict]:
     return base, store_options
 
 
+# -- scheme builders --------------------------------------------------------
+
+def _build_memory(rest: str, params: dict) -> StorageEngine:
+    if rest:
+        raise ValueError(f"memory: takes no location, got {rest!r}")
+    return MemoryEngine()
+
+
+def _build_file(rest: str, params: dict) -> StorageEngine:
+    if not rest:
+        raise ValueError("file: needs a directory path")
+    return FileEngine(rest, **_file_kwargs(params))
+
+
+def _build_sqlite(rest: str, params: dict) -> StorageEngine:
+    if not rest:
+        raise ValueError("sqlite: needs a database path")
+    return SqliteEngine(rest,
+                        synchronous=params.get("synchronous", "NORMAL"))
+
+
+def _build_sharded(rest: str, params: dict) -> StorageEngine:
+    return ShardedEngine(_sharded_children(rest, params))
+
+
+def _remote_kwargs(params: dict) -> dict:
+    """RemoteEngine keyword arguments named in a URL's query
+    parameters (shared by the ``remote:`` and ``routed:`` schemes)."""
+    kwargs: dict = {}
+    connect_timeout = _float_param(params, "connect_timeout")
+    if connect_timeout is not None:
+        kwargs["connect_timeout"] = connect_timeout
+    op_timeout = _float_param(params, "op_timeout")
+    if op_timeout is not None:
+        kwargs["op_timeout"] = op_timeout
+    retries = _int_param(params, "read_retries")
+    if retries is not None:
+        kwargs["read_retries"] = retries
+    return kwargs
+
+
+#: Client-tuning keys shared by the network schemes.
+_REMOTE_KEYS = ("connect_timeout", "op_timeout", "read_retries")
+
+
+def _build_remote(rest: str, params: dict) -> StorageEngine:
+    from repro.store.net.client import RemoteEngine
+
+    if not rest:
+        raise ValueError("remote: needs HOST:PORT or unix:PATH")
+    return RemoteEngine(rest, **_remote_kwargs(params))
+
+
+def _build_routed(rest: str, params: dict) -> StorageEngine:
+    from repro.store.net.router import RouterEngine
+
+    endpoints = [endpoint for endpoint in rest.split(",") if endpoint]
+    if not endpoints:
+        raise ValueError(
+            "routed: needs a comma-separated endpoint list, e.g. "
+            "'routed:host1:p1,host2:p2'"
+        )
+    return RouterEngine(endpoints, **_remote_kwargs(params))
+
+
+register_scheme("memory", (), _build_memory)
+register_scheme("file", ("checkpoint_wal_bytes", "manifest_compact_deltas",
+                         "heap_cache_pages"), _build_file)
+register_scheme("sqlite", ("synchronous",), _build_sqlite)
+register_scheme("sharded", ("shard_durability",), _build_sharded)
+register_scheme("remote", _REMOTE_KEYS, _build_remote)
+register_scheme("routed", _REMOTE_KEYS, _build_routed)
+
+
 def engine_from_url(url: str) -> StorageEngine:
     """Construct (opening or creating) the storage engine ``url`` names."""
     if not url:
@@ -310,8 +448,9 @@ def engine_from_url(url: str) -> StorageEngine:
         child_part = rest.partition(":")[2]
         if child_part:
             child_scheme = _split_scheme(child_part)[0]
-            extra_keys = _SCHEME_KEYS.get(
-                child_scheme if child_scheme is not None else "file", ())
+            spec = _SCHEME_REGISTRY.get(
+                child_scheme if child_scheme is not None else "file")
+            extra_keys = spec.keys if spec is not None else ()
     _check_keys(params, scheme if scheme is not None else "file", url,
                 extra_keys)
     kinds = {params.get("durability"), params.get("shard_durability")}
@@ -330,21 +469,8 @@ def engine_from_url(url: str) -> StorageEngine:
     # Validate policy parameters before constructing anything, so a bad
     # value cannot leak an opened engine (file handles, on-disk files).
     policy = _policy_from_params(params.get("durability"), params)
-    if scheme == "memory":
-        if rest:
-            raise ValueError(f"memory: takes no location, got {rest!r}")
-        engine: StorageEngine = MemoryEngine()
-    elif scheme == "sqlite":
-        if not rest:
-            raise ValueError("sqlite: needs a database path")
-        engine = SqliteEngine(rest,
-                              synchronous=params.get("synchronous", "NORMAL"))
-    elif scheme == "sharded":
-        engine = ShardedEngine(_sharded_children(rest, params))
-    else:
-        if not rest:
-            raise ValueError("file: needs a directory path")
-        engine = FileEngine(rest, **_file_kwargs(params))
+    build = _SCHEME_REGISTRY[scheme if scheme is not None else "file"].build
+    engine = build(rest, params)
     if policy is not None:
         engine = PipelinedEngine(engine, policy)
     return engine

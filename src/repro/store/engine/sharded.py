@@ -193,7 +193,7 @@ class ShardedEngine(StorageEngine):
         # commit, the store's stabilise wait) check this flag.
         self.asynchronous = any(child.asynchronous for child in children)
         self._pool = ThreadPoolExecutor(max_workers=len(children),
-                                        thread_name_prefix="shard")
+                                        thread_name_prefix="repro-shard")
         #: Token of the batch currently between prepare and commit (also
         #: lets the fault-injection tests drive the phases separately).
         self._batch_token: Optional[bytes] = None

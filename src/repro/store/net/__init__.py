@@ -1,0 +1,31 @@
+"""Network serving for the store: shard servers, wire protocol, clients.
+
+The pieces, bottom up:
+
+* :mod:`repro.store.net.protocol` — the compact length-prefixed binary
+  frame format (uvarint length + CRC + opcode/status + body) and the
+  body encodings, shared by both sides of every connection;
+* :class:`~repro.store.net.server.StoreServer` — one process per shard
+  group: wraps any engine URL and serves the full
+  :class:`~repro.store.engine.base.StorageEngine` contract over TCP or
+  a Unix socket (``scripts/store_server.py`` is the entry point);
+* :class:`~repro.store.net.client.RemoteEngine` — the ``remote:``
+  engine: a server seen through the engine seam, with a per-thread
+  connection pool, pipelined ``fetch_many`` and bounded reconnect-retry
+  on idempotent reads;
+* :class:`~repro.store.net.router.RouterEngine` — the ``routed:``
+  front-end: a :class:`~repro.store.engine.sharded.ShardedEngine` whose
+  shards are remote servers, giving cross-server two-phase commits and
+  fanned-out reads to any number of client processes.
+
+``open_store("remote:HOST:PORT")`` and
+``open_store("routed:h1:p1,h2:p2")`` select the client engines by URL;
+see ``docs/architecture.md`` ("Network serving") for the wire-format
+table and deployment shape.
+"""
+
+from repro.store.net.client import RemoteEngine
+from repro.store.net.router import RouterEngine
+from repro.store.net.server import StoreServer
+
+__all__ = ["RemoteEngine", "RouterEngine", "StoreServer"]

@@ -1,0 +1,367 @@
+"""The ``remote:`` engine — a store server seen through the engine seam.
+
+``RemoteEngine`` implements the full
+:class:`~repro.store.engine.base.StorageEngine` contract by forwarding
+every operation to a :class:`~repro.store.net.server.StoreServer` over
+the length-prefixed wire protocol.  Because it *is* an engine, the
+whole stack above — :class:`~repro.store.objectstore.ObjectStore`, the
+wave-planned fetch, transactions, GC — runs unchanged against a server
+in another process (or another machine), which is what finally moves
+the hot paths off this interpreter's GIL.
+
+Connections: one socket **per calling thread** (a thread-local pool),
+created lazily and re-used across operations, so concurrent reader
+threads never serialise on a shared socket.  ``fetch_many`` pipelines:
+a wave larger than ``fetch_chunk`` OIDs is split into several request
+frames that are all written before any response is read, overlapping
+the server's work with the transfer.
+
+Failure semantics: an **idempotent read** (``read``, ``contains``,
+``fetch_many``, ``oids``, ``roots``, ``next_oid``, ``stats``,
+``flush``, ``sync``) that loses its connection reconnects and retries,
+up to ``read_retries`` times, before raising
+:class:`~repro.errors.RemoteDisconnectedError`; a server restart is
+therefore invisible to readers holding old connections.  A **write**
+(``apply``, ``apply_many``, ``reserve``) is never retried — the client
+cannot know whether the lost request committed — and surfaces the
+disconnect immediately.  Server-side exceptions arrive as typed error
+frames and re-raise locally (``UnknownOidError``, ``ValueError``, …);
+anything unrecognised becomes
+:class:`~repro.errors.RemoteStoreError`.
+
+Selected by URL: ``open_store("remote:HOST:PORT")`` or
+``remote:unix:/path/to.sock``, with ``?connect_timeout=`` /
+``?op_timeout=`` (seconds; ``op_timeout=0`` waits forever) and
+``?read_retries=`` tuning each client.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Iterable, Optional
+
+from repro.errors import (
+    RemoteDisconnectedError,
+    RemoteStoreError,
+    UnknownOidError,
+    WireProtocolError,
+)
+from repro.store.engine.base import StorageEngine, WriteBatch
+from repro.store.engine.sharded import encode_batch
+from repro.store.net import protocol as wire
+from repro.store.oids import Oid
+from repro.store.serializer import write_uvarint
+
+__all__ = ["RemoteEngine"]
+
+#: Server error kinds re-raised as their local exception type; anything
+#: else becomes a :class:`RemoteStoreError` carrying the kind name.
+_ERROR_TYPES = {
+    "UnknownOidError": UnknownOidError,
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "WireProtocolError": WireProtocolError,
+    "RemoteStoreError": RemoteStoreError,
+}
+
+
+def _parse_endpoint(endpoint: str) -> tuple[int, object]:
+    """``HOST:PORT`` or ``unix:PATH`` -> (address family, address)."""
+    if endpoint.startswith("unix:"):
+        path = endpoint[len("unix:"):]
+        if not path:
+            raise ValueError("remote: unix endpoint needs a socket path")
+        return socket.AF_UNIX, path
+    host, sep, port_text = endpoint.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"remote endpoint {endpoint!r} is neither HOST:PORT nor "
+            f"unix:PATH"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"remote endpoint port must be an integer, got {port_text!r}"
+        ) from None
+    return socket.AF_INET, (host, port)
+
+
+class RemoteEngine(StorageEngine):
+    """A client-side engine over one store-server connection pool."""
+
+    name = "remote"
+
+    def __init__(self, endpoint: str, *,
+                 connect_timeout: float = 5.0,
+                 op_timeout: float = 30.0,
+                 read_retries: int = 2,
+                 fetch_chunk: int = 512,
+                 max_frame: int = wire.MAX_FRAME_BYTES):
+        super().__init__()
+        if connect_timeout <= 0:
+            raise ValueError(
+                f"connect_timeout must be > 0, got {connect_timeout}")
+        if op_timeout < 0:
+            raise ValueError(
+                f"op_timeout must be >= 0, got {op_timeout}")
+        if read_retries < 0:
+            raise ValueError(
+                f"read_retries must be >= 0, got {read_retries}")
+        if fetch_chunk < 1:
+            raise ValueError(
+                f"fetch_chunk must be >= 1, got {fetch_chunk}")
+        self.endpoint = endpoint
+        self._family, self._address = _parse_endpoint(endpoint)
+        self._connect_timeout = connect_timeout
+        self._op_timeout = op_timeout if op_timeout > 0 else None
+        self._read_retries = read_retries
+        self._fetch_chunk = fetch_chunk
+        self._max_frame = max_frame
+        self._local = threading.local()
+        self._streams_lock = threading.Lock()
+        self._streams: set[wire.FrameStream] = set()
+
+    # -- connection pool ----------------------------------------------------
+
+    def _connect(self) -> wire.FrameStream:
+        sock = socket.socket(self._family, socket.SOCK_STREAM)
+        try:
+            sock.settimeout(self._connect_timeout)
+            sock.connect(self._address)
+            if self._family == socket.AF_INET:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(self._op_timeout)
+        except OSError as exc:
+            sock.close()
+            raise RemoteDisconnectedError(
+                f"cannot connect to store server at {self.endpoint}: {exc}"
+            ) from exc
+        stream = wire.FrameStream(sock, self._max_frame)
+        try:
+            hello = bytearray([wire.OP_HELLO])
+            write_uvarint(hello, wire.PROTOCOL_VERSION)
+            stream.send_message(bytes(hello))
+            self._parse_response(stream.recv_message())
+        except BaseException:
+            stream.close()
+            raise
+        with self._streams_lock:
+            self._streams.add(stream)
+        return stream
+
+    def _stream(self) -> wire.FrameStream:
+        stream = getattr(self._local, "stream", None)
+        if stream is None:
+            stream = self._connect()
+            self._local.stream = stream
+        return stream
+
+    def _drop_stream(self, stream: wire.FrameStream) -> None:
+        self._local.stream = None
+        with self._streams_lock:
+            self._streams.discard(stream)
+        stream.close()
+
+    def close(self) -> None:
+        """Close this client's connections; the server stays up."""
+        if self._closed:
+            return
+        with self._streams_lock:
+            streams, self._streams = list(self._streams), set()
+        for stream in streams:
+            stream.close()
+        super().close()
+
+    # -- request plumbing ---------------------------------------------------
+
+    def _parse_response(self, payload: bytes) -> bytes:
+        status = payload[0]
+        body = payload[1:]
+        if status == wire.ST_OK:
+            return body
+        if status == wire.ST_NOT_FOUND:
+            oid, _pos = wire.unpack_oid(body)
+            raise UnknownOidError(int(oid))
+        if status == wire.ST_ERROR:
+            kind, message = wire.unpack_error(body)
+            exc_type = _ERROR_TYPES.get(kind)
+            if exc_type is not None:
+                raise exc_type(message)
+            raise RemoteStoreError(f"server error {kind}: {message}")
+        raise WireProtocolError(f"unknown response status 0x{status:02X}")
+
+    def _request(self, op: int, body: bytes = b"",
+                 idempotent: bool = False) -> bytes:
+        """One request/response exchange, with bounded reconnect-retry
+        for idempotent operations."""
+        self._check_open()
+        payload = bytes([op]) + body
+        attempts = 1 + (self._read_retries if idempotent else 0)
+        last: Optional[BaseException] = None
+        for _attempt in range(attempts):
+            try:
+                stream = self._stream()
+            except RemoteDisconnectedError as exc:
+                last = exc
+                continue
+            try:
+                stream.send_message(payload)
+                return self._parse_response(stream.recv_message())
+            except (RemoteDisconnectedError, WireProtocolError) as exc:
+                # Either way the stream is unusable; only a lost
+                # connection on an idempotent op is worth retrying.
+                self._drop_stream(stream)
+                if isinstance(exc, WireProtocolError):
+                    raise
+                last = exc
+        assert last is not None
+        raise last
+
+    # -- reads --------------------------------------------------------------
+
+    def read(self, oid: Oid) -> bytes:
+        return self._request(wire.OP_FETCH, wire.pack_oid(oid),
+                             idempotent=True)
+
+    def contains(self, oid: Oid) -> bool:
+        body = self._request(wire.OP_CONTAINS, wire.pack_oid(oid),
+                             idempotent=True)
+        return body == b"\x01"
+
+    def fetch_many(self, oids: Iterable[Oid]) -> dict[Oid, bytes]:
+        """Bulk read, pipelined: every chunk's request frame is written
+        before any response is read, so a deep wave costs one
+        round-trip *latency* however many chunks it spans."""
+        self._check_open()
+        wanted = list(oids)
+        if not wanted:
+            return {}
+        chunks = [wanted[i:i + self._fetch_chunk]
+                  for i in range(0, len(wanted), self._fetch_chunk)]
+        if len(chunks) == 1:
+            body = self._request(
+                wire.OP_FETCH_MANY, wire.pack_oids(chunks[0]),
+                idempotent=True)
+            return wire.unpack_records(body)[0]
+        attempts = 1 + self._read_retries
+        last: Optional[BaseException] = None
+        for _attempt in range(attempts):
+            try:
+                stream = self._stream()
+            except RemoteDisconnectedError as exc:
+                last = exc
+                continue
+            try:
+                stream.send_raw(b"".join(
+                    wire.frame_message(bytes([wire.OP_FETCH_MANY]) +
+                                       wire.pack_oids(chunk))
+                    for chunk in chunks))
+                found: dict[Oid, bytes] = {}
+                for _chunk in chunks:
+                    body = self._parse_response(stream.recv_message())
+                    found.update(wire.unpack_records(body)[0])
+                return found
+            except (RemoteDisconnectedError, WireProtocolError) as exc:
+                self._drop_stream(stream)
+                if isinstance(exc, WireProtocolError):
+                    raise
+                last = exc
+        assert last is not None
+        raise last
+
+    def oids(self) -> tuple[Oid, ...]:
+        body = self._request(wire.OP_OIDS, idempotent=True)
+        return tuple(wire.unpack_oids(body)[0])
+
+    @property
+    def object_count(self) -> int:
+        return int(self.stats()["object_count"])
+
+    def roots(self) -> dict[str, Oid]:
+        body = self._request(wire.OP_ROOTS, idempotent=True)
+        return wire.unpack_roots(body)[0]
+
+    @property
+    def next_oid(self) -> int:
+        body = self._request(wire.OP_NEXT_OID, idempotent=True)
+        return int(wire.unpack_oid(body)[0])
+
+    @property
+    def page_count(self) -> int:
+        return int(self.stats()["page_count"])
+
+    def stats(self) -> dict:
+        """The server's stats snapshot (engine counters, connection and
+        request totals, uptime, pid)."""
+        return wire.unpack_stats(self._request(wire.OP_STATS,
+                                               idempotent=True))
+
+    # -- writes -------------------------------------------------------------
+
+    def apply(self, batch: WriteBatch) -> None:
+        self._request(wire.OP_APPLY, encode_batch(batch))
+        self.record_writes += len(batch.writes)
+        self.batches_applied += 1
+
+    def apply_many(self, batches: Iterable[WriteBatch]) -> None:
+        batches = list(batches)
+        if not batches:
+            return
+        buf = bytearray()
+        write_uvarint(buf, len(batches))
+        parts = [bytes(buf)]
+        for batch in batches:
+            blob = encode_batch(batch)
+            head = bytearray()
+            write_uvarint(head, len(blob))
+            parts.append(bytes(head))
+            parts.append(blob)
+        self._request(wire.OP_APPLY_MANY, b"".join(parts))
+        self.record_writes += sum(len(batch.writes) for batch in batches)
+        self.batches_applied += len(batches)
+
+    def set_roots(self, roots: dict[str, Oid]) -> None:
+        """Replace the server's root table (the dedicated root-set op;
+        equivalent to applying a batch carrying only ``set_roots``)."""
+        self._request(wire.OP_SET_ROOTS, wire.pack_roots(roots))
+        self.batches_applied += 1
+
+    def reserve_oids(self, count: int) -> int:
+        """Atomically reserve ``count`` fresh OIDs on the server;
+        returns the first of the contiguous range.  This is how several
+        client processes share one server's allocator without clashing."""
+        buf = bytearray()
+        write_uvarint(buf, count)
+        body = self._request(wire.OP_RESERVE, bytes(buf))
+        return int(wire.unpack_oid(body)[0])
+
+    # -- maintenance --------------------------------------------------------
+
+    def flush(self) -> None:
+        self._request(wire.OP_FLUSH, idempotent=True)
+
+    def sync(self) -> None:
+        self._request(wire.OP_SYNC, idempotent=True)
+
+    def compact(self) -> int:
+        body = self._request(wire.OP_COMPACT)
+        return int(wire.unpack_oid(body)[0])
+
+    # -- admin --------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Close and re-open the server's engine (admin; ephemeral
+        server engines come back empty — the test suite's isolation)."""
+        self._request(wire.OP_RESET)
+
+    def shutdown_server(self) -> None:
+        """Ask the server process to stop gracefully (admin)."""
+        try:
+            self._request(wire.OP_SHUTDOWN)
+        except RemoteDisconnectedError:
+            pass  # the server may win the race and drop us first
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteEngine({self.endpoint!r})"

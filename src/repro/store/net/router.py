@@ -1,0 +1,67 @@
+"""The OID-routing front-end: one logical store over N shard servers.
+
+``RouterEngine`` is the network twin of
+:class:`~repro.store.engine.sharded.ShardedEngine` — literally: it *is*
+a sharded engine whose children are :class:`RemoteEngine` clients, one
+per backend store server.  OID ``oid`` is served by backend
+``oid % N``; reads (``fetch_many`` waves included) fan out over the
+per-shard thread pool, and a cross-backend batch commits through the
+existing two-phase protocol — staging records and the commit marker
+simply live on the *servers* now, so crash recovery on reopen works
+across processes exactly as it does across child engines.  This is the
+query-routing-broker arrangement (ZBroker) applied to our shard
+topology: a thin, stateless-between-batches front-end that any number
+of client processes can instantiate against the same backend fleet.
+
+Selected by URL::
+
+    open_store("routed:host1:p1,host2:p2")
+    open_store("routed:unix:/tmp/a.sock,unix:/tmp/b.sock?op_timeout=5")
+
+Every client option (``connect_timeout``, ``op_timeout``,
+``read_retries``) applies to each backend connection.  The backend
+*servers* should wrap plain engines (``file:``, ``sqlite:``,
+``memory:``, or pipelined variants) — routing over a server whose own
+engine is ``sharded:`` would nest two staging protocols on the same
+reserved OIDs and is rejected by the sharded engine itself.
+
+The topology is pinned the same way as local sharding: backend 0 holds
+the persisted shard count, so a router opened with the wrong number of
+backends fails loudly instead of misrouting every OID.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.store.engine.sharded import ShardedEngine
+from repro.store.net.client import RemoteEngine
+
+__all__ = ["RouterEngine"]
+
+
+class RouterEngine(ShardedEngine):
+    """A sharded engine whose shards are remote store servers."""
+
+    name = "routed"
+
+    def __init__(self, endpoints: Sequence[str], **client_options):
+        endpoints = tuple(endpoints)
+        if not endpoints:
+            raise ValueError("RouterEngine needs at least one endpoint")
+        clients: list[RemoteEngine] = []
+        try:
+            for endpoint in endpoints:
+                clients.append(RemoteEngine(endpoint, **client_options))
+        except BaseException:
+            for client in clients:
+                client.close()
+            raise
+        self.endpoints = endpoints
+        # ShardedEngine takes ownership: its two-phase apply, recovery,
+        # pooled fan-out and close() all drive the remote children
+        # through the ordinary engine contract.
+        super().__init__(clients)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RouterEngine({', '.join(self.endpoints)})"

@@ -1,7 +1,8 @@
 """Store-suite fixtures: the ``store`` fixture is parametrized over every
 storage backend here, so each store contract test runs against
-``FileEngine``, ``MemoryEngine``, ``SqliteEngine`` and ``ShardedEngine``
-(over both file and sqlite children) alike.
+``FileEngine``, ``MemoryEngine``, ``SqliteEngine``, ``ShardedEngine``
+(over both file and sqlite children) and a ``RemoteEngine`` talking to
+a real store-server subprocess alike.
 
 Tests that exercise reopen/recovery construct file stores explicitly from
 ``tmp_path`` — those stay file-specific by nature.  Engine-only behaviour
@@ -10,6 +11,12 @@ protocol) lives in ``test_engines.py`` and ``test_failure_injection.py``.
 """
 
 from __future__ import annotations
+
+import atexit
+import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -22,7 +29,46 @@ from repro.store.engine import (
 from repro.store.objectstore import ObjectStore
 
 ENGINE_PARAMS = ("file", "memory", "sqlite", "sharded-file",
-                 "sharded-sqlite", "file-group", "sharded-async")
+                 "sharded-sqlite", "file-group", "sharded-async",
+                 "remote")
+
+#: The one store-server subprocess behind every ``remote`` param: spawned
+#: lazily on first use, shared for the whole test session (each
+#: ``make_engine("remote", ...)`` resets its state through the admin op),
+#: terminated at interpreter exit.
+_REMOTE_SERVER: dict = {}
+
+
+def _remote_endpoint() -> str:
+    proc = _REMOTE_SERVER.get("proc")
+    if proc is not None and proc.poll() is None:
+        return _REMOTE_SERVER["endpoint"]
+    root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(root / "src") + os.pathsep +
+                         env.get("PYTHONPATH", ""))
+    proc = subprocess.Popen(
+        [sys.executable, str(root / "scripts" / "store_server.py"),
+         "memory:", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, text=True, env=env)
+    line = proc.stdout.readline()
+    if not line.startswith("LISTENING "):
+        proc.kill()
+        raise RuntimeError(f"store server failed to start: {line!r}")
+    _REMOTE_SERVER.update(proc=proc, endpoint=line.split()[-1])
+    atexit.register(_shutdown_remote_server)
+    return _REMOTE_SERVER["endpoint"]
+
+
+def _shutdown_remote_server() -> None:
+    proc = _REMOTE_SERVER.get("proc")
+    if proc is None or proc.poll() is not None:
+        return
+    proc.terminate()
+    try:
+        proc.wait(timeout=5)
+    except subprocess.TimeoutExpired:  # pragma: no cover - last resort
+        proc.kill()
 
 
 def make_engine(kind: str, tmp_path):
@@ -47,6 +93,15 @@ def make_engine(kind: str, tmp_path):
         # critical path; barriers still order prepare/marker durability.
         return engine_from_url(f"sharded:3:file:{tmp_path / 'shards'}"
                                "?shard_durability=async")
+    if kind == "remote":
+        # The whole store suite over a real socket: a memory-engine
+        # store server in a separate process (one per test session),
+        # reset to empty for each test through the admin op.
+        from repro.store.net.client import RemoteEngine
+
+        engine = RemoteEngine(_remote_endpoint(), op_timeout=60)
+        engine.reset()
+        return engine
     raise ValueError(f"unknown engine kind {kind!r}")
 
 

@@ -227,6 +227,64 @@ class TestQueryParameters:
             open_store(f"sharded:3:sqlite:{base}", registry=registry)
 
 
+class TestSchemeRegistry:
+    """The scheme registry behind the factory: every backend —
+    built-in or network — registers through one table, and unknown
+    schemes fail loudly with the full menu."""
+
+    def test_unknown_scheme_error_lists_every_registered_scheme(self):
+        with pytest.raises(ValueError) as excinfo:
+            engine_from_url("redis:/somewhere")
+        message = str(excinfo.value)
+        assert "unknown storage scheme 'redis'" in message
+        for scheme in ("memory", "file", "sqlite", "sharded",
+                       "remote", "routed"):
+            assert scheme in message
+
+    def test_registered_schemes_cover_all_backends(self):
+        from repro.store.engine.factory import registered_schemes
+        assert set(registered_schemes()) >= {
+            "memory", "file", "sqlite", "sharded", "remote", "routed"}
+
+    @pytest.mark.parametrize("name", ["", "x", "no1", "has-dash"])
+    def test_register_scheme_rejects_bad_names(self, name):
+        from repro.store.engine.factory import register_scheme
+        with pytest.raises(ValueError, match="alphabetic"):
+            register_scheme(name, (), lambda rest, params: None)
+
+    def test_out_of_tree_scheme_plugs_in(self):
+        from repro.store.engine import factory
+
+        def build(rest, params):
+            return MemoryEngine()
+
+        register = factory.register_scheme
+        register("loopback", (), build)
+        try:
+            with engine_from_url("loopback:") as engine:
+                assert isinstance(engine, MemoryEngine)
+            assert "loopback" in factory.registered_schemes()
+        finally:
+            factory._SCHEME_REGISTRY.pop("loopback", None)
+            factory.SCHEMES = tuple(s for s in factory.SCHEMES
+                                    if s != "loopback")
+
+    @pytest.mark.parametrize("bad_url, match", [
+        ("remote:", "HOST:PORT or unix:PATH"),
+        ("routed:", "comma-separated endpoint list"),
+        ("routed:,,", "comma-separated endpoint list"),
+        ("remote:h:1?connect_timeout=fast", "must be a number"),
+        ("remote:h:1?op_timeout=slow", "must be a number"),
+        ("remote:h:1?read_retries=lots", "must be an integer"),
+        ("remote:h:1?heap_cache_pages=4", "unknown query parameter"),
+        ("sharded:2:remote:h:1", "routed"),
+        ("sharded:2:routed:h:1,h:2", "routed"),
+    ])
+    def test_bad_network_urls_rejected(self, bad_url, match):
+        with pytest.raises(ValueError, match=match):
+            engine_from_url(bad_url)
+
+
 class TestStoreLevelParameters:
     """``cache_objects`` configures the store, not the engine."""
 
