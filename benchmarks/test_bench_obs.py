@@ -1,0 +1,220 @@
+"""[B9] Observability: hot-path overhead and the router's latency view.
+
+Two claims the telemetry subsystem must demonstrate:
+
+1. **Metrics are effectively free on the hot path.**  The cached
+   ``object_for`` fast path (seqlock + identity-map hit) pays one
+   bound-method call per hit either way — a real ``Counter.inc`` with
+   metrics on, the shared null instrument with ``?metrics=0``.  An
+   8-thread cached-read sweep, best-of-``ROUNDS`` per configuration
+   with the configurations interleaved against drift, must stay within
+   5% (``MAX_OVERHEAD``).
+
+2. **The router aggregates real per-server latency histograms.**  A
+   ``routed:2`` fetch_many sweep against two live ``store_server``
+   subprocesses, then ``RouterEngine.stats_full()``: every server's
+   ``server_op_ns`` histograms must carry observations, and the
+   per-server p50/p99 table printed here is the same data
+   ``scripts/store_top.py`` renders live.
+
+Both measurements land in ``BENCH_obs.json`` (rows
+``metrics_overhead`` and ``routed_latency_table``), which CI validates
+through ``scripts/check_bench_artifacts.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.store.engine.base import WriteBatch
+from repro.store.net.router import RouterEngine
+from repro.store.objectstore import ObjectStore
+from repro.store.registry import ClassRegistry
+
+THREADS = 8
+OBJECTS = 256
+SWEEPS = 40          # full passes over OBJECTS per thread per round
+ROUNDS = 5           # best-of, configurations interleaved
+MAX_OVERHEAD = 1.05  # metrics-on may cost at most 5% on cached reads
+
+ROUTED_SERVERS = 2
+ROUTED_RECORDS = 600
+ROUTED_REPS = 6
+ROUTED_CHUNK = 128
+
+_ROOT = Path(__file__).resolve().parents[1]
+
+
+class Node:
+    """A tiny persistent payload for the cached-read sweep."""
+
+    def __init__(self, n: int):
+        self.n = n
+
+
+def _build_store(url: str) -> tuple[ObjectStore, list]:
+    registry = ClassRegistry()
+    registry.register(Node)
+    store = ObjectStore.from_url(url, registry)
+    items = [Node(n) for n in range(OBJECTS)]
+    store.set_root("items", items)
+    store.stabilize()
+    oids = [store.oid_of(item) for item in items]
+    assert all(oid is not None for oid in oids)
+    return store, oids
+
+
+def _sweep_cached(store: ObjectStore, oids: list) -> float:
+    """Wall-clock seconds for THREADS threads x SWEEPS passes of cached
+    ``object_for`` hits (every OID is live, so each call is a fast-path
+    identity-map read)."""
+    barrier = threading.Barrier(THREADS + 1)
+
+    def worker():
+        barrier.wait()
+        read = store.object_for
+        for _ in range(SWEEPS):
+            for oid in oids:
+                read(oid)
+
+    pool = [threading.Thread(target=worker) for _ in range(THREADS)]
+    for t in pool:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in pool:
+        t.join()
+    return time.perf_counter() - start
+
+
+def _hist_quantile(hist: dict, q: float) -> int:
+    count = hist.get("count", 0)
+    if not count:
+        return 0
+    target, seen = q * count, 0
+    for bound in sorted(hist.get("buckets", {}), key=int):
+        seen += hist["buckets"][bound]
+        if seen >= target:
+            return int(bound)
+    return 0
+
+
+def _spawn_server(env: dict) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, str(_ROOT / "scripts" / "store_server.py"),
+         "memory:", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, text=True, env=env)
+    line = proc.stdout.readline()
+    if not line.startswith("LISTENING "):
+        proc.kill()
+        raise RuntimeError(f"store server failed to start: {line!r}")
+    return proc, line.split()[-1]
+
+
+class TestMetricsOverhead:
+    def test_cached_read_sweep_within_five_percent(self, bench_json):
+        store_on, oids_on = _build_store("memory:")          # metrics on
+        store_off, oids_off = _build_store("memory:?metrics=0")
+        try:
+            # Warm-up: fault everything live, JIT the dict shapes.
+            _sweep_cached(store_on, oids_on)
+            _sweep_cached(store_off, oids_off)
+            best_on = best_off = float("inf")
+            for _ in range(ROUNDS):
+                best_on = min(best_on, _sweep_cached(store_on, oids_on))
+                best_off = min(best_off,
+                               _sweep_cached(store_off, oids_off))
+            ops = THREADS * SWEEPS * OBJECTS
+            ratio = best_on / best_off
+            print(f"\ncached object_for, {THREADS} threads: "
+                  f"metrics on {ops / best_on:,.0f}/s, "
+                  f"off {ops / best_off:,.0f}/s, ratio {ratio:.3f}")
+            # Sanity: the instrumented store actually counted the hits.
+            hits = store_on.metrics()["gauges"][
+                "store_fastpath_hits_total"]
+            assert hits >= ops
+            bench_json.record(
+                "metrics_overhead",
+                threads=THREADS, objects=OBJECTS, ops_per_round=ops,
+                on_ops_per_s=round(ops / best_on),
+                off_ops_per_s=round(ops / best_off),
+                ratio=round(ratio, 4), max_overhead=MAX_OVERHEAD,
+                asserted=True,
+            )
+            assert ratio <= MAX_OVERHEAD, (
+                f"metrics-on cached reads {ratio:.3f}x slower than "
+                f"metrics-off (allowed {MAX_OVERHEAD}x)")
+        finally:
+            store_on.close()
+            store_off.close()
+
+
+class TestRoutedLatencyTable:
+    def test_two_servers_report_latency_histograms(self, bench_json):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(_ROOT / "src") + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        servers, endpoints = [], []
+        try:
+            for _ in range(ROUTED_SERVERS):
+                proc, endpoint = _spawn_server(env)
+                servers.append(proc)
+                endpoints.append(endpoint)
+            with RouterEngine(endpoints) as router:
+                batch = WriteBatch()
+                for oid in range(1, ROUTED_RECORDS + 1):
+                    batch.write(oid, b"r%07d" % oid * 40)
+                batch.advance_next_oid(ROUTED_RECORDS + 1)
+                router.apply(batch)
+                oids = sorted(router.oids())
+                for _ in range(ROUTED_REPS):
+                    for lo in range(0, len(oids), ROUTED_CHUNK):
+                        router.fetch_many(oids[lo:lo + ROUTED_CHUNK])
+
+                body = router.stats_full()
+                assert set(body["per_server"]) == set(endpoints)
+                print(f"\n{'ENDPOINT':<22} {'REQS':>6} {'FETCH':>6} "
+                      f"{'P50':>10} {'P99':>10}")
+                for endpoint in endpoints:
+                    server_body = body["per_server"][endpoint]
+                    hists = server_body["metrics"]["histograms"]
+                    fetch = hists.get("server_op_ns{op=fetch_many}", {})
+                    total_ops = sum(h.get("count", 0)
+                                    for key, h in hists.items()
+                                    if key.startswith("server_op_ns"))
+                    # The heart of the claim: every server in the fleet
+                    # measured real per-op latencies.
+                    assert total_ops > 0
+                    assert fetch.get("count", 0) > 0
+                    p50 = _hist_quantile(fetch, 0.50)
+                    p99 = _hist_quantile(fetch, 0.99)
+                    requests = server_body["server"]["requests"]
+                    print(f"{endpoint:<22} {requests:>6} "
+                          f"{fetch['count']:>6} {p50:>10} {p99:>10}")
+                    bench_json.record(
+                        "routed_latency_table",
+                        endpoint=endpoint, requests=requests,
+                        fetch_count=fetch["count"],
+                        fetch_p50_ns=p50, fetch_p99_ns=p99,
+                        servers=ROUTED_SERVERS, asserted=True,
+                    )
+                # The merged view sums both servers' histograms.
+                merged_fetch = body["merged"]["histograms"][
+                    "server_op_ns{op=fetch_many}"]
+                assert merged_fetch["count"] == sum(
+                    body["per_server"][e]["metrics"]["histograms"]
+                    ["server_op_ns{op=fetch_many}"]["count"]
+                    for e in endpoints)
+        finally:
+            for proc in servers:
+                proc.terminate()
+            for proc in servers:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()

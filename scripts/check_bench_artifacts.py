@@ -33,6 +33,16 @@ REQUIRED_ROWS: dict[str, dict[str, tuple[str, ...]]] = {
             "inproc_records_per_s", "speedup", "cpu_count", "asserted",
         ),
     },
+    "BENCH_obs.json": {
+        "metrics_overhead": (
+            "threads", "objects", "on_ops_per_s", "off_ops_per_s",
+            "ratio", "max_overhead", "asserted",
+        ),
+        "routed_latency_table": (
+            "endpoint", "requests", "fetch_count", "fetch_p50_ns",
+            "fetch_p99_ns", "servers", "asserted",
+        ),
+    },
 }
 
 

@@ -14,6 +14,12 @@ port 0, or ``unix:PATH``) — spawners wait for that line, then point
 clients at ``remote:<endpoint>`` or include it in a ``routed:`` list.
 The process runs until SIGTERM/SIGINT or a ``shutdown`` protocol op.
 
+Telemetry: ``--metrics-dump PATH`` writes the server's full stats
+(server info + metrics snapshot + recent spans, JSON) to PATH on every
+SIGUSR1 and once at shutdown; without the flag SIGUSR1 prints the dump
+to stderr.  ``scripts/store_top.py`` reads the same data live over the
+wire instead.
+
 A typical two-shard deployment runs two of these (one per shard
 group's engine) and clients open
 ``routed:host1:p1,host2:p2`` — see docs/architecture.md, "Network
@@ -23,11 +29,20 @@ serving".
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import sys
 
 from repro.store.net.server import StoreServer
 from repro.store.net.protocol import MAX_FRAME_BYTES
+
+
+def _dump_payload(server: StoreServer) -> dict:
+    return {
+        "server": server._stats_dict(),
+        "metrics": server.metrics.snapshot(),
+        "spans": server.spans.tail(),
+    }
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -43,19 +58,36 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-frame", type=int, default=MAX_FRAME_BYTES,
                         metavar="BYTES",
                         help="largest accepted wire frame (default 64 MiB)")
+    parser.add_argument("--metrics-dump", metavar="PATH", default=None,
+                        help="write the metrics snapshot (JSON) to PATH on "
+                        "SIGUSR1 and at shutdown (without this flag, "
+                        "SIGUSR1 prints the snapshot to stderr)")
     args = parser.parse_args(argv)
 
     server = StoreServer(args.url, bind=args.listen,
                          max_frame=args.max_frame)
+
+    def _dump(signum=None, frame=None):  # noqa: ARG001 - signal handler
+        payload = json.dumps(_dump_payload(server), indent=2,
+                             sort_keys=True)
+        if args.metrics_dump:
+            with open(args.metrics_dump, "w", encoding="utf-8") as out:
+                out.write(payload + "\n")
+        else:
+            print(payload, file=sys.stderr, flush=True)
 
     def _stop(signum, frame):  # noqa: ARG001 - signal handler signature
         server.stop()
 
     signal.signal(signal.SIGTERM, _stop)
     signal.signal(signal.SIGINT, _stop)
+    if hasattr(signal, "SIGUSR1"):
+        signal.signal(signal.SIGUSR1, _dump)
 
     print(f"LISTENING {server.endpoint}", flush=True)
     server.serve_forever()
+    if args.metrics_dump:
+        _dump()
     return 0
 
 

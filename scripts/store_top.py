@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""A live, top-style console view over one or more store servers.
+
+    python scripts/store_top.py ENDPOINT [ENDPOINT ...] [--interval S]
+    python scripts/store_top.py 127.0.0.1:7901 127.0.0.1:7902
+    python scripts/store_top.py unix:/tmp/repro.sock --once
+
+Each refresh polls every server's ``stats_full`` op (server info +
+metrics snapshot + recent spans) and renders:
+
+* one row per server — engine kind, pid, uptime, total requests,
+  request rate since the previous refresh, open connections, object
+  count, and the server-side op-latency p50/p99 (from the
+  ``server_op_ns`` histograms);
+* a per-op latency table aggregated across all polled servers (count,
+  p50, p99, total time) — the router's load view, computed client-side
+  from the same snapshots ``RouterEngine.stats_full()`` merges;
+* the slowest recent spans across the fleet.
+
+Curses-free by design: plain text with an ANSI clear between refreshes,
+so it works in any terminal, under ``watch``, and in CI (``--once``
+prints a single snapshot and exits, which is how the workflow smokes
+it).  Exit with Ctrl-C.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.1f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{int(ns)}ns"
+
+
+def _fmt_uptime(seconds: float) -> str:
+    seconds = int(seconds)
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def _hist_quantile(hist: dict, q: float) -> int:
+    """The q-quantile upper bound of one snapshot histogram (buckets
+    keyed by power-of-two upper bound, as the registry exposes them)."""
+    count = hist.get("count", 0)
+    if not count:
+        return 0
+    target = q * count
+    seen = 0
+    for bound in sorted(hist.get("buckets", {}), key=int):
+        seen += hist["buckets"][bound]
+        if seen >= target:
+            return int(bound)
+    return 0
+
+
+def _merge_hist(into: dict, hist: dict) -> None:
+    into["count"] = into.get("count", 0) + hist.get("count", 0)
+    into["sum"] = into.get("sum", 0) + hist.get("sum", 0)
+    buckets = into.setdefault("buckets", {})
+    for bound, count in hist.get("buckets", {}).items():
+        buckets[bound] = buckets.get(bound, 0) + count
+
+
+def _op_of(key: str) -> str:
+    """``server_op_ns{op=fetch}`` -> ``fetch``."""
+    inside = key.partition("{")[2].rstrip("}")
+    for part in inside.split(","):
+        name, _, value = part.partition("=")
+        if name == "op":
+            return value
+    return inside or key
+
+
+def _collect(clients: list) -> dict:
+    """Poll every server; returns endpoint -> stats_full body (an
+    ``error`` key replaces the body for unreachable servers)."""
+    out = {}
+    for client in clients:
+        try:
+            out[client.endpoint] = client.stats_full()
+        except Exception as exc:  # noqa: BLE001 - shown in the table
+            out[client.endpoint] = {"error": str(exc)}
+    return out
+
+
+def render(bodies: dict, previous: dict, elapsed_s: float) -> str:
+    lines = []
+    lines.append(f"store_top — {len(bodies)} server(s) — "
+                 f"{time.strftime('%H:%M:%S')}")
+    lines.append("")
+    header = (f"{'ENDPOINT':<28} {'ENGINE':<9} {'PID':>7} {'UP':>7} "
+              f"{'REQS':>9} {'REQ/S':>8} {'CONN':>5} {'OBJS':>9} "
+              f"{'P50':>8} {'P99':>8}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    merged_ops: dict[str, dict] = {}
+    all_spans: list[tuple[str, dict]] = []
+    for endpoint, body in bodies.items():
+        if "error" in body:
+            lines.append(f"{endpoint:<28} !! {body['error']}")
+            continue
+        server = body.get("server", {})
+        overall: dict = {}
+        for key, hist in body.get("metrics", {}).get("histograms",
+                                                     {}).items():
+            if not key.startswith("server_op_ns"):
+                continue
+            _merge_hist(overall, hist)
+            _merge_hist(merged_ops.setdefault(_op_of(key), {}), hist)
+        prev_reqs = previous.get(endpoint, {}).get("server",
+                                                   {}).get("requests")
+        rate = ""
+        if prev_reqs is not None and elapsed_s > 0:
+            rate = f"{(server.get('requests', 0) - prev_reqs) / elapsed_s:.1f}"
+        lines.append(
+            f"{endpoint:<28} {server.get('engine', '?'):<9} "
+            f"{server.get('pid', 0):>7} "
+            f"{_fmt_uptime(server.get('uptime_s', 0)):>7} "
+            f"{server.get('requests', 0):>9} {rate:>8} "
+            f"{server.get('connections', 0):>5} "
+            f"{server.get('object_count', 0):>9} "
+            f"{_fmt_ns(_hist_quantile(overall, 0.50)):>8} "
+            f"{_fmt_ns(_hist_quantile(overall, 0.99)):>8}")
+        for span in body.get("spans", []):
+            all_spans.append((endpoint, span))
+    if merged_ops:
+        lines.append("")
+        lines.append(f"{'OP':<12} {'COUNT':>9} {'P50':>8} {'P99':>8} "
+                     f"{'TOTAL':>9}")
+        for op, hist in sorted(merged_ops.items(),
+                               key=lambda item: -item[1].get("count", 0)):
+            if not hist.get("count"):
+                continue
+            lines.append(f"{op:<12} {hist['count']:>9} "
+                         f"{_fmt_ns(_hist_quantile(hist, 0.50)):>8} "
+                         f"{_fmt_ns(_hist_quantile(hist, 0.99)):>8} "
+                         f"{_fmt_ns(hist.get('sum', 0)):>9}")
+    slowest = sorted(all_spans, key=lambda item: -item[1].get("dur_ns", 0))
+    if slowest:
+        lines.append("")
+        lines.append("slowest recent ops:")
+        for endpoint, span in slowest[:5]:
+            trace = span.get("trace_id") or ""
+            trace_text = f"  trace={trace}" if trace else ""
+            lines.append(f"  {_fmt_ns(span.get('dur_ns', 0)):>8}  "
+                         f"{span.get('op', '?'):<12} {endpoint}"
+                         f"{trace_text}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="top-style live view over running store servers")
+    parser.add_argument("endpoints", nargs="+",
+                        metavar="HOST:PORT|unix:PATH",
+                        help="server endpoints to watch")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        metavar="SECONDS",
+                        help="refresh interval (default 2s)")
+    parser.add_argument("--once", action="store_true",
+                        help="print a single snapshot and exit "
+                        "(no screen clearing; for scripts and CI)")
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        parser.error("--interval must be > 0")
+
+    from repro.store.net.client import RemoteEngine
+
+    clients = [RemoteEngine(endpoint, connect_timeout=3.0, op_timeout=5.0)
+               for endpoint in args.endpoints]
+    previous: dict = {}
+    last_poll = time.monotonic()
+    try:
+        while True:
+            now = time.monotonic()
+            bodies = _collect(clients)
+            text = render(bodies, previous, now - last_poll)
+            previous, last_poll = bodies, now
+            if args.once:
+                print(text)
+                return 0
+            # ANSI clear + home: repaint in place, no curses needed.
+            sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        for client in clients:
+            client.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -121,6 +121,10 @@ class CommitPipeline:
         # otherwise race the committer through the child's
         # unsynchronised file handles and tables.
         self._apply_lock = threading.Lock()
+        # Native group-commit telemetry (pull gauges via obs).
+        self.groups_committed = 0
+        self.batches_committed = 0
+        self.linger_ns = 0
         self._thread: Optional[threading.Thread] = None
         if policy.threaded:
             self._thread = threading.Thread(
@@ -183,6 +187,8 @@ class CommitPipeline:
         ticket._resolve(error)
         if error is not None:
             raise error
+        self.groups_committed += 1
+        self.batches_committed += 1
         return ticket
 
     # -- the committer thread -------------------------------------------
@@ -198,13 +204,16 @@ class CommitPipeline:
             if policy.window_s > 0 and len(self._queue) < policy.max_batches:
                 # Optional linger: give concurrent submitters the window
                 # to join this group before it commits.
-                deadline = time.monotonic() + policy.window_s
+                lingered_from = time.monotonic()
+                deadline = lingered_from + policy.window_s
                 while len(self._queue) < policy.max_batches \
                         and not self._closed:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         break
                     self._arrived.wait(remaining)
+                self.linger_ns += int(
+                    (time.monotonic() - lingered_from) * 1e9)
             count = min(len(self._queue), policy.max_batches)
             return [self._queue.popleft() for _ in range(count)]
 
@@ -238,6 +247,8 @@ class CommitPipeline:
                     self._overlay_next_oid = None
                 else:
                     self._drop_applied(applied_seq)
+                    self.groups_committed += 1
+                    self.batches_committed += len(group)
                 self._settled.notify_all()
             # Wake the submitters outside the lock: they return into
             # submit(), which needs it.

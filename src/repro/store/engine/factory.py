@@ -93,6 +93,14 @@ _PIPELINE_KEYS = ("durability", "group_window_ms", "group_max_batches",
 #: engine factory never sees them (``split_store_url`` peels them off).
 STORE_KEYS = ("cache_objects", "compress", "encode_workers")
 
+#: Observability keys, honoured for every scheme.  ``open_store``
+#: consumes them via ``split_store_url`` (metrics default *on* at the
+#: store layer); a bare ``engine_from_url`` call honours an explicit
+#: ``metrics=1`` / ``slow_op_ms=N`` by wrapping the engine in a
+#: :class:`~repro.store.obs.TimedEngine`, and leaves plain URLs
+#: unwrapped.
+_OBS_KEYS = ("metrics", "slow_op_ms")
+
 
 class SchemeSpec(NamedTuple):
     """One row of the scheme registry.
@@ -185,8 +193,8 @@ def _check_keys(params: dict[str, str], scheme: str, url: str,
             f"with open_store()/ObjectStore.from_url (or split it with "
             f"repro.store.engine.factory.split_store_url first)"
         )
-    known = (set(_PIPELINE_KEYS) | set(_SCHEME_REGISTRY[scheme].keys)
-             | set(extra))
+    known = (set(_PIPELINE_KEYS) | set(_OBS_KEYS)
+             | set(_SCHEME_REGISTRY[scheme].keys) | set(extra))
     unknown = sorted(set(params) - known)
     if unknown:
         raise ValueError(
@@ -217,6 +225,30 @@ def _float_param(params: dict[str, str], key: str) -> Optional[float]:
         raise ValueError(
             f"query parameter {key} must be a number, got {params[key]!r}"
         ) from None
+
+
+def _obs_params(params: dict[str, str], url: str) -> dict:
+    """Pop and validate the observability keys.  Returns a dict with
+    ``metrics`` (bool) and/or ``slow_op_ms`` (float) for whichever keys
+    were present."""
+    out: dict = {}
+    if "metrics" in params:
+        value = params.pop("metrics")
+        if value not in ("0", "1"):
+            raise ValueError(
+                f"query parameter metrics must be 0 or 1, got {value!r} "
+                f"in {url!r}"
+            )
+        out["metrics"] = value == "1"
+    if "slow_op_ms" in params:
+        threshold = _float_param(params, "slow_op_ms")
+        del params["slow_op_ms"]
+        if threshold is not None and threshold <= 0:
+            raise ValueError(
+                f"query parameter slow_op_ms must be > 0, got {threshold}"
+            )
+        out["slow_op_ms"] = threshold
+    return out
 
 
 def _policy_from_params(kind: Optional[str],
@@ -314,15 +346,17 @@ def split_store_url(url: str) -> tuple[str, dict]:
     every engine-level parameter and ``store_options`` is ready to pass
     to ``ObjectStore(**store_options)``: ``cache_objects`` (the bounded
     object-cache capacity, an integer >= 1), ``compress`` (a per-record
-    codec spec such as ``zlib:1``) and ``encode_workers`` (stabilise
-    encoder pool size, an integer >= 0).  Values are validated here so
-    a bad store parameter fails before any engine is opened.
+    codec spec such as ``zlib:1``), ``encode_workers`` (stabilise
+    encoder pool size, an integer >= 0), ``metrics`` (0/1, store
+    telemetry — default on) and ``slow_op_ms`` (log engine ops slower
+    than this threshold).  Values are validated here so a bad store
+    parameter fails before any engine is opened.
     """
     base, has_query, query = url.partition("?")
     if not has_query:
         return url, {}
     params = _parse_query(query, url)
-    store_options: dict = {}
+    store_options: dict = dict(_obs_params(params, url))
     if "cache_objects" in params:
         capacity = _int_param(params, "cache_objects")
         if capacity is not None and capacity < 1:
@@ -468,9 +502,19 @@ def engine_from_url(url: str) -> StorageEngine:
                 )
     # Validate policy parameters before constructing anything, so a bad
     # value cannot leak an opened engine (file handles, on-disk files).
+    obs = _obs_params(params, url)
     policy = _policy_from_params(params.get("durability"), params)
     build = _SCHEME_REGISTRY[scheme if scheme is not None else "file"].build
     engine = build(rest, params)
     if policy is not None:
         engine = PipelinedEngine(engine, policy)
+    if obs.get("metrics") or obs.get("slow_op_ms") is not None:
+        # An explicit ask for telemetry at the engine level; plain URLs
+        # stay unwrapped here (open_store wraps by default at the store
+        # layer instead).
+        from repro.store.obs import TimedEngine, bind_engine_metrics
+
+        engine = TimedEngine(engine,
+                             slow_op_ms=obs.get("slow_op_ms"))
+        bind_engine_metrics(engine, engine.metrics)
     return engine

@@ -104,6 +104,7 @@ class ManifestLog:
     def __init__(self, path: str):
         self._path = path
         self._file = open(path, "ab+")
+        self.fsyncs = 0
 
     @property
     def path(self) -> str:
@@ -115,6 +116,7 @@ class ManifestLog:
     def sync(self) -> None:
         self._file.flush()
         os.fsync(self._file.fileno())
+        self.fsyncs += 1
 
     def close(self) -> None:
         if not self._file.closed:
@@ -192,6 +194,7 @@ class FileEngine(StorageEngine):
         self._next_oid = int(FIRST_OID)
         self._txn_counter = 0
         self._delta_count = 0
+        self.checkpoints = 0
         self._dirty = False
         self._recovering = False
         self._load_metadata()
@@ -489,6 +492,7 @@ class FileEngine(StorageEngine):
         self._heap.flush()
         self._manifest.sync()
         self._wal.truncate()
+        self.checkpoints += 1
         self._dirty = False
         if self._delta_count >= self._manifest_compact_deltas:
             self.compact_manifest()

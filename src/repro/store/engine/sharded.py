@@ -76,6 +76,7 @@ from __future__ import annotations
 
 import os
 import struct
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, Optional, Sequence
 
@@ -201,6 +202,12 @@ class ShardedEngine(StorageEngine):
         #: cross-shard apply, if any; awaited before the next protocol
         #: action (single writer at a time).
         self._settle_future = None
+        # Native 2PC telemetry (pull gauges via obs): cross-shard commit
+        # count and wall time per protocol phase.
+        self.two_phase_commits = 0
+        self.prepare_ns = 0
+        self.marker_ns = 0
+        self.apply_ns = 0
         try:
             self._check_topology()
             self._recover()
@@ -518,10 +525,18 @@ class ShardedEngine(StorageEngine):
             shard, sub = next(iter(subs.items()))
             self._children[shard].apply(sub)
         else:
+            t0 = time.perf_counter_ns()
             token = self.prepare(subs)
+            t1 = time.perf_counter_ns()
             self.write_commit_marker(token)
+            t2 = time.perf_counter_ns()
             self._apply_staged(subs)
+            t3 = time.perf_counter_ns()
             self._settle_in_background(subs)
+            self.two_phase_commits += 1
+            self.prepare_ns += t1 - t0
+            self.marker_ns += t2 - t1
+            self.apply_ns += t3 - t2
         self.record_writes += len(batch.writes)
         self.batches_applied += 1
 

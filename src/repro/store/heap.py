@@ -209,6 +209,10 @@ class HeapFile:
         #: evicted and re-read on demand.
         self._cache: OrderedDict[int, _Page] = OrderedDict()
         self._dirty: set[int] = set()
+        # Native cache telemetry (pull gauges in obs.bind_engine_metrics).
+        self.page_hits = 0
+        self.page_misses = 0
+        self.page_evictions = 0
         # Pages that may still have room; validated lazily on insert.
         self._spacious: set[int] = set(range(self._page_count))
         # One mutex over cache, dirty set and the shared file handle:
@@ -232,10 +236,12 @@ class HeapFile:
     def _load_page(self, page_no: int) -> _Page:
         page = self._cache.get(page_no)
         if page is not None:
+            self.page_hits += 1
             self._cache.move_to_end(page_no)
             return page
         if page_no >= self._page_count:
             raise CorruptHeapError(f"page {page_no} beyond end of heap")
+        self.page_misses += 1
         self._file.seek(page_no * PAGE_SIZE)
         raw = self._file.read(PAGE_SIZE)
         if len(raw) != PAGE_SIZE:
@@ -255,6 +261,7 @@ class HeapFile:
                 return
             if page_no not in self._dirty:
                 del self._cache[page_no]
+                self.page_evictions += 1
 
     def _new_page(self, kind: int = PAGE_SLOTTED) -> tuple[int, _Page]:
         page = _Page()

@@ -122,6 +122,14 @@ class RemoteEngine(StorageEngine):
         self._local = threading.local()
         self._streams_lock = threading.Lock()
         self._streams: set[wire.FrameStream] = set()
+        # Native connection telemetry (pull gauges via obs).
+        self.connects = 0
+        self.reconnect_retries = 0
+        self.timeouts = 0
+        #: When nonzero, every request is wrapped in a ``TRACE``
+        #: envelope carrying this id, so the server's span log links
+        #: its work back to this client's operation.
+        self.trace_id = 0
 
     # -- connection pool ----------------------------------------------------
 
@@ -149,6 +157,7 @@ class RemoteEngine(StorageEngine):
             raise
         with self._streams_lock:
             self._streams.add(stream)
+        self.connects += 1
         return stream
 
     def _stream(self) -> wire.FrameStream:
@@ -192,18 +201,36 @@ class RemoteEngine(StorageEngine):
             raise RemoteStoreError(f"server error {kind}: {message}")
         raise WireProtocolError(f"unknown response status 0x{status:02X}")
 
+    def _envelope(self, payload: bytes) -> bytes:
+        """Wrap one request in a ``TRACE`` envelope when a trace id is
+        active (the server unwraps, dispatches and records a span)."""
+        trace_id = self.trace_id
+        if not trace_id:
+            return payload
+        wrapped = bytearray([wire.OP_TRACE])
+        write_uvarint(wrapped, trace_id)
+        wrapped += payload
+        return bytes(wrapped)
+
+    def _note_failure(self, exc: BaseException) -> None:
+        if getattr(exc, "timeout", False):
+            self.timeouts += 1
+
     def _request(self, op: int, body: bytes = b"",
                  idempotent: bool = False) -> bytes:
         """One request/response exchange, with bounded reconnect-retry
         for idempotent operations."""
         self._check_open()
-        payload = bytes([op]) + body
+        payload = self._envelope(bytes([op]) + body)
         attempts = 1 + (self._read_retries if idempotent else 0)
         last: Optional[BaseException] = None
         for _attempt in range(attempts):
+            if last is not None:
+                self.reconnect_retries += 1
             try:
                 stream = self._stream()
             except RemoteDisconnectedError as exc:
+                self._note_failure(exc)
                 last = exc
                 continue
             try:
@@ -215,6 +242,7 @@ class RemoteEngine(StorageEngine):
                 self._drop_stream(stream)
                 if isinstance(exc, WireProtocolError):
                     raise
+                self._note_failure(exc)
                 last = exc
         assert last is not None
         raise last
@@ -248,15 +276,19 @@ class RemoteEngine(StorageEngine):
         attempts = 1 + self._read_retries
         last: Optional[BaseException] = None
         for _attempt in range(attempts):
+            if last is not None:
+                self.reconnect_retries += 1
             try:
                 stream = self._stream()
             except RemoteDisconnectedError as exc:
+                self._note_failure(exc)
                 last = exc
                 continue
             try:
                 stream.send_raw(b"".join(
-                    wire.frame_message(bytes([wire.OP_FETCH_MANY]) +
-                                       wire.pack_oids(chunk))
+                    wire.frame_message(self._envelope(
+                        bytes([wire.OP_FETCH_MANY]) +
+                        wire.pack_oids(chunk)))
                     for chunk in chunks))
                 found: dict[Oid, bytes] = {}
                 for _chunk in chunks:
@@ -267,6 +299,7 @@ class RemoteEngine(StorageEngine):
                 self._drop_stream(stream)
                 if isinstance(exc, WireProtocolError):
                     raise
+                self._note_failure(exc)
                 last = exc
         assert last is not None
         raise last
@@ -296,6 +329,12 @@ class RemoteEngine(StorageEngine):
         """The server's stats snapshot (engine counters, connection and
         request totals, uptime, pid)."""
         return wire.unpack_stats(self._request(wire.OP_STATS,
+                                               idempotent=True))
+
+    def stats_full(self) -> dict:
+        """The server's extended telemetry: ``{"server": <stats>,
+        "metrics": <registry snapshot>, "spans": [<recent spans>]}``."""
+        return wire.unpack_stats(self._request(wire.OP_STATS_FULL,
                                                idempotent=True))
 
     # -- writes -------------------------------------------------------------

@@ -73,6 +73,13 @@ OP_COMPACT = 0x0E
 OP_STATS = 0x0F
 OP_RESET = 0x10
 OP_SHUTDOWN = 0x11
+#: Extended stats: server info plus a full metrics snapshot and the
+#: recent span tail (JSON body, like OP_STATS).
+OP_STATS_FULL = 0x12
+#: Trace envelope: ``uvarint trace_id | inner request``.  The server
+#: dispatches the inner request normally and records a span for it
+#: under the carried id.
+OP_TRACE = 0x13
 
 #: Human names for errors and stats.
 OP_NAMES = {
@@ -82,7 +89,8 @@ OP_NAMES = {
     OP_RESERVE: "reserve", OP_APPLY: "apply",
     OP_APPLY_MANY: "apply_many", OP_FLUSH: "flush", OP_SYNC: "sync",
     OP_COMPACT: "compact", OP_STATS: "stats", OP_RESET: "reset",
-    OP_SHUTDOWN: "shutdown",
+    OP_SHUTDOWN: "shutdown", OP_STATS_FULL: "stats_full",
+    OP_TRACE: "trace",
 }
 
 # -- statuses (response payload byte 0) -------------------------------------
@@ -146,9 +154,13 @@ class FrameStream:
         try:
             chunk = self._sock.recv(65536)
         except (TimeoutError, socket.timeout) as exc:
-            raise RemoteDisconnectedError(
+            error = RemoteDisconnectedError(
                 "timed out waiting for a reply"
-            ) from exc
+            )
+            # Flagged so the client can count timeouts apart from other
+            # disconnects without parsing the message.
+            error.timeout = True
+            raise error from exc
         except (OSError, ValueError) as exc:
             raise RemoteDisconnectedError(
                 f"connection lost while receiving: {exc}"

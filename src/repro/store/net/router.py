@@ -36,6 +36,7 @@ from typing import Sequence
 
 from repro.store.engine.sharded import ShardedEngine
 from repro.store.net.client import RemoteEngine
+from repro.store.obs import merge_snapshots
 
 __all__ = ["RouterEngine"]
 
@@ -62,6 +63,40 @@ class RouterEngine(ShardedEngine):
         # pooled fan-out and close() all drive the remote children
         # through the ordinary engine contract.
         super().__init__(clients)
+
+    def stats_full(self) -> dict:
+        """Every backend's extended telemetry plus the cross-fleet
+        aggregate: ``{"per_server": {endpoint: <stats_full body>},
+        "merged": <summed metrics snapshot>}``.  Fetched in parallel on
+        the shard pool (one slow backend does not serialise the rest)."""
+        bodies = self._fan(lambda client: client.stats_full(),
+                           self.children)
+        per_server = dict(zip(self.endpoints, bodies))
+        return {
+            "per_server": per_server,
+            "merged": merge_snapshots(
+                [body.get("metrics", {}) for body in bodies]),
+        }
+
+    def load_table(self) -> list[dict]:
+        """One row per backend — the broker's load view: requests,
+        connections, objects, and total server-side op time."""
+        full = self.stats_full()
+        table = []
+        for endpoint, body in full["per_server"].items():
+            server = body.get("server", {})
+            hists = body.get("metrics", {}).get("histograms", {})
+            op_ns = sum(hist.get("sum", 0) for key, hist in hists.items()
+                        if key.startswith("server_op_ns"))
+            table.append({
+                "endpoint": endpoint,
+                "requests": server.get("requests", 0),
+                "connections": server.get("connections", 0),
+                "object_count": server.get("object_count", 0),
+                "uptime_s": server.get("uptime_s", 0),
+                "op_ns": op_ns,
+            })
+        return table
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RouterEngine({', '.join(self.endpoints)})"

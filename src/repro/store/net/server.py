@@ -51,10 +51,16 @@ from repro.errors import (
     UnknownOidError,
     WireProtocolError,
 )
-from repro.store.engine.base import WriteBatch
+from repro.store.engine.base import StorageEngine, WriteBatch
 from repro.store.engine.factory import engine_from_url
 from repro.store.engine.sharded import decode_batch, encode_batch  # noqa: F401 - encode_batch re-exported for symmetry
 from repro.store.net import protocol as wire
+from repro.store.obs import (
+    MetricsRegistry,
+    SpanLog,
+    TimedEngine,
+    bind_engine_metrics,
+)
 from repro.store.serializer import read_uvarint
 
 __all__ = ["StoreServer"]
@@ -67,7 +73,17 @@ class StoreServer:
                  max_frame: int = wire.MAX_FRAME_BYTES):
         self._url = url
         self._max_frame = max_frame
-        self._engine = engine_from_url(url)
+        #: The server's own registry: per-op dispatch histograms plus
+        #: the wrapped engine's instruments, returned whole by the
+        #: ``stats_full`` op.
+        self.metrics = MetricsRegistry()
+        #: Recent dispatch spans (``stats_full`` returns the tail).
+        self.spans = SpanLog()
+        self._op_hist = {
+            op: self.metrics.histogram("server_op_ns", op=name)
+            for op, name in wire.OP_NAMES.items()
+        }
+        self._engine = self._instrumented(engine_from_url(url))
         self._write_lock = threading.Lock()
         self._conn_lock = threading.Lock()
         self._connections: dict[int, socket.socket] = {}
@@ -82,6 +98,15 @@ class StoreServer:
         except BaseException:
             self._engine.close()
             raise
+
+    def _instrumented(self, engine: StorageEngine) -> StorageEngine:
+        """Time the engine through the server's registry and surface its
+        native counters as pull gauges (re-run on ``reset``: gauge
+        callbacks re-bind to the fresh engine)."""
+        if not isinstance(engine, TimedEngine):
+            engine = TimedEngine(engine, self.metrics)
+        bind_engine_metrics(engine, self.metrics)
+        return engine
 
     @staticmethod
     def _bind(bind: str) -> tuple[socket.socket, str]:
@@ -241,24 +266,46 @@ class StoreServer:
 
     # -- dispatch -----------------------------------------------------------
 
-    def _dispatch(self, payload: bytes) -> tuple[bytes, bool]:
+    def _dispatch(self, payload: bytes,
+                  trace_id: int = 0) -> tuple[bytes, bool]:
         """The response payload for one request, plus a stop-after flag."""
         op = payload[0]
+        if op == wire.OP_TRACE:
+            # Trace envelope: unwrap the carried id and dispatch the
+            # inner request under it (one level; a nested envelope is a
+            # client bug and just re-enters here harmlessly).
+            try:
+                inner_id, pos = read_uvarint(payload, 1)
+            except Exception as exc:
+                raise WireProtocolError(
+                    f"malformed trace envelope: {exc}") from exc
+            if pos >= len(payload):
+                raise WireProtocolError("empty trace envelope")
+            return self._dispatch(payload[pos:], trace_id=inner_id)
         body = payload[1:]
         handler = self._HANDLERS.get(op)
         if handler is None:
             raise WireProtocolError(f"unknown opcode 0x{op:02X}")
+        started_at = time.time_ns()
+        start = time.perf_counter_ns()
         try:
-            response = handler(self, body)
-        except UnknownOidError as exc:
-            oid = exc.args[0] if exc.args else 0
-            oid = oid if isinstance(oid, int) else 0
-            return bytes([wire.ST_NOT_FOUND]) + wire.pack_oid(oid), False
-        except WireProtocolError:
-            raise
-        except Exception as exc:  # noqa: BLE001 - reported to the client
-            return bytes([wire.ST_ERROR]) + wire.pack_error(exc), False
-        return bytes([wire.ST_OK]) + response, op == wire.OP_SHUTDOWN
+            try:
+                response = handler(self, body)
+            except UnknownOidError as exc:
+                oid = exc.args[0] if exc.args else 0
+                oid = oid if isinstance(oid, int) else 0
+                return (bytes([wire.ST_NOT_FOUND]) + wire.pack_oid(oid),
+                        False)
+            except WireProtocolError:
+                raise
+            except Exception as exc:  # noqa: BLE001 - reported to the client
+                return bytes([wire.ST_ERROR]) + wire.pack_error(exc), False
+            return bytes([wire.ST_OK]) + response, op == wire.OP_SHUTDOWN
+        finally:
+            dur = time.perf_counter_ns() - start
+            self._op_hist[op].observe(dur)
+            self.spans.record(wire.OP_NAMES.get(op, hex(op)),
+                              started_at, dur, trace_id)
 
     # -- handlers (one per opcode) ------------------------------------------
 
@@ -349,9 +396,9 @@ class StoreServer:
         with self._write_lock:
             return wire.pack_oid(self._engine.compact())
 
-    def _op_stats(self, body: bytes) -> bytes:
+    def _stats_dict(self) -> dict:
         engine = self._engine
-        return wire.pack_stats({
+        return {
             "engine": engine.name,
             "url": self._url,
             "endpoint": self.endpoint,
@@ -364,11 +411,23 @@ class StoreServer:
             "next_oid": engine.next_oid,
             "record_writes": engine.record_writes,
             "batches_applied": engine.batches_applied,
+        }
+
+    def _op_stats(self, body: bytes) -> bytes:
+        return wire.pack_stats(self._stats_dict())
+
+    def _op_stats_full(self, body: bytes) -> bytes:
+        return wire.pack_stats({
+            "server": self._stats_dict(),
+            "metrics": self.metrics.snapshot(),
+            "spans": self.spans.tail(),
         })
 
     def _op_reset(self, body: bytes) -> bytes:
         with self._write_lock:
-            old, self._engine = self._engine, engine_from_url(self._url)
+            old, self._engine = (self._engine,
+                                 self._instrumented(
+                                     engine_from_url(self._url)))
             try:
                 old.close()
             except StoreClosedError:  # pragma: no cover - double reset
@@ -394,6 +453,7 @@ class StoreServer:
         wire.OP_SYNC: _op_sync,
         wire.OP_COMPACT: _op_compact,
         wire.OP_STATS: _op_stats,
+        wire.OP_STATS_FULL: _op_stats_full,
         wire.OP_RESET: _op_reset,
         wire.OP_SHUTDOWN: _op_shutdown,
     }

@@ -62,6 +62,7 @@ from repro.store.commit.encode import EncoderPool
 from repro.store.engine.base import StorageEngine, WriteBatch
 from repro.store.engine.filesystem import FileEngine
 from repro.store.engine.memory import MemoryEngine
+from repro.store.obs import MetricsRegistry, TimedEngine, bind_engine_metrics
 from repro.store.oids import Oid, OidAllocator
 from repro.store.registry import ClassRegistry
 from repro.store.serializer import (
@@ -122,7 +123,9 @@ class ObjectStore:
                  engine: StorageEngine | None = None,
                  cache_objects: int | None = None,
                  compress: str | RecordCodec | None = None,
-                 encode_workers: int | None = None):
+                 encode_workers: int | None = None,
+                 metrics: bool | MetricsRegistry = True,
+                 slow_op_ms: float | None = None):
         if engine is None:
             if directory is None:
                 raise ValueError(
@@ -135,6 +138,25 @@ class ObjectStore:
                 "pass either a directory or an engine, not both — an "
                 "explicit engine decides where (and whether) data lives"
             )
+        # The store's telemetry registry.  ``metrics=True`` (the
+        # default) creates an enabled one and wraps the engine in a
+        # TimedEngine; ``metrics=False`` creates a disabled registry —
+        # every instrument below becomes the shared no-op and the engine
+        # stays unwrapped, so the hot paths pay nothing.  Passing a
+        # ``MetricsRegistry`` shares one registry across stores.
+        if isinstance(metrics, MetricsRegistry):
+            self._metrics = metrics
+        elif isinstance(engine, TimedEngine) and metrics:
+            # An engine the factory already instrumented: the store
+            # joins its registry instead of keeping a second one.
+            self._metrics = engine.metrics
+        else:
+            self._metrics = MetricsRegistry(enabled=bool(metrics))
+        if self._metrics.enabled or slow_op_ms is not None:
+            if not isinstance(engine, TimedEngine):
+                engine = TimedEngine(engine, self._metrics,
+                                     slow_op_ms=slow_op_ms)
+            bind_engine_metrics(engine, self._metrics)
         self._engine = engine
         # One registry instance is threaded through every layer that
         # resolves classes (serializer, link store, compiler, evolution).
@@ -213,15 +235,52 @@ class ObjectStore:
         #: The encode phase's worker pool (``encode_workers=0`` keeps
         #: encoding inline on the stabilising thread).
         self._encoder = EncoderPool(workers=encode_workers)
-        #: Cumulative stabilise-phase counters behind :meth:`stats`.
-        self._phase_stats = {
-            "stabilize_count": 0,
-            "walk_ns": 0,
-            "encode_ns": 0,
-            "commit_ns": 0,
-            "encoded_bytes": 0,
-            "compressed_bytes": 0,
+        #: Cumulative stabilise-phase counters behind :meth:`stats`, now
+        #: registry instruments (``stats()`` stays as the compat view).
+        #: Every increment happens under the commit lock, which keeps
+        #: them *exact* — N racing stabilises count exactly N — not just
+        #: GIL-atomic-enough.  Instrument references are cached here so
+        #: the commit path never takes the registry's creation mutex.
+        m = self._metrics
+        self._phase_counters = {
+            "stabilize_count": m.counter("store_stabilize_total"),
+            "walk_ns": m.counter("store_walk_ns_total"),
+            "encode_ns": m.counter("store_encode_ns_total"),
+            "commit_ns": m.counter("store_commit_ns_total"),
+            "encoded_bytes": m.counter("store_encoded_bytes_total"),
+            "compressed_bytes": m.counter("store_compressed_bytes_total"),
         }
+        #: Lock-free identity-map hits on the seqlock fast path.  A
+        #: plain int + pull gauge, *not* a Counter: the hottest read
+        #: path in the store pays one ``+= 1``, identical with metrics
+        #: on or off (a bound-method ``inc`` measurably slows the
+        #: seqlock hit — see [B9]).
+        self._fastpath_hits = 0
+        m.gauge_fn("store_fastpath_hits_total",
+                   lambda: self._fastpath_hits)
+        # Pull gauges over the serving components' native counters.
+        m.gauge_fn("store_lock_writer_wait_ns",
+                   lambda: self._serve_lock.writer_wait_ns)
+        m.gauge_fn("store_lock_write_acquires_total",
+                   lambda: self._serve_lock.write_acquires)
+        m.gauge_fn("store_cache_live_objects",
+                   lambda: len(self._identity))
+        m.gauge_fn("store_cache_demotions_total",
+                   lambda: self._identity.demotions)
+        m.gauge_fn("store_cache_weak_deaths_total",
+                   lambda: self._identity.weak_deaths)
+        m.gauge_fn("store_fault_plans_total",
+                   lambda: self._planner.plans)
+        m.gauge_fn("store_fault_waves_total",
+                   lambda: self._planner.total_waves)
+        m.gauge_fn("store_encode_chunks_total",
+                   lambda: self._encoder.chunks_encoded)
+        m.gauge_fn("store_encode_pool_ns_total",
+                   lambda: self._encoder.encode_ns)
+        m.gauge_fn("store_encode_raw_bytes_total",
+                   lambda: self._encoder.raw_bytes)
+        m.gauge_fn("store_encode_stored_bytes_total",
+                   lambda: self._encoder.stored_bytes)
         #: Ticket of the most recent engine commit this store submitted
         #: (for awaiting an ``async``-policy engine's durability).
         self.last_commit = None
@@ -266,7 +325,9 @@ class ObjectStore:
         engine.  ``?cache_objects=50000`` bounds the object cache,
         ``?compress=zlib:1`` (or ``lzma:0``) compresses new record
         writes per record, and ``?encode_workers=N`` sizes the stabilise
-        encode pool (``0`` keeps encoding inline).
+        encode pool (``0`` keeps encoding inline).  Telemetry defaults
+        on: ``?metrics=0`` disables it, ``?slow_op_ms=N`` logs one
+        structured line per engine op slower than N milliseconds.
         """
         from repro.store.engine.factory import (
             engine_from_url,
@@ -448,6 +509,7 @@ class ObjectStore:
         if not before & 1 and not self._write_busy:
             live = self._identity.hit(oid)
             if live is not None and lock.seq == before:
+                self._fastpath_hits += 1
                 return live
         else:
             # A commit (or serve-side writer) is in flight.  Yield the
@@ -736,7 +798,7 @@ class ObjectStore:
                             self._rollback_bookkeeping(seq, *rollback)
                         raise
                     with self._commit_lock:
-                        self._phase_stats["commit_ns"] += (
+                        self._phase_counters["commit_ns"].inc(
                             time.perf_counter_ns() - wait_start)
                 return written
         finally:
@@ -853,19 +915,20 @@ class ObjectStore:
                 batch.set_roots(self._roots)
             if int(self._allocator.next_oid) != self._engine.next_oid:
                 batch.advance_next_oid(int(self._allocator.next_oid))
-            stats = self._phase_stats
-            stats["stabilize_count"] += 1
-            stats["walk_ns"] += walk_ns
-            stats["encode_ns"] += encode_ns
-            stats["encoded_bytes"] += encoded_bytes
-            stats["compressed_bytes"] += stored_bytes
+            counters = self._phase_counters
+            counters["stabilize_count"].inc()
+            counters["walk_ns"].inc(walk_ns)
+            counters["encode_ns"].inc(encode_ns)
+            counters["encoded_bytes"].inc(encoded_bytes)
+            counters["compressed_bytes"].inc(stored_bytes)
             # A fully-clean checkpoint (no writes, roots and allocator
             # cursor already durable) skips the engine entirely — no
             # fsyncs, no metadata rewrite.
             if batch.is_empty:
                 self._shadow.update(fresh_shadows)
                 self._weak_stored.update(weak_targets)
-                stats["commit_ns"] += time.perf_counter_ns() - commit_start
+                counters["commit_ns"].inc(
+                    time.perf_counter_ns() - commit_start)
                 return 0, seq, None, None
             # Bookkeeping is committed optimistically under the lock (the
             # engine's pending overlay already serves the new state to
@@ -881,7 +944,7 @@ class ObjectStore:
             self._stored_sig.update(written_sigs)
             self._shadow.update(fresh_shadows)
             self._weak_stored.update(weak_targets)
-            stats["commit_ns"] += time.perf_counter_ns() - commit_start
+            counters["commit_ns"].inc(time.perf_counter_ns() - commit_start)
         rollback = (rollback_sigs, prev_shadows, prev_weak)
         return len(batch.writes), seq, ticket, rollback
 
@@ -1170,12 +1233,28 @@ class ObjectStore:
         or compression never won).  ``encode_count`` counts dirty
         non-weak records serialised by walks; ``weak_rebuilds`` counts
         weak records rebuilt because their stored target changed.
+
+        This is the compatibility view over the store's
+        :class:`~repro.store.obs.MetricsRegistry` counters; with
+        ``metrics=False`` the phase counters are no-ops and read zero.
         """
         with self._commit_lock:
-            out = dict(self._phase_stats)
+            out = {name: counter.value
+                   for name, counter in self._phase_counters.items()}
         out["encode_count"] = self.encode_count
         out["weak_rebuilds"] = self.weak_rebuilds
         return out
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The store's telemetry registry (shared with its engine
+        wrapper; disabled under ``metrics=False``)."""
+        return self._metrics
+
+    def metrics(self) -> dict:
+        """A plain-dict snapshot of every store and engine instrument
+        (see :meth:`repro.store.obs.MetricsRegistry.snapshot`)."""
+        return self._metrics.snapshot()
 
     def stored_record(self, oid: Oid) -> Record:
         """The stored record for an OID (browser / debugging use)."""

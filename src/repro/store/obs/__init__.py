@@ -1,0 +1,47 @@
+"""Store telemetry: metrics registry, engine instrumentation, tracing.
+
+Three small pieces, threaded through every storage layer:
+
+* :mod:`~repro.store.obs.metrics` — the lock-cheap
+  :class:`MetricsRegistry` of counters, gauges and power-of-two latency
+  histograms, with a plain-dict :meth:`~MetricsRegistry.snapshot` (the
+  wire exposition) and a Prometheus-style text renderer;
+* :mod:`~repro.store.obs.instrument` — the :class:`TimedEngine`
+  decorator timing every :class:`~repro.store.engine.base.StorageEngine`
+  operation, plus :func:`bind_engine_metrics`, which walks an engine
+  stack and exposes each layer's native counters as pull-model gauges;
+* :mod:`~repro.store.obs.trace` — lightweight span records and the
+  bounded :class:`SpanLog` the store server keeps per process.
+
+``open_store(url)`` enables metrics by default (``?metrics=0`` turns
+them off; a disabled registry hands out shared no-op instruments, so
+the hot paths pay nothing).  ``?slow_op_ms=N`` adds a structured
+``logging`` line per engine operation slower than N milliseconds.
+"""
+
+from repro.store.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+    merge_snapshots,
+    render_prometheus,
+)
+from repro.store.obs.instrument import TimedEngine, bind_engine_metrics
+from repro.store.obs.trace import Span, SpanLog, new_trace_id
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanLog",
+    "TimedEngine",
+    "bind_engine_metrics",
+    "global_registry",
+    "merge_snapshots",
+    "new_trace_id",
+    "render_prometheus",
+]

@@ -1,0 +1,325 @@
+"""The metrics core: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per store (plus a process-global one for
+code with no store in reach) hands out three instrument kinds:
+
+* :class:`Counter` — a monotonically increasing integer;
+* :class:`Gauge` — a point-in-time value, either pushed (``set``/
+  ``inc``/``dec``) or *pulled* through a callback evaluated at snapshot
+  time.  Pull gauges are how existing native counters (cache demotions,
+  WAL fsyncs, pipeline queue depth) surface without a write-path tax;
+* :class:`Histogram` — fixed power-of-two buckets, sized for
+  nanosecond latencies: an observation of ``v`` lands in the bucket
+  whose upper bound is the smallest ``2**i >= v``.
+
+Concurrency: instruments update with plain ``int`` arithmetic, which is
+*atomic enough* under the GIL — a ``+=`` can lose an increment only
+across a bytecode boundary race, acceptable for telemetry.  Counters
+that must be exact (the store's ``stabilize_count``) are incremented at
+sites that already hold a lock, which makes them exact for free.
+Snapshotting copies values without stopping writers; a snapshot is a
+consistent-enough point-in-time view, not a barrier.
+
+Zero cost when disabled: a disabled registry returns shared *null*
+instruments whose methods do nothing, so instrumented code keeps one
+attribute call per event and no branches.
+
+Label support is positional-free: ``registry.counter("engine_ops",
+engine="sqlite", op="apply")`` — the (name, sorted labels) pair
+identifies the instrument, and the snapshot keys flatten to
+``engine_ops{engine=sqlite,op=apply}``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+#: Histogram bucket count: upper bounds 2**0 .. 2**(N-1) ns; the last
+#: bucket also absorbs anything larger (2**39 ns is ~9 minutes, far
+#: beyond any op this store times).
+_NUM_BUCKETS = 40
+
+
+def _bucket_index(value: int) -> int:
+    """The bucket for one observation: smallest ``i`` with
+    ``2**i >= value`` (values below 1 land in bucket 0, huge values
+    clamp to the last bucket)."""
+    if value <= 1:
+        return 0
+    index = (int(value) - 1).bit_length()
+    return index if index < _NUM_BUCKETS else _NUM_BUCKETS - 1
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value; push through ``set``/``inc``/``dec`` or
+    pull through a callback supplied at registration."""
+
+    __slots__ = ("_value", "fn")
+
+    def __init__(self, fn: Optional[Callable[[], float]] = None) -> None:
+        self._value = 0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self._value = value
+
+    def inc(self, n: float = 1) -> None:
+        self._value += n
+
+    def dec(self, n: float = 1) -> None:
+        self._value -= n
+
+    @property
+    def value(self) -> float:
+        if self.fn is not None:
+            try:
+                return self.fn()
+            except Exception:
+                # A pull gauge over a closing engine must not take the
+                # whole snapshot down with it.
+                return 0
+        return self._value
+
+
+class Histogram:
+    """Power-of-two fixed buckets plus running count and sum."""
+
+    __slots__ = ("count", "sum", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0
+        self.buckets = [0] * _NUM_BUCKETS
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.sum += value
+        self.buckets[_bucket_index(value)] += 1
+
+    def quantile(self, q: float) -> int:
+        """An upper bound on the ``q``-quantile (bucket resolution)."""
+        if self.count == 0:
+            return 0
+        target = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self.buckets):
+            seen += bucket
+            if seen >= target:
+                return 1 << index
+        return 1 << (_NUM_BUCKETS - 1)  # pragma: no cover - clamp
+
+
+class _NullInstrument:
+    """The shared do-nothing instrument of a disabled registry."""
+
+    __slots__ = ()
+    value = 0
+    count = 0
+    sum = 0
+    fn = None
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def dec(self, n: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: int) -> None:
+        pass
+
+    def quantile(self, q: float) -> int:
+        return 0
+
+
+_NULL = _NullInstrument()
+
+
+def _flat_key(name: str, labels: dict) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Get-or-create instruments by (name, labels); snapshot to a dict.
+
+    Instrument creation takes a mutex; the instruments themselves are
+    lock-free (callers cache the instrument reference, so the hot path
+    is one bound-method call).  A disabled registry returns the shared
+    null instrument from every getter.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument getters ----------------------------------------------
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        if not self.enabled:
+            return _NULL
+        key = _flat_key(name, labels)
+        with self._lock:
+            instrument = self._counters.get(key)
+            if instrument is None:
+                instrument = self._counters[key] = Counter()
+            return instrument
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        if not self.enabled:
+            return _NULL
+        key = _flat_key(name, labels)
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge()
+            return instrument
+
+    def gauge_fn(self, name: str, fn: Callable[[], float],
+                 **labels: str) -> Gauge:
+        """A pull-model gauge: ``fn`` is evaluated at snapshot time.
+        Re-registering a name replaces its callback (an engine reset
+        re-binds its gauges to the fresh engine)."""
+        if not self.enabled:
+            return _NULL
+        key = _flat_key(name, labels)
+        with self._lock:
+            instrument = self._gauges.get(key)
+            if instrument is None:
+                instrument = self._gauges[key] = Gauge(fn)
+            else:
+                instrument.fn = fn
+            return instrument
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        if not self.enabled:
+            return _NULL
+        key = _flat_key(name, labels)
+        with self._lock:
+            instrument = self._histograms.get(key)
+            if instrument is None:
+                instrument = self._histograms[key] = Histogram()
+            return instrument
+
+    # -- exposition -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict (JSON-safe) view of every instrument.
+
+        Histograms expose only their non-empty buckets, keyed by the
+        bucket's upper bound as a string (JSON objects key on strings).
+        """
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+        return {
+            "counters": {key: counter.value for key, counter in counters},
+            "gauges": {key: gauge.value for key, gauge in gauges},
+            "histograms": {
+                key: {
+                    "count": hist.count,
+                    "sum": hist.sum,
+                    "buckets": {str(1 << index): bucket
+                                for index, bucket in enumerate(hist.buckets)
+                                if bucket},
+                }
+                for key, hist in histograms
+            },
+        }
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Sum several snapshots into one (the router's cross-server
+    aggregate): counters and histogram counts/sums/buckets add, gauges
+    add too (queue depths and cache sizes aggregate meaningfully as
+    totals across a fleet)."""
+    merged: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for snap in snapshots:
+        for key, value in snap.get("counters", {}).items():
+            merged["counters"][key] = merged["counters"].get(key, 0) + value
+        for key, value in snap.get("gauges", {}).items():
+            merged["gauges"][key] = merged["gauges"].get(key, 0) + value
+        for key, hist in snap.get("histograms", {}).items():
+            out = merged["histograms"].setdefault(
+                key, {"count": 0, "sum": 0, "buckets": {}})
+            out["count"] += hist.get("count", 0)
+            out["sum"] += hist.get("sum", 0)
+            for bound, count in hist.get("buckets", {}).items():
+                out["buckets"][bound] = out["buckets"].get(bound, 0) + count
+    return merged
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """A Prometheus-style text exposition of one snapshot.
+
+    Counter keys render with a ``_total``-less name as-is; histograms
+    render cumulative ``_bucket{le=...}`` series plus ``_count`` and
+    ``_sum``, the standard shape scrapers expect.
+    """
+
+    def split(key: str) -> tuple[str, str]:
+        name, brace, labels = key.partition("{")
+        return name, (brace + labels) if brace else ""
+
+    def labelled(name: str, labels: str, extra: str) -> str:
+        if not labels:
+            return f"{name}{{{extra}}}" if extra else name
+        inner = labels[1:-1]
+        merged = f"{inner},{extra}" if extra else inner
+        return f"{name}{{{merged}}}"
+
+    lines: list[str] = []
+    for key in sorted(snapshot.get("counters", {})):
+        name, labels = split(key)
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{labelled(name, labels, '')} "
+                     f"{snapshot['counters'][key]}")
+    for key in sorted(snapshot.get("gauges", {})):
+        name, labels = split(key)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{labelled(name, labels, '')} "
+                     f"{snapshot['gauges'][key]}")
+    for key in sorted(snapshot.get("histograms", {})):
+        name, labels = split(key)
+        hist = snapshot["histograms"][key]
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound in sorted(hist.get("buckets", {}), key=int):
+            cumulative += hist["buckets"][bound]
+            lines.append(f"{labelled(name + '_bucket', labels, f'le={bound}')}"
+                         f" {cumulative}")
+        lines.append(f"{labelled(name + '_bucket', labels, 'le=+Inf')} "
+                     f"{hist['count']}")
+        lines.append(f"{labelled(name + '_count', labels, '')} "
+                     f"{hist['count']}")
+        lines.append(f"{labelled(name + '_sum', labels, '')} {hist['sum']}")
+    return "\n".join(lines) + "\n"
+
+
+#: The process-global registry (code with no store in reach).
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    return _GLOBAL

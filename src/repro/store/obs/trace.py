@@ -1,0 +1,87 @@
+"""Lightweight op tracing: span records and the per-process span log.
+
+A :class:`Span` is one timed operation — op name, start, duration and
+an optional parent trace id.  The id travels across the wire in the
+``TRACE`` envelope (:mod:`repro.store.net.protocol`), so a client-side
+fetch and the server-side work it caused share one id; the server keeps
+its recent spans in a bounded :class:`SpanLog` and returns them in the
+``STATS_FULL`` body, which is how ``scripts/store_top.py`` shows who is
+doing what on a live server.
+
+Spans are telemetry, not audit: the log is a fixed-size ring (old spans
+fall off) and recording is append-under-mutex, cheap enough for the
+per-request path of a server but deliberately not free — only traced
+requests and server dispatches record spans; engine hot paths use the
+histogram instruments instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+#: Process-unique-enough trace ids: pid in the high bits, a counter in
+#: the low, so ids from several client processes never collide on one
+#: server's span log.
+_counter = itertools.count(1)
+
+
+def new_trace_id() -> int:
+    return (os.getpid() << 32) | (next(_counter) & 0xFFFFFFFF)
+
+
+class Span:
+    """One timed operation."""
+
+    __slots__ = ("op", "start_ns", "dur_ns", "trace_id", "parent")
+
+    def __init__(self, op: str, start_ns: int, dur_ns: int,
+                 trace_id: int = 0, parent: Optional[int] = None):
+        self.op = op
+        self.start_ns = start_ns
+        self.dur_ns = dur_ns
+        self.trace_id = trace_id
+        self.parent = parent
+
+    def to_dict(self) -> dict:
+        out = {"op": self.op, "start_ns": self.start_ns,
+               "dur_ns": self.dur_ns, "trace_id": self.trace_id}
+        if self.parent is not None:
+            out["parent"] = self.parent
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.op}, dur={self.dur_ns}ns, "
+                f"trace={self.trace_id})")
+
+
+class SpanLog:
+    """A bounded ring of recent spans (newest last)."""
+
+    def __init__(self, maxlen: int = 512):
+        self._spans: deque[Span] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+
+    def record(self, op: str, start_ns: int, dur_ns: int,
+               trace_id: int = 0, parent: Optional[int] = None) -> None:
+        span = Span(op, start_ns, dur_ns, trace_id, parent)
+        with self._lock:
+            self._spans.append(span)
+
+    def start(self) -> int:
+        """The wall-clock start stamp spans are recorded against."""
+        return time.time_ns()
+
+    def tail(self, limit: int = 64) -> list[dict]:
+        """The newest ``limit`` spans as plain dicts (wire-safe)."""
+        with self._lock:
+            spans = list(self._spans)[-limit:]
+        return [span.to_dict() for span in spans]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)

@@ -49,6 +49,12 @@ class ReadWriteLock:
         #: condition becomes a GIL-convoy starvation point on few-core
         #: hosts, and the optimistic path keeps readers off it entirely.
         self.seq = 0
+        #: Contention telemetry: write acquisitions, and nanoseconds
+        #: writers spent blocked waiting out readers (only timed when
+        #: the acquire actually waits — the uncontended path stays
+        #: clock-free).  Surfaced as pull gauges by the store.
+        self.write_acquires = 0
+        self.writer_wait_ns = 0
 
     # -- read side -------------------------------------------------------
 
@@ -107,12 +113,17 @@ class ReadWriteLock:
                 )
             self._writers_waiting += 1
             try:
-                while self._writer is not None or self._readers:
-                    self._cond.wait()
+                if self._writer is not None or self._readers:
+                    waited_from = time.perf_counter_ns()
+                    while self._writer is not None or self._readers:
+                        self._cond.wait()
+                    self.writer_wait_ns += (time.perf_counter_ns()
+                                            - waited_from)
             finally:
                 self._writers_waiting -= 1
             self._writer = me
             self._write_depth = 1
+            self.write_acquires += 1
             self.seq += 1  # now odd: write section open
 
     def release_write(self) -> None:

@@ -49,6 +49,10 @@ class FetchPlanner:
 
     def __init__(self, engine: StorageEngine):
         self._engine = engine
+        # Native fault telemetry (pull gauges via obs): closure plans
+        # built and bulk-read waves issued across all of them.
+        self.plans = 0
+        self.total_waves = 0
 
     def closure(self, roots: Iterable[Oid],
                 is_live: Callable[[Oid], bool]) -> FetchPlan:
@@ -72,8 +76,10 @@ class FetchPlanner:
             if oid not in referer and not is_live(oid):
                 referer[oid] = None
                 frontier.append(oid)
+        self.plans += 1
         while frontier:
             plan.waves += 1
+            self.total_waves += 1
             fetched = self._engine.fetch_many(frontier)
             next_frontier: list[Oid] = []
             for oid in frontier:

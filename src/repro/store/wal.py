@@ -110,6 +110,11 @@ class WriteAheadLog:
     def __init__(self, path: str):
         self._path = path
         self._file = open(path, "ab+")
+        # Native telemetry, surfaced as pull gauges by
+        # repro.store.obs.bind_engine_metrics.
+        self.fsyncs = 0
+        self.synced_bytes = 0
+        self._unsynced_bytes = 0
 
     @property
     def path(self) -> str:
@@ -122,7 +127,9 @@ class WriteAheadLog:
     # -- writing ----------------------------------------------------------
 
     def append(self, entry: LogEntry) -> None:
-        self._file.write(frame_payload(entry.encode()))
+        frame = frame_payload(entry.encode())
+        self._file.write(frame)
+        self._unsynced_bytes += len(frame)
 
     def commit(self, txn_id: int, sync: bool = True) -> None:
         """Append a commit marker and (by default) force it to disk.
@@ -138,11 +145,15 @@ class WriteAheadLog:
     def sync(self) -> None:
         self._file.flush()
         os.fsync(self._file.fileno())
+        self.fsyncs += 1
+        self.synced_bytes += self._unsynced_bytes
+        self._unsynced_bytes = 0
 
     def truncate(self) -> None:
         """Discard the log after a successful checkpoint."""
         self._file.seek(0)
         self._file.truncate()
+        self._unsynced_bytes = 0
         self.sync()
 
     def close(self) -> None:
