@@ -1,0 +1,203 @@
+"""[B10] Tracing: sampled overhead and the cross-process span tree.
+
+Two claims the tracing subsystem must demonstrate:
+
+1. **Sampled tracing is effectively free on the hot path.**  The
+   tracer only roots traces at store faults and stabilises; the cached
+   ``object_for`` fast path never touches it, and an unsampled
+   :func:`repro.store.obs.trace.span` call is one contextvar read
+   returning a shared no-op.  An 8-thread cached-read sweep over a
+   ``?metrics=0&trace_sample=100`` store (1-in-100 head sampling, the
+   deployment-shaped setting) must stay within 5% (``MAX_OVERHEAD``)
+   of the plain ``?metrics=0`` baseline from [B9].
+
+2. **A traced routed fetch reassembles one cross-process tree.**  A
+   ``routed:2`` store over two live ``store_server`` subprocesses,
+   traced at ``trace_sample=1``: the client's spans plus both servers'
+   retained spans (``stats_full`` filtered by trace id) must link into
+   a single tree at least three levels deep, with spans from all three
+   processes parented across the wire by the TRACE envelope.
+
+Both measurements land in ``BENCH_trace.json`` (rows
+``trace_overhead`` and ``trace_tree``), which CI validates through
+``scripts/check_bench_artifacts.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.store.objectstore import ObjectStore
+from repro.store.registry import ClassRegistry
+
+THREADS = 8
+OBJECTS = 256
+SWEEPS = 40          # full passes over OBJECTS per thread per round
+ROUNDS = 5           # best-of, configurations interleaved
+MAX_OVERHEAD = 1.05  # sampled tracing may cost at most 5% on cached reads
+SAMPLE = 100         # 1-in-100 head sampling, the deployment default
+
+ROUTED_SERVERS = 2
+ROUTED_SUBLISTS = 20
+
+_ROOT = Path(__file__).resolve().parents[1]
+
+
+class Node:
+    """A tiny persistent payload for the cached-read sweep."""
+
+    def __init__(self, n: int):
+        self.n = n
+
+
+def _build_store(url: str) -> tuple[ObjectStore, list]:
+    registry = ClassRegistry()
+    registry.register(Node)
+    store = ObjectStore.from_url(url, registry)
+    items = [Node(n) for n in range(OBJECTS)]
+    store.set_root("items", items)
+    store.stabilize()
+    oids = [store.oid_of(item) for item in items]
+    assert all(oid is not None for oid in oids)
+    return store, oids
+
+
+def _sweep_cached(store: ObjectStore, oids: list) -> float:
+    barrier = threading.Barrier(THREADS + 1)
+
+    def worker():
+        barrier.wait()
+        read = store.object_for
+        for _ in range(SWEEPS):
+            for oid in oids:
+                read(oid)
+
+    pool = [threading.Thread(target=worker) for _ in range(THREADS)]
+    for t in pool:
+        t.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for t in pool:
+        t.join()
+    return time.perf_counter() - start
+
+
+def _spawn_server(env: dict) -> tuple[subprocess.Popen, str]:
+    proc = subprocess.Popen(
+        [sys.executable, str(_ROOT / "scripts" / "store_server.py"),
+         "memory:", "--listen", "127.0.0.1:0"],
+        stdout=subprocess.PIPE, text=True, env=env)
+    line = proc.stdout.readline()
+    if not line.startswith("LISTENING "):
+        proc.kill()
+        raise RuntimeError(f"store server failed to start: {line!r}")
+    return proc, line.split()[-1]
+
+
+class TestTraceOverhead:
+    def test_sampled_cached_read_sweep_within_five_percent(
+            self, bench_json):
+        traced, oids_traced = _build_store(
+            f"memory:?metrics=0&trace_sample={SAMPLE}")
+        plain, oids_plain = _build_store("memory:?metrics=0")
+        try:
+            _sweep_cached(traced, oids_traced)       # warm-up
+            _sweep_cached(plain, oids_plain)
+            best_traced = best_plain = float("inf")
+            for _ in range(ROUNDS):
+                best_traced = min(best_traced,
+                                  _sweep_cached(traced, oids_traced))
+                best_plain = min(best_plain,
+                                 _sweep_cached(plain, oids_plain))
+            ops = THREADS * SWEEPS * OBJECTS
+            ratio = best_traced / best_plain
+            print(f"\ncached object_for, {THREADS} threads: "
+                  f"trace_sample={SAMPLE} {ops / best_traced:,.0f}/s, "
+                  f"untraced {ops / best_plain:,.0f}/s, "
+                  f"ratio {ratio:.3f}")
+            bench_json.record(
+                "trace_overhead",
+                threads=THREADS, objects=OBJECTS, ops_per_round=ops,
+                sample=SAMPLE,
+                traced_ops_per_s=round(ops / best_traced),
+                untraced_ops_per_s=round(ops / best_plain),
+                ratio=round(ratio, 4), max_overhead=MAX_OVERHEAD,
+                asserted=True,
+            )
+            assert ratio <= MAX_OVERHEAD, (
+                f"sampled tracing made cached reads {ratio:.3f}x "
+                f"slower (allowed {MAX_OVERHEAD}x)")
+        finally:
+            traced.close()
+            plain.close()
+
+
+def _tree_depth(spans: list[dict]) -> int:
+    by_id = {rec["span_id"]: rec for rec in spans if rec.get("span_id")}
+
+    def chase(rec: dict, depth: int = 0) -> int:
+        parent = rec.get("parent")
+        if not parent or parent not in by_id:
+            return depth
+        return chase(by_id[parent], depth + 1)
+
+    return max(chase(rec) for rec in spans)
+
+
+class TestTraceTree:
+    def test_routed_fetch_builds_a_three_level_cross_process_tree(
+            self, bench_json):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(_ROOT / "src") + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        servers, endpoints = [], []
+        try:
+            for _ in range(ROUTED_SERVERS):
+                proc, endpoint = _spawn_server(env)
+                servers.append(proc)
+                endpoints.append(endpoint)
+            store = ObjectStore.from_url(
+                "routed:" + ",".join(endpoints)
+                + "?trace_sample=1&op_timeout=60")
+            store.set_root(
+                "r", [list(range(5)) for _ in range(ROUTED_SUBLISTS)])
+            store.stabilize()
+            store.evict_all()
+            store.get_root("r")
+
+            fault = next(rec for rec in store.tracer.spans.tail(500)
+                         if rec["op"] == "store.fault")
+            spans = [dict(rec, process="client")
+                     for rec in store.tracer.spans.tail(500)
+                     if rec["trace_id"] == fault["trace_id"]]
+            full = store._engine.stats_full(trace_id=fault["trace_id"])
+            for endpoint, body in full["per_server"].items():
+                spans.extend(dict(rec, process=endpoint)
+                             for rec in body.get("spans", []))
+            depth = _tree_depth(spans)
+            processes = {rec["process"] for rec in spans}
+            print(f"\nrouted:{ROUTED_SERVERS} traced fetch: "
+                  f"{len(spans)} spans, depth {depth}, "
+                  f"processes {sorted(processes)}")
+            bench_json.record(
+                "trace_tree",
+                servers=ROUTED_SERVERS, span_count=len(spans),
+                depth=depth, cross_process=len(processes),
+                asserted=True,
+            )
+            assert depth >= 3
+            assert processes == {"client", *endpoints}
+            store.close()
+        finally:
+            for proc in servers:
+                proc.terminate()
+            for proc in servers:
+                try:
+                    proc.wait(timeout=5)
+                except subprocess.TimeoutExpired:
+                    proc.kill()

@@ -43,6 +43,16 @@ REQUIRED_ROWS: dict[str, dict[str, tuple[str, ...]]] = {
             "fetch_p99_ns", "servers", "asserted",
         ),
     },
+    "BENCH_trace.json": {
+        "trace_overhead": (
+            "threads", "objects", "sample", "traced_ops_per_s",
+            "untraced_ops_per_s", "ratio", "max_overhead", "asserted",
+        ),
+        "trace_tree": (
+            "servers", "span_count", "depth", "cross_process",
+            "asserted",
+        ),
+    },
 }
 
 

@@ -18,7 +18,9 @@ Telemetry: ``--metrics-dump PATH`` writes the server's full stats
 (server info + metrics snapshot + recent spans, JSON) to PATH on every
 SIGUSR1 and once at shutdown; without the flag SIGUSR1 prints the dump
 to stderr.  ``scripts/store_top.py`` reads the same data live over the
-wire instead.
+wire instead.  ``--trace-log PATH`` appends every traced span and the
+server's lifecycle events to a JSONL sink that
+``scripts/store_trace.py --log PATH`` renders as waterfall trees.
 
 A typical two-shard deployment runs two of these (one per shard
 group's engine) and clients open
@@ -62,10 +64,15 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the metrics snapshot (JSON) to PATH on "
                         "SIGUSR1 and at shutdown (without this flag, "
                         "SIGUSR1 prints the snapshot to stderr)")
+    parser.add_argument("--trace-log", metavar="PATH", default=None,
+                        help="append traced spans and server lifecycle "
+                        "events to PATH as JSON lines (rotated by size; "
+                        "read it back with scripts/store_trace.py --log)")
     args = parser.parse_args(argv)
 
     server = StoreServer(args.url, bind=args.listen,
-                         max_frame=args.max_frame)
+                         max_frame=args.max_frame,
+                         trace_log=args.trace_log)
 
     def _dump(signum=None, frame=None):  # noqa: ARG001 - signal handler
         payload = json.dumps(_dump_payload(server), indent=2,

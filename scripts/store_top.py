@@ -10,8 +10,9 @@ metrics snapshot + recent spans) and renders:
 
 * one row per server — engine kind, pid, uptime, total requests,
   request rate since the previous refresh, open connections, object
-  count, and the server-side op-latency p50/p99 (from the
-  ``server_op_ns`` histograms);
+  count, the heap page-cache hit rate (file engines; ``-`` otherwise),
+  and the server-side op-latency p50/p99 (from the ``server_op_ns``
+  histograms);
 * a per-op latency table aggregated across all polled servers (count,
   p50, p99, total time) — the router's load view, computed client-side
   from the same snapshots ``RouterEngine.stats_full()`` merges;
@@ -20,7 +21,9 @@ metrics snapshot + recent spans) and renders:
 Curses-free by design: plain text with an ANSI clear between refreshes,
 so it works in any terminal, under ``watch``, and in CI (``--once``
 prints a single snapshot and exits, which is how the workflow smokes
-it).  Exit with Ctrl-C.
+it; the exit status is non-zero when any polled server was
+unreachable, and the failing endpoints are named on stderr).  Exit
+with Ctrl-C.
 """
 
 from __future__ import annotations
@@ -82,6 +85,20 @@ def _op_of(key: str) -> str:
     return inside or key
 
 
+def _heap_hit_rate(body: dict) -> str:
+    """The heap page-cache hit rate across a server's file engines,
+    from the pull gauges bound by ``bind_engine_metrics`` (``-`` for
+    servers with no heap — memory/sqlite — or no traffic yet)."""
+    gauges = body.get("metrics", {}).get("gauges", {})
+    hits = sum(value for key, value in gauges.items()
+               if key.startswith("heap_page_hits_total"))
+    misses = sum(value for key, value in gauges.items()
+                 if key.startswith("heap_page_misses_total"))
+    if hits + misses == 0:
+        return "-"
+    return f"{100.0 * hits / (hits + misses):.1f}"
+
+
 def _collect(clients: list) -> dict:
     """Poll every server; returns endpoint -> stats_full body (an
     ``error`` key replaces the body for unreachable servers)."""
@@ -101,7 +118,7 @@ def render(bodies: dict, previous: dict, elapsed_s: float) -> str:
     lines.append("")
     header = (f"{'ENDPOINT':<28} {'ENGINE':<9} {'PID':>7} {'UP':>7} "
               f"{'REQS':>9} {'REQ/S':>8} {'CONN':>5} {'OBJS':>9} "
-              f"{'P50':>8} {'P99':>8}")
+              f"{'HEAP%':>6} {'P50':>8} {'P99':>8}")
     lines.append(header)
     lines.append("-" * len(header))
     merged_ops: dict[str, dict] = {}
@@ -130,6 +147,7 @@ def render(bodies: dict, previous: dict, elapsed_s: float) -> str:
             f"{server.get('requests', 0):>9} {rate:>8} "
             f"{server.get('connections', 0):>5} "
             f"{server.get('object_count', 0):>9} "
+            f"{_heap_hit_rate(body):>6} "
             f"{_fmt_ns(_hist_quantile(overall, 0.50)):>8} "
             f"{_fmt_ns(_hist_quantile(overall, 0.99)):>8}")
         for span in body.get("spans", []):
@@ -189,6 +207,12 @@ def main(argv: list[str] | None = None) -> int:
             previous, last_poll = bodies, now
             if args.once:
                 print(text)
+                dead = [endpoint for endpoint, body in bodies.items()
+                        if "error" in body]
+                if dead:
+                    print("store_top: unreachable server(s): "
+                          + ", ".join(dead), file=sys.stderr)
+                    return 1
                 return 0
             # ANSI clear + home: repaint in place, no curses needed.
             sys.stdout.write("\x1b[2J\x1b[H" + text + "\n")

@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Explore span trees from live store servers or a JSONL trace log.
+
+    python scripts/store_trace.py ENDPOINT [ENDPOINT ...] [--slowest K]
+    python scripts/store_trace.py 127.0.0.1:7901 --trace-id 0x1f...
+    python scripts/store_trace.py --log /var/store/trace.jsonl
+    python scripts/store_trace.py EP1 EP2 --explain fetch
+
+Spans come from two places, freely mixed: every listed endpoint is
+polled over the wire (``stats_full`` returns the server's recent span
+tail; with ``--trace-id`` it returns that trace's *retained* spans
+instead), and ``--log`` reads a JSONL sink written by
+``?trace_log=PATH`` on a store or ``--trace-log`` on
+``scripts/store_server.py``.  Spans sharing a trace id — including
+spans from different *processes*, carried across the wire by the
+request envelope — are reassembled into one tree by span id / parent
+id and rendered as a waterfall: indentation is tree depth, the bar is
+the span's position and extent inside its trace's wall-clock window.
+
+``--slowest K`` picks the K slowest root spans (default 5),
+``--trace-id`` (decimal or ``0x...``) renders one trace exactly, and
+``--explain fetch`` / ``--explain commit`` aggregates where the time
+went across all matching read (``store.fault``) or write
+(``store.stabilize`` / ``apply``) traces instead of drawing trees.
+
+Single-shot by design (``--once`` is accepted for symmetry with
+``store_top.py``).  Unreachable endpoints are named on stderr and the
+exit status is non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+BAR_WIDTH = 32
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.1f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{int(ns)}ns"
+
+
+def _parse_trace_id(text: str) -> int:
+    return int(text, 16) if text.lower().startswith("0x") else int(text)
+
+
+def collect_spans(endpoints: list[str], log_path: str | None,
+                  trace_id: int | None) -> tuple[list[dict], list[str]]:
+    """Gather span dicts from live servers and/or a JSONL sink.
+
+    Returns ``(spans, unreachable_endpoints)``; each span dict gains a
+    ``source`` key naming where it came from, so one tree shows which
+    process each span ran in.
+    """
+    spans: list[dict] = []
+    dead: list[str] = []
+    if endpoints:
+        from repro.store.net.client import RemoteEngine
+
+        for endpoint in endpoints:
+            try:
+                client = RemoteEngine(endpoint, connect_timeout=3.0,
+                                      op_timeout=5.0)
+            except Exception as exc:  # noqa: BLE001 - reported, not fatal
+                dead.append(f"{endpoint} ({exc})")
+                continue
+            try:
+                body = client.stats_full(trace_id)
+                for span in body.get("spans", []):
+                    spans.append(dict(span, source=endpoint))
+            except Exception as exc:  # noqa: BLE001 - reported, not fatal
+                dead.append(f"{endpoint} ({exc})")
+            finally:
+                client.close()
+    if log_path:
+        from repro.store.obs.trace import iter_trace_log
+
+        for entry in iter_trace_log(log_path):
+            if entry.get("kind", "span") != "span":
+                continue
+            spans.append(dict(entry, source=log_path))
+    if trace_id is not None:
+        spans = [span for span in spans
+                 if span.get("trace_id") == trace_id]
+    return spans, dead
+
+
+def build_traces(spans: list[dict]) -> dict[int, dict]:
+    """Group spans by trace id and wire up the parent/child tree.
+
+    Returns ``trace_id -> {"spans": [...], "roots": [...],
+    "children": {span_id: [...]}, "start_ns": int, "dur_ns": int}``.
+    Spans without a trace id (the untraced dispatch tail servers keep)
+    are dropped; a span whose parent is missing from the collected set
+    (e.g. the client kept its half in a file we were not given) is
+    promoted to a root so its subtree still renders.
+    """
+    traces: dict[int, dict] = {}
+    for span in spans:
+        tid = span.get("trace_id")
+        if not tid:
+            continue
+        traces.setdefault(tid, {"spans": []})["spans"].append(span)
+    for trace in traces.values():
+        by_id = {span["span_id"]: span for span in trace["spans"]
+                 if span.get("span_id")}
+        children: dict[int, list[dict]] = {}
+        roots: list[dict] = []
+        for span in trace["spans"]:
+            parent = span.get("parent")
+            if parent and parent in by_id:
+                children.setdefault(parent, []).append(span)
+            else:
+                roots.append(span)
+        for siblings in children.values():
+            siblings.sort(key=lambda span: span.get("start_ns", 0))
+        roots.sort(key=lambda span: span.get("start_ns", 0))
+        start = min(span.get("start_ns", 0) for span in trace["spans"])
+        end = max(span.get("start_ns", 0) + span.get("dur_ns", 0)
+                  for span in trace["spans"])
+        trace.update(roots=roots, children=children,
+                     start_ns=start, dur_ns=max(end - start, 1))
+    return traces
+
+
+def _waterfall_bar(span: dict, trace: dict) -> str:
+    offset = span.get("start_ns", 0) - trace["start_ns"]
+    left = int(BAR_WIDTH * offset / trace["dur_ns"])
+    width = max(1, int(BAR_WIDTH * span.get("dur_ns", 0)
+                       / trace["dur_ns"]))
+    left = min(left, BAR_WIDTH - 1)
+    width = min(width, BAR_WIDTH - left)
+    return "." * left + "█" * width + "." * (BAR_WIDTH - left - width)
+
+
+def render_trace(trace_id: int, trace: dict) -> str:
+    lines = [f"trace {trace_id:#x} — {len(trace['spans'])} span(s), "
+             f"{_fmt_ns(trace['dur_ns'])}"]
+
+    def walk(span: dict, depth: int) -> None:
+        label = "  " * depth + span.get("op", "?")
+        source = span.get("source", "")
+        lines.append(f"  {label:<36} {_waterfall_bar(span, trace)} "
+                     f"{_fmt_ns(span.get('dur_ns', 0)):>8}  {source}")
+        for child in trace["children"].get(span.get("span_id"), []):
+            walk(child, depth + 1)
+
+    for root in trace["roots"]:
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+_EXPLAIN_ROOTS = {
+    "fetch": ("store.fault", "fetch_many", "fetch"),
+    "commit": ("store.stabilize", "apply", "apply_many"),
+}
+
+
+def render_explain(kind: str, traces: dict[int, dict]) -> str:
+    """Where the time goes, summed over every trace of one kind: total
+    nanoseconds per op across all matching traces, as a share of the
+    summed root duration."""
+    matching = {tid: trace for tid, trace in traces.items()
+                if any(root.get("op") in _EXPLAIN_ROOTS[kind]
+                       for root in trace["roots"])}
+    if not matching:
+        return f"no {kind} traces collected"
+    total_root_ns = sum(
+        root.get("dur_ns", 0)
+        for trace in matching.values() for root in trace["roots"]
+        if root.get("op") in _EXPLAIN_ROOTS[kind])
+    by_op: dict[str, list[int]] = {}
+    for trace in matching.values():
+        for span in trace["spans"]:
+            by_op.setdefault(span.get("op", "?"), []).append(
+                span.get("dur_ns", 0))
+    lines = [f"explain {kind} — {len(matching)} trace(s), "
+             f"{_fmt_ns(total_root_ns)} total root time",
+             f"  {'OP':<24} {'COUNT':>7} {'TOTAL':>9} {'MEAN':>9} "
+             f"{'%ROOT':>6}"]
+    for op, durs in sorted(by_op.items(), key=lambda item: -sum(item[1])):
+        total = sum(durs)
+        share = 100.0 * total / total_root_ns if total_root_ns else 0.0
+        lines.append(f"  {op:<24} {len(durs):>7} {_fmt_ns(total):>9} "
+                     f"{_fmt_ns(total / len(durs)):>9} {share:>5.1f}%")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="render span waterfall trees from store servers "
+        "or a JSONL trace log")
+    parser.add_argument("endpoints", nargs="*",
+                        metavar="HOST:PORT|unix:PATH",
+                        help="server endpoints to poll for spans")
+    parser.add_argument("--log", metavar="PATH", default=None,
+                        help="also read spans from a JSONL trace log "
+                        "(?trace_log= / --trace-log sink)")
+    parser.add_argument("--slowest", type=int, default=5, metavar="K",
+                        help="show the K slowest traces (default 5)")
+    parser.add_argument("--trace-id", default=None, metavar="ID",
+                        help="show exactly one trace (decimal or 0x-hex); "
+                        "servers return that trace's retained spans")
+    parser.add_argument("--explain", choices=sorted(_EXPLAIN_ROOTS),
+                        default=None,
+                        help="aggregate time by op across matching "
+                        "traces instead of drawing trees")
+    parser.add_argument("--once", action="store_true",
+                        help="accepted for symmetry with store_top.py "
+                        "(this tool is always single-shot)")
+    args = parser.parse_args(argv)
+    if not args.endpoints and not args.log:
+        parser.error("give at least one endpoint or --log PATH")
+    if args.slowest < 1:
+        parser.error("--slowest must be >= 1")
+    trace_id = _parse_trace_id(args.trace_id) if args.trace_id else None
+
+    spans, dead = collect_spans(args.endpoints, args.log, trace_id)
+    traces = build_traces(spans)
+
+    if not traces:
+        print("no traced spans collected (is tracing sampled on? "
+              "see ?trace_sample= / ?slow_trace_ms=)")
+    elif args.explain:
+        print(render_explain(args.explain, traces))
+    else:
+        def root_dur(item):
+            return max((root.get("dur_ns", 0)
+                        for root in item[1]["roots"]), default=0)
+        picked = sorted(traces.items(), key=root_dur, reverse=True)
+        if trace_id is None:
+            picked = picked[:args.slowest]
+        print("\n\n".join(render_trace(tid, trace)
+                          for tid, trace in picked))
+    if dead:
+        print("store_trace: unreachable server(s): " + ", ".join(dead),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

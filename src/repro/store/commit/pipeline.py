@@ -34,6 +34,8 @@ from typing import Iterable, Optional
 from repro.errors import CommitPipelineError, StoreClosedError, UnknownOidError
 from repro.store.commit.policy import DurabilityPolicy, SyncPolicy
 from repro.store.engine.base import StorageEngine, WriteBatch
+from repro.store.obs.trace import current_span, run_with_span
+from repro.store.obs.trace import span as trace_span
 from repro.store.oids import Oid
 
 
@@ -44,10 +46,14 @@ class CommitTicket:
     commit raised.  ``wait``/``result`` may be called from any thread.
     """
 
-    __slots__ = ("batch", "_done", "_error")
+    __slots__ = ("batch", "span", "_done", "_error")
 
     def __init__(self, batch: Optional[WriteBatch] = None):
         self.batch = batch
+        #: The submitter's active trace span, if any — the committer
+        #: thread attributes the group commit to it (contextvars do
+        #: not cross the thread boundary on their own).
+        self.span = current_span()
         self._done = threading.Event()
         self._error: Optional[BaseException] = None
 
@@ -77,8 +83,10 @@ class CommitTicket:
         # The batch reference has served its purpose (the committer
         # reads it before resolving); dropping it keeps a long-lived
         # ticket — e.g. a store's ``last_commit`` — from pinning the
-        # whole checkpoint's record bytes in memory.
+        # whole checkpoint's record bytes in memory.  Same for the
+        # captured span and its trace collector.
         self.batch = None
+        self.span = None
         self._done.set()
 
 
@@ -180,7 +188,7 @@ class CommitPipeline:
             self._raise_if_unusable()
         error: Optional[BaseException] = None
         try:
-            with self._apply_lock:
+            with trace_span("commit.group"), self._apply_lock:
                 self._engine.apply(ticket.batch)
         except BaseException as exc:
             error = exc
@@ -223,10 +231,19 @@ class CommitPipeline:
             if group is None:
                 return
             error: Optional[BaseException] = None
-            try:
-                with self._apply_lock:
+
+            def commit_group() -> None:
+                # Runs with the submitter's span active (if any), so
+                # the group shows up in that trace with the child WAL
+                # fsync / 2PC work nested underneath.
+                with trace_span("commit.group"), self._apply_lock:
                     self._engine.apply_many(
                         [ticket.batch for ticket in group])
+
+            group_span = next((ticket.span for ticket in group
+                               if ticket.span is not None), None)
+            try:
+                run_with_span(group_span, commit_group)
             except BaseException as exc:  # noqa: BLE001 - forwarded to tickets
                 error = exc
             with self._lock:

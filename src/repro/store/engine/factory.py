@@ -66,7 +66,10 @@ A few query keys belong to the *store* layer rather than any engine:
 ``cache_objects`` bounds the store's live-object cache, ``compress``
 names a per-record codec for new writes (``zlib``, ``zlib:1`` …
 ``zlib:9``, ``lzma``, ``lzma:0`` … ``lzma:9``, or ``none``) and
-``encode_workers`` sizes the stabilise encoder pool (``0`` = inline).
+``encode_workers`` sizes the stabilise encoder pool (``0`` = inline),
+``trace_sample`` head-samples 1 in N store ops into the span tracer,
+``slow_trace_ms`` always keeps traces for store ops slower than the
+threshold, and ``trace_log`` names a JSONL sink for kept spans.
 :func:`split_store_url` peels such keys off (``ObjectStore.from_url``
 and ``open_store`` call it); handing them straight to
 :func:`engine_from_url` raises a ``ValueError`` that says so.
@@ -91,7 +94,10 @@ _PIPELINE_KEYS = ("durability", "group_window_ms", "group_max_batches",
 
 #: Keys consumed by the ObjectStore layer, valid for every scheme; the
 #: engine factory never sees them (``split_store_url`` peels them off).
-STORE_KEYS = ("cache_objects", "compress", "encode_workers")
+#: The trace keys configure the store's sampling tracer (the server
+#: process takes the equivalent via ``store_server.py --trace-log``).
+STORE_KEYS = ("cache_objects", "compress", "encode_workers",
+              "trace_sample", "slow_trace_ms", "trace_log")
 
 #: Observability keys, honoured for every scheme.  ``open_store``
 #: consumes them via ``split_store_url`` (metrics default *on* at the
@@ -348,9 +354,12 @@ def split_store_url(url: str) -> tuple[str, dict]:
     object-cache capacity, an integer >= 1), ``compress`` (a per-record
     codec spec such as ``zlib:1``), ``encode_workers`` (stabilise
     encoder pool size, an integer >= 0), ``metrics`` (0/1, store
-    telemetry — default on) and ``slow_op_ms`` (log engine ops slower
-    than this threshold).  Values are validated here so a bad store
-    parameter fails before any engine is opened.
+    telemetry — default on), ``slow_op_ms`` (log engine ops slower
+    than this threshold), ``trace_sample`` (head-sample 1 in N store
+    ops into the span tracer, ``0`` = off), ``slow_trace_ms`` (always
+    keep traces for store ops slower than this) and ``trace_log`` (a
+    JSONL sink path for kept spans and events).  Values are validated
+    here so a bad store parameter fails before any engine is opened.
     """
     base, has_query, query = url.partition("?")
     if not has_query:
@@ -386,6 +395,31 @@ def split_store_url(url: str) -> tuple[str, dict]:
             )
         store_options["encode_workers"] = workers
         del params["encode_workers"]
+    if "trace_sample" in params:
+        sample = _int_param(params, "trace_sample")
+        if sample is not None and sample < 0:
+            raise ValueError(
+                f"query parameter trace_sample must be >= 0, "
+                f"got {sample}"
+            )
+        store_options["trace_sample"] = sample
+        del params["trace_sample"]
+    if "slow_trace_ms" in params:
+        slow_trace = _float_param(params, "slow_trace_ms")
+        if slow_trace is not None and slow_trace <= 0:
+            raise ValueError(
+                f"query parameter slow_trace_ms must be > 0, "
+                f"got {slow_trace}"
+            )
+        store_options["slow_trace_ms"] = slow_trace
+        del params["slow_trace_ms"]
+    if "trace_log" in params:
+        trace_log = params.pop("trace_log")
+        if not trace_log:
+            raise ValueError(
+                "query parameter trace_log needs a file path"
+            )
+        store_options["trace_log"] = trace_log
     if params:
         rest = "&".join(f"{key}={value}" for key, value in params.items())
         return f"{base}?{rest}", store_options

@@ -49,6 +49,7 @@ from typing import Iterable, Optional
 from repro.errors import CorruptHeapError, UnknownOidError
 from repro.store.engine.base import StorageEngine, WriteBatch
 from repro.store.heap import DEFAULT_CACHE_PAGES, HeapFile, RecordId
+from repro.store.obs.trace import span as trace_span
 from repro.store.oids import FIRST_OID, NULL_OID, Oid
 from repro.store.serve.locks import ReadWriteLock
 from repro.store.wal import (
@@ -114,8 +115,9 @@ class ManifestLog:
         self._file.write(_encode_entry(entry))
 
     def sync(self) -> None:
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        with trace_span("manifest.fsync"):
+            self._file.flush()
+            os.fsync(self._file.fileno())
         self.fsyncs += 1
 
     def close(self) -> None:

@@ -82,6 +82,8 @@ from typing import Iterable, Optional, Sequence
 
 from repro.errors import UnknownOidError
 from repro.store.engine.base import StorageEngine, WriteBatch
+from repro.store.obs.trace import current_span, run_with_span
+from repro.store.obs.trace import span as trace_span
 from repro.store.oids import Oid
 
 #: OIDs at or above this value are reserved for the sharding protocol.
@@ -261,6 +263,13 @@ class ShardedEngine(StorageEngine):
         """
         if inline:
             return [fn(item) for item in items]
+        active = current_span()
+        if active is not None:
+            # Contextvars do not follow work onto pool threads; carry
+            # the active span across so per-shard leaf spans (a child
+            # WAL fsync, a remote request) attach to the right trace.
+            return list(self._pool.map(
+                lambda item: run_with_span(active, fn, item), items))
         return list(self._pool.map(fn, items))
 
     @staticmethod
@@ -325,13 +334,17 @@ class ShardedEngine(StorageEngine):
         if len(per_shard) == 1:
             shard, wanted = next(iter(per_shard.items()))
             return self._children[shard].fetch_many(wanted)
-        futures = [
-            self._pool.submit(self._children[shard].fetch_many, wanted)
-            for shard, wanted in per_shard.items()
-        ]
-        found: dict[Oid, bytes] = {}
-        for future in futures:
-            found.update(future.result())
+        with trace_span("fanout.fetch_many"):
+            active = current_span()
+            futures = [
+                self._pool.submit(run_with_span, active,
+                                  self._children[shard].fetch_many,
+                                  wanted)
+                for shard, wanted in per_shard.items()
+            ]
+            found: dict[Oid, bytes] = {}
+            for future in futures:
+                found.update(future.result())
         return found
 
     def oids(self) -> tuple[Oid, ...]:
@@ -526,11 +539,14 @@ class ShardedEngine(StorageEngine):
             self._children[shard].apply(sub)
         else:
             t0 = time.perf_counter_ns()
-            token = self.prepare(subs)
+            with trace_span("twophase.prepare"):
+                token = self.prepare(subs)
             t1 = time.perf_counter_ns()
-            self.write_commit_marker(token)
+            with trace_span("twophase.marker"):
+                self.write_commit_marker(token)
             t2 = time.perf_counter_ns()
-            self._apply_staged(subs)
+            with trace_span("twophase.apply"):
+                self._apply_staged(subs)
             t3 = time.perf_counter_ns()
             self._settle_in_background(subs)
             self.two_phase_commits += 1

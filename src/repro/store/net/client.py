@@ -50,6 +50,8 @@ from repro.errors import (
 from repro.store.engine.base import StorageEngine, WriteBatch
 from repro.store.engine.sharded import encode_batch
 from repro.store.net import protocol as wire
+from repro.store.obs.trace import current_span
+from repro.store.obs.trace import span as trace_span
 from repro.store.oids import Oid
 from repro.store.serializer import write_uvarint
 
@@ -202,15 +204,21 @@ class RemoteEngine(StorageEngine):
         raise WireProtocolError(f"unknown response status 0x{status:02X}")
 
     def _envelope(self, payload: bytes) -> bytes:
-        """Wrap one request in a ``TRACE`` envelope when a trace id is
-        active (the server unwraps, dispatches and records a span)."""
-        trace_id = self.trace_id
-        if not trace_id:
-            return payload
-        wrapped = bytearray([wire.OP_TRACE])
-        write_uvarint(wrapped, trace_id)
-        wrapped += payload
-        return bytes(wrapped)
+        """Wrap one request in a ``TRACE`` envelope when a trace is
+        active (the server unwraps, dispatches and records a span
+        subtree parented to the carried span id).
+
+        An active contextvar span wins — the server's dispatch span
+        becomes its child, joining the cross-process tree.  The plain
+        :attr:`trace_id` attribute is the parentless fallback for
+        callers that only want flat id correlation."""
+        active = current_span()
+        if active is not None:
+            return wire.pack_trace_envelope(active.trace_id,
+                                            active.span_id, payload)
+        if self.trace_id:
+            return wire.pack_trace_envelope(self.trace_id, 0, payload)
+        return payload
 
     def _note_failure(self, exc: BaseException) -> None:
         if getattr(exc, "timeout", False):
@@ -219,8 +227,15 @@ class RemoteEngine(StorageEngine):
     def _request(self, op: int, body: bytes = b"",
                  idempotent: bool = False) -> bytes:
         """One request/response exchange, with bounded reconnect-retry
-        for idempotent operations."""
+        for idempotent operations.  Inside a traced operation the
+        exchange is a ``net.<op>`` child span, and the request travels
+        enveloped so the server's subtree hangs off that span."""
         self._check_open()
+        with trace_span("net." + wire.OP_NAMES.get(op, hex(op))):
+            return self._exchange(op, body, idempotent)
+
+    def _exchange(self, op: int, body: bytes,
+                  idempotent: bool) -> bytes:
         payload = self._envelope(bytes([op]) + body)
         attempts = 1 + (self._read_retries if idempotent else 0)
         last: Optional[BaseException] = None
@@ -273,6 +288,10 @@ class RemoteEngine(StorageEngine):
                 wire.OP_FETCH_MANY, wire.pack_oids(chunks[0]),
                 idempotent=True)
             return wire.unpack_records(body)[0]
+        with trace_span("net.fetch_many"):
+            return self._fetch_pipelined(chunks)
+
+    def _fetch_pipelined(self, chunks: list[list[Oid]]) -> dict[Oid, bytes]:
         attempts = 1 + self._read_retries
         last: Optional[BaseException] = None
         for _attempt in range(attempts):
@@ -331,10 +350,18 @@ class RemoteEngine(StorageEngine):
         return wire.unpack_stats(self._request(wire.OP_STATS,
                                                idempotent=True))
 
-    def stats_full(self) -> dict:
+    def stats_full(self, trace_id: Optional[int] = None) -> dict:
         """The server's extended telemetry: ``{"server": <stats>,
-        "metrics": <registry snapshot>, "spans": [<recent spans>]}``."""
-        return wire.unpack_stats(self._request(wire.OP_STATS_FULL,
+        "metrics": <registry snapshot>, "spans": [<recent spans>]}``.
+
+        With ``trace_id``, ``spans`` is instead every retained span of
+        that trace — the hook for cross-process tree reassembly."""
+        body = b""
+        if trace_id is not None:
+            buf = bytearray()
+            write_uvarint(buf, trace_id)
+            body = bytes(buf)
+        return wire.unpack_stats(self._request(wire.OP_STATS_FULL, body,
                                                idempotent=True))
 
     # -- writes -------------------------------------------------------------

@@ -47,7 +47,9 @@ from repro.store.oids import Oid
 from repro.store.serializer import read_uvarint, write_uvarint
 
 #: Bump on any incompatible frame/body change; exchanged in HELLO.
-PROTOCOL_VERSION = 1
+#: v2: the TRACE envelope carries a parent span id after the trace id,
+#: so server-side spans link into the client's span tree.
+PROTOCOL_VERSION = 2
 
 #: Default ceiling on one frame's payload, either direction.  Large
 #: enough for a fat ``apply_many`` group, small enough that a corrupt
@@ -74,11 +76,16 @@ OP_STATS = 0x0F
 OP_RESET = 0x10
 OP_SHUTDOWN = 0x11
 #: Extended stats: server info plus a full metrics snapshot and the
-#: recent span tail (JSON body, like OP_STATS).
+#: recent span tail (JSON body, like OP_STATS).  An optional request
+#: body ``uvarint trace_id`` filters the spans to that trace — the
+#: hook a client uses to pull back its own trace's server-side
+#: children for tree reassembly.
 OP_STATS_FULL = 0x12
-#: Trace envelope: ``uvarint trace_id | inner request``.  The server
-#: dispatches the inner request normally and records a span for it
-#: under the carried id.
+#: Trace envelope: ``uvarint trace_id | uvarint parent_span_id |
+#: inner request``.  The server dispatches the inner request normally
+#: and records a span subtree for it under the carried trace id, with
+#: the dispatch span parented to ``parent_span_id`` (0: no parent) —
+#: which is how client-side and server-side spans join into one tree.
 OP_TRACE = 0x13
 
 #: Human names for errors and stats.
@@ -299,6 +306,27 @@ def unpack_roots(body: bytes, pos: int = 0) -> tuple[dict, int]:
         oid, pos = read_uvarint(body, pos)
         roots[name] = Oid(oid)
     return roots, pos
+
+
+def pack_trace_envelope(trace_id: int, parent_span_id: int,
+                        inner: bytes) -> bytes:
+    """An ``OP_TRACE`` request wrapping ``inner`` (a complete request
+    payload, opcode byte first)."""
+    buf = bytearray([OP_TRACE])
+    write_uvarint(buf, trace_id)
+    write_uvarint(buf, parent_span_id)
+    return bytes(buf) + inner
+
+
+def unpack_trace_envelope(payload: bytes,
+                          pos: int = 1) -> tuple[int, int, int]:
+    """``(trace_id, parent_span_id, inner_offset)`` of an ``OP_TRACE``
+    payload; ``pos`` starts after the opcode byte."""
+    trace_id, pos = read_uvarint(payload, pos)
+    parent_span_id, pos = read_uvarint(payload, pos)
+    if pos >= len(payload):
+        raise WireProtocolError("trace envelope carries no inner request")
+    return trace_id, parent_span_id, pos
 
 
 def pack_stats(stats: dict) -> bytes:

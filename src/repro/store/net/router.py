@@ -32,7 +32,7 @@ backends fails loudly instead of misrouting every OID.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.store.engine.sharded import ShardedEngine
 from repro.store.net.client import RemoteEngine
@@ -64,12 +64,14 @@ class RouterEngine(ShardedEngine):
         # through the ordinary engine contract.
         super().__init__(clients)
 
-    def stats_full(self) -> dict:
+    def stats_full(self, trace_id: Optional[int] = None) -> dict:
         """Every backend's extended telemetry plus the cross-fleet
         aggregate: ``{"per_server": {endpoint: <stats_full body>},
         "merged": <summed metrics snapshot>}``.  Fetched in parallel on
-        the shard pool (one slow backend does not serialise the rest)."""
-        bodies = self._fan(lambda client: client.stats_full(),
+        the shard pool (one slow backend does not serialise the rest).
+        With ``trace_id``, each backend returns that trace's retained
+        spans instead of the recent tail (tree reassembly)."""
+        bodies = self._fan(lambda client: client.stats_full(trace_id),
                            self.children)
         per_server = dict(zip(self.endpoints, bodies))
         return {

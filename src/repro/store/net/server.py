@@ -59,6 +59,8 @@ from repro.store.obs import (
     MetricsRegistry,
     SpanLog,
     TimedEngine,
+    TraceLog,
+    Tracer,
     bind_engine_metrics,
 )
 from repro.store.serializer import read_uvarint
@@ -70,7 +72,8 @@ class StoreServer:
     """Serve one engine URL over a TCP or Unix socket."""
 
     def __init__(self, url: str, bind: str = "127.0.0.1:0",
-                 max_frame: int = wire.MAX_FRAME_BYTES):
+                 max_frame: int = wire.MAX_FRAME_BYTES,
+                 trace_log: Optional[str] = None):
         self._url = url
         self._max_frame = max_frame
         #: The server's own registry: per-op dispatch histograms plus
@@ -79,6 +82,14 @@ class StoreServer:
         self.metrics = MetricsRegistry()
         #: Recent dispatch spans (``stats_full`` returns the tail).
         self.spans = SpanLog()
+        #: Envelope-driven tracing: a TRACE-wrapped request dispatches
+        #: under a real span scope, so engine-phase children (WAL
+        #: fsync, 2PC phases, pipeline groups) land in :attr:`spans`
+        #: with the client's trace id — and, with ``trace_log``, in a
+        #: durable JSONL sink alongside lifecycle events.
+        self.tracer = Tracer(
+            log=TraceLog(trace_log) if trace_log else None,
+            spans=self.spans)
         self._op_hist = {
             op: self.metrics.histogram("server_op_ns", op=name)
             for op, name in wire.OP_NAMES.items()
@@ -143,6 +154,8 @@ class StoreServer:
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-net-accept", daemon=True)
         self._accept_thread.start()
+        self.tracer.event("server_start", endpoint=self.endpoint,
+                          url=self._url, pid=os.getpid())
         return self
 
     def serve_forever(self) -> None:
@@ -182,9 +195,12 @@ class StoreServer:
         thread = self._accept_thread
         if thread is not None and thread is not threading.current_thread():
             thread.join(timeout=5)
+        self.tracer.event("server_stop", endpoint=self.endpoint,
+                          requests=self._requests)
         try:
             self._engine.close()
         finally:
+            self.tracer.close()
             if self.endpoint.startswith("unix:"):
                 try:
                     os.unlink(self.endpoint[len("unix:"):])
@@ -266,29 +282,30 @@ class StoreServer:
 
     # -- dispatch -----------------------------------------------------------
 
-    def _dispatch(self, payload: bytes,
-                  trace_id: int = 0) -> tuple[bytes, bool]:
+    def _dispatch(self, payload: bytes, trace_id: int = 0,
+                  parent_span: int = 0) -> tuple[bytes, bool]:
         """The response payload for one request, plus a stop-after flag."""
         op = payload[0]
         if op == wire.OP_TRACE:
-            # Trace envelope: unwrap the carried id and dispatch the
-            # inner request under it (one level; a nested envelope is a
-            # client bug and just re-enters here harmlessly).
+            # Trace envelope: unwrap the carried trace and parent span
+            # ids and dispatch the inner request under them (one level;
+            # a nested envelope is a client bug and just re-enters here
+            # harmlessly).
             try:
-                inner_id, pos = read_uvarint(payload, 1)
+                inner_id, parent, pos = wire.unpack_trace_envelope(payload)
+            except WireProtocolError:
+                raise
             except Exception as exc:
                 raise WireProtocolError(
                     f"malformed trace envelope: {exc}") from exc
-            if pos >= len(payload):
-                raise WireProtocolError("empty trace envelope")
-            return self._dispatch(payload[pos:], trace_id=inner_id)
+            return self._dispatch(payload[pos:], trace_id=inner_id,
+                                  parent_span=parent)
         body = payload[1:]
         handler = self._HANDLERS.get(op)
         if handler is None:
             raise WireProtocolError(f"unknown opcode 0x{op:02X}")
-        started_at = time.time_ns()
-        start = time.perf_counter_ns()
-        try:
+
+        def run() -> tuple[bytes, bool]:
             try:
                 response = handler(self, body)
             except UnknownOidError as exc:
@@ -301,11 +318,28 @@ class StoreServer:
             except Exception as exc:  # noqa: BLE001 - reported to the client
                 return bytes([wire.ST_ERROR]) + wire.pack_error(exc), False
             return bytes([wire.ST_OK]) + response, op == wire.OP_SHUTDOWN
+
+        started_at = time.time_ns()
+        start = time.perf_counter_ns()
+        # An enveloped request dispatches under a real (always-kept)
+        # span scope: engine-phase children recorded during the handler
+        # attach to it, the whole subtree lands in self.spans under the
+        # client's trace id, and the dispatch span itself is parented
+        # to the client-side span that issued the request.
+        scope = self.tracer.root(wire.OP_NAMES.get(op, hex(op)),
+                                 trace_id=trace_id, parent_id=parent_span,
+                                 forced=True) if trace_id else None
+        try:
+            if scope is not None:
+                with scope:
+                    return run()
+            return run()
         finally:
             dur = time.perf_counter_ns() - start
             self._op_hist[op].observe(dur)
-            self.spans.record(wire.OP_NAMES.get(op, hex(op)),
-                              started_at, dur, trace_id)
+            if scope is None:
+                self.spans.record(wire.OP_NAMES.get(op, hex(op)),
+                                  started_at, dur, trace_id)
 
     # -- handlers (one per opcode) ------------------------------------------
 
@@ -417,10 +451,17 @@ class StoreServer:
         return wire.pack_stats(self._stats_dict())
 
     def _op_stats_full(self, body: bytes) -> bytes:
+        if body:
+            # Optional trace filter: every retained span of one trace,
+            # not just the recent tail — the reassembly path.
+            wanted, _pos = read_uvarint(body, 0)
+            spans = self.spans.for_trace(wanted)
+        else:
+            spans = self.spans.tail()
         return wire.pack_stats({
             "server": self._stats_dict(),
             "metrics": self.metrics.snapshot(),
-            "spans": self.spans.tail(),
+            "spans": spans,
         })
 
     def _op_reset(self, body: bytes) -> bytes:
@@ -432,6 +473,8 @@ class StoreServer:
                 old.close()
             except StoreClosedError:  # pragma: no cover - double reset
                 pass
+        self.tracer.event("engine_reset", endpoint=self.endpoint,
+                          url=self._url)
         return b""
 
     def _op_shutdown(self, body: bytes) -> bytes:

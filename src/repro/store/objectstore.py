@@ -63,6 +63,12 @@ from repro.store.engine.base import StorageEngine, WriteBatch
 from repro.store.engine.filesystem import FileEngine
 from repro.store.engine.memory import MemoryEngine
 from repro.store.obs import MetricsRegistry, TimedEngine, bind_engine_metrics
+from repro.store.obs.trace import (
+    TraceLog,
+    Tracer,
+    current_span,
+    span as trace_span,
+)
 from repro.store.oids import Oid, OidAllocator
 from repro.store.registry import ClassRegistry
 from repro.store.serializer import (
@@ -125,7 +131,10 @@ class ObjectStore:
                  compress: str | RecordCodec | None = None,
                  encode_workers: int | None = None,
                  metrics: bool | MetricsRegistry = True,
-                 slow_op_ms: float | None = None):
+                 slow_op_ms: float | None = None,
+                 trace_sample: int | None = None,
+                 slow_trace_ms: float | None = None,
+                 trace_log: str | None = None):
         if engine is None:
             if directory is None:
                 raise ValueError(
@@ -157,6 +166,16 @@ class ObjectStore:
                 engine = TimedEngine(engine, self._metrics,
                                      slow_op_ms=slow_op_ms)
             bind_engine_metrics(engine, self._metrics)
+        # The span tracer.  Default-off: with ``trace_sample=0`` (or
+        # unset), no slow-trace threshold and no sink, ``root()``
+        # returns the shared null scope and the store pays one method
+        # call per fault/stabilise — the cached-read fast path never
+        # touches the tracer at all.
+        self._tracer = Tracer(
+            sample=trace_sample or 0,
+            slow_ms=slow_trace_ms,
+            log=TraceLog(trace_log) if trace_log else None,
+        )
         self._engine = engine
         # One registry instance is threaded through every layer that
         # resolves classes (serializer, link store, compiler, evolution).
@@ -328,6 +347,10 @@ class ObjectStore:
         encode pool (``0`` keeps encoding inline).  Telemetry defaults
         on: ``?metrics=0`` disables it, ``?slow_op_ms=N`` logs one
         structured line per engine op slower than N milliseconds.
+        Tracing defaults off: ``?trace_sample=N`` head-samples one in N
+        faults/stabilises into a span tree, ``?slow_trace_ms=N`` keeps
+        every trace slower than N milliseconds, and ``?trace_log=PATH``
+        appends kept spans to a JSONL sink.
         """
         from repro.store.engine.factory import (
             engine_from_url,
@@ -350,6 +373,7 @@ class ObjectStore:
         self._closed = True
         self._encoder.close()
         self._engine.close()
+        self._tracer.close()
 
     def flush(self) -> None:
         """Durability barrier: block until every commit this store has
@@ -529,6 +553,10 @@ class ObjectStore:
         return self._identity.peek(oid) is not None
 
     def _fault(self, oid: Oid) -> Any:
+        with self._tracer.root("store.fault"):
+            return self._fault_miss(oid)
+
+    def _fault_miss(self, oid: Oid) -> Any:
         if not self._engine.contains(oid):
             raise UnknownOidError(int(oid))
         delay = 0.001
@@ -774,6 +802,12 @@ class ObjectStore:
         ticket and :meth:`flush` the barrier.
         """
         self._check_open()
+        with self._tracer.root("store.stabilize"):
+            return self._stabilize_traced()
+
+    def _stabilize_traced(self) -> int:
+        """The stabilise loop proper, run under :meth:`stabilize`'s root
+        trace scope (the shared null scope when tracing is off)."""
         with self._commit_lock:
             self._write_busy += 1
         try:
@@ -836,6 +870,10 @@ class ObjectStore:
             for oid in records:
                 self._commit_seq[oid] = seq
             walk_ns = time.perf_counter_ns() - walk_start
+            active = current_span()
+            if active is not None:
+                active.child("store.walk", time.time_ns() - walk_ns,
+                             walk_ns)
             if (self._encoder.workers == 0
                     or len(records) <= self._encoder.chunk_records):
                 # Small dirty set: encode inline under the same lock hold
@@ -881,10 +919,14 @@ class ObjectStore:
                         del self._commit_seq[oid]
             raise
         encode_ns = time.perf_counter_ns() - encode_start
+        active = current_span()
+        if active is not None:
+            active.child("store.encode", time.time_ns() - encode_ns,
+                         encode_ns)
 
         # ---- phase 3: commit (commit lock re-taken) -------------------
         commit_start = time.perf_counter_ns()
-        with self._commit_lock:
+        with trace_span("store.commit"), self._commit_lock:
             if self._gc_seq != gc_seq:
                 for oid in records:
                     if self._commit_seq.get(oid) == seq:
@@ -1255,6 +1297,14 @@ class ObjectStore:
         """A plain-dict snapshot of every store and engine instrument
         (see :meth:`repro.store.obs.MetricsRegistry.snapshot`)."""
         return self._metrics.snapshot()
+
+    @property
+    def tracer(self) -> Tracer:
+        """The store's span tracer (inert unless ``trace_sample``,
+        ``slow_trace_ms`` or ``trace_log`` configured it).  Kept traces
+        land in ``tracer.spans`` (a :class:`~repro.store.obs.SpanLog`)
+        and, when a sink path was given, in the JSONL trace log."""
+        return self._tracer
 
     def stored_record(self, oid: Oid) -> Record:
         """The stored record for an OID (browser / debugging use)."""

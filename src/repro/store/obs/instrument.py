@@ -34,6 +34,7 @@ from typing import Iterable, Optional
 
 from repro.store.engine.base import StorageEngine, WriteBatch
 from repro.store.obs.metrics import MetricsRegistry
+from repro.store.obs.trace import current_span
 from repro.store.oids import Oid
 
 __all__ = ["TimedEngine", "bind_engine_metrics"]
@@ -75,10 +76,23 @@ class TimedEngine(StorageEngine):
     def _observe(self, op: str, start_ns: int) -> None:
         dur = time.perf_counter_ns() - start_ns
         self._op_hist[op].observe(dur)
+        active = current_span()
+        if active is not None:
+            # Attach the engine op as a child of whatever traced work
+            # caused it (a server dispatch, a store fault/stabilize).
+            # The duration is already measured, so record directly
+            # rather than re-wrapping the call in a scope.
+            active.child("engine." + op,
+                         time.time_ns() - dur, dur)
         if self._slow_ns is not None and dur >= self._slow_ns:
             slow_log.warning(
                 "slow op %s engine=%s dur_ms=%.3f threshold_ms=%.3f",
-                op, self._child.name, dur / 1e6, self._slow_ms)
+                op, self._child.name, dur / 1e6, self._slow_ms,
+                extra={"fields": {
+                    "event": "slow_op", "op": op,
+                    "engine": self._child.name, "dur_ms": dur / 1e6,
+                    "threshold_ms": self._slow_ms,
+                }})
 
     # -- composition -----------------------------------------------------
 

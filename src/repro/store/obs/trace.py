@@ -1,57 +1,105 @@
-"""Lightweight op tracing: span records and the per-process span log.
+"""Hierarchical op tracing: span trees, sampling and durable sinks.
 
-A :class:`Span` is one timed operation — op name, start, duration and
-an optional parent trace id.  The id travels across the wire in the
-``TRACE`` envelope (:mod:`repro.store.net.protocol`), so a client-side
-fetch and the server-side work it caused share one id; the server keeps
-its recent spans in a bounded :class:`SpanLog` and returns them in the
-``STATS_FULL`` body, which is how ``scripts/store_top.py`` shows who is
-doing what on a live server.
+A :class:`Span` is one timed operation — op name, start, duration, the
+trace it belongs to and its position in that trace's tree (``span_id``
+and the parent's span id).  Trace and span ids travel across the wire
+in the ``TRACE`` envelope (:mod:`repro.store.net.protocol`), so a
+client-side fetch and the server-side work it caused link into one
+tree; each server keeps its recent spans in a bounded :class:`SpanLog`
+and returns them in the ``STATS_FULL`` body, which is how a client (or
+``scripts/store_trace.py``) reassembles the full cross-process tree
+for a trace id.
 
-Spans are telemetry, not audit: the log is a fixed-size ring (old spans
-fall off) and recording is append-under-mutex, cheap enough for the
-per-request path of a server but deliberately not free — only traced
-requests and server dispatches record spans; engine hot paths use the
-histogram instruments instead.
+The in-process half is contextvar based.  A :class:`Tracer` decides at
+the *root* whether a trace is captured (head-based sampling: 1-in-N
+via ``trace_sample``, plus capture-everything-keep-slow via
+``slow_trace_ms``); inside a captured trace, :func:`span` opens child
+spans anywhere down the stack — the WAL fsync, a 2PC phase, a planner
+wave — without any plumbing.  When no trace is active :func:`span`
+returns a shared no-op: one contextvar read, no allocation, which is
+what keeps unsampled hot paths at their untraced cost.
+
+Captured spans buffer in a per-trace collector and flush on root exit
+into the tracer's :class:`SpanLog` ring and, when configured, a
+:class:`TraceLog` — a durable JSONL sink (one JSON object per span or
+event, size-based rotation).  :class:`JsonLineFormatter` renders
+ordinary ``logging`` records (the ``repro.store.slowop`` stream,
+server lifecycle messages) as the same one-object-per-line JSON.
 """
 
 from __future__ import annotations
 
+import contextvars
 import itertools
+import json
+import logging
 import os
 import threading
 import time
 from collections import deque
-from typing import Optional
+from typing import Any, Callable, Optional
 
-#: Process-unique-enough trace ids: pid in the high bits, a counter in
-#: the low, so ids from several client processes never collide on one
-#: server's span log.
+# -- ids ------------------------------------------------------------------
+#
+# Trace and span ids must never collide across the processes that
+# contribute to one tree (client, router, N servers).  Both are drawn
+# from one per-process counter under a process tag that mixes the pid
+# *and* the process start time: a bare pid aliases after pid reuse, and
+# a 32-bit counter window wraps silently under a long-lived client.
+
+_COUNTER_BITS = 48
+_COUNTER_MASK = (1 << _COUNTER_BITS) - 1
+_START_NS = time.time_ns()
 _counter = itertools.count(1)
 
 
+def _process_tag(pid: int, start_ns: int) -> int:
+    """Distinguishes two processes even when one recycled the other's
+    pid — the start time differs, so the tag differs."""
+    return ((pid & 0xFFFFFFFF) << 16) ^ (start_ns & 0xFFFFFFFFFFFF)
+
+
+_TAG = _process_tag(os.getpid(), _START_NS)
+
+
+def _new_id() -> int:
+    return (_TAG << _COUNTER_BITS) | (next(_counter) & _COUNTER_MASK)
+
+
 def new_trace_id() -> int:
-    return (os.getpid() << 32) | (next(_counter) & 0xFFFFFFFF)
+    return _new_id()
+
+
+def new_span_id() -> int:
+    return _new_id()
+
+
+# -- span records ---------------------------------------------------------
 
 
 class Span:
-    """One timed operation."""
+    """One timed operation, positioned in its trace's tree."""
 
-    __slots__ = ("op", "start_ns", "dur_ns", "trace_id", "parent")
+    __slots__ = ("op", "start_ns", "dur_ns", "trace_id", "parent",
+                 "span_id")
 
     def __init__(self, op: str, start_ns: int, dur_ns: int,
-                 trace_id: int = 0, parent: Optional[int] = None):
+                 trace_id: int = 0, parent: Optional[int] = None,
+                 span_id: int = 0):
         self.op = op
         self.start_ns = start_ns
         self.dur_ns = dur_ns
         self.trace_id = trace_id
         self.parent = parent
+        self.span_id = span_id
 
     def to_dict(self) -> dict:
         out = {"op": self.op, "start_ns": self.start_ns,
                "dur_ns": self.dur_ns, "trace_id": self.trace_id}
         if self.parent is not None:
             out["parent"] = self.parent
+        if self.span_id:
+            out["span_id"] = self.span_id
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -62,13 +110,18 @@ class Span:
 class SpanLog:
     """A bounded ring of recent spans (newest last)."""
 
-    def __init__(self, maxlen: int = 512):
+    def __init__(self, maxlen: int = 2048):
         self._spans: deque[Span] = deque(maxlen=maxlen)
         self._lock = threading.Lock()
 
     def record(self, op: str, start_ns: int, dur_ns: int,
-               trace_id: int = 0, parent: Optional[int] = None) -> None:
-        span = Span(op, start_ns, dur_ns, trace_id, parent)
+               trace_id: int = 0, parent: Optional[int] = None,
+               span_id: int = 0) -> None:
+        span = Span(op, start_ns, dur_ns, trace_id, parent, span_id)
+        with self._lock:
+            self._spans.append(span)
+
+    def record_span(self, span: Span) -> None:
         with self._lock:
             self._spans.append(span)
 
@@ -82,6 +135,291 @@ class SpanLog:
             spans = list(self._spans)[-limit:]
         return [span.to_dict() for span in spans]
 
+    def for_trace(self, trace_id: int) -> list[dict]:
+        """Every retained span of one trace (wire-safe dicts)."""
+        with self._lock:
+            spans = [s for s in self._spans if s.trace_id == trace_id]
+        return [span.to_dict() for span in spans]
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._spans)
+
+
+# -- durable JSONL sink ---------------------------------------------------
+
+
+class TraceLog:
+    """Durable JSONL trace/event sink with size-based rotation.
+
+    One JSON object per line: spans carry ``"kind": "span"`` plus the
+    :meth:`Span.to_dict` fields, events carry ``"kind": "event"`` with
+    an event name and free-form fields.  When the file outgrows
+    ``max_bytes`` it is renamed to ``<path>.1`` (replacing any previous
+    rotation) and a fresh file is started, so the sink is bounded at
+    roughly twice ``max_bytes`` on disk.
+    """
+
+    def __init__(self, path: str, max_bytes: int = 8 * 1024 * 1024):
+        self._path = path
+        self.max_bytes = max_bytes
+        self._lock = threading.Lock()
+        self._file = open(path, "a", encoding="utf-8")
+        self._size = self._file.tell()
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def write(self, obj: dict) -> None:
+        line = json.dumps(obj, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._file.closed:
+                return
+            if self._size and self._size + len(line) > self.max_bytes:
+                self._rotate()
+            self._file.write(line)
+            self._file.flush()
+            self._size += len(line)
+
+    def write_span(self, span: Span) -> None:
+        self.write({"kind": "span", **span.to_dict()})
+
+    def event(self, event: str, **fields: Any) -> None:
+        self.write({"kind": "event", "event": event,
+                    "ts_ns": time.time_ns(), **fields})
+
+    def _rotate(self) -> None:
+        self._file.close()
+        os.replace(self._path, self._path + ".1")
+        self._file = open(self._path, "a", encoding="utf-8")
+        self._size = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._file.closed:
+                self._file.close()
+
+
+def iter_trace_log(path: str) -> "list[dict]":
+    """All JSON objects from a trace log (``.1`` rotation first, so
+    entries come back in rough write order).  Torn last lines — a
+    crashed writer — are skipped, matching WAL tail discipline."""
+    out: list[dict] = []
+    for candidate in (path + ".1", path):
+        if not os.path.exists(candidate):
+            continue
+        with open(candidate, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    out.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    return out
+
+
+# -- structured logging ---------------------------------------------------
+
+
+class JsonLineFormatter(logging.Formatter):
+    """Renders log records as one JSON object per line.
+
+    Extra structured fields ride in ``extra={"fields": {...}}`` — the
+    ``repro.store.slowop`` warning attaches op/engine/duration that
+    way, so the same record formats as a human line under the default
+    formatter and as machine-readable JSON under this one.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        out: dict[str, Any] = {
+            "ts": record.created,
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            out.update(fields)
+        return json.dumps(out, separators=(",", ":"))
+
+
+# -- active-span propagation ----------------------------------------------
+
+_ACTIVE: "contextvars.ContextVar[Optional[_SpanScope]]" = \
+    contextvars.ContextVar("repro-store-active-span", default=None)
+
+
+def current_span() -> "Optional[_SpanScope]":
+    """The innermost open span of the calling context, or ``None``."""
+    return _ACTIVE.get()
+
+
+def run_with_span(scope: "Optional[_SpanScope]", fn: Callable,
+                  *args: Any) -> Any:
+    """Run ``fn`` with ``scope`` active — the cross-thread propagation
+    helper for fan-out pools, where contextvars do not follow work onto
+    executor threads."""
+    if scope is None:
+        return fn(*args)
+    token = _ACTIVE.set(scope)
+    try:
+        return fn(*args)
+    finally:
+        _ACTIVE.reset(token)
+
+
+class _NullSpan:
+    """Shared no-op scope: the not-sampled fast path allocates nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Collector:
+    """Per-trace buffer of finished spans.
+
+    Children append while the trace runs (possibly from several
+    threads); the root drains once on exit.  Appends after the drain —
+    a straggler async commit — are dropped rather than leaked."""
+
+    __slots__ = ("_spans", "_lock", "_closed")
+
+    def __init__(self) -> None:
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def add(self, span: Span) -> None:
+        with self._lock:
+            if not self._closed:
+                self._spans.append(span)
+
+    def drain(self) -> list[Span]:
+        with self._lock:
+            self._closed = True
+            return self._spans
+
+
+class _SpanScope:
+    """An open span: context manager, contextvar anchor, tree node."""
+
+    __slots__ = ("op", "trace_id", "span_id", "parent_id", "start_ns",
+                 "_t0", "_collector", "_token", "_tracer", "_keep")
+
+    def __init__(self, op: str, trace_id: int, parent_id: int,
+                 collector: _Collector,
+                 tracer: "Optional[Tracer]" = None, keep: bool = False):
+        self.op = op
+        self.trace_id = trace_id
+        self.span_id = new_span_id()
+        self.parent_id = parent_id
+        self.start_ns = 0
+        self._collector = collector
+        self._tracer = tracer
+        self._keep = keep
+
+    def __enter__(self) -> "_SpanScope":
+        self.start_ns = time.time_ns()
+        self._token = _ACTIVE.set(self)
+        self._t0 = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        dur_ns = time.perf_counter_ns() - self._t0
+        _ACTIVE.reset(self._token)
+        self._collector.add(Span(
+            self.op, self.start_ns, dur_ns, self.trace_id,
+            self.parent_id or None, self.span_id))
+        if self._tracer is not None:
+            self._tracer._finish(self, dur_ns)
+        return False
+
+    def child(self, op: str, start_ns: int, dur_ns: int) -> None:
+        """Record an already-measured child span directly — used where
+        wrapping the timed region in a context manager is impractical
+        (another thread owns the measurement)."""
+        self._collector.add(Span(op, start_ns, dur_ns, self.trace_id,
+                                 self.span_id, new_span_id()))
+
+
+def span(op: str):
+    """Open a child span under the active trace.
+
+    With no trace active this returns a shared no-op context manager —
+    one contextvar read and an identity test, no allocation — so
+    instrumented hot paths cost nothing when tracing is off.
+    """
+    parent = _ACTIVE.get()
+    if parent is None:
+        return _NULL_SPAN
+    return _SpanScope(op, parent.trace_id, parent.span_id,
+                      parent._collector)
+
+
+class Tracer:
+    """Head-based sampling policy plus the sinks captured traces feed.
+
+    ``sample=N`` keeps 1 in N root spans (0 disables sampling);
+    ``slow_ms`` additionally captures *every* root and keeps the ones
+    slower than the threshold.  Roots opened while another span is
+    already active join the surrounding trace as children instead of
+    starting a competing tree.
+    """
+
+    def __init__(self, sample: int = 0, slow_ms: Optional[float] = None,
+                 log: Optional[TraceLog] = None,
+                 spans: Optional[SpanLog] = None):
+        self.sample = int(sample)
+        self.slow_ns = None if slow_ms is None else slow_ms * 1_000_000
+        self.log = log
+        self.spans = spans if spans is not None else SpanLog()
+        self._tick = itertools.count(1)
+
+    def root(self, op: str, trace_id: int = 0, parent_id: int = 0,
+             forced: bool = False):
+        """A root scope for one traced operation, or the shared no-op
+        when this operation is not captured.  ``forced`` roots (a
+        server honouring a client's TRACE envelope) are always kept."""
+        if _ACTIVE.get() is not None:
+            return span(op)
+        if forced:
+            keep = True
+        elif self.sample > 0 and next(self._tick) % self.sample == 0:
+            keep = True
+        elif self.slow_ns is not None:
+            keep = False  # capture; kept only if it turns out slow
+        else:
+            return _NULL_SPAN
+        return _SpanScope(op, trace_id or new_trace_id(), parent_id,
+                          _Collector(), tracer=self, keep=keep)
+
+    def _finish(self, root: _SpanScope, dur_ns: int) -> None:
+        keep = root._keep or (self.slow_ns is not None
+                              and dur_ns >= self.slow_ns)
+        spans = root._collector.drain()
+        if not keep:
+            return
+        for item in spans:
+            self.spans.record_span(item)
+            if self.log is not None:
+                self.log.write_span(item)
+
+    def event(self, event: str, **fields: Any) -> None:
+        """A structured lifecycle event, durable when a log is bound."""
+        if self.log is not None:
+            self.log.event(event, **fields)
+
+    def close(self) -> None:
+        if self.log is not None:
+            self.log.close()

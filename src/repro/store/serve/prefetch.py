@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Optional
 
 from repro.errors import UnknownOidError
 from repro.store.engine.base import StorageEngine
+from repro.store.obs.trace import span as trace_span
 from repro.store.oids import Oid
 from repro.store.serializer import Record, record_refs, unwrap_record
 
@@ -80,7 +81,10 @@ class FetchPlanner:
         while frontier:
             plan.waves += 1
             self.total_waves += 1
-            fetched = self._engine.fetch_many(frontier)
+            # One leaf span per bulk-read wave: a traced fault shows
+            # the closure depth and where the wide waves were.
+            with trace_span("planner.wave"):
+                fetched = self._engine.fetch_many(frontier)
             next_frontier: list[Oid] = []
             for oid in frontier:
                 raw = fetched.get(oid)

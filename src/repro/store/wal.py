@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import CorruptHeapError
+from repro.store.obs.trace import span as trace_span
 from repro.store.oids import Oid
 
 ENTRY_BEGIN = b"B"
@@ -143,8 +144,11 @@ class WriteAheadLog:
             self.sync()
 
     def sync(self) -> None:
-        self._file.flush()
-        os.fsync(self._file.fileno())
+        # The durability point of every commit: a leaf span when the
+        # surrounding work is being traced, free otherwise.
+        with trace_span("wal.fsync"):
+            self._file.flush()
+            os.fsync(self._file.fileno())
         self.fsyncs += 1
         self.synced_bytes += self._unsynced_bytes
         self._unsynced_bytes = 0

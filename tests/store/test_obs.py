@@ -123,6 +123,49 @@ class TestRegistry:
         assert merged["histograms"]["h"]["count"] == 2
         assert merged["histograms"]["h"]["buckets"]["4"] == 2
 
+    def test_merge_keeps_conflicting_label_sets_apart(self):
+        # Two servers exposing the same metric *name* under different
+        # label sets must not sum into one series: snapshot keys carry
+        # the flattened labels, so each labelled series merges only
+        # with its exact twin.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("ops", engine="file").inc(2)
+        a.counter("ops", engine="file", shard="0").inc(3)
+        b.counter("ops", engine="memory").inc(5)
+        b.counter("ops", engine="file").inc(7)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"] == {
+            "ops{engine=file}": 9,
+            "ops{engine=file,shard=0}": 3,
+            "ops{engine=memory}": 5,
+        }
+
+    def test_merge_histograms_with_mismatched_bucket_sets(self):
+        # One server saw only fast ops, the other only slow ones: the
+        # merged histogram is the union of their populated buckets,
+        # with count/sum summed — no bucket is dropped or misaligned.
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("ns").observe(3)          # bucket "4"
+        b.histogram("ns").observe(1000)       # bucket "1024"
+        b.histogram("ns").observe(1001)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        hist = merged["histograms"]["ns"]
+        assert hist["count"] == 3
+        assert hist["sum"] == 2004
+        assert hist["buckets"] == {"4": 1, "1024": 2}
+
+    def test_merge_with_empty_and_disabled_snapshots(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        disabled = MetricsRegistry(enabled=False)
+        merged = merge_snapshots([reg.snapshot(), disabled.snapshot(),
+                                  {}])
+        assert merged["counters"] == {"c": 2}
+        assert merged["gauges"] == {} and merged["histograms"] == {}
+        # All-empty input still yields the canonical empty shape.
+        assert merge_snapshots([]) == {"counters": {}, "gauges": {},
+                                       "histograms": {}}
+
     def test_prometheus_render_shape(self):
         reg = MetricsRegistry()
         reg.counter("reads_total", engine="memory").inc(7)

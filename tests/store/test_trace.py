@@ -1,0 +1,442 @@
+"""Hierarchical tracing: ids, sampling, sinks and the cross-process tree.
+
+The last class is the PR's acceptance test: a traced ``routed:`` store
+over two live server *subprocesses* must reassemble one span tree that
+covers the client, the router fan-out and both servers, with
+engine-phase work (WAL fsyncs, planner waves) visible as leaf spans.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.store.engine.factory import engine_from_url, split_store_url
+from repro.store.objectstore import ObjectStore
+from repro.store.obs.trace import (
+    _COUNTER_MASK,
+    _NULL_SPAN,
+    JsonLineFormatter,
+    TraceLog,
+    Tracer,
+    _process_tag,
+    current_span,
+    iter_trace_log,
+    new_span_id,
+    new_trace_id,
+    run_with_span,
+    span,
+)
+
+
+# ---------------------------------------------------------------------------
+# id generation
+# ---------------------------------------------------------------------------
+
+
+class TestIds:
+    def test_counter_window_is_wider_than_32_bits(self):
+        # Regression: the low half used to be 32 bits, which wraps after
+        # 2^32 ids under a long-lived client and aliases old trace ids.
+        assert _COUNTER_MASK > 0xFFFFFFFF
+
+    def test_process_tag_mixes_start_time_not_just_pid(self):
+        # A recycled pid must not alias the dead process's ids: the tag
+        # covers the process start stamp too.
+        pid = os.getpid()
+        assert _process_tag(pid, 1_000) != _process_tag(pid, 2_000)
+
+    def test_ids_are_distinct_and_nonzero(self):
+        ids = {new_trace_id() for _ in range(1000)}
+        ids.update(new_span_id() for _ in range(1000))
+        assert len(ids) == 2000
+        assert 0 not in ids
+
+    def test_child_process_draws_from_a_different_tag(self):
+        here = Path(__file__).resolve().parents[2] / "src"
+        out = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.store.obs.trace import new_trace_id; "
+             "print(new_trace_id())"],
+            capture_output=True, text=True, check=True,
+            env=dict(os.environ, PYTHONPATH=str(here)))
+        theirs = int(out.stdout)
+        ours = new_trace_id()
+        assert (theirs >> 48) != (ours >> 48)
+
+
+# ---------------------------------------------------------------------------
+# spans, sampling, propagation
+# ---------------------------------------------------------------------------
+
+
+class TestSpanMachinery:
+    def test_span_without_active_trace_is_the_shared_noop(self):
+        assert span("anything") is _NULL_SPAN
+        with span("anything"):
+            assert current_span() is None
+
+    def test_unsampled_tracer_roots_are_the_shared_noop(self):
+        tracer = Tracer(sample=0)
+        assert tracer.root("op") is _NULL_SPAN
+        assert len(tracer.spans) == 0
+
+    def test_sampled_trace_builds_a_parented_tree(self):
+        tracer = Tracer(sample=1)
+        with tracer.root("outer") as root:
+            with span("inner"):
+                with span("leaf"):
+                    pass
+            root.child("direct", root.start_ns, 5)
+        spans = {s["op"]: s for s in tracer.spans.tail()}
+        assert set(spans) == {"outer", "inner", "leaf", "direct"}
+        assert "parent" not in spans["outer"]
+        assert spans["inner"]["parent"] == spans["outer"]["span_id"]
+        assert spans["leaf"]["parent"] == spans["inner"]["span_id"]
+        assert spans["direct"]["parent"] == spans["outer"]["span_id"]
+        assert len({s["trace_id"] for s in spans.values()}) == 1
+
+    def test_sample_one_in_n(self):
+        tracer = Tracer(sample=3)
+        kept = sum(tracer.root("op") is not _NULL_SPAN
+                   for _ in range(9))
+        assert kept == 3
+
+    def test_slow_threshold_keeps_only_slow_roots(self):
+        tracer = Tracer(slow_ms=1e-6)          # every op is "slow"
+        with tracer.root("slow"):
+            pass
+        assert [s["op"] for s in tracer.spans.tail()] == ["slow"]
+        tracer = Tracer(slow_ms=1e9)           # nothing is slow
+        scope = tracer.root("fast")
+        assert scope is not _NULL_SPAN         # captured ...
+        with scope:
+            pass
+        assert len(tracer.spans) == 0          # ... but not kept
+
+    def test_forced_root_is_always_kept(self):
+        tracer = Tracer(sample=0)
+        with tracer.root("dispatch", trace_id=7, parent_id=3,
+                         forced=True):
+            pass
+        (rec,) = tracer.spans.tail()
+        assert rec["trace_id"] == 7 and rec["parent"] == 3
+
+    def test_nested_root_joins_the_surrounding_trace(self):
+        tracer = Tracer(sample=1)
+        with tracer.root("outer"):
+            with tracer.root("nested"):
+                pass
+        spans = {s["op"]: s for s in tracer.spans.tail()}
+        assert spans["nested"]["parent"] == spans["outer"]["span_id"]
+
+    def test_run_with_span_carries_the_trace_across_threads(self):
+        tracer = Tracer(sample=1)
+        with tracer.root("outer") as root:
+            def work():
+                with span("threaded"):
+                    pass
+            thread = threading.Thread(
+                target=run_with_span, args=(root, work))
+            thread.start()
+            thread.join()
+        spans = {s["op"]: s for s in tracer.spans.tail()}
+        assert spans["threaded"]["parent"] == spans["outer"]["span_id"]
+
+    def test_straggler_children_after_root_exit_are_dropped(self):
+        tracer = Tracer(sample=1)
+        with tracer.root("outer") as root:
+            pass
+        root.child("late", 0, 1)               # async commit straggler
+        assert [s["op"] for s in tracer.spans.tail()] == ["outer"]
+
+
+# ---------------------------------------------------------------------------
+# durable sinks and structured logging
+# ---------------------------------------------------------------------------
+
+
+class TestTraceLog:
+    def test_round_trip_spans_and_events(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        log = TraceLog(path)
+        log.event("server_start", endpoint="x:1")
+        tracer = Tracer(sample=1, log=log)
+        with tracer.root("op"):
+            pass
+        log.close()
+        entries = iter_trace_log(path)
+        kinds = [entry["kind"] for entry in entries]
+        assert kinds == ["event", "span"]
+        assert entries[0]["event"] == "server_start"
+        assert entries[1]["op"] == "op" and entries[1]["trace_id"]
+
+    def test_rotation_bounds_the_file_and_keeps_one_generation(
+            self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        log = TraceLog(path, max_bytes=256)
+        for index in range(50):
+            log.event("tick", index=index)
+        log.close()
+        assert os.path.getsize(path) <= 256
+        assert os.path.exists(path + ".1")
+        entries = iter_trace_log(path)
+        # Rotation drops old generations, never the newest entries.
+        assert entries[-1]["index"] == 49
+        indexes = [entry["index"] for entry in entries]
+        assert indexes == sorted(indexes)
+
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "event", "event": "ok"}) + "\n")
+            fh.write('{"kind": "event", "ev')  # crash mid-write
+        assert [entry["event"] for entry in iter_trace_log(path)] == ["ok"]
+
+
+class TestJsonLineFormatter:
+    def test_renders_record_and_extra_fields(self):
+        import logging
+
+        record = logging.LogRecord(
+            "repro.store.slowop", logging.WARNING, __file__, 1,
+            "slow op %s", ("fetch",), None)
+        record.fields = {"op": "fetch", "dur_ms": 12.5}
+        out = json.loads(JsonLineFormatter().format(record))
+        assert out["message"] == "slow op fetch"
+        assert out["logger"] == "repro.store.slowop"
+        assert out["op"] == "fetch" and out["dur_ms"] == 12.5
+
+
+# ---------------------------------------------------------------------------
+# store + factory wiring
+# ---------------------------------------------------------------------------
+
+
+class TestStoreWiring:
+    def test_trace_keys_are_store_level(self):
+        _, options = split_store_url(
+            "memory:?trace_sample=10&slow_trace_ms=1.5&trace_log=/tmp/t")
+        assert options == {"trace_sample": 10, "slow_trace_ms": 1.5,
+                           "trace_log": "/tmp/t"}
+        with pytest.raises(ValueError, match="store"):
+            engine_from_url("memory:?trace_sample=10")
+
+    @pytest.mark.parametrize("query", [
+        "trace_sample=-1", "trace_sample=x",
+        "slow_trace_ms=0", "slow_trace_ms=-2", "trace_log=",
+    ])
+    def test_bad_trace_values_fail_before_any_engine_opens(self, query):
+        with pytest.raises(ValueError):
+            split_store_url(f"memory:?{query}")
+
+    def test_default_store_traces_nothing(self):
+        with ObjectStore.in_memory() as store:
+            store.set_root("r", [1, 2, 3])
+            store.stabilize()
+            store.evict_all()
+            store.get_root("r")
+            assert len(store.tracer.spans) == 0
+
+    def test_sampled_store_traces_fault_and_stabilize_phases(self):
+        store = ObjectStore.from_url("memory:?trace_sample=1")
+        store.set_root("r", [[1], [2], [3]])
+        store.stabilize()
+        store.evict_all()
+        store.get_root("r")
+        spans = store.tracer.spans.tail(200)
+        by_op = {}
+        for rec in spans:
+            by_op.setdefault(rec["op"], []).append(rec)
+        for op in ("store.stabilize", "store.walk", "store.encode",
+                   "store.commit", "store.fault", "planner.wave",
+                   "engine.fetch_many"):
+            assert op in by_op, f"missing {op}: {sorted(by_op)}"
+        stab = by_op["store.stabilize"][0]
+        assert by_op["store.walk"][0]["parent"] == stab["span_id"]
+        assert by_op["store.commit"][0]["parent"] == stab["span_id"]
+        fault = by_op["store.fault"][0]
+        assert by_op["planner.wave"][0]["parent"] == fault["span_id"]
+        assert fault["trace_id"] != stab["trace_id"]
+        store.close()
+
+    def test_slow_trace_threshold_filters_fast_ops(self):
+        store = ObjectStore.from_url("memory:?slow_trace_ms=60000")
+        store.set_root("r", [1])
+        store.stabilize()
+        assert len(store.tracer.spans) == 0   # captured, all fast
+        store.close()
+
+    def test_store_trace_log_sink(self, tmp_path):
+        path = tmp_path / "client.jsonl"
+        store = ObjectStore.from_url(
+            f"memory:?trace_sample=1&trace_log={path}")
+        store.set_root("r", [1])
+        store.stabilize()
+        store.close()
+        ops = {entry["op"] for entry in iter_trace_log(str(path))
+               if entry["kind"] == "span"}
+        assert "store.stabilize" in ops
+
+
+# ---------------------------------------------------------------------------
+# the cross-process tree (acceptance)
+# ---------------------------------------------------------------------------
+
+
+def _spawn_server(url: str, *extra: str) -> tuple[subprocess.Popen, str]:
+    root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(root / "src") + os.pathsep +
+                         env.get("PYTHONPATH", ""))
+    proc = subprocess.Popen(
+        [sys.executable, str(root / "scripts" / "store_server.py"),
+         url, "--listen", "127.0.0.1:0", *extra],
+        stdout=subprocess.PIPE, text=True, env=env)
+    line = proc.stdout.readline()
+    if not line.startswith("LISTENING "):
+        proc.kill()
+        raise RuntimeError(f"store server failed to start: {line!r}")
+    return proc, line.split()[-1]
+
+
+def _assemble(store: ObjectStore, trace_id: int) -> list[dict]:
+    """Client spans + every server's retained spans for one trace,
+    tagged with the process they ran in."""
+    spans = [dict(rec, process="client")
+             for rec in store.tracer.spans.tail(500)
+             if rec["trace_id"] == trace_id]
+    full = store._engine.stats_full(trace_id=trace_id)
+    for endpoint, body in full["per_server"].items():
+        spans.extend(dict(rec, process=endpoint)
+                     for rec in body.get("spans", []))
+    return spans
+
+
+def _depth(spans: list[dict]) -> int:
+    by_id = {rec["span_id"]: rec for rec in spans if rec.get("span_id")}
+
+    def chase(rec: dict, depth: int = 0) -> int:
+        parent = rec.get("parent")
+        if not parent or parent not in by_id:
+            return depth
+        return chase(by_id[parent], depth + 1)
+
+    return max(chase(rec) for rec in spans)
+
+
+class TestCrossProcessTree:
+    def test_routed_fetch_reassembles_one_tree_across_processes(
+            self, tmp_path):
+        servers = [_spawn_server(f"file:{tmp_path / f's{index}'}",
+                                 "--trace-log",
+                                 str(tmp_path / f"trace{index}.jsonl"))
+                   for index in range(2)]
+        procs = [proc for proc, _ in servers]
+        endpoints = [endpoint for _, endpoint in servers]
+        try:
+            store = ObjectStore.from_url(
+                "routed:" + ",".join(endpoints)
+                + "?trace_sample=1&op_timeout=60")
+            store.set_root("r", [list(range(5)) for _ in range(20)])
+            store.stabilize()
+            store.evict_all()
+            assert list(store.get_root("r")[3]) == list(range(5))
+
+            client = store.tracer.spans.tail(500)
+            fault = next(rec for rec in client
+                         if rec["op"] == "store.fault")
+            stab = next(rec for rec in client
+                        if rec["op"] == "store.stabilize")
+
+            # -- the read tree: client -> fan-out -> both servers ------
+            spans = _assemble(store, fault["trace_id"])
+            assert _depth(spans) >= 3
+            processes = {rec["process"] for rec in spans}
+            assert processes == {"client", *endpoints}
+            ops = {rec["op"] for rec in spans}
+            assert {"store.fault", "planner.wave", "fanout.fetch_many",
+                    "net.fetch_many", "fetch_many",
+                    "engine.fetch_many"} <= ops
+            # Every server-side span hangs off the client's tree: its
+            # parent is a client net.* span (or deeper server work).
+            by_id = {rec["span_id"]: rec for rec in spans
+                     if rec.get("span_id")}
+            for rec in spans:
+                if rec["process"] == "client" or rec["op"] != "fetch_many":
+                    continue
+                parent = by_id[rec["parent"]]
+                assert parent["process"] == "client"
+                assert parent["op"] == "net.fetch_many"
+
+            # -- the write tree: 2PC phases down to the WAL fsync ------
+            spans = _assemble(store, stab["trace_id"])
+            assert _depth(spans) >= 3
+            ops = {rec["op"] for rec in spans}
+            assert {"store.commit", "twophase.prepare", "net.apply",
+                    "apply", "engine.apply", "wal.fsync"} <= ops
+            assert {rec["process"] for rec in spans} == \
+                {"client", *endpoints}
+
+            store.close()
+
+            # -- the durable sink saw the same traced spans ------------
+            logged = [entry
+                      for index in range(2)
+                      for entry in iter_trace_log(
+                          str(tmp_path / f"trace{index}.jsonl"))]
+            assert any(entry.get("op") == "wal.fsync"
+                       for entry in logged)
+            assert any(entry.get("event") == "server_start"
+                       for entry in logged)
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.wait(timeout=10)
+
+    def test_store_trace_explorer_renders_the_live_tree(self, tmp_path):
+        sys.path.insert(0, str(Path(__file__).resolve().parents[2]
+                               / "scripts"))
+        try:
+            import store_trace
+        finally:
+            sys.path.pop(0)
+        servers = [_spawn_server(f"file:{tmp_path / f's{index}'}")
+                   for index in range(2)]
+        procs = [proc for proc, _ in servers]
+        endpoints = [endpoint for _, endpoint in servers]
+        try:
+            log_path = tmp_path / "client.jsonl"
+            store = ObjectStore.from_url(
+                "routed:" + ",".join(endpoints)
+                + f"?trace_sample=1&op_timeout=60&trace_log={log_path}")
+            store.set_root("r", [[1], [2], [3]])
+            store.stabilize()
+            store.close()
+
+            spans, dead = store_trace.collect_spans(
+                endpoints, str(log_path), None)
+            assert not dead
+            traces = store_trace.build_traces(spans)
+            tid, trace = max(
+                traces.items(),
+                key=lambda item: max((root.get("dur_ns", 0)
+                                      for root in item[1]["roots"]),
+                                     default=0))
+            text = store_trace.render_trace(tid, trace)
+            assert "store.stabilize" in text
+            assert "wal.fsync" in text
+            explain = store_trace.render_explain("commit", traces)
+            assert "wal.fsync" in explain
+        finally:
+            for proc in procs:
+                proc.terminate()
+            for proc in procs:
+                proc.wait(timeout=10)
